@@ -1,0 +1,124 @@
+// Reproduces Figure 15 (§6): marginal utility of additional VPs for
+// discovering a large access network's interconnections with two transit
+// networks and several CDNs.
+//
+// Paper shapes: a single VP sees ALL Akamai links (selective per-link
+// prefix announcement); Level3 needs ~17 geographically diverse VPs to
+// reveal all 45 links (hot-potato routing); other networks fall between.
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "eval/analysis.h"
+#include "eval/scenario.h"
+#include "eval/vp_selection.h"
+
+using namespace bdrmap;
+
+int main() {
+  eval::Scenario scenario(eval::large_access_config(42));
+  net::AsId vp_as = scenario.featured_access();
+  auto vps = scenario.vps_in(vp_as);
+  eval::GroundTruth truth(scenario.net(), vp_as);
+
+  struct Target {
+    std::string name;
+    net::AsId as;
+    std::size_t truth_links = 0;
+  };
+  // Second transit target: the access network's first transit provider
+  // (the paper used two large transit providers and five CDNs).
+  net::AsId transit2;
+  for (net::AsId p :
+       scenario.net().truth_relationships().providers(vp_as)) {
+    transit2 = p;
+    break;
+  }
+  std::vector<Target> targets = {
+      {"Level3-like (Tier-1 peer)", scenario.level3_like()},
+      {"Transit-2 (provider)", transit2},
+      {"Akamai-like (pinned prefixes)", scenario.akamai_like()},
+      {"Google-like (coastal)", scenario.google_like()},
+      {"CDN-3", scenario.first_of(topo::AsKind::kContent, 2)},
+      {"CDN-4", scenario.first_of(topo::AsKind::kContent, 3)},
+      {"CDN-5", scenario.first_of(topo::AsKind::kContent, 4)},
+  };
+  for (auto& t : targets) {
+    if (!t.as.valid()) continue;
+    for (const auto& il : scenario.net().interdomain_links()) {
+      bool touches_target =
+          truth.same_org(il.as_a, t.as) || truth.same_org(il.as_b, t.as);
+      bool touches_vp =
+          truth.same_org(il.as_a, vp_as) || truth.same_org(il.as_b, vp_as);
+      if (touches_target && touches_vp) ++t.truth_links;
+    }
+  }
+
+  std::printf("Figure 15: marginal utility of VPs (%zu VPs, large access "
+              "network)\n\n",
+              vps.size());
+
+  // Cumulative discovered interconnects per target, in VP order; also the
+  // per-VP Tier-1 link sets for the deployment-planning comparison below.
+  std::vector<std::set<std::uint32_t>> discovered(targets.size());
+  std::vector<std::vector<std::size_t>> curve(targets.size());
+  std::vector<std::set<std::uint32_t>> tier1_per_vp;
+  for (std::size_t i = 0; i < vps.size(); ++i) {
+    auto result = scenario.run_bdrmap(vps[i], {}, 0x2000 + i);
+    for (std::size_t t = 0; t < targets.size(); ++t) {
+      if (!targets[t].as.valid()) continue;
+      auto links = eval::discovered_links_with(result, truth, targets[t].as);
+      if (t == 0) tier1_per_vp.push_back(links);
+      discovered[t].insert(links.begin(), links.end());
+      curve[t].push_back(discovered[t].size());
+    }
+    std::printf("  VP %2zu/%zu done\r", i + 1, vps.size());
+    std::fflush(stdout);
+  }
+  std::printf("\n\nlinks discovered after k VPs (row: network; truth count "
+              "in parentheses)\n\n          VPs:");
+  for (std::size_t i = 1; i <= vps.size(); ++i) std::printf("%4zu", i);
+  std::printf("\n");
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    if (!targets[t].as.valid()) continue;
+    std::printf("%-28s (%2zu):", targets[t].name.c_str(),
+                targets[t].truth_links);
+    for (std::size_t v : curve[t]) std::printf("%4zu", v);
+    std::printf("\n");
+  }
+
+  // Headline checks.
+  std::printf("\nAkamai-like from one VP: %zu/%zu links "
+              "(paper: a single VP observes all)\n",
+              curve[2].empty() ? 0 : curve[2].front(),
+              targets[2].truth_links);
+  std::size_t full_at = 0;
+  for (std::size_t i = 0; i < curve[0].size(); ++i) {
+    if (curve[0][i] == curve[0].back()) {
+      full_at = i + 1;
+      break;
+    }
+  }
+  std::printf("Level3-like saturates at %zu VPs with %zu/%zu links "
+              "(paper: 17 VPs for all 45)\n",
+              full_at, curve[0].empty() ? 0 : curve[0].back(),
+              targets[0].truth_links);
+
+  // Deployment planning: the west-to-east order above vs greedy placement
+  // (the operator's question behind §6's marginal-utility study).
+  auto greedy = eval::greedy_vp_selection(tier1_per_vp);
+  std::printf("\ngreedy VP placement for the Tier-1 peer: ");
+  for (std::size_t c : greedy.coverage) std::printf("%zu ", c);
+  std::printf("\n90%% coverage needs %zu VPs greedily (vs %zu west-to-east)\n",
+              greedy.vps_for(0.9), [&] {
+                double needed = 0.9 * static_cast<double>(
+                                          greedy.total_links);
+                for (std::size_t i = 0; i < curve[0].size(); ++i) {
+                  if (static_cast<double>(curve[0][i]) >= needed) {
+                    return i + 1;
+                  }
+                }
+                return curve[0].size();
+              }());
+  return 0;
+}

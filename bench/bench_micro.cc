@@ -1,0 +1,109 @@
+// Microbenchmarks (google-benchmark): the hot paths of the pipeline —
+// longest-prefix matching, forwarding steps, trace generation, alias
+// closure, and the full per-VP inference.
+#include <benchmark/benchmark.h>
+
+#include "core/alias_resolution.h"
+#include "core/bdrmap.h"
+#include "eval/scenario.h"
+#include "netbase/radix_trie.h"
+#include "netbase/rng.h"
+
+using namespace bdrmap;
+
+namespace {
+
+const eval::Scenario& shared_scenario() {
+  static eval::Scenario scenario(eval::small_access_config(42));
+  return scenario;
+}
+
+void BM_TrieLongestPrefixMatch(benchmark::State& state) {
+  net::RadixTrie<int> trie;
+  net::Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    trie.insert(net::Prefix(net::Ipv4Addr(rng.uniform(0, 0xffffffffu)),
+                            static_cast<std::uint8_t>(rng.uniform(8, 24))),
+                i);
+  }
+  std::uint32_t probe = 0;
+  for (auto _ : state) {
+    probe = probe * 2654435761u + 12345u;
+    benchmark::DoNotOptimize(trie.match(net::Ipv4Addr(probe)));
+  }
+}
+BENCHMARK(BM_TrieLongestPrefixMatch);
+
+void BM_FibNextHop(benchmark::State& state) {
+  const auto& s = shared_scenario();
+  auto vp = s.vps_in(s.first_of(topo::AsKind::kAccess)).front();
+  const auto& announced = s.net().announced();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& ap = announced[i++ % announced.size()];
+    benchmark::DoNotOptimize(
+        s.fib().next_hop(vp.attach_router,
+                         net::Ipv4Addr(ap.prefix.first().value() + 1)));
+  }
+}
+BENCHMARK(BM_FibNextHop);
+
+void BM_Traceroute(benchmark::State& state) {
+  const auto& s = shared_scenario();
+  auto vp = s.vps_in(s.first_of(topo::AsKind::kAccess)).front();
+  probe::TracerouteEngine engine(s.net(), s.fib(), vp, 7);
+  const auto& announced = s.net().announced();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& ap = announced[i++ % announced.size()];
+    benchmark::DoNotOptimize(
+        engine.trace(net::Ipv4Addr(ap.prefix.first().value() + 1)));
+  }
+}
+BENCHMARK(BM_Traceroute);
+
+void BM_AliasClosure(benchmark::State& state) {
+  const auto& s = shared_scenario();
+  auto vp = s.vps_in(s.first_of(topo::AsKind::kAccess)).front();
+  auto services = s.services_for(vp);
+  core::AliasResolver resolver(*services);
+  // Synthesize a few hundred verdicts over a dense address set.
+  std::vector<net::Ipv4Addr> addrs;
+  net::Rng rng(3);
+  for (int i = 0; i < 400; ++i) {
+    addrs.push_back(net::Ipv4Addr(0x0a000000u + static_cast<uint32_t>(i)));
+  }
+  for (int i = 0; i < 300; ++i) {
+    auto a = rng.pick(addrs);
+    auto b = rng.pick(addrs);
+    if (a == b) continue;
+    resolver.declare(a, b,
+                     rng.chance(0.8) ? core::AliasVerdict::kAlias
+                                     : core::AliasVerdict::kNotAlias);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(resolver.groups(addrs));
+  }
+}
+BENCHMARK(BM_AliasClosure);
+
+void BM_FullBdrmapRun(benchmark::State& state) {
+  const auto& s = shared_scenario();
+  auto vp = s.vps_in(s.first_of(topo::AsKind::kAccess)).front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.run_bdrmap(vp));
+  }
+}
+BENCHMARK(BM_FullBdrmapRun)->Unit(benchmark::kMillisecond);
+
+void BM_GenerateInternet(benchmark::State& state) {
+  for (auto _ : state) {
+    auto config = eval::small_access_config(42);
+    benchmark::DoNotOptimize(topo::generate(config));
+  }
+}
+BENCHMARK(BM_GenerateInternet)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+// Probing cost and stop-set efficiency (§5.3).
+//
+// The paper reports run-times of ~12h (R&E) to ~48h (large US broadband)
+// at 100 packets/second; the doubletree stop set and the 5-address retry
+// cap are what keep the probe count tractable. This bench measures probes
+// sent with and without the stop set and projects wall-clock at 100pps.
+#include <cstdio>
+
+#include "core/schedule.h"
+#include "eval/report.h"
+#include "eval/scenario.h"
+
+using namespace bdrmap;
+
+namespace {
+
+struct Row {
+  std::string name;
+  std::uint64_t probes_with = 0;
+  std::uint64_t probes_without = 0;
+  std::size_t stopset_hits = 0;
+  std::size_t blocks = 0;
+  double scheduled_hours = 0.0;  // §5.3 pacing discipline applied
+};
+
+Row measure(const char* name, const topo::GeneratorConfig& config,
+            topo::AsKind vp_kind) {
+  eval::Scenario scenario(config);
+  net::AsId vp_as = scenario.first_of(vp_kind);
+  auto vp = scenario.vps_in(vp_as).front();
+  Row row;
+  row.name = name;
+  core::BdrmapConfig with;
+  auto with_result = scenario.run_bdrmap(vp, with);
+  row.probes_with = with_result.stats.probes_sent;
+  row.stopset_hits = with_result.stats.stopset_hits;
+  row.blocks = with_result.stats.blocks;
+  core::BdrmapConfig without;
+  without.enable_stop_set = false;
+  row.probes_without = scenario.run_bdrmap(vp, without).stats.probes_sent;
+
+  // Pace the real probe count through the §5.3 scheduler (per-AS queues,
+  // bounded parallelism, 100pps aggregate).
+  auto inputs = scenario.inputs_for(vp_as);
+  auto blocks = core::build_probe_blocks(*inputs.origins, inputs.vp_ases);
+  core::ScheduleConfig sched;
+  sched.probes_per_block = static_cast<double>(row.probes_with) /
+                           static_cast<double>(std::max<std::size_t>(
+                               row.blocks, 1));
+  row.scheduled_hours = core::simulate_schedule(blocks, sched)
+                            .duration_hours();
+  return row;
+}
+
+std::string hours_at_100pps(std::uint64_t probes) {
+  return eval::format_double(static_cast<double>(probes) / 100.0 / 3600.0, 2) +
+         "h";
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Probing cost and stop-set efficiency (§5.3)\n");
+  std::printf("paper: R&E ~12h, large US broadband ~48h at 100pps\n\n");
+
+  std::vector<Row> rows = {
+      measure("R&E network", eval::research_education_config(42),
+              topo::AsKind::kResearchEdu),
+      measure("Large access network", eval::large_access_config(42),
+              topo::AsKind::kAccess),
+      measure("Tier-1 network", eval::tier1_config(42), topo::AsKind::kTier1),
+  };
+
+  std::vector<std::vector<std::string>> cells;
+  for (const auto& r : rows) {
+    double saving = 100.0 * (1.0 - static_cast<double>(r.probes_with) /
+                                       static_cast<double>(r.probes_without));
+    cells.push_back({r.name, std::to_string(r.blocks),
+                     std::to_string(r.probes_with),
+                     std::to_string(r.probes_without),
+                     eval::format_double(saving) + "%",
+                     std::to_string(r.stopset_hits),
+                     hours_at_100pps(r.probes_with),
+                     eval::format_double(r.scheduled_hours, 2) + "h"});
+  }
+  std::fputs(
+      eval::render_table({"network", "blocks", "probes (stopset)",
+                          "probes (no stopset)", "saved", "stops",
+                          "runtime @100pps", "scheduled"},
+                         cells)
+          .c_str(),
+      stdout);
+  std::printf("\nNote: the synthetic Internet is ~100x smaller than the real "
+              "one; scaling the\nlarge-access probe count by the prefix ratio "
+              "puts the projected runtime in the\npaper's tens-of-hours "
+              "range.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Reproduces Table 1 (§5.7): heuristic attribution and BGP coverage for a
+// VP in each of three networks — an R&E network, a large access network,
+// and a Tier-1 network. The paper's headline shapes: 92.2-96.8% of
+// BGP-observed neighbors get a border router inferred; the firewall
+// heuristic dominates customer inferences; onenet dominates peers and
+// providers; a "trace" column of neighbors invisible in BGP.
+#include <cstdio>
+
+#include "eval/scenario.h"
+#include "eval/table1.h"
+
+using namespace bdrmap;
+
+namespace {
+
+void run_network(const char* title, const topo::GeneratorConfig& config,
+                 topo::AsKind vp_kind) {
+  eval::Scenario scenario(config);
+  net::AsId vp_as = scenario.first_of(vp_kind);
+  auto vps = scenario.vps_in(vp_as);
+  if (vps.empty()) {
+    std::printf("no VP in %s\n", title);
+    return;
+  }
+  auto result = scenario.run_bdrmap(vps.front());
+  auto inputs = scenario.inputs_for(vp_as);
+  eval::Table1 table =
+      eval::build_table1(result, *inputs.rels, inputs.vp_ases);
+  std::fputs(eval::render_table1(table, title).c_str(), stdout);
+  std::printf("probes: %llu   traces: %zu   routers: %zu\n\n",
+              static_cast<unsigned long long>(result.stats.probes_sent),
+              result.stats.traces, result.stats.routers);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Table 1: evaluation of bdrmap heuristics against BGP "
+              "observations\n(columns: inferred relationship of the "
+              "neighbor; rows: heuristic that fired)\n\n");
+  run_network("R&E network (VP: research-and-education AS)",
+              eval::research_education_config(42), topo::AsKind::kResearchEdu);
+  run_network("Large access network (VP: 19-PoP US access AS)",
+              eval::large_access_config(42), topo::AsKind::kAccess);
+  run_network("Tier-1 network (VP: transit-free clique member)",
+              eval::tier1_config(42), topo::AsKind::kTier1);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Quickstart: map the borders of a network from a single vantage point.
+//
+// Builds a small synthetic Internet, hosts a VP inside an R&E network,
+// runs the full bdrmap pipeline (targeted traceroutes -> alias resolution
+// -> router graph -> ownership heuristics), and prints the inferred
+// interdomain links with their ground-truth score.
+#include <cstdio>
+
+#include "eval/ground_truth.h"
+#include "eval/scenario.h"
+
+using namespace bdrmap;
+
+int main() {
+  // 1. A deterministic synthetic Internet (substitute for live probing).
+  eval::Scenario scenario(eval::research_education_config(/*seed=*/42));
+
+  // 2. Pick the VP: a research-and-education network (cf. §5.6).
+  net::AsId vp_as = scenario.first_of(topo::AsKind::kResearchEdu);
+  auto vps = scenario.vps_in(vp_as);
+  if (vps.empty()) {
+    std::fprintf(stderr, "no VP available\n");
+    return 1;
+  }
+  const topo::Vp& vp = vps.front();
+  std::printf("VP: %s attached to router %u (%s)\n",
+              vp.as.str().c_str(), vp.attach_router.value,
+              scenario.net().pops()[vp.pop].city.c_str());
+
+  // 3. Run bdrmap.
+  core::BdrmapResult result = scenario.run_bdrmap(vp);
+  std::printf("probed %zu blocks with %llu packets; %zu traces\n",
+              result.stats.blocks,
+              static_cast<unsigned long long>(result.stats.probes_sent),
+              result.stats.traces);
+  std::printf("router graph: %zu routers (%zu VP-side, %zu neighbors)\n",
+              result.stats.routers, result.stats.vp_routers,
+              result.stats.neighbor_routers);
+
+  // 4. Report inferred interdomain links per neighbor AS.
+  std::printf("\ninterdomain links by neighbor AS:\n");
+  for (const auto& [as, links] : result.links_by_as) {
+    std::printf("  %-8s %2zu link(s)\n", as.str().c_str(), links.size());
+  }
+
+  // 5. Score against ground truth (the generator knows the real owners).
+  eval::GroundTruth truth(scenario.net(), vp_as);
+  auto summary = truth.validate(result);
+  std::printf("\nvalidation: %zu/%zu neighbor routers correct (%.1f%%), "
+              "%zu/%zu links correct (%.1f%%)\n",
+              summary.routers_correct, summary.routers_total,
+              100.0 * summary.router_accuracy(), summary.links_correct,
+              summary.links_total, 100.0 * summary.link_accuracy());
+  return 0;
+}

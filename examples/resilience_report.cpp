@@ -1,0 +1,47 @@
+// Resilience study (§2): which border routers carry traffic to most of the
+// routed Internet, and what a single-router outage would cost.
+#include <cstdio>
+
+#include "eval/analysis.h"
+#include "eval/robustness.h"
+#include "eval/scenario.h"
+
+using namespace bdrmap;
+
+int main() {
+  eval::Scenario scenario(eval::small_access_config(7));
+  net::AsId vp_as = scenario.first_of(topo::AsKind::kAccess);
+  auto vps = scenario.vps_in(vp_as);
+  eval::GroundTruth truth(scenario.net(), vp_as);
+
+  std::vector<std::vector<eval::TraceExit>> runs;
+  for (std::size_t i = 0; i < vps.size(); ++i) {
+    auto result = scenario.run_bdrmap(vps[i], {}, 0xB00 + i);
+    runs.push_back(eval::trace_exits(result, truth,
+                                     scenario.collectors().public_origins()));
+    std::printf("VP %zu/%zu mapped\n", i + 1, vps.size());
+  }
+  auto report = eval::robustness_report(runs);
+
+  std::printf("\n%zu routed prefixes measured from %zu VPs\n",
+              report.prefixes_measured, vps.size());
+  std::printf("prefixes with a single observed egress: %zu (%.1f%%)\n",
+              report.single_homed_prefixes,
+              100.0 * report.single_homed_prefixes /
+                  std::max<std::size_t>(report.prefixes_measured, 1));
+  std::printf("worst single-router blast radius: %.1f%% of prefixes\n\n",
+              100.0 * report.worst_blast_radius);
+
+  std::printf("most critical border routers:\n");
+  for (std::size_t i = 0; i < report.routers.size() && i < 8; ++i) {
+    const auto& r = report.routers[i];
+    std::printf("  R%-5u %-14s carries %5.1f%% of prefixes, sole exit for "
+                "%zu\n",
+                r.router.value,
+                scenario.net()
+                    .pops()[scenario.net().router(r.router).pop]
+                    .city.c_str(),
+                100.0 * r.share, r.sole_exit_for);
+  }
+  return 0;
+}

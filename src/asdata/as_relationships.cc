@@ -1,0 +1,81 @@
+#include "asdata/as_relationships.h"
+
+#include <algorithm>
+
+namespace bdrmap::asdata {
+
+const std::vector<AsId> RelationshipStore::kEmpty;
+
+void RelationshipStore::add_c2p(AsId customer, AsId provider) {
+  auto [it, inserted] =
+      edges_.try_emplace(key(customer, provider), Relationship::kProvider);
+  if (!inserted) return;  // keep the first label for a duplicate edge
+  edges_[key(provider, customer)] = Relationship::kCustomer;
+  adj_[customer].providers.push_back(provider);
+  adj_[provider].customers.push_back(customer);
+}
+
+void RelationshipStore::add_p2p(AsId a, AsId b) {
+  auto [it, inserted] = edges_.try_emplace(key(a, b), Relationship::kPeer);
+  if (!inserted) return;
+  edges_[key(b, a)] = Relationship::kPeer;
+  adj_[a].peers.push_back(b);
+  adj_[b].peers.push_back(a);
+}
+
+Relationship RelationshipStore::rel(AsId a, AsId b) const {
+  auto it = edges_.find(key(a, b));
+  return it == edges_.end() ? Relationship::kNone : it->second;
+}
+
+const std::vector<AsId>& RelationshipStore::providers(AsId a) const {
+  auto it = adj_.find(a);
+  return it == adj_.end() ? kEmpty : it->second.providers;
+}
+
+const std::vector<AsId>& RelationshipStore::customers(AsId a) const {
+  auto it = adj_.find(a);
+  return it == adj_.end() ? kEmpty : it->second.customers;
+}
+
+const std::vector<AsId>& RelationshipStore::peers(AsId a) const {
+  auto it = adj_.find(a);
+  return it == adj_.end() ? kEmpty : it->second.peers;
+}
+
+std::vector<AsId> RelationshipStore::neighbors(AsId a) const {
+  std::vector<AsId> out;
+  auto it = adj_.find(a);
+  if (it == adj_.end()) return out;
+  out.reserve(it->second.providers.size() + it->second.customers.size() +
+              it->second.peers.size());
+  out.insert(out.end(), it->second.providers.begin(),
+             it->second.providers.end());
+  out.insert(out.end(), it->second.customers.begin(),
+             it->second.customers.end());
+  out.insert(out.end(), it->second.peers.begin(), it->second.peers.end());
+  return out;
+}
+
+std::unordered_set<AsId> RelationshipStore::customer_cone(AsId a) const {
+  std::unordered_set<AsId> cone{a};
+  std::vector<AsId> stack{a};
+  while (!stack.empty()) {
+    AsId cur = stack.back();
+    stack.pop_back();
+    for (AsId c : customers(cur)) {
+      if (cone.insert(c).second) stack.push_back(c);
+    }
+  }
+  return cone;
+}
+
+std::vector<AsId> RelationshipStore::all_ases() const {
+  std::vector<AsId> out;
+  out.reserve(adj_.size());
+  for (const auto& [as, lists] : adj_) out.push_back(as);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace bdrmap::asdata

@@ -1,0 +1,88 @@
+// AS business-relationship store.
+//
+// bdrmap consumes relationship annotations (customer-provider "c2p" and
+// peer-peer "p2p", per CAIDA's inference [25]) to run the §5.4.5 heuristics:
+// third-party address detection, known-peer/customer adjacency, and the
+// provider-of-adjacent sibling case. The same structure is used (a) with
+// ground-truth labels inside the topology generator, and (b) with *inferred*
+// labels produced by asdata::RelationshipInferrer, which is what the
+// inference core actually receives.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "netbase/ids.h"
+
+namespace bdrmap::asdata {
+
+using net::AsId;
+
+enum class Relationship : std::uint8_t {
+  kNone,      // no known link between the two ASes
+  kCustomer,  // rel(a,b): b is a customer of a
+  kProvider,  // rel(a,b): b is a provider of a
+  kPeer,      // settlement-free peers
+};
+
+// Flips the perspective: rel(a,b) -> rel(b,a).
+constexpr Relationship invert(Relationship r) {
+  switch (r) {
+    case Relationship::kCustomer:
+      return Relationship::kProvider;
+    case Relationship::kProvider:
+      return Relationship::kCustomer;
+    default:
+      return r;
+  }
+}
+
+class RelationshipStore {
+ public:
+  // Records that `provider` sells transit to `customer`.
+  void add_c2p(AsId customer, AsId provider);
+  // Records a settlement-free peering between a and b.
+  void add_p2p(AsId a, AsId b);
+
+  // The relationship of `b` from `a`'s point of view.
+  Relationship rel(AsId a, AsId b) const;
+
+  bool are_neighbors(AsId a, AsId b) const {
+    return rel(a, b) != Relationship::kNone;
+  }
+
+  const std::vector<AsId>& providers(AsId a) const;
+  const std::vector<AsId>& customers(AsId a) const;
+  const std::vector<AsId>& peers(AsId a) const;
+
+  // All neighbors regardless of relationship type.
+  std::vector<AsId> neighbors(AsId a) const;
+
+  // Transitive customers of `a` including `a` itself (CAIDA "customer cone").
+  std::unordered_set<AsId> customer_cone(AsId a) const;
+
+  // Every AS mentioned in any edge.
+  std::vector<AsId> all_ases() const;
+
+  std::size_t edge_count() const { return edges_.size(); }
+
+ private:
+  struct AdjLists {
+    std::vector<AsId> providers;
+    std::vector<AsId> customers;
+    std::vector<AsId> peers;
+  };
+
+  static std::uint64_t key(AsId a, AsId b) {
+    return (std::uint64_t{a.value} << 32) | b.value;
+  }
+
+  std::unordered_map<std::uint64_t, Relationship> edges_;  // rel(a,b) by key
+  std::unordered_map<AsId, AdjLists> adj_;
+  static const std::vector<AsId> kEmpty;
+};
+
+}  // namespace bdrmap::asdata

@@ -1,0 +1,107 @@
+#include "asdata/dns.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <vector>
+
+namespace bdrmap::asdata {
+
+void ReverseDns::add(net::Ipv4Addr addr, std::string hostname) {
+  records_[addr] = std::move(hostname);
+}
+
+std::optional<std::string> ReverseDns::lookup(net::Ipv4Addr addr) const {
+  auto it = records_.find(addr);
+  if (it == records_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string city_code_of(std::string_view city) {
+  std::string code;
+  for (char c : city) {
+    if (code.size() == 3) break;
+    code.push_back(static_cast<char>(std::tolower(
+        static_cast<unsigned char>(c))));
+  }
+  return code;
+}
+
+std::string make_hostname(std::string_view role, unsigned unit,
+                          std::string_view city_code, net::AsId as,
+                          std::string_view org) {
+  std::string out;
+  out += role;
+  out += '-';
+  out += std::to_string(unit);
+  out += '.';
+  out += city_code;
+  out += ".as";
+  out += std::to_string(as.value);
+  out += '.';
+  out += org;
+  out += ".net";
+  return out;
+}
+
+namespace {
+
+std::vector<std::string_view> split_labels(std::string_view name) {
+  std::vector<std::string_view> labels;
+  std::size_t start = 0;
+  while (start <= name.size()) {
+    std::size_t dot = name.find('.', start);
+    if (dot == std::string_view::npos) {
+      labels.push_back(name.substr(start));
+      break;
+    }
+    labels.push_back(name.substr(start, dot - start));
+    start = dot + 1;
+  }
+  return labels;
+}
+
+bool all_alpha(std::string_view s) {
+  return !s.empty() &&
+         std::all_of(s.begin(), s.end(), [](char c) {
+           return std::isalpha(static_cast<unsigned char>(c));
+         });
+}
+
+}  // namespace
+
+HostnameHints parse_hostname(std::string_view hostname) {
+  HostnameHints hints;
+  auto labels = split_labels(hostname);
+  if (labels.size() < 2) return hints;
+
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    std::string_view label = labels[i];
+    // "asNNNN" -> AS hint.
+    if (label.size() > 2 && (label[0] == 'a' || label[0] == 'A') &&
+        (label[1] == 's' || label[1] == 'S')) {
+      std::uint32_t value = 0;
+      auto digits = label.substr(2);
+      auto [end, ec] =
+          std::from_chars(digits.data(), digits.data() + digits.size(), value);
+      if (ec == std::errc() && end == digits.data() + digits.size() &&
+          value > 0) {
+        hints.as_hint = net::AsId(value);
+        continue;
+      }
+    }
+    // A bare 3-letter alphabetic label that is not the TLD: city code.
+    if (label.size() == 3 && all_alpha(label) && i + 1 < labels.size() &&
+        !hints.city_code) {
+      hints.city_code = std::string(label);
+      continue;
+    }
+    // The second-level label is the organization.
+    if (i + 1 == labels.size() - 1 && all_alpha(label)) {
+      hints.org_label = std::string(label);
+    }
+  }
+  return hints;
+}
+
+}  // namespace bdrmap::asdata

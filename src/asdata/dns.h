@@ -1,0 +1,60 @@
+// Reverse DNS for router interfaces.
+//
+// The paper leans on rDNS twice: during development, interface hostnames
+// were the only sanity check available before operator ground truth
+// (§5.1 — with the caveat that names are often missing, stale, or carry
+// organization names rather than AS numbers); and §6 geolocates the access
+// network's border routers from the location codes operators embed in
+// names. This module stores per-address hostnames and parses the common
+// "role-N.cityNN.asNNNN.example.net" convention back into hints, with all
+// the real-world failure modes representable: absent names, stale city
+// codes, and org-label-only names.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "netbase/ids.h"
+#include "netbase/ipv4.h"
+
+namespace bdrmap::asdata {
+
+// What a hostname reveals when parsed. Any field may be missing: operators
+// owe nobody a naming convention.
+struct HostnameHints {
+  std::optional<std::string> city_code;   // e.g. "sea", "nyc"
+  std::optional<net::AsId> as_hint;       // from an "asNNNN" label
+  std::optional<std::string> org_label;   // free-form organization label
+};
+
+class ReverseDns {
+ public:
+  // Registers (or overwrites) the PTR record for `addr`.
+  void add(net::Ipv4Addr addr, std::string hostname);
+
+  // The hostname for `addr`, if a PTR record exists.
+  std::optional<std::string> lookup(net::Ipv4Addr addr) const;
+
+  std::size_t size() const { return records_.size(); }
+
+ private:
+  std::unordered_map<net::Ipv4Addr, std::string> records_;
+};
+
+// Builds a conventional router interface name:
+//   <role>-<unit>.<city_code>.as<asn>.<org>.net
+std::string make_hostname(std::string_view role, unsigned unit,
+                          std::string_view city_code, net::AsId as,
+                          std::string_view org);
+
+// Parses dot-separated labels looking for a 3-letter city code, an
+// "asNNNN" label and an organization label. Tolerant of arbitrary shapes;
+// returns empty hints for names it cannot interpret.
+HostnameHints parse_hostname(std::string_view hostname);
+
+// Lower-cases and truncates a city name to its conventional 3-letter code
+// ("Seattle" -> "sea").
+std::string city_code_of(std::string_view city);
+
+}  // namespace bdrmap::asdata

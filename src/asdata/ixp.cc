@@ -1,0 +1,33 @@
+#include "asdata/ixp.h"
+
+namespace bdrmap::asdata {
+
+std::size_t IxpDirectory::add_ixp(IxpRecord record) {
+  std::size_t index = ixps_.size();
+  lan_trie_.insert(record.peering_lan, index);
+  ixps_.push_back(std::move(record));
+  return index;
+}
+
+void IxpDirectory::add_membership(IxpMembership m) {
+  member_by_addr_[m.address] = m.member;
+  memberships_.push_back(m);
+}
+
+bool IxpDirectory::is_ixp_address(Ipv4Addr a) const {
+  return lan_trie_.match(a) != nullptr;
+}
+
+std::optional<std::size_t> IxpDirectory::ixp_of(Ipv4Addr a) const {
+  const std::size_t* idx = lan_trie_.match(a);
+  if (!idx) return std::nullopt;
+  return *idx;
+}
+
+std::optional<AsId> IxpDirectory::member_at(Ipv4Addr a) const {
+  auto it = member_by_addr_.find(a);
+  if (it == member_by_addr_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace bdrmap::asdata

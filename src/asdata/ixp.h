@@ -1,0 +1,70 @@
+// IXP directory: peering-LAN prefixes and membership records.
+//
+// §5.2 "List of IXP prefixes": bdrmap merges PeeringDB and PCH snapshots to
+// learn which subnets are shared IXP peering fabrics, plus (where operators
+// filled the records in) which member AS uses which fabric address. §4
+// challenge 6 explains why: addresses from an IXP LAN appear in paths but
+// IP-AS mapping on them is meaningless, and records can be stale or wrong,
+// which our generator reproduces with noise knobs.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netbase/ids.h"
+#include "netbase/prefix.h"
+#include "netbase/radix_trie.h"
+
+namespace bdrmap::asdata {
+
+using net::AsId;
+using net::Ipv4Addr;
+using net::Prefix;
+
+struct IxpRecord {
+  std::string name;      // e.g. "IXP-7"
+  Prefix peering_lan;    // shared subnet members number interfaces from
+  AsId ixp_as;           // the IXP's own ASN; may be kNoAs (not all IXPs
+                         // originate their LAN, §4 challenge 6)
+};
+
+// A member's self-reported fabric address (PeeringDB netixlan-style row).
+struct IxpMembership {
+  std::size_t ixp_index = 0;  // index into IxpDirectory::ixps()
+  AsId member;
+  Ipv4Addr address;  // the member's address on the peering LAN
+};
+
+class IxpDirectory {
+ public:
+  // Registers an IXP; returns its index.
+  std::size_t add_ixp(IxpRecord record);
+
+  // Registers a membership record (may be wrong/stale; consumers must treat
+  // it as validation-grade data, not ground truth).
+  void add_membership(IxpMembership m);
+
+  // True iff `a` falls inside any known IXP peering LAN.
+  bool is_ixp_address(Ipv4Addr a) const;
+
+  // The IXP whose peering LAN covers `a`, if any.
+  std::optional<std::size_t> ixp_of(Ipv4Addr a) const;
+
+  // The member AS that recorded `a` as its fabric address, if any.
+  std::optional<AsId> member_at(Ipv4Addr a) const;
+
+  const std::vector<IxpRecord>& ixps() const { return ixps_; }
+  const std::vector<IxpMembership>& memberships() const {
+    return memberships_;
+  }
+
+ private:
+  std::vector<IxpRecord> ixps_;
+  std::vector<IxpMembership> memberships_;
+  net::RadixTrie<std::size_t> lan_trie_;  // peering LAN -> ixp index
+  std::unordered_map<Ipv4Addr, AsId> member_by_addr_;
+};
+
+}  // namespace bdrmap::asdata

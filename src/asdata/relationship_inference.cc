@@ -1,0 +1,196 @@
+#include "asdata/relationship_inference.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace bdrmap::asdata {
+
+using net::AsId;
+
+namespace {
+
+std::uint64_t link_key(AsId a, AsId b) {
+  // Unordered link key: smaller AS first.
+  AsId lo = std::min(a, b);
+  AsId hi = std::max(a, b);
+  return (std::uint64_t{lo.value} << 32) | hi.value;
+}
+
+struct Votes {
+  // Votes that the link, read as (lower-AS, higher-AS), points uphill
+  // (lower is customer of higher), downhill, or flat (peer).
+  int c2p = 0;
+  int p2c = 0;
+  int p2p = 0;
+};
+
+bool has_loop(const std::vector<AsId>& path) {
+  std::unordered_set<AsId> seen;
+  for (AsId as : path) {
+    if (!seen.insert(as).second) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void RelationshipInferrer::add_path(const std::vector<AsId>& path) {
+  if (path.size() < 2 || has_loop(path)) return;
+  paths_.push_back(path);
+}
+
+RelationshipStore RelationshipInferrer::infer() const {
+  // 1. Transit degree: number of distinct neighbors an AS appears adjacent
+  //    to while in the *middle* of a path (i.e. while providing transit).
+  std::unordered_map<AsId, std::unordered_set<AsId>> transit_neighbors;
+  std::unordered_map<AsId, std::unordered_set<AsId>> all_neighbors;
+  for (const auto& path : paths_) {
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      all_neighbors[path[i]].insert(path[i + 1]);
+      all_neighbors[path[i + 1]].insert(path[i]);
+      if (i > 0) {
+        transit_neighbors[path[i]].insert(path[i - 1]);
+        transit_neighbors[path[i]].insert(path[i + 1]);
+      }
+    }
+  }
+  auto transit_degree = [&](AsId as) -> std::size_t {
+    auto it = transit_neighbors.find(as);
+    return it == transit_neighbors.end() ? 0 : it->second.size();
+  };
+
+  // 2. Clique seed: the ASes with the highest transit degree. Links among
+  //    them are p2p (the Tier-1 clique has no providers by definition).
+  std::vector<AsId> by_degree;
+  by_degree.reserve(all_neighbors.size());
+  for (const auto& [as, neigh] : all_neighbors) by_degree.push_back(as);
+  std::sort(by_degree.begin(), by_degree.end(), [&](AsId a, AsId b) {
+    auto da = transit_degree(a), db = transit_degree(b);
+    return da != db ? da > db : a < b;
+  });
+  std::unordered_set<AsId> clique;
+  for (std::size_t i = 0; i < by_degree.size() && i < config_.clique_seed_size;
+       ++i) {
+    clique.insert(by_degree[i]);
+  }
+
+  // 3. Gao-style voting. For each path, locate the "top" AS (highest transit
+  //    degree, preferring clique members); edges before it vote uphill
+  //    (c2p), edges after vote downhill, and an edge between two similarly
+  //    sized ASes at the top votes p2p.
+  std::unordered_map<std::uint64_t, Votes> votes;
+  for (const auto& path : paths_) {
+    std::size_t top = 0;
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      bool i_clique = clique.count(path[i]) > 0;
+      bool top_clique = clique.count(path[top]) > 0;
+      if (i_clique != top_clique) {
+        if (i_clique) top = i;
+        continue;
+      }
+      if (transit_degree(path[i]) > transit_degree(path[top])) top = i;
+    }
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      AsId a = path[i], b = path[i + 1];
+      Votes& v = votes[link_key(a, b)];
+      bool a_is_lo = a < b;
+      // Peer vote: the link spans the top and both ends are comparable.
+      std::size_t da = transit_degree(a), db = transit_degree(b);
+      bool comparable =
+          (clique.count(a) && clique.count(b)) ||
+          (std::min(da, db) >=
+           config_.peer_degree_ratio * static_cast<double>(std::max(da, db)));
+      bool spans_top = (i == top) || (i + 1 == top);
+      if (spans_top && comparable && i + 1 >= top) {
+        ++v.p2p;
+      } else if (i + 1 <= top) {
+        // uphill: a is customer of b
+        if (a_is_lo)
+          ++v.c2p;
+        else
+          ++v.p2c;
+      } else {
+        // downhill: b is customer of a
+        if (a_is_lo)
+          ++v.p2c;
+        else
+          ++v.c2p;
+      }
+    }
+  }
+
+  // 4. Majority per link -> provisional labels.
+  RelationshipStore provisional;
+  for (const auto& [key, v] : votes) {
+    AsId lo(static_cast<std::uint32_t>(key >> 32));
+    AsId hi(static_cast<std::uint32_t>(key & 0xffffffffu));
+    if (clique.count(lo) && clique.count(hi)) {
+      provisional.add_p2p(lo, hi);
+    } else if (v.p2p >= v.c2p && v.p2p >= v.p2c) {
+      provisional.add_p2p(lo, hi);
+    } else if (v.c2p >= v.p2c) {
+      provisional.add_c2p(lo, hi);  // lo is customer of hi
+    } else {
+      provisional.add_c2p(hi, lo);
+    }
+  }
+
+  // 5. Valley-free export test. In a triple x->a->b where a learned the
+  //    route from b's side and exported it to x, a non-customer x proves
+  //    b is a's customer (peer/provider routes are never exported upward
+  //    or sideways). Links with such evidence are definitely c2p; links
+  //    without it, between comparably-sized networks, are peerings the
+  //    first pass mistook for transit (e.g. access networks peering with
+  //    much larger Tier-1s).
+  std::unordered_set<std::uint64_t> transited;  // link carries b as customer
+  for (const auto& path : paths_) {
+    for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+      AsId x = path[i - 1], a = path[i], b = path[i + 1];
+      Relationship xa = provisional.rel(a, x);  // x from a's viewpoint
+      if (xa == Relationship::kPeer || xa == Relationship::kProvider) {
+        transited.insert(link_key(a, b));
+      }
+    }
+  }
+
+  RelationshipStore store;
+  for (const auto& [key, v] : votes) {
+    AsId lo(static_cast<std::uint32_t>(key >> 32));
+    AsId hi(static_cast<std::uint32_t>(key & 0xffffffffu));
+    Relationship provisional_rel = provisional.rel(lo, hi);
+    if (provisional_rel == Relationship::kPeer) {
+      store.add_p2p(lo, hi);
+      continue;
+    }
+    AsId customer = provisional_rel == Relationship::kCustomer ? hi : lo;
+    AsId provider = provisional_rel == Relationship::kCustomer ? lo : hi;
+    bool carried = transited.count(key) > 0;
+    auto all_degree = [&](AsId as) -> std::size_t {
+      auto it = all_neighbors.find(as);
+      return it == all_neighbors.end() ? 0 : it->second.size();
+    };
+    // Comparability by transit degree, falling back to total degree for
+    // networks that never transit (access/content networks peer widely but
+    // appear only at path ends, so their transit degree is zero).
+    std::size_t dc = transit_degree(customer), dp = transit_degree(provider);
+    bool comparable =
+        dc > 0 &&
+        std::min(dc, dp) >=
+            config_.peer_rescue_ratio * static_cast<double>(std::max(dc, dp));
+    if (!comparable && all_degree(customer) >= 3) {
+      std::size_t ac = all_degree(customer), ap = all_degree(provider);
+      comparable = std::min(ac, ap) >=
+                   config_.peer_rescue_ratio *
+                       static_cast<double>(std::max(ac, ap));
+    }
+    if (!carried && comparable) {
+      store.add_p2p(lo, hi);
+    } else {
+      store.add_c2p(customer, provider);
+    }
+  }
+  return store;
+}
+
+}  // namespace bdrmap::asdata

@@ -1,0 +1,55 @@
+// AS relationship inference from route-collector AS paths.
+//
+// bdrmap does not get ground-truth business relationships; it uses CAIDA's
+// inferences [25], which are derived from public BGP paths. We reproduce the
+// core of that algorithm (clique detection + Gao-style uphill/downhill
+// annotation with voting) so the inference core consumes *imperfect*
+// relationship labels exactly as the deployed system does: links invisible
+// to the collectors are missing entirely (the "hidden peer" phenomenon in
+// Table 1), and some labels can be wrong.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "asdata/as_relationships.h"
+#include "netbase/ids.h"
+
+namespace bdrmap::asdata {
+
+struct RelationshipInferenceConfig {
+  // Number of top transit-degree ASes seeded as the Tier-1 clique.
+  std::size_t clique_seed_size = 8;
+  // Minimum transit-degree ratio (smaller/larger) for the top link of a
+  // path to be eligible for a p2p vote: settlement-free peers are of
+  // comparable size, while a transit customer of a much larger network is
+  // annotated c2p.
+  double peer_degree_ratio = 0.5;
+  // Second pass (valley-free export test): a provisionally-c2p link with
+  // no evidence of being exported to a non-customer is re-labeled p2p when
+  // the endpoints' degree ratio is at least this. Peer routes are only
+  // exported to customers, so a genuine c2p link almost always shows such
+  // evidence while a peering between mid-size networks does not.
+  double peer_rescue_ratio = 0.15;
+};
+
+class RelationshipInferrer {
+ public:
+  explicit RelationshipInferrer(RelationshipInferenceConfig config = {})
+      : config_(config) {}
+
+  // Consumes one AS path (origin last, collector peer first). Paths with
+  // loops or fewer than two hops are ignored.
+  void add_path(const std::vector<net::AsId>& path);
+
+  // Runs the annotation and returns the inferred relationship store.
+  RelationshipStore infer() const;
+
+  std::size_t path_count() const { return paths_.size(); }
+
+ private:
+  RelationshipInferenceConfig config_;
+  std::vector<std::vector<net::AsId>> paths_;
+};
+
+}  // namespace bdrmap::asdata

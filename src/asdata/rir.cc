@@ -1,0 +1,22 @@
+#include "asdata/rir.h"
+
+namespace bdrmap::asdata {
+
+void RirDelegations::add(const Delegation& d) {
+  trie_.insert(d.block, d);
+  all_.push_back(d);
+}
+
+std::optional<Delegation> RirDelegations::lookup(Ipv4Addr a) const {
+  const Delegation* d = trie_.match(a);
+  if (!d) return std::nullopt;
+  return *d;
+}
+
+bool RirDelegations::same_org(Ipv4Addr a, Ipv4Addr b) const {
+  auto da = lookup(a);
+  auto db = lookup(b);
+  return da && db && da->org == db->org;
+}
+
+}  // namespace bdrmap::asdata

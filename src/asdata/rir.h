@@ -1,0 +1,46 @@
+// RIR delegation records: address blocks delegated to organizations.
+//
+// §5.2 "RIR delegation files": some networks never announce the prefixes
+// used to number their infrastructure, so origin-based IP-AS mapping fails
+// on them. The RIRs publish which blocks were delegated to which (opaque)
+// organization; bdrmap uses these in §5.4.1 to attribute unannounced VP-side
+// address space to the hosting network.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "netbase/ids.h"
+#include "netbase/prefix.h"
+#include "netbase/radix_trie.h"
+
+namespace bdrmap::asdata {
+
+using net::Ipv4Addr;
+using net::OrgId;
+using net::Prefix;
+
+struct Delegation {
+  Prefix block;
+  OrgId org;  // opaque registry id; NOT an AS number (per §5.2)
+};
+
+class RirDelegations {
+ public:
+  void add(const Delegation& d);
+
+  // The organization holding the longest delegated block covering `a`, and
+  // the block itself.
+  std::optional<Delegation> lookup(Ipv4Addr a) const;
+
+  // True iff `a` and `b` fall in blocks delegated to the same organization.
+  bool same_org(Ipv4Addr a, Ipv4Addr b) const;
+
+  const std::vector<Delegation>& all() const { return all_; }
+
+ private:
+  net::RadixTrie<Delegation> trie_;
+  std::vector<Delegation> all_;
+};
+
+}  // namespace bdrmap::asdata

@@ -1,0 +1,67 @@
+#include "congestion/model.h"
+
+#include <cmath>
+
+namespace bdrmap::congestion {
+
+CongestionModel::CongestionModel(const topo::Internet& net,
+                                 const route::Fib& fib,
+                                 CongestionConfig config)
+    : net_(net), fib_(fib), config_(config), rng_(config.seed) {
+  for (const auto& info : net.interdomain_links()) {
+    if (rng_.chance(config_.congested_fraction)) {
+      congested_.insert(info.link.value);
+    }
+  }
+}
+
+std::vector<topo::LinkId> CongestionModel::congested_links() const {
+  std::vector<topo::LinkId> out;
+  out.reserve(congested_.size());
+  for (std::uint32_t v : congested_) out.push_back(topo::LinkId(v));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double CongestionModel::queue_delay_ms(topo::LinkId link, double hour) const {
+  if (!congested_.count(link.value)) return 0.0;
+  // Distance from the peak, wrapped on the 24h clock.
+  double d = std::fabs(hour - config_.peak_hour);
+  d = std::min(d, 24.0 - d);
+  if (d >= config_.peak_width_hours) return 0.0;
+  // Queue builds smoothly toward the peak (raised-cosine shoulder).
+  double x = d / config_.peak_width_hours;
+  return config_.max_queue_ms * 0.5 * (1.0 + std::cos(x * 3.14159265358979));
+}
+
+std::optional<double> CongestionModel::rtt_ms(const topo::Vp& vp,
+                                              net::Ipv4Addr addr,
+                                              double hour) {
+  // Forward-path walk (same rules as the tracer's reachability check).
+  net::RouterId cur = vp.attach_router;
+  double one_way = 0.0;
+  bool entered_interdomain = false;
+  for (int i = 0; i < 64; ++i) {
+    if (fib_.delivered_at(cur, addr)) {
+      double noise = rng_.uniform_real(0.0, config_.noise_ms);
+      return 2.0 * one_way + noise;
+    }
+    if (entered_interdomain &&
+        net_.router(cur).behavior.firewall_edge) {
+      auto iface = net_.iface_at(addr);
+      bool own = iface && net_.iface(*iface).router == cur;
+      if (!own) return std::nullopt;
+    }
+    auto hop = fib_.next_hop(cur, addr);
+    if (!hop) return std::nullopt;
+    one_way += config_.base_hop_ms;
+    if (hop->crossed_interdomain) {
+      one_way += queue_delay_ms(hop->link, hour);
+      entered_interdomain = true;
+    }
+    cur = hop->router;
+  }
+  return std::nullopt;
+}
+
+}  // namespace bdrmap::congestion

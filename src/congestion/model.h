@@ -1,0 +1,63 @@
+// Interdomain congestion model (the §2 motivation).
+//
+// The paper's raison d'être is the CAIDA/MIT congestion project: find the
+// interdomain links, then probe them for evidence of persistent congestion
+// (time-series latency probing to the near and far side of each link,
+// Luckie et al. [24]). This module supplies the phenomenon: a diurnal
+// utilization profile per interdomain link, a configurable fraction of
+// links whose peak demand exceeds capacity (growing queues), and a latency
+// oracle that answers timed RTT probes along forwarding paths.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "netbase/rng.h"
+#include "route/fib.h"
+#include "topo/generator.h"
+#include "topo/internet.h"
+
+namespace bdrmap::congestion {
+
+struct CongestionConfig {
+  std::uint64_t seed = 1;
+  double congested_fraction = 0.15;  // interdomain links in peak overload
+  double peak_hour = 20.0;           // local peak (traffic engineering time)
+  double peak_width_hours = 4.0;     // congestion episode half-width
+  double max_queue_ms = 40.0;        // queueing delay at full overload
+  double base_hop_ms = 0.25;         // propagation/processing per hop
+  double noise_ms = 0.4;             // measurement noise amplitude
+};
+
+class CongestionModel {
+ public:
+  CongestionModel(const topo::Internet& net, const route::Fib& fib,
+                  CongestionConfig config = {});
+
+  // Ground truth: is this interdomain link congested during peak hours?
+  bool link_congested(topo::LinkId link) const {
+    return congested_.count(link.value) > 0;
+  }
+  std::vector<topo::LinkId> congested_links() const;
+
+  // Queueing delay (ms) this link adds at time-of-day `hour` in [0, 24).
+  double queue_delay_ms(topo::LinkId link, double hour) const;
+
+  // RTT (ms) of a probe from `vp` to `addr` launched at time-of-day
+  // `hour`; nullopt when the address is unreachable. Walks the forwarding
+  // path, accumulating per-hop base delay and the congested-link queues
+  // crossed, doubled for the return (symmetric approximation), plus noise.
+  std::optional<double> rtt_ms(const topo::Vp& vp, net::Ipv4Addr addr,
+                               double hour);
+
+ private:
+  const topo::Internet& net_;
+  const route::Fib& fib_;
+  CongestionConfig config_;
+  net::Rng rng_;
+  std::unordered_set<std::uint32_t> congested_;
+};
+
+}  // namespace bdrmap::congestion

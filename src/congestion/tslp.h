@@ -1,0 +1,79 @@
+// Time-series latency probing (TSLP) over inferred interdomain links.
+//
+// Implements the measurement the border map exists to enable [24]: for
+// each inferred link, probe the near side (the VP network's border) and
+// the far side (the neighbor router) across the day. A congested link
+// shows a diurnal *far-minus-near* RTT elevation — queueing on the
+// interdomain link itself — while elevated RTT on both sides implicates
+// something closer to the VP. The detector applies a level-shift test.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "congestion/model.h"
+#include "core/bdrmap.h"
+
+namespace bdrmap::congestion {
+
+struct TslpConfig {
+  double interval_hours = 0.25;  // probe every 15 minutes
+  double duration_hours = 24.0;  // one diurnal cycle
+  // Level-shift detection: minimum sustained far-minus-near elevation.
+  double elevation_threshold_ms = 8.0;
+  int min_consecutive_samples = 4;
+};
+
+// One probed link: addresses chosen from the inference, with ground-truth
+// link identity (for scoring only).
+struct TslpTarget {
+  net::Ipv4Addr near_addr;
+  net::Ipv4Addr far_addr;
+  topo::LinkId truth_link;  // eval-only annotation
+  net::AsId neighbor_as;
+};
+
+struct TslpSeries {
+  TslpTarget target;
+  std::vector<double> hours;
+  std::vector<std::optional<double>> near_rtt_ms;
+  std::vector<std::optional<double>> far_rtt_ms;
+  bool congested = false;       // detector verdict
+  double max_elevation_ms = 0;  // peak sustained far-minus-near delta
+};
+
+// Builds probe targets from a bdrmap result: for every inferred link with
+// both sides observed, the near-side router's address and the far-side
+// router's address (preferring the far router's address on the shared
+// interconnect subnet). Truth link ids come from eval resolution and are
+// only used for scoring.
+std::vector<TslpTarget> make_targets(const core::BdrmapResult& result,
+                                     const topo::Internet& net);
+
+// Runs the probing and the level-shift detector.
+std::vector<TslpSeries> run_tslp(const std::vector<TslpTarget>& targets,
+                                 CongestionModel& model, const topo::Vp& vp,
+                                 TslpConfig config = {});
+
+// Precision/recall of the verdicts against the model's truth.
+struct TslpScore {
+  std::size_t targets = 0;
+  std::size_t truth_congested = 0;
+  std::size_t detected = 0;
+  std::size_t true_positive = 0;
+
+  double precision() const {
+    return detected == 0 ? 0.0
+                         : static_cast<double>(true_positive) / detected;
+  }
+  double recall() const {
+    return truth_congested == 0
+               ? 0.0
+               : static_cast<double>(true_positive) / truth_congested;
+  }
+};
+
+TslpScore score_tslp(const std::vector<TslpSeries>& series,
+                     const CongestionModel& model);
+
+}  // namespace bdrmap::congestion

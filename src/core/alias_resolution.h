@@ -1,0 +1,87 @@
+// Alias resolution: Ally, Mercator, MIDAR monotonicity, prefixscan, and the
+// conflict-aware transitive closure (§5.3).
+//
+// Ally infers a shared central IP-ID counter from interleaved samples; we
+// apply MIDAR's stricter test (non-overlapping samples must strictly
+// increase, modulo one 16-bit wrap) and repeat the measurement five times at
+// five-minute (virtual) intervals, discarding pairs any round rejects —
+// exactly the paper's defence against coincidentally-overlapping counters.
+// Mercator compares the source address of UDP port-unreachable replies.
+// Prefixscan tests whether a traceroute hop is the inbound interface of a
+// /30 or /31 point-to-point subnet by checking its subnet mate against the
+// previous hop. The closure only merges pairs with no negative evidence.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "netbase/ipv4.h"
+#include "netbase/prefix.h"
+#include "probe/types.h"
+
+namespace bdrmap::core {
+
+using net::Ipv4Addr;
+
+struct AliasConfig {
+  int ally_rounds = 5;             // repeated measurements (§5.3)
+  double ally_round_interval = 300.0;  // five minutes apart
+  int ally_samples = 6;            // interleaved a,b,a,b,a,b per round
+  double ally_sample_gap = 0.5;    // seconds between samples in a round
+  std::uint16_t ally_max_gap = 2000;  // max believable id jump per step
+};
+
+enum class AliasVerdict : std::uint8_t { kUnknown, kAlias, kNotAlias };
+
+class AliasResolver {
+ public:
+  AliasResolver(probe::ProbeServices& services, AliasConfig config = {})
+      : services_(services), config_(config) {}
+
+  // Full pair test: Mercator first (cheap), then Ally+MIDAR. Results and
+  // negative evidence are recorded for the closure. Cached per pair.
+  AliasVerdict test_pair(Ipv4Addr a, Ipv4Addr b);
+
+  // Individual techniques (also exposed for tests and ablation).
+  AliasVerdict mercator(Ipv4Addr a, Ipv4Addr b);
+  AliasVerdict ally(Ipv4Addr a, Ipv4Addr b);
+
+  // Prefixscan: if `hop` has a /31 or /30 subnet mate that is an alias of
+  // `prev_hop`, returns the mate — evidence that prev_hop—hop is a
+  // point-to-point interdomain link and `hop` is the inbound interface.
+  std::optional<Ipv4Addr> prefixscan(Ipv4Addr prev_hop, Ipv4Addr hop);
+
+  // Records an externally-derived verdict (e.g. from prefixscan) so the
+  // closure can use it.
+  void declare(Ipv4Addr a, Ipv4Addr b, AliasVerdict v);
+
+  // Cached verdict for a pair (kUnknown when untested). Never probes.
+  AliasVerdict verdict_of(Ipv4Addr a, Ipv4Addr b) const;
+
+  // Partitions `addrs` into alias groups: transitive closure over positive
+  // pairs, refusing any union between components that contain a negative
+  // pair (§5.3 "only used pairs where none of the measurements suggested a
+  // pair of IP addresses were not aliases").
+  std::vector<std::vector<Ipv4Addr>> groups(
+      const std::vector<Ipv4Addr>& addrs) const;
+
+  std::size_t pair_tests() const { return cache_.size(); }
+
+ private:
+  static std::uint64_t key(Ipv4Addr a, Ipv4Addr b) {
+    auto lo = std::min(a.value(), b.value());
+    auto hi = std::max(a.value(), b.value());
+    return (std::uint64_t{lo} << 32) | hi;
+  }
+
+  probe::ProbeServices& services_;
+  AliasConfig config_;
+  double clock_ = 0.0;  // virtual measurement time
+  std::unordered_map<std::uint64_t, AliasVerdict> cache_;
+  std::unordered_map<Ipv4Addr, std::optional<Ipv4Addr>> udp_sources_;
+};
+
+}  // namespace bdrmap::core

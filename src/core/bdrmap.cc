@@ -1,0 +1,281 @@
+#include "core/bdrmap.h"
+
+#include <algorithm>
+
+#include "core/midar.h"
+#include <unordered_map>
+#include <unordered_set>
+
+namespace bdrmap::core {
+
+std::vector<AsId> BdrmapResult::neighbor_ases() const {
+  std::vector<AsId> out;
+  out.reserve(links_by_as.size());
+  for (const auto& [as, indices] : links_by_as) out.push_back(as);
+  return out;
+}
+
+Bdrmap::Bdrmap(probe::ProbeServices& services, const InferenceInputs& inputs,
+               BdrmapConfig config)
+    : services_(services), inputs_(inputs), config_(config) {}
+
+std::vector<ObservedTrace> Bdrmap::collect_traces() {
+  std::vector<ObservedTrace> traces;
+  auto blocks = build_probe_blocks(*inputs_.origins, inputs_.vp_ases);
+  stats_.blocks = blocks.size();
+
+  auto is_vp = [&](AsId as) {
+    return std::find(inputs_.vp_ases.begin(), inputs_.vp_ases.end(), as) !=
+           inputs_.vp_ases.end();
+  };
+  // "External" for retry/stop-set purposes: routed and not the VP network.
+  auto external_origin = [&](Ipv4Addr addr) -> AsId {
+    const auto* set = inputs_.origins->origins(addr);
+    if (!set || set->empty()) return AsId{};
+    for (AsId o : *set) {
+      if (is_vp(o)) return AsId{};
+    }
+    return set->front();
+  };
+
+  for (const ProbeBlock& block : blocks) {
+    int attempts = std::min<std::uint64_t>(config_.max_addrs_per_block,
+                                           block.prefix.size());
+    Ipv4Addr dst = block.prefix.size() >= 4
+                       ? Ipv4Addr(block.prefix.first().value() + 1)
+                       : block.prefix.first();
+    for (int attempt = 0; attempt < attempts; ++attempt, dst = dst.next()) {
+      if (!block.prefix.contains(dst)) break;
+      probe::StopFn stop = nullptr;
+      if (config_.enable_stop_set) {
+        stop = [&](Ipv4Addr a) { return stopset_.contains(block.target_as, a); };
+      }
+      probe::TraceResult raw = services_.trace(dst, stop);
+      ObservedTrace trace = observe(raw, block.target_as);
+      if (trace.stopped_by_stopset) ++stats_.stopset_hits;
+
+      // Record the first externally-originated address for the stop set,
+      // and decide whether this block needs another address (§5.3: retry
+      // when nothing external was observed, or when the only external
+      // address was the probed address itself).
+      bool saw_external = false;
+      for (std::size_t i = 0; i < trace.hops.size(); ++i) {
+        const auto& hop = trace.hops[i];
+        if (hop.kind != probe::ReplyKind::kTimeExceeded) continue;
+        AsId origin = external_origin(hop.addr);
+        if (origin.valid()) {
+          // Never stop on the first hop: a gateway answering with
+          // provider-assigned space would otherwise blind every
+          // subsequent trace toward this AS.
+          if (!saw_external && i > 0) {
+            stopset_.add(block.target_as, hop.addr);
+          }
+          saw_external = true;
+          break;
+        }
+      }
+      traces.push_back(std::move(trace));
+      if (saw_external) break;
+    }
+  }
+  stats_.traces = traces.size();
+  return traces;
+}
+
+std::vector<std::vector<Ipv4Addr>> Bdrmap::resolve_aliases(
+    const std::vector<ObservedTrace>& traces) {
+  // Every address observed in a time-exceeded reply participates.
+  std::vector<Ipv4Addr> ttl_addrs;
+  std::unordered_set<Ipv4Addr> seen;
+  // Fan-out/fan-in candidate groups: addresses sharing a predecessor may be
+  // per-destination reply addresses of one router (Figure 13 / virtual
+  // routers); addresses sharing a successor may be parallel interfaces.
+  std::unordered_map<Ipv4Addr, std::vector<Ipv4Addr>> successors;
+  std::unordered_map<Ipv4Addr, std::vector<Ipv4Addr>> predecessors;
+  // Consecutive hop pairs for prefixscan.
+  std::vector<std::pair<Ipv4Addr, Ipv4Addr>> adjacent;
+
+  for (const auto& trace : traces) {
+    Ipv4Addr prev;
+    bool prev_valid = false;
+    for (const auto& hop : trace.hops) {
+      if (hop.kind != probe::ReplyKind::kTimeExceeded) {
+        prev_valid = false;
+        continue;
+      }
+      if (seen.insert(hop.addr).second) ttl_addrs.push_back(hop.addr);
+      if (prev_valid && prev != hop.addr) {
+        auto& succ = successors[prev];
+        if (std::find(succ.begin(), succ.end(), hop.addr) == succ.end()) {
+          succ.push_back(hop.addr);
+          predecessors[hop.addr].push_back(prev);
+          adjacent.emplace_back(prev, hop.addr);
+        }
+      }
+      prev = hop.addr;
+      prev_valid = true;
+    }
+  }
+
+  if (!config_.enable_alias_resolution) {
+    std::vector<std::vector<Ipv4Addr>> singletons;
+    singletons.reserve(ttl_addrs.size());
+    for (Ipv4Addr a : ttl_addrs) singletons.push_back({a});
+    stats_.alias_pair_tests = 0;
+    return singletons;
+  }
+
+  AliasResolver resolver(services_, config_.alias);
+
+  // Prefixscan over observed point-to-point hops (§5.3): confirms inbound
+  // interfaces and yields near-side aliases.
+  for (const auto& [prev, hop] : adjacent) {
+    resolver.prefixscan(prev, hop);
+  }
+
+  // Pairwise tests within candidate groups (capped for probe economy).
+  auto test_group = [&](const std::vector<Ipv4Addr>& group) {
+    std::size_t limit = std::min(group.size(), config_.max_candidate_group);
+    for (std::size_t i = 0; i < limit; ++i) {
+      for (std::size_t j = i + 1; j < limit; ++j) {
+        resolver.test_pair(group[i], group[j]);
+      }
+    }
+  };
+  for (const auto& [addr, group] : successors) {
+    if (group.size() > 1) test_group(group);
+  }
+  for (const auto& [addr, group] : predecessors) {
+    if (group.size() > 1) test_group(group);
+  }
+
+  if (config_.enable_midar_discovery) {
+    MidarResolver midar(services_, resolver);
+    midar.resolve(ttl_addrs);
+  }
+
+  stats_.alias_pair_tests = resolver.pair_tests();
+  return resolver.groups(ttl_addrs);
+}
+
+std::unordered_set<Ipv4Addr> Bdrmap::confirm_inbound(
+    const std::vector<ObservedTrace>& traces) {
+  std::unordered_set<Ipv4Addr> confirmed;
+  if (!config_.enable_timestamp_checks) return confirmed;
+  auto is_vp = [&](AsId as) {
+    return std::find(inputs_.vp_ases.begin(), inputs_.vp_ases.end(), as) !=
+           inputs_.vp_ases.end();
+  };
+  std::unordered_set<Ipv4Addr> tested;
+  for (const auto& trace : traces) {
+    // First externally-mapped hop: the address third-party detection would
+    // reason about (§5.4.5); one timestamp probe settles it when honored.
+    for (const auto& hop : trace.hops) {
+      if (hop.kind != probe::ReplyKind::kTimeExceeded) continue;
+      const auto* set = inputs_.origins->origins(hop.addr);
+      if (!set || set->empty()) continue;
+      bool vp_originated = false;
+      for (AsId o : *set) vp_originated |= is_vp(o);
+      if (vp_originated) continue;
+      if (tested.insert(hop.addr).second) {
+        auto verdict = services_.timestamp_probe(trace.dst, hop.addr);
+        if (verdict && *verdict) confirmed.insert(hop.addr);
+      }
+      break;
+    }
+  }
+  return confirmed;
+}
+
+BdrmapResult infer_borders(RouterGraph graph, const InferenceInputs& inputs,
+                           const HeuristicsConfig& config,
+                           BdrmapStats stats) {
+  BdrmapResult result{std::move(graph), {}, {}, {}};
+  Heuristics heuristics(result.graph, inputs, config);
+  auto uncooperative = heuristics.run();
+  const InferenceInputs& inputs_ = inputs;  // keep the body below uniform
+
+  // Routers that are the first non-VP router of some trace (counting only
+  // time-exceeded hops): these border the VP network even when the hop
+  // before them never answered.
+  const auto& routers = result.graph.routers();
+  std::unordered_set<std::size_t> follows_vp;
+  for (const auto& trace : result.graph.traces()) {
+    for (const auto& hop : trace.hops) {
+      if (hop.kind != probe::ReplyKind::kTimeExceeded) continue;
+      auto r = result.graph.router_of(hop.addr);
+      if (!r) continue;
+      if (routers[*r].vp_side) continue;
+      follows_vp.insert(*r);
+      break;
+    }
+  }
+
+  // Emit router-level interdomain links: every (VP-side router -> inferred
+  // neighbor router) adjacency, plus first-after-gap borders, plus the
+  // §5.4.8 placements for otherwise-uncovered neighbors.
+  auto org_of = [&](AsId as) {
+    if (!inputs_.siblings) return as;
+    auto sibs = inputs_.siblings->siblings_of(as);
+    return sibs.empty() ? as : sibs.front();
+  };
+  std::unordered_set<AsId> linked_orgs;
+  for (std::size_t n = 0; n < routers.size(); ++n) {
+    const GraphRouter& router = routers[n];
+    if (result.graph.merged_away(n)) continue;
+    if (router.vp_side || router.how == Heuristic::kNone ||
+        !router.owner.valid()) {
+      continue;
+    }
+    bool any_near = false;
+    for (std::size_t p : router.prev) {
+      if (routers[p].vp_side) {
+        result.links.push_back({p, n, router.owner, router.how});
+        any_near = true;
+      }
+    }
+    if (!any_near && follows_vp.count(n)) {
+      result.links.push_back(
+          {InferredLink::kNoRouter, n, router.owner, router.how});
+      any_near = true;
+    }
+    if (any_near) linked_orgs.insert(org_of(router.owner));
+  }
+  for (const auto& u : uncooperative) {
+    if (linked_orgs.count(org_of(u.neighbor))) continue;
+    result.links.push_back(
+        {u.vp_router, InferredLink::kNoRouter, u.neighbor, u.how});
+  }
+
+  for (std::size_t i = 0; i < result.links.size(); ++i) {
+    result.links_by_as[result.links[i].neighbor_as].push_back(i);
+  }
+
+  stats.routers = result.graph.live_router_count();
+  for (const auto& router : result.graph.routers()) {
+    if (router.addrs.empty()) continue;
+    if (router.vp_side) {
+      ++stats.vp_routers;
+    } else if (router.how != Heuristic::kNone) {
+      ++stats.neighbor_routers;
+    }
+  }
+  result.stats = stats;
+  return result;
+}
+
+BdrmapResult Bdrmap::run() {
+  std::vector<ObservedTrace> traces = collect_traces();
+  auto groups = resolve_aliases(traces);
+  auto confirmed = confirm_inbound(traces);
+
+  HeuristicsConfig heuristics_config = config_.heuristics;
+  if (config_.enable_timestamp_checks) {
+    heuristics_config.confirmed_inbound = &confirmed;
+  }
+  stats_.probes_sent = services_.probes_sent();
+  return infer_borders(RouterGraph(std::move(traces), groups), inputs_,
+                       heuristics_config, stats_);
+}
+
+}  // namespace bdrmap::core

@@ -1,0 +1,107 @@
+// bdrmap: the complete border-mapping pipeline (Figure 2 of the paper).
+//
+// Drives targeted traceroutes toward every routed block (§5.3), resolves
+// aliases (Ally / Mercator / MIDAR / prefixscan), builds the router-level
+// graph, applies the §5.4 ownership heuristics, and reports the interdomain
+// links of the network hosting the vantage point.
+//
+// The class is written against probe::ProbeServices, so the identical
+// inference runs on a local prober or on the §5.8 split deployment.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "core/alias_resolution.h"
+#include "core/blocks.h"
+#include "core/heuristics.h"
+#include "core/observations.h"
+#include "core/router_graph.h"
+#include "core/stopset.h"
+#include "probe/types.h"
+
+namespace bdrmap::core {
+
+struct BdrmapConfig {
+  // §5.3: up to five addresses per block when earlier probes see nothing
+  // external (guards against third-party misinterpretation).
+  int max_addrs_per_block = 5;
+  bool enable_stop_set = true;          // ablation: doubletree stop set
+  bool enable_alias_resolution = true;  // ablation: Figure 13's failure mode
+  // Extension: IP prespecified-timestamp probing ([26]) to confirm that an
+  // externally-mapped hop address really is the inbound interface, sparing
+  // it from third-party reclassification. Off by default (the paper's
+  // bdrmap used prefixscan only; [26] is the follow-on technique).
+  bool enable_timestamp_checks = false;
+  // Cap on the number of pair tests within one candidate fan-out group.
+  std::size_t max_candidate_group = 12;
+  // Extension: MIDAR-style estimation/discovery/corroboration scheduling
+  // over ALL observed addresses (finds aliases the topology-driven
+  // candidate fans miss, at extra probing cost).
+  bool enable_midar_discovery = false;
+  AliasConfig alias;
+  HeuristicsConfig heuristics;
+};
+
+// One inferred router-level interdomain link.
+struct InferredLink {
+  static constexpr std::size_t kNoRouter = static_cast<std::size_t>(-1);
+  std::size_t vp_router = kNoRouter;        // near side (graph index)
+  std::size_t neighbor_router = kNoRouter;  // far side; kNoRouter if silent
+  AsId neighbor_as;
+  Heuristic how = Heuristic::kNone;
+};
+
+struct BdrmapStats {
+  std::uint64_t probes_sent = 0;
+  std::size_t blocks = 0;
+  std::size_t traces = 0;
+  std::size_t alias_pair_tests = 0;
+  std::size_t routers = 0;
+  std::size_t vp_routers = 0;
+  std::size_t neighbor_routers = 0;
+  std::size_t stopset_hits = 0;
+};
+
+struct BdrmapResult {
+  RouterGraph graph;
+  std::vector<InferredLink> links;
+  std::map<AsId, std::vector<std::size_t>> links_by_as;  // indices into links
+  BdrmapStats stats;
+
+  // Distinct neighbor ASes with at least one inferred link.
+  std::vector<AsId> neighbor_ases() const;
+};
+
+// Runs the §5.4 heuristics over an already-built router graph and emits
+// the final border map (links, per-AS index, stats). Shared by the online
+// pipeline (Bdrmap::run) and offline re-analysis of archived traces.
+BdrmapResult infer_borders(RouterGraph graph, const InferenceInputs& inputs,
+                           const HeuristicsConfig& config, BdrmapStats stats);
+
+class Bdrmap {
+ public:
+  Bdrmap(probe::ProbeServices& services, const InferenceInputs& inputs,
+         BdrmapConfig config = {});
+
+  BdrmapResult run();
+
+ private:
+  std::vector<ObservedTrace> collect_traces();
+  std::vector<std::vector<Ipv4Addr>> resolve_aliases(
+      const std::vector<ObservedTrace>& traces);
+  // [26]: timestamp-confirm the first externally-mapped hop of each trace.
+  std::unordered_set<Ipv4Addr> confirm_inbound(
+      const std::vector<ObservedTrace>& traces);
+
+  probe::ProbeServices& services_;
+  const InferenceInputs& inputs_;
+  BdrmapConfig config_;
+  StopSet stopset_;
+  BdrmapStats stats_;
+};
+
+}  // namespace bdrmap::core

@@ -1,0 +1,29 @@
+// Probe target list construction (§5.3 "Generate list of address blocks").
+//
+// For every routed prefix in the public BGP view, bdrmap derives the address
+// blocks reachable under each origin: a more-specific announcement punches a
+// hole in its covering prefix (the paper's 128.66.0.0/16 vs 128.66.2.0/24
+// example). Blocks originated by the VP's own network (or its siblings) are
+// excluded — the goal is interdomain connectivity.
+#pragma once
+
+#include <vector>
+
+#include "asdata/bgp_origins.h"
+#include "netbase/ids.h"
+#include "netbase/prefix.h"
+
+namespace bdrmap::core {
+
+struct ProbeBlock {
+  net::Prefix prefix;
+  net::AsId target_as;  // primary (lowest) origin of the covering prefix
+};
+
+// Builds the probe block list: every announced block minus more-specific
+// holes, annotated with its origin, excluding `vp_ases`. Sorted by target
+// AS then prefix so the driver probes one AS at a time (§5.3).
+std::vector<ProbeBlock> build_probe_blocks(
+    const asdata::OriginTable& origins, const std::vector<net::AsId>& vp_ases);
+
+}  // namespace bdrmap::core

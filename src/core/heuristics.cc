@@ -1,0 +1,743 @@
+#include "core/heuristics.h"
+
+#include <algorithm>
+#include <map>
+
+namespace bdrmap::core {
+
+Heuristics::Heuristics(RouterGraph& graph, const InferenceInputs& in,
+                       HeuristicsConfig config)
+    : graph_(graph), in_(in), config_(config) {
+  vp_as_ = in_.vp_ases.empty() ? AsId{} : in_.vp_ases.front();
+  extend_vp_space();
+}
+
+bool Heuristics::is_vp_as(AsId as) const {
+  return std::find(in_.vp_ases.begin(), in_.vp_ases.end(), as) !=
+         in_.vp_ases.end();
+}
+
+AsId Heuristics::org_rep(AsId as) const {
+  if (!in_.siblings) return as;
+  auto sibs = in_.siblings->siblings_of(as);
+  return sibs.empty() ? as : sibs.front();
+}
+
+AddrInfo Heuristics::classify(Ipv4Addr addr) const {
+  if (in_.ixps && in_.ixps->is_ixp_address(addr)) {
+    return {AddrClass::kIxp, AsId{}};
+  }
+  const auto* origin_set = in_.origins->origins(addr);
+  if (origin_set && !origin_set->empty()) {
+    // If any origin of the longest match is a VP sibling, the address
+    // belongs to the hosting network's space.
+    for (AsId o : *origin_set) {
+      if (is_vp_as(o)) return {AddrClass::kVp, vp_as_};
+    }
+    return {AddrClass::kExternal, origin_set->front()};
+  }
+  for (const auto& block : vp_extra_blocks_) {
+    if (block.contains(addr)) return {AddrClass::kVp, vp_as_};
+  }
+  return {AddrClass::kUnrouted, AsId{}};
+}
+
+void Heuristics::extend_vp_space() {
+  // §5.4.1: when an address originated by a VP AS appears in a trace, all
+  // previous unrouted addresses on the path back to the VP are assumed to
+  // be delegated to the hosting network; the RIR files name the blocks.
+  if (!in_.rir) return;
+  for (const auto& trace : graph_.traces()) {
+    // Find the last hop whose address is VP-originated in public BGP.
+    std::ptrdiff_t last_vp = -1;
+    for (std::size_t i = 0; i < trace.hops.size(); ++i) {
+      const auto& hop = trace.hops[i];
+      if (hop.kind != probe::ReplyKind::kTimeExceeded) continue;
+      const auto* origin_set = in_.origins->origins(hop.addr);
+      if (!origin_set) continue;
+      for (AsId o : *origin_set) {
+        if (is_vp_as(o)) {
+          last_vp = static_cast<std::ptrdiff_t>(i);
+          break;
+        }
+      }
+    }
+    if (last_vp < 0) continue;
+    for (std::ptrdiff_t i = 0; i < last_vp; ++i) {
+      const auto& hop = trace.hops[static_cast<std::size_t>(i)];
+      if (hop.kind != probe::ReplyKind::kTimeExceeded) continue;
+      if (in_.origins->origins(hop.addr)) continue;  // routed: not missing
+      if (in_.ixps && in_.ixps->is_ixp_address(hop.addr)) continue;
+      auto delegation = in_.rir->lookup(hop.addr);
+      if (!delegation) continue;
+      if (std::find(vp_extra_blocks_.begin(), vp_extra_blocks_.end(),
+                    delegation->block) == vp_extra_blocks_.end()) {
+        vp_extra_blocks_.push_back(delegation->block);
+      }
+    }
+  }
+}
+
+bool Heuristics::all_vp(const GraphRouter& r) const {
+  if (r.ttl_addrs.empty()) return false;
+  for (Ipv4Addr a : r.ttl_addrs) {
+    if (classify(a).cls != AddrClass::kVp) return false;
+  }
+  return true;
+}
+
+std::vector<AsId> Heuristics::external_origins(const GraphRouter& r) const {
+  std::vector<AsId> out;
+  for (Ipv4Addr a : r.ttl_addrs) {
+    AddrInfo info = classify(a);
+    if (info.cls == AddrClass::kExternal &&
+        std::find(out.begin(), out.end(), info.origin) == out.end()) {
+      out.push_back(info.origin);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<AsId> Heuristics::first_external_after(std::size_t router) const {
+  std::vector<AsId> out;
+  for (const auto& trace : graph_.traces()) {
+    bool seen = false;
+    for (const auto& hop : trace.hops) {
+      if (hop.kind != probe::ReplyKind::kTimeExceeded) continue;
+      auto r = graph_.router_of(hop.addr);
+      if (!r) continue;
+      if (!seen) {
+        if (*r == router) seen = true;
+        continue;
+      }
+      if (*r == router) continue;
+      AddrInfo info = classify(hop.addr);
+      if (info.cls == AddrClass::kExternal) {
+        out.push_back(info.origin);
+        break;  // first routed external interface after the router
+      }
+    }
+  }
+  return out;
+}
+
+std::unordered_map<AsId, int> Heuristics::adjacent_origin_counts(
+    std::size_t router) const {
+  std::unordered_map<AsId, int> counts;
+  for (std::size_t n : graph_.routers()[router].next) {
+    for (Ipv4Addr a : graph_.routers()[n].ttl_addrs) {
+      AddrInfo info = classify(a);
+      if (info.cls == AddrClass::kExternal) ++counts[info.origin];
+    }
+  }
+  return counts;
+}
+
+AsId Heuristics::nextas(std::size_t router) const {
+  const GraphRouter& r = graph_.routers()[router];
+  if (r.dest_ases.size() < 2 || !in_.rels) return AsId{};
+  std::map<AsId, int> provider_counts;
+  for (AsId dest : r.dest_ases) {
+    for (AsId p : in_.rels->providers(dest)) ++provider_counts[p];
+  }
+  AsId best;
+  int best_count = 0;
+  for (const auto& [as, count] : provider_counts) {
+    if (count > best_count) {
+      best = as;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+void Heuristics::assign(std::size_t router, AsId owner, Heuristic how,
+                        bool vp_side) {
+  GraphRouter& r = graph_.routers()[router];
+  r.owner = owner;
+  r.how = how;
+  r.vp_side = vp_side;
+}
+
+// ---------------------------------------------------------------------------
+// §5.4.1
+// ---------------------------------------------------------------------------
+
+void Heuristics::phase1_vp_network() {
+  // Precompute, per router, whether any VP-originated time-exceeded address
+  // appears after it in some trace (step 1.2's condition).
+  std::vector<char> vp_after(graph_.routers().size(), 0);
+  for (const auto& trace : graph_.traces()) {
+    bool vp_seen_later = false;
+    for (std::size_t i = trace.hops.size(); i-- > 0;) {
+      const auto& hop = trace.hops[i];
+      if (hop.kind != probe::ReplyKind::kTimeExceeded) continue;
+      auto r = graph_.router_of(hop.addr);
+      if (r && vp_seen_later) vp_after[*r] = 1;
+      if (classify(hop.addr).cls == AddrClass::kVp) vp_seen_later = true;
+    }
+  }
+
+  for (std::size_t r : graph_.by_hop_distance()) {
+    const GraphRouter& router = graph_.routers()[r];
+    if (router.how != Heuristic::kNone) continue;
+    // Any VP-originated interface suffices here: alias resolution merges a
+    // border's neighbor-supplied point-to-point addresses into the same
+    // router, and those must not disqualify it (step 1.2 / Figure 13).
+    bool any_vp = false;
+    for (Ipv4Addr a : router.ttl_addrs) {
+      any_vp |= classify(a).cls == AddrClass::kVp;
+    }
+    if (!any_vp || !vp_after[r]) continue;
+
+    // Step 1.1 exception: A multihomed to the VP network with adjacent
+    // border routers. R (VP-addressed) is followed by another VP-addressed
+    // router R2, and addresses originated by A appear adjacent to both.
+    // Only a router that exclusively carries traffic toward A can be A's
+    // border — the VP's own borders forward toward many organizations.
+    AsId multihomed_as;
+    std::vector<AsId> dest_orgs;
+    for (AsId dest : router.dest_ases) {
+      AsId rep = org_rep(dest);
+      if (std::find(dest_orgs.begin(), dest_orgs.end(), rep) ==
+          dest_orgs.end()) {
+        dest_orgs.push_back(rep);
+      }
+    }
+    if (dest_orgs.size() == 1) {
+      for (std::size_t n : router.next) {
+        const GraphRouter& r2 = graph_.routers()[n];
+        if (!all_vp(r2)) continue;
+        // External AS adjacent to both R and R2, matching the sole
+        // destination organization?
+        auto counts_r = adjacent_origin_counts(r);
+        auto counts_r2 = adjacent_origin_counts(n);
+        for (const auto& [as, count] : counts_r) {
+          if (counts_r2.count(as) && org_rep(as) == dest_orgs.front()) {
+            multihomed_as = as;
+            break;
+          }
+        }
+        if (multihomed_as.valid()) break;
+      }
+    }
+    if (multihomed_as.valid() && in_.rels) {
+      // Veto: a subsequent router's would-be owner is a customer of the VP
+      // network but not a known neighbor of A — then R is really the VP's.
+      bool veto = false;
+      for (std::size_t n : router.next) {
+        for (AsId o : external_origins(graph_.routers()[n])) {
+          if (o == multihomed_as) continue;
+          bool customer_of_vp = false;
+          for (AsId v : in_.vp_ases) {
+            if (in_.rels->rel(v, o) == asdata::Relationship::kCustomer) {
+              customer_of_vp = true;
+            }
+          }
+          if (customer_of_vp && !in_.rels->are_neighbors(multihomed_as, o)) {
+            veto = true;
+          }
+        }
+      }
+      if (!veto) {
+        assign(r, multihomed_as, Heuristic::kMultihomed, /*vp_side=*/false);
+        continue;
+      }
+    }
+
+    assign(r, vp_as_, Heuristic::kVpNetwork, /*vp_side=*/true);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// §5.4.2
+// ---------------------------------------------------------------------------
+
+void Heuristics::phase2_firewall() {
+  for (std::size_t r : graph_.by_hop_distance()) {
+    GraphRouter& router = graph_.routers()[r];
+    if (router.how != Heuristic::kNone) continue;
+    if (!all_vp(router)) continue;
+    if (!router.next.empty()) continue;       // something was seen beyond
+    if (router.terminal_for.empty()) continue;
+
+    // Collapse sibling target ASes to organizations.
+    std::vector<AsId> orgs;
+    for (AsId dest : router.terminal_for) {
+      AsId rep = org_rep(dest);
+      if (std::find(orgs.begin(), orgs.end(), rep) == orgs.end()) {
+        orgs.push_back(rep);
+      }
+    }
+    if (orgs.size() == 1) {
+      assign(r, *router.terminal_for.begin(), Heuristic::kFirewall,
+             /*vp_side=*/false);
+    } else {
+      AsId next_as = nextas(r);
+      if (is_vp_as(next_as)) {
+        // The most common provider of the destinations is the hosting
+        // network itself: this is the VP's own border in front of several
+        // unresponsive customers, not a neighbor router.
+        assign(r, vp_as_, Heuristic::kVpNetwork, /*vp_side=*/true);
+      } else if (next_as.valid()) {
+        assign(r, next_as, Heuristic::kFirewall, /*vp_side=*/false);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// §5.4.3
+// ---------------------------------------------------------------------------
+
+void Heuristics::phase3_unrouted() {
+  auto unrouted_class = [&](Ipv4Addr a) {
+    AddrClass c = classify(a).cls;
+    return c == AddrClass::kUnrouted || c == AddrClass::kIxp;
+  };
+  for (std::size_t r : graph_.by_hop_distance()) {
+    GraphRouter& router = graph_.routers()[r];
+    if (router.how != Heuristic::kNone || router.ttl_addrs.empty()) continue;
+
+    bool all_unrouted = std::all_of(router.ttl_addrs.begin(),
+                                    router.ttl_addrs.end(), unrouted_class);
+    // Scenario (a): a VP-addressed neighbor border whose network beyond is
+    // entirely unrouted — every adjacent subsequent router must be
+    // unrouted, else better-constrained heuristics apply (Figure 6).
+    bool scenario_a = all_vp(router) && !router.next.empty();
+    if (scenario_a) {
+      for (std::size_t n : router.next) {
+        const GraphRouter& nr = graph_.routers()[n];
+        if (nr.ttl_addrs.empty() ||
+            !std::all_of(nr.ttl_addrs.begin(), nr.ttl_addrs.end(),
+                         unrouted_class)) {
+          scenario_a = false;
+          break;
+        }
+      }
+    }
+    bool scenario_b = false;  // unrouted itself, behind a VP router
+    if (all_unrouted) {
+      for (std::size_t p : router.prev) {
+        const GraphRouter& pr = graph_.routers()[p];
+        if (pr.vp_side || all_vp(pr)) scenario_b = true;
+      }
+    }
+    if (!scenario_a && !scenario_b) continue;
+
+    // Routers whose addresses come from a known IXP LAN are inferred the
+    // same way, but belong with the paper's onenet accounting: the LAN
+    // address plus the member's own subsequent space identify the member.
+    bool ixp_addressed =
+        !router.ttl_addrs.empty() &&
+        std::all_of(router.ttl_addrs.begin(), router.ttl_addrs.end(),
+                    [&](Ipv4Addr a) {
+                      return classify(a).cls == AddrClass::kIxp;
+                    });
+    Heuristic tag = ixp_addressed ? Heuristic::kOnenet : Heuristic::kUnrouted;
+
+    auto firsts = first_external_after(r);
+    std::vector<AsId> distinct = firsts;
+    std::sort(distinct.begin(), distinct.end());
+    distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                   distinct.end());
+    if (distinct.size() == 1) {
+      assign(r, distinct.front(), tag, false);  // step 3.1
+    } else if (distinct.size() > 1 && in_.rels) {
+      // Step 3.2: the most frequent provider across the observed set —
+      // that AS is likely providing transit to the others.
+      std::map<AsId, int> provider_counts;
+      for (AsId as : distinct) {
+        for (AsId p : in_.rels->providers(as)) ++provider_counts[p];
+      }
+      AsId best;
+      int best_count = 0;
+      for (const auto& [as, count] : provider_counts) {
+        if (count > best_count) {
+          best = as;
+          best_count = count;
+        }
+      }
+      if (best.valid()) {
+        assign(r, best, Heuristic::kUnrouted, false);
+      } else {
+        assign(r, distinct.front(), Heuristic::kUnrouted, false);
+      }
+    } else {
+      AsId next_as = nextas(r);
+      if (is_vp_as(next_as)) {
+        assign(r, vp_as_, Heuristic::kVpNetwork, /*vp_side=*/true);
+      } else if (next_as.valid()) {
+        assign(r, next_as, tag, false);
+      } else {
+        // Nothing routed beyond and a single destination organization:
+        // a neighbor whose internals are entirely unannounced.
+        std::vector<AsId> dest_orgs;
+        for (AsId dest : router.dest_ases) {
+          AsId rep = org_rep(dest);
+          if (std::find(dest_orgs.begin(), dest_orgs.end(), rep) ==
+              dest_orgs.end()) {
+            dest_orgs.push_back(rep);
+          }
+        }
+        if (dest_orgs.size() == 1 && !is_vp_as(dest_orgs.front())) {
+          assign(r, *router.dest_ases.begin(), tag, false);
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// §5.4.4
+// ---------------------------------------------------------------------------
+
+void Heuristics::phase4_onenet() {
+  for (std::size_t r : graph_.by_hop_distance()) {
+    GraphRouter& router = graph_.routers()[r];
+    if (router.how != Heuristic::kNone || router.ttl_addrs.empty()) continue;
+
+    auto externals = external_origins(router);
+    // Step 4.1: every interface maps to one external AS, and an adjacent
+    // subsequent router also has an address in it: not a third party.
+    if (externals.size() == 1 && !all_vp(router)) {
+      bool mixed = false;  // any VP/unrouted address alongside?
+      for (Ipv4Addr a : router.ttl_addrs) {
+        if (classify(a).cls != AddrClass::kExternal) mixed = true;
+      }
+      if (!mixed) {
+        AsId a = externals.front();
+        for (std::size_t n : router.next) {
+          for (Ipv4Addr addr : graph_.routers()[n].ttl_addrs) {
+            AddrInfo info = classify(addr);
+            if (info.cls == AddrClass::kExternal && info.origin == a) {
+              assign(r, a, Heuristic::kOnenet, false);
+              break;
+            }
+          }
+          if (router.how != Heuristic::kNone) break;
+        }
+      }
+    }
+    if (router.how != Heuristic::kNone) continue;
+
+    // Step 4.2: VP-addressed border followed by two consecutive routers in
+    // the same external AS.
+    if (!all_vp(router)) continue;
+    for (std::size_t n : router.next) {
+      auto n_ext = external_origins(graph_.routers()[n]);
+      if (n_ext.size() != 1) continue;
+      for (std::size_t m : graph_.routers()[n].next) {
+        if (m == r) continue;
+        auto m_ext = external_origins(graph_.routers()[m]);
+        if (m_ext.size() == 1 && m_ext.front() == n_ext.front()) {
+          assign(r, n_ext.front(), Heuristic::kOnenet, false);
+          break;
+        }
+      }
+      if (router.how != Heuristic::kNone) break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// §5.4.5
+// ---------------------------------------------------------------------------
+
+void Heuristics::phase5_relationships() {
+  if (!config_.enable_relationships || !in_.rels) return;
+
+  // Third-party detection (steps 5.1 / 5.2).
+  if (config_.enable_third_party) {
+    for (std::size_t r : graph_.by_hop_distance()) {
+      GraphRouter& router = graph_.routers()[r];
+      if (router.how != Heuristic::kNone) continue;
+      auto externals = external_origins(router);
+      if (externals.size() != 1) continue;
+      AsId a = externals.front();
+      // Timestamp-confirmed inbound interfaces are genuinely on the
+      // forward path; the reply source is not a third-party address, so
+      // the IP-AS mapping stands ([26]).
+      if (config_.confirmed_inbound) {
+        bool all_confirmed = !router.ttl_addrs.empty();
+        for (Ipv4Addr addr : router.ttl_addrs) {
+          all_confirmed &= config_.confirmed_inbound->count(addr) > 0;
+        }
+        if (all_confirmed) continue;
+      }
+      // Only observed on paths toward a single organization B != A?
+      std::vector<AsId> dest_orgs;
+      AsId b;
+      for (AsId dest : router.dest_ases) {
+        AsId rep = org_rep(dest);
+        if (std::find(dest_orgs.begin(), dest_orgs.end(), rep) ==
+            dest_orgs.end()) {
+          dest_orgs.push_back(rep);
+          b = dest;
+        }
+      }
+      if (dest_orgs.size() != 1 || org_rep(a) == dest_orgs.front()) continue;
+      // A must be a provider of B: the router replied with the address of
+      // the interface toward its provider (its route to the VP).
+      if (in_.rels->rel(b, a) != asdata::Relationship::kProvider) continue;
+      assign(r, b, Heuristic::kThirdParty, false);
+      // Step 5.1: a preceding all-VP router is B's border too — but only
+      // when that router likewise appears exclusively on paths toward B;
+      // a router carrying traffic to other networks is not B's border.
+      for (std::size_t p : router.prev) {
+        GraphRouter& pr = graph_.routers()[p];
+        if (pr.how != Heuristic::kNone || !all_vp(pr)) continue;
+        bool only_b = true;
+        for (AsId dest : pr.dest_ases) {
+          only_b &= org_rep(dest) == org_rep(b);
+        }
+        if (only_b) assign(p, b, Heuristic::kThirdParty, false);
+      }
+    }
+  }
+
+  // Steps 5.3 / 5.4 / 5.5: VP-addressed borders classified by relationship
+  // data about the adjacent and subsequent address space.
+  for (std::size_t r : graph_.by_hop_distance()) {
+    GraphRouter& router = graph_.routers()[r];
+    if (router.how != Heuristic::kNone) continue;
+    if (!all_vp(router)) continue;
+
+    auto adjacent = adjacent_origin_counts(r);
+    if (adjacent.size() == 1) {
+      AsId a = adjacent.begin()->first;
+      // Step 5.3: a known peer or customer of the VP network.
+      bool known = false;
+      for (AsId v : in_.vp_ases) {
+        auto rel = in_.rels->rel(v, a);
+        if (rel == asdata::Relationship::kCustomer ||
+            rel == asdata::Relationship::kPeer) {
+          known = true;
+        }
+      }
+      if (known) {
+        assign(r, a, Heuristic::kRelationship, false);
+        continue;
+      }
+      // Step 5.4: sibling-style indirection — B is a provider of A and the
+      // VP network is a provider of B.
+      AsId missing;
+      for (AsId b : in_.rels->providers(a)) {
+        for (AsId v : in_.vp_ases) {
+          if (in_.rels->rel(v, b) == asdata::Relationship::kCustomer &&
+              (!missing.valid() || b < missing)) {
+            missing = b;
+          }
+        }
+      }
+      if (missing.valid()) {
+        assign(r, missing, Heuristic::kMissingCust, false);
+        continue;
+      }
+    }
+
+    // Step 5.5: every subsequent routed interface maps to one AS — a
+    // neighbor with no BGP-visible relationship (hidden peer).
+    auto firsts = first_external_after(r);
+    std::sort(firsts.begin(), firsts.end());
+    firsts.erase(std::unique(firsts.begin(), firsts.end()), firsts.end());
+    if (firsts.size() == 1 && !router.next.empty()) {
+      assign(r, firsts.front(), Heuristic::kHiddenPeer, false);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// §5.4.6
+// ---------------------------------------------------------------------------
+
+void Heuristics::phase6_counting() {
+  for (std::size_t r : graph_.by_hop_distance()) {
+    GraphRouter& router = graph_.routers()[r];
+    if (router.how != Heuristic::kNone || router.ttl_addrs.empty()) continue;
+
+    if (all_vp(router)) {
+      // Step 6.1: several adjacent external ASes — majority of adjacent
+      // addresses wins; ties go to the first AS with a known relationship.
+      auto adjacent = adjacent_origin_counts(r);
+      if (adjacent.empty()) continue;
+      int best_count = 0;
+      for (const auto& [as, count] : adjacent) {
+        best_count = std::max(best_count, count);
+      }
+      std::vector<AsId> tied;
+      for (const auto& [as, count] : adjacent) {
+        if (count == best_count) tied.push_back(as);
+      }
+      std::sort(tied.begin(), tied.end());
+      AsId winner = tied.front();
+      if (tied.size() > 1 && in_.rels) {
+        for (AsId as : tied) {
+          bool known = false;
+          for (AsId v : in_.vp_ases) {
+            known |= in_.rels->are_neighbors(v, as);
+          }
+          if (known) {
+            winner = as;
+            break;
+          }
+        }
+      }
+      assign(r, winner, Heuristic::kCount, false);
+      continue;
+    }
+
+    // Step 6.2: plain IP-AS mapping — the majority origin of the router's
+    // own addresses.
+    std::map<AsId, int> votes;
+    for (Ipv4Addr a : router.ttl_addrs) {
+      AddrInfo info = classify(a);
+      if (info.cls == AddrClass::kExternal) ++votes[info.origin];
+    }
+    if (votes.empty()) continue;
+    AsId best;
+    int best_count = 0;
+    for (const auto& [as, count] : votes) {
+      if (count > best_count) {
+        best = as;
+        best_count = count;
+      }
+    }
+    assign(r, best, Heuristic::kIpAs, false);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// §5.4.7
+// ---------------------------------------------------------------------------
+
+void Heuristics::phase7_analytic_alias() {
+  if (!config_.enable_analytic_alias) return;
+  // A neighbor router connected by a point-to-point link attaches to one
+  // VP router; several single-interface VP-side predecessors of the same
+  // neighbor router are therefore aliases of one border router.
+  const std::size_t count = graph_.routers().size();
+  for (std::size_t n = 0; n < count; ++n) {
+    const GraphRouter& neighbor = graph_.routers()[n];
+    if (graph_.merged_away(n)) continue;
+    if (neighbor.how == Heuristic::kNone || neighbor.vp_side) continue;
+    std::vector<std::size_t> collapsible;
+    for (std::size_t p : neighbor.prev) {
+      const GraphRouter& pr = graph_.routers()[p];
+      if (!pr.vp_side) continue;
+      // Single observed interface: likely one physical border router that
+      // responded differently per destination (Figure 13).
+      if (pr.addrs.size() != 1) continue;
+      collapsible.push_back(p);
+    }
+    if (collapsible.size() < 2) continue;
+    std::sort(collapsible.begin(), collapsible.end());
+    for (std::size_t i = 1; i < collapsible.size(); ++i) {
+      graph_.merge(collapsible.front(), collapsible[i]);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// §5.4.8
+// ---------------------------------------------------------------------------
+
+std::vector<UncooperativeNeighbor> Heuristics::phase8_uncooperative() {
+  std::vector<UncooperativeNeighbor> out;
+  if (!in_.rels) return out;
+
+  // Which neighbor ASes already have an inferred *border* router (one
+  // adjacent to the VP network)? Deep routers after response gaps do not
+  // establish a link by themselves.
+  std::unordered_set<AsId> covered;
+  for (const auto& router : graph_.routers()) {
+    if (router.how == Heuristic::kNone || router.vp_side ||
+        !router.owner.valid()) {
+      continue;
+    }
+    bool adjacent_to_vp = false;
+    for (std::size_t p : router.prev) {
+      adjacent_to_vp |= graph_.routers()[p].vp_side;
+    }
+    if (adjacent_to_vp) covered.insert(org_rep(router.owner));
+  }
+
+  std::vector<AsId> bgp_neighbors;
+  for (AsId v : in_.vp_ases) {
+    for (AsId n : in_.rels->neighbors(v)) {
+      if (!is_vp_as(n)) bgp_neighbors.push_back(n);
+    }
+  }
+  std::sort(bgp_neighbors.begin(), bgp_neighbors.end());
+  bgp_neighbors.erase(
+      std::unique(bgp_neighbors.begin(), bgp_neighbors.end()),
+      bgp_neighbors.end());
+
+  for (AsId neighbor : bgp_neighbors) {
+    if (covered.count(org_rep(neighbor))) continue;
+
+    // Process the traces toward this AS as a set (§5.4.8). Rate limiting
+    // can hide the true final VP router in a few traces, so we accept the
+    // dominant final router rather than demanding strict unanimity.
+    std::map<std::size_t, std::size_t> last_counts;
+    bool beyond = false;
+    bool icmp_from_neighbor = false;
+    for (const auto& trace : graph_.traces()) {
+      if (org_rep(trace.target_as) != org_rep(neighbor)) continue;
+      // Last VP-side router, and anything after it?
+      std::size_t last_vp = std::numeric_limits<std::size_t>::max();
+      for (const auto& hop : trace.hops) {
+        if (hop.kind == probe::ReplyKind::kNone) continue;
+        if (hop.kind == probe::ReplyKind::kTimeExceeded) {
+          auto r = graph_.router_of(hop.addr);
+          if (r && graph_.routers()[*r].vp_side) {
+            last_vp = *r;
+            continue;
+          }
+          if (last_vp != std::numeric_limits<std::size_t>::max()) {
+            beyond = true;  // a non-VP interface after the last VP router
+          }
+        } else {
+          // Echo reply / unreachable: does its source map to the neighbor?
+          AddrInfo info = classify(hop.addr);
+          if (info.cls == AddrClass::kExternal &&
+              org_rep(info.origin) == org_rep(neighbor)) {
+            icmp_from_neighbor = true;
+          }
+        }
+      }
+      if (last_vp != std::numeric_limits<std::size_t>::max()) {
+        ++last_counts[last_vp];
+      }
+    }
+    if (beyond || last_counts.empty()) continue;
+    std::size_t total = 0, best_count = 0;
+    std::size_t common_last = std::numeric_limits<std::size_t>::max();
+    for (const auto& [router, count] : last_counts) {
+      total += count;
+      if (count > best_count) {
+        best_count = count;
+        common_last = router;
+      }
+    }
+    if (best_count * 10 < total * 7) continue;  // < 70% dominant
+    out.push_back({common_last, neighbor,
+                   icmp_from_neighbor ? Heuristic::kOtherIcmp
+                                      : Heuristic::kSilent});
+  }
+  return out;
+}
+
+std::vector<UncooperativeNeighbor> Heuristics::run() {
+  phase1_vp_network();
+  phase2_firewall();
+  phase3_unrouted();
+  phase4_onenet();
+  phase5_relationships();
+  phase6_counting();
+  phase7_analytic_alias();
+  return phase8_uncooperative();
+}
+
+}  // namespace bdrmap::core

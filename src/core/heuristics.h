@@ -1,0 +1,118 @@
+// The bdrmap ownership-inference heuristics (§5.4.1 – §5.4.8).
+//
+// Routers are visited in order of observed hop distance. Step 1 identifies
+// the routers operated by the network hosting the VP (the near side of each
+// interdomain link); steps 2-6 assign owners to far-side routers in
+// decreasing order of available constraints; step 7 collapses analytic
+// aliases on the near side; step 8 places neighbors whose routers never
+// send time-exceeded messages.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "asdata/as_relationships.h"
+#include "asdata/bgp_origins.h"
+#include "asdata/ixp.h"
+#include "asdata/rir.h"
+#include "asdata/siblings.h"
+#include "core/router_graph.h"
+
+namespace bdrmap::core {
+
+// The §5.2 input datasets, as the deployed tool receives them: a public
+// (collector-derived) origin table, *inferred* relationships, IXP and RIR
+// records, the global AS-to-organization table, and the manually curated
+// sibling list of the VP's own network.
+struct InferenceInputs {
+  const asdata::OriginTable* origins = nullptr;
+  const asdata::RelationshipStore* rels = nullptr;
+  const asdata::IxpDirectory* ixps = nullptr;
+  const asdata::RirDelegations* rir = nullptr;
+  const asdata::SiblingTable* siblings = nullptr;
+  std::vector<AsId> vp_ases;  // VP AS first, then its siblings
+};
+
+struct HeuristicsConfig {
+  bool enable_third_party = true;    // ablation: §5.4.5 steps 5.1/5.2
+  bool enable_relationships = true;  // ablation: §5.4.5 entirely
+  bool enable_analytic_alias = true; // ablation: §5.4.7
+  // Addresses confirmed as inbound interfaces by timestamp probing [26]:
+  // routers whose external addresses are all confirmed are exempt from
+  // third-party reclassification. Not owned; may be null.
+  const std::unordered_set<Ipv4Addr>* confirmed_inbound = nullptr;
+};
+
+// How an address maps through the public BGP view.
+enum class AddrClass : std::uint8_t {
+  kVp,        // originated by the VP network (or RIR-attributed to it)
+  kExternal,  // originated by some other network
+  kIxp,       // inside a known IXP peering LAN (IP-AS mapping meaningless)
+  kUnrouted,  // no covering announcement
+};
+
+struct AddrInfo {
+  AddrClass cls = AddrClass::kUnrouted;
+  AsId origin;  // valid for kExternal (lowest origin of the longest match)
+};
+
+// A §5.4.8 inference: a neighbor with no visible router, attached to a
+// specific VP border router.
+struct UncooperativeNeighbor {
+  std::size_t vp_router;  // index into the router graph
+  AsId neighbor;
+  Heuristic how;  // kSilent or kOtherIcmp
+};
+
+class Heuristics {
+ public:
+  Heuristics(RouterGraph& graph, const InferenceInputs& in,
+             HeuristicsConfig config = {});
+
+  // Runs all phases, mutating the graph's ownership annotations, and
+  // returns the §5.4.8 placements.
+  std::vector<UncooperativeNeighbor> run();
+
+  // Classification of an observed address (valid after construction).
+  AddrInfo classify(Ipv4Addr addr) const;
+
+  // nextas(r): the most common provider among the destination ASes probed
+  // through the router (§5.4 final paragraph).
+  AsId nextas(std::size_t router) const;
+
+ private:
+  bool is_vp_as(AsId as) const;
+  // Representative AS for sibling-collapsing comparisons.
+  AsId org_rep(AsId as) const;
+  bool all_vp(const GraphRouter& r) const;
+  // Distinct external origins over the router's time-exceeded addresses.
+  std::vector<AsId> external_origins(const GraphRouter& r) const;
+  // External origins of the first routed hop after `router` in each trace.
+  std::vector<AsId> first_external_after(std::size_t router) const;
+  // External origins (with address counts) over adjacent next routers.
+  std::unordered_map<AsId, int> adjacent_origin_counts(
+      std::size_t router) const;
+
+  void extend_vp_space();            // §5.4.1 RIR delegation extension
+  void phase1_vp_network();          // §5.4.1
+  void phase2_firewall();            // §5.4.2
+  void phase3_unrouted();            // §5.4.3
+  void phase4_onenet();              // §5.4.4
+  void phase5_relationships();       // §5.4.5
+  void phase6_counting();            // §5.4.6
+  void phase7_analytic_alias();      // §5.4.7
+  std::vector<UncooperativeNeighbor> phase8_uncooperative();  // §5.4.8
+
+  void assign(std::size_t router, AsId owner, Heuristic how, bool vp_side);
+
+  RouterGraph& graph_;
+  const InferenceInputs& in_;
+  HeuristicsConfig config_;
+  AsId vp_as_;  // primary VP AS
+  // Unrouted blocks attributed to the VP network via RIR delegations.
+  std::vector<net::Prefix> vp_extra_blocks_;
+};
+
+}  // namespace bdrmap::core

@@ -1,0 +1,46 @@
+// MAP-IT-style interface-ownership inference (Marder & Smith [30]) as a
+// comparison method.
+//
+// MAP-IT works on the interface-level graph: an interface whose IP-AS
+// mapping says A but whose *subsequent* interfaces consistently map to B is
+// inferred to be the far side of an A-B interdomain link, operated by B
+// (B numbered it from A's space). The inference runs in passes until a
+// fixed point, each pass using the labels of the previous one. The paper's
+// §3 critique — "half the interdomain links in our inferences are at the
+// end of paths, with no adjacent addresses in neighbor address space" — is
+// directly measurable here: interfaces with no successors keep their
+// (frequently wrong) IP-AS label.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "asdata/bgp_origins.h"
+#include "core/observations.h"
+
+namespace bdrmap::core {
+
+struct MapItConfig {
+  int max_passes = 8;
+  // Fraction of a candidate's neighbor labels that must agree before the
+  // interface is relabeled.
+  double majority = 0.66;
+};
+
+struct MapItResult {
+  // Final owner label per observed (time-exceeded) interface address.
+  std::map<Ipv4Addr, AsId> owners;
+  // Interfaces whose label changed from the plain IP-AS mapping.
+  std::size_t relabeled = 0;
+  // Interfaces that were terminal in every trace (no successors): the
+  // constraint-free population the paper's critique concerns.
+  std::size_t terminal_interfaces = 0;
+  std::size_t passes_run = 0;
+};
+
+MapItResult run_mapit(const std::vector<ObservedTrace>& traces,
+                      const asdata::OriginTable& origins,
+                      const std::vector<AsId>& vp_ases,
+                      MapItConfig config = {});
+
+}  // namespace bdrmap::core

@@ -1,0 +1,157 @@
+#include "core/merge.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace bdrmap::core {
+
+std::optional<std::size_t> MergedMap::router_of(Ipv4Addr addr) const {
+  auto it = addr_index_.find(addr);
+  if (it == addr_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+namespace {
+
+// Union-find over (run, router) pairs keyed by shared addresses.
+class Partition {
+ public:
+  explicit Partition(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+MergedMap merge_results(const std::vector<const BdrmapResult*>& runs) {
+  MergedMap merged;
+
+  // Flatten per-run routers into a global index space.
+  struct Source {
+    std::size_t run;
+    std::size_t router;  // index into runs[run]->graph.routers()
+  };
+  std::vector<Source> sources;
+  std::vector<std::vector<std::size_t>> run_offsets(runs.size());
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    const auto& routers = runs[r]->graph.routers();
+    run_offsets[r].resize(routers.size(),
+                          std::numeric_limits<std::size_t>::max());
+    for (std::size_t i = 0; i < routers.size(); ++i) {
+      if (routers[i].addrs.empty()) continue;
+      run_offsets[r][i] = sources.size();
+      sources.push_back({r, i});
+    }
+  }
+
+  // Shared address => same physical router.
+  Partition partition(sources.size());
+  std::map<Ipv4Addr, std::size_t> first_holder;
+  for (std::size_t s = 0; s < sources.size(); ++s) {
+    const auto& router =
+        runs[sources[s].run]->graph.routers()[sources[s].router];
+    for (Ipv4Addr a : router.addrs) {
+      auto [it, inserted] = first_holder.emplace(a, s);
+      if (!inserted) partition.unite(s, it->second);
+    }
+  }
+
+  // Build merged routers per component.
+  std::map<std::size_t, std::size_t> component_index;
+  std::vector<std::map<AsId, int>> owner_votes;
+  for (std::size_t s = 0; s < sources.size(); ++s) {
+    std::size_t root = partition.find(s);
+    auto [it, inserted] =
+        component_index.emplace(root, merged.routers.size());
+    if (inserted) {
+      merged.routers.emplace_back();
+      owner_votes.emplace_back();
+    }
+    MergedRouter& out = merged.routers[it->second];
+    const auto& router =
+        runs[sources[s].run]->graph.routers()[sources[s].router];
+    out.addrs.insert(out.addrs.end(), router.addrs.begin(),
+                     router.addrs.end());
+    out.seen_by.insert(sources[s].run);
+    out.vp_side |= router.vp_side;
+    if (router.how != Heuristic::kNone) {
+      if (out.how == Heuristic::kNone ||
+          static_cast<int>(router.how) < static_cast<int>(out.how)) {
+        out.how = router.how;
+      }
+      if (router.owner.valid()) {
+        ++owner_votes[it->second][router.owner];
+      }
+    }
+  }
+  for (std::size_t i = 0; i < merged.routers.size(); ++i) {
+    MergedRouter& out = merged.routers[i];
+    std::sort(out.addrs.begin(), out.addrs.end());
+    out.addrs.erase(std::unique(out.addrs.begin(), out.addrs.end()),
+                    out.addrs.end());
+    int best = 0;
+    for (const auto& [as, votes] : owner_votes[i]) {
+      if (votes > best) {
+        out.owner = as;
+        best = votes;
+      }
+    }
+    if (out.vp_side) out.how = Heuristic::kVpNetwork;
+    for (Ipv4Addr a : out.addrs) merged.addr_index_.emplace(a, i);
+  }
+
+  // Merge links: identity = (near merged router, far merged router or the
+  // neighbor AS for router-less placements).
+  auto merged_of = [&](std::size_t run, std::size_t router) {
+    if (router == InferredLink::kNoRouter) return MergedLink::kNoRouter;
+    std::size_t flat = run_offsets[run][router];
+    if (flat == std::numeric_limits<std::size_t>::max()) {
+      return MergedLink::kNoRouter;
+    }
+    return component_index.at(partition.find(flat));
+  };
+
+  std::map<std::tuple<std::size_t, std::size_t, std::uint32_t>, std::size_t>
+      link_index;
+  merged.cumulative_links.resize(runs.size(), 0);
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    for (const auto& link : runs[r]->links) {
+      std::size_t near = merged_of(r, link.vp_router);
+      std::size_t far = merged_of(r, link.neighbor_router);
+      auto key = std::make_tuple(near, far,
+                                 far == MergedLink::kNoRouter
+                                     ? link.neighbor_as.value
+                                     : 0u);
+      auto [it, inserted] = link_index.emplace(key, merged.links.size());
+      if (inserted) {
+        MergedLink out;
+        out.near_router = near;
+        out.far_router = far;
+        out.neighbor_as = link.neighbor_as;
+        out.how = link.how;
+        out.first_seen_by = r;
+        merged.links.push_back(out);
+      }
+      merged.links[it->second].seen_by.insert(r);
+    }
+    merged.cumulative_links[r] = merged.links.size();
+  }
+
+  for (std::size_t i = 0; i < merged.links.size(); ++i) {
+    merged.links_by_as[merged.links[i].neighbor_as].push_back(i);
+  }
+  return merged;
+}
+
+}  // namespace bdrmap::core

@@ -1,0 +1,58 @@
+// MIDAR-style alias discovery: estimation -> discovery -> corroboration.
+//
+// The paper's alias toolbox (§5.3) builds on MIDAR [21], whose key insight
+// is that a shared IP-ID counter makes two interfaces' ID time series one
+// interleaved monotonic sequence — and that at Internet scale you cannot
+// test all pairs, so you (1) estimate each address's counter velocity,
+// (2) project counters to a common reference time and consider only
+// addresses whose projections land close together as candidates (a sliding
+// window over the 16-bit counter space), and (3) corroborate candidate
+// pairs with the strict monotonic test. This module implements that
+// pipeline against probe::ProbeServices, feeding its verdicts into the
+// shared AliasResolver so the conflict-aware closure sees them alongside
+// the topology-driven candidates.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/alias_resolution.h"
+
+namespace bdrmap::core {
+
+struct MidarConfig {
+  int estimation_samples = 3;        // velocity samples per address
+  double estimation_gap = 10.0;      // seconds between estimation samples
+  double max_velocity = 1500.0;      // ids/s beyond which projection is noise
+  double window_tolerance = 800.0;   // projected-ID proximity for candidacy
+  std::size_t max_window_pairs = 64; // corroboration budget per window
+};
+
+class MidarResolver {
+ public:
+  MidarResolver(probe::ProbeServices& services, AliasResolver& resolver,
+                MidarConfig config = {})
+      : services_(services), resolver_(resolver), config_(config) {}
+
+  // Runs the three stages over `addrs`. Verdicts are recorded in the
+  // shared resolver; call resolver.groups(...) afterwards as usual.
+  void resolve(const std::vector<Ipv4Addr>& addrs);
+
+  struct Stats {
+    std::size_t addresses = 0;       // input size
+    std::size_t responsive = 0;      // answered estimation probes
+    std::size_t monotonic = 0;       // usable (monotone, sane velocity)
+    std::size_t candidate_pairs = 0; // discovery-stage output
+    std::size_t confirmed = 0;       // corroborated aliases
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  probe::ProbeServices& services_;
+  AliasResolver& resolver_;
+  MidarConfig config_;
+  Stats stats_;
+  double clock_ = 1000.0;  // distinct virtual epoch from the resolver's
+};
+
+}  // namespace bdrmap::core

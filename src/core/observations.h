@@ -1,0 +1,45 @@
+// What bdrmap observed: the collected traces and per-address annotations.
+//
+// Everything the inference heuristics consume lives here or in the §5.2
+// input datasets — never in topo::Internet. TraceHop's ground-truth router
+// annotation is dropped at this boundary.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netbase/ids.h"
+#include "netbase/ipv4.h"
+#include "probe/types.h"
+
+namespace bdrmap::core {
+
+using net::AsId;
+using net::Ipv4Addr;
+
+struct ObservedHop {
+  Ipv4Addr addr;  // zero for non-replies
+  probe::ReplyKind kind = probe::ReplyKind::kNone;
+};
+
+struct ObservedTrace {
+  Ipv4Addr dst;
+  AsId target_as;  // origin AS of the probed block
+  std::vector<ObservedHop> hops;
+  bool reached_dst = false;
+  bool stopped_by_stopset = false;
+};
+
+// Strips the ground-truth annotations from an engine-level trace.
+inline ObservedTrace observe(const probe::TraceResult& t, AsId target_as) {
+  ObservedTrace out;
+  out.dst = t.dst;
+  out.target_as = target_as;
+  out.reached_dst = t.reached_dst;
+  out.stopped_by_stopset = t.stopped_by_stopset;
+  out.hops.reserve(t.hops.size());
+  for (const auto& h : t.hops) out.hops.push_back({h.addr, h.kind});
+  return out;
+}
+
+}  // namespace bdrmap::core

@@ -1,0 +1,86 @@
+#include "core/schedule.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace bdrmap::core {
+
+ScheduleReport simulate_schedule(const std::vector<ProbeBlock>& blocks,
+                                 const ScheduleConfig& config) {
+  ScheduleReport report;
+  report.blocks = blocks.size();
+  if (blocks.empty() || config.packets_per_second <= 0.0) return report;
+
+  // Group into per-AS FIFO queues (blocks arrive sorted by target AS).
+  struct Queue {
+    net::AsId as;
+    std::size_t blocks_left = 0;
+  };
+  std::deque<Queue> waiting;
+  for (const auto& block : blocks) {
+    if (waiting.empty() || waiting.back().as != block.target_as) {
+      waiting.push_back({block.target_as, 0});
+    }
+    ++waiting.back().blocks_left;
+  }
+  report.target_ases = waiting.size();
+
+  const std::uint64_t probes_per_block = static_cast<std::uint64_t>(
+      std::max(1.0, config.probes_per_block));
+  const double seconds_per_packet = 1.0 / config.packets_per_second;
+
+  // Active AS slots, each working through one block at a time. One packet
+  // slot is granted per tick, round-robin across active ASes.
+  struct Active {
+    Queue queue;
+    std::uint64_t probes_left_in_block = 0;
+  };
+  std::vector<Active> active;
+  double clock = 0.0;
+  std::size_t rr = 0;
+  double parallel_integral = 0.0;
+
+  auto refill = [&]() {
+    while (active.size() < config.parallel_ases && !waiting.empty()) {
+      Active a;
+      a.queue = waiting.front();
+      waiting.pop_front();
+      a.probes_left_in_block = probes_per_block;
+      active.push_back(a);
+    }
+  };
+  refill();
+
+  while (!active.empty()) {
+    report.peak_parallel = std::max(report.peak_parallel, active.size());
+    parallel_integral += static_cast<double>(active.size()) *
+                         seconds_per_packet;
+    // Grant one packet slot.
+    rr %= active.size();
+    Active& slot = active[rr];
+    --slot.probes_left_in_block;
+    ++report.packets;
+    clock += seconds_per_packet;
+
+    if (slot.probes_left_in_block == 0) {
+      // Block finished: next block of the same AS, or retire the AS.
+      if (--slot.queue.blocks_left > 0) {
+        slot.probes_left_in_block = probes_per_block;
+        ++rr;
+      } else {
+        report.as_finish_time[slot.queue.as] = clock;
+        active.erase(active.begin() + static_cast<long>(rr));
+        refill();
+      }
+    } else {
+      ++rr;
+    }
+  }
+
+  report.duration_seconds = clock;
+  report.mean_parallel =
+      clock > 0.0 ? parallel_integral / clock : 0.0;
+  return report;
+}
+
+}  // namespace bdrmap::core

@@ -1,0 +1,38 @@
+// Per-trace exit analysis for the §6 interconnection studies.
+//
+// Figure 14 needs, for every routed prefix and every VP, the border router
+// the probe left the hosting network through and the next-hop AS; Figures
+// 15 and 16 need the set of physical interconnects each VP discovered with
+// a given neighbor. Both are derived from bdrmap results resolved against
+// ground truth (cross-VP router identity requires the generator's ids).
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/bdrmap.h"
+#include "eval/ground_truth.h"
+
+namespace bdrmap::eval {
+
+// Where one trace left the hosting network.
+struct TraceExit {
+  net::Prefix prefix;       // routed prefix the destination fell in
+  RouterId egress_truth;    // true identity of the last VP-side router
+  AsId next_as;             // inferred operator of the first external hop
+};
+
+// Extracts an exit record from every trace that visibly left the hosting
+// network. `origins` must be the same public table the run consumed.
+std::vector<TraceExit> trace_exits(const core::BdrmapResult& result,
+                                   const GroundTruth& truth,
+                                   const asdata::OriginTable& origins);
+
+// The distinct physical interconnects (truth link ids) this run discovered
+// with `neighbor` (sibling-aware).
+std::set<std::uint32_t> discovered_links_with(
+    const core::BdrmapResult& result, const GroundTruth& truth,
+    AsId neighbor);
+
+}  // namespace bdrmap::eval

@@ -1,0 +1,44 @@
+// rDNS-driven geolocation and DNS sanity checking.
+//
+// §6 infers the geographic location of the access network's border routers
+// from "the location information embedded in reverse DNS mappings"; §5.1
+// describes using DNS names during development to sanity-check inferences
+// while warning that names can be wrong or carry organization labels.
+// Both uses are implemented here against asdata::ReverseDns.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "asdata/dns.h"
+#include "core/bdrmap.h"
+#include "topo/internet.h"
+
+namespace bdrmap::eval {
+
+// Longitude of the rDNS location code carried by any of `addrs`, resolved
+// against the generator's PoP list. nullopt when no name carries a
+// recognizable code. Stale codes yield (realistically) wrong longitudes.
+std::optional<double> rdns_longitude(const topo::Internet& net,
+                                     const std::vector<net::Ipv4Addr>& addrs);
+
+// §5.1-style DNS sanity check over inferred neighbor routers: of the
+// routers whose addresses carry an AS hint in rDNS, how many agree with
+// the inference (sibling-aware)? Disagreement is a review flag, not an
+// error verdict — the paper found mislabeled interdomain links in DNS.
+struct DnsSanity {
+  std::size_t routers_checked = 0;  // neighbor routers with any AS hint
+  std::size_t agree = 0;
+  std::size_t disagree = 0;
+
+  double agreement() const {
+    return routers_checked == 0
+               ? 0.0
+               : static_cast<double>(agree) / routers_checked;
+  }
+};
+
+DnsSanity dns_sanity_check(const core::BdrmapResult& result,
+                           const topo::Internet& net);
+
+}  // namespace bdrmap::eval

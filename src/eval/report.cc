@@ -1,0 +1,84 @@
+#include "eval/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace bdrmap::eval {
+
+std::string format_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string render_table(const std::vector<std::string>& header,
+                         const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(header.size());
+  for (std::size_t c = 0; c < header.size(); ++c) widths[c] = header[c].size();
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : "";
+      if (c == 0) {
+        line += cell + std::string(widths[c] - cell.size(), ' ');
+      } else {
+        line += "  " + std::string(widths[c] - cell.size(), ' ') + cell;
+      }
+    }
+    return line + "\n";
+  };
+  std::string out = render_row(header);
+  out += std::string(out.size() - 1, '-') + "\n";
+  for (const auto& row : rows) out += render_row(row);
+  return out;
+}
+
+std::vector<std::pair<int, double>> cdf(std::vector<int> samples) {
+  std::vector<std::pair<int, double>> out;
+  if (samples.empty()) return out;
+  std::sort(samples.begin(), samples.end());
+  const double n = static_cast<double>(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (i + 1 == samples.size() || samples[i + 1] != samples[i]) {
+      out.emplace_back(samples[i], static_cast<double>(i + 1) / n);
+    }
+  }
+  return out;
+}
+
+std::string render_series(const std::string& title,
+                          const std::vector<std::pair<double, double>>& xy,
+                          int height) {
+  std::string out = title + "\n";
+  if (xy.empty()) return out + "  (no data)\n";
+  double ymax = 0.0;
+  for (const auto& [x, y] : xy) ymax = std::max(ymax, y);
+  if (ymax <= 0.0) ymax = 1.0;
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(xy.size(), ' '));
+  for (std::size_t i = 0; i < xy.size(); ++i) {
+    int level = static_cast<int>(std::lround(xy[i].second / ymax *
+                                             (height - 1)));
+    level = std::clamp(level, 0, height - 1);
+    grid[static_cast<std::size_t>(height - 1 - level)][i] = '*';
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%8.1f |", ymax);
+  out += std::string(buf) + grid[0] + "\n";
+  for (int r = 1; r < height; ++r) {
+    out += "         |" + grid[static_cast<std::size_t>(r)] + "\n";
+  }
+  out += "         +" + std::string(xy.size(), '-') + "\n";
+  std::snprintf(buf, sizeof(buf), "          x: %.1f .. %.1f\n", xy.front().first,
+                xy.back().first);
+  out += buf;
+  return out;
+}
+
+}  // namespace bdrmap::eval

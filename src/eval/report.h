@@ -1,0 +1,27 @@
+// Small text-rendering helpers for the benchmark harnesses: aligned tables
+// and ASCII CDF/series plots, so each bench binary can print the same rows
+// and curves the paper's tables and figures report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bdrmap::eval {
+
+// Renders rows of columns with left-aligned first column and right-aligned
+// numeric columns.
+std::string render_table(const std::vector<std::string>& header,
+                         const std::vector<std::vector<std::string>>& rows);
+
+// Empirical CDF over integer samples: returns (value, fraction <= value)
+// pairs at each distinct value.
+std::vector<std::pair<int, double>> cdf(std::vector<int> samples);
+
+// Renders a simple ASCII x/y series plot (one character column per x).
+std::string render_series(const std::string& title,
+                          const std::vector<std::pair<double, double>>& xy,
+                          int height = 12);
+
+std::string format_double(double v, int precision = 1);
+
+}  // namespace bdrmap::eval

@@ -1,0 +1,48 @@
+#include "eval/robustness.h"
+
+#include <algorithm>
+#include <set>
+
+namespace bdrmap::eval {
+
+RobustnessReport robustness_report(
+    const std::vector<std::vector<TraceExit>>& per_run_exits) {
+  RobustnessReport report;
+
+  // Per prefix: the set of egress routers observed across all runs.
+  std::map<net::Prefix, std::set<std::uint32_t>> egresses;
+  for (const auto& exits : per_run_exits) {
+    for (const auto& exit : exits) {
+      egresses[exit.prefix].insert(exit.egress_truth.value);
+    }
+  }
+  report.prefixes_measured = egresses.size();
+  if (egresses.empty()) return report;
+
+  std::map<std::uint32_t, CriticalRouter> routers;
+  for (const auto& [prefix, set] : egresses) {
+    bool sole = set.size() == 1;
+    report.single_homed_prefixes += sole;
+    for (std::uint32_t r : set) {
+      auto& entry = routers[r];
+      entry.router = RouterId(r);
+      ++entry.prefixes;
+      entry.sole_exit_for += sole;
+    }
+  }
+  const double total = static_cast<double>(report.prefixes_measured);
+  for (auto& [value, entry] : routers) {
+    entry.share = static_cast<double>(entry.prefixes) / total;
+    report.worst_blast_radius =
+        std::max(report.worst_blast_radius,
+                 static_cast<double>(entry.sole_exit_for) / total);
+    report.routers.push_back(entry);
+  }
+  std::sort(report.routers.begin(), report.routers.end(),
+            [](const CriticalRouter& a, const CriticalRouter& b) {
+              return a.share > b.share;
+            });
+  return report;
+}
+
+}  // namespace bdrmap::eval

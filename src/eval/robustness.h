@@ -1,0 +1,41 @@
+// Resilience analysis (§2 "Network Modeling and Resilience").
+//
+// The paper motivates border mapping with resiliency questions: which
+// routers and interconnects "carry traffic to a significant fraction of
+// the Internet", and how much reachability an outage would cost. With the
+// per-trace exit records we can answer both for the hosting network: the
+// share of routed prefixes each border router carries, and the reachability
+// lost if it failed with no reconvergence (worst case) — an upper bound on
+// the blast radius the paper's [37] estimates.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "eval/analysis.h"
+
+namespace bdrmap::eval {
+
+struct CriticalRouter {
+  RouterId router;               // ground-truth identity of the egress
+  std::size_t prefixes = 0;      // routed prefixes exiting through it
+  double share = 0.0;            // fraction of all measured prefixes
+  std::size_t sole_exit_for = 0; // prefixes with no other observed egress
+};
+
+struct RobustnessReport {
+  std::size_t prefixes_measured = 0;
+  std::vector<CriticalRouter> routers;  // sorted by share, descending
+
+  // Prefixes reachable only via a single border router (the fragile set).
+  std::size_t single_homed_prefixes = 0;
+  // Largest single-router blast radius as a fraction of prefixes.
+  double worst_blast_radius = 0.0;
+};
+
+// Aggregates exit records from one or more runs (multiple VPs give the
+// full egress diversity per prefix).
+RobustnessReport robustness_report(
+    const std::vector<std::vector<TraceExit>>& per_run_exits);
+
+}  // namespace bdrmap::eval

@@ -1,0 +1,130 @@
+#include "eval/scenario.h"
+
+namespace bdrmap::eval {
+
+Scenario::Scenario(const topo::GeneratorConfig& config,
+                   const route::CollectorConfig& collector_config)
+    : gen_(topo::generate(config)) {
+  bgp_ = std::make_unique<route::BgpSimulator>(gen_.net);
+  fib_ = std::make_unique<route::Fib>(gen_.net, *bgp_);
+  collectors_ =
+      std::make_unique<route::CollectorView>(gen_.net, *bgp_, collector_config);
+  asdata::RelationshipInferenceConfig ric;
+  ric.clique_seed_size = config.num_tier1;
+  inferred_rels_ = collectors_->infer_relationships(ric);
+}
+
+core::InferenceInputs Scenario::inputs_for(net::AsId as) const {
+  core::InferenceInputs in;
+  in.origins = &collectors_->public_origins();
+  in.rels = &inferred_rels_;
+  in.ixps = &gen_.net.ixp_directory();
+  in.rir = &gen_.net.rir();
+  in.siblings = &gen_.net.sibling_table();
+  in.vp_ases = gen_.net.sibling_table().siblings_of(as);
+  // Primary AS first (§5.2: curated list for the hosting network).
+  auto it = std::find(in.vp_ases.begin(), in.vp_ases.end(), as);
+  if (it != in.vp_ases.end()) std::iter_swap(in.vp_ases.begin(), it);
+  return in;
+}
+
+std::vector<topo::Vp> Scenario::vps_in(net::AsId as) const {
+  std::vector<topo::Vp> out;
+  for (const auto& vp : gen_.vps) {
+    if (vp.as == as) out.push_back(vp);
+  }
+  return out;
+}
+
+std::unique_ptr<probe::LocalProbeServices> Scenario::services_for(
+    const topo::Vp& vp, std::uint64_t seed,
+    probe::TracerConfig tracer) const {
+  return std::make_unique<probe::LocalProbeServices>(gen_.net, *fib_, vp,
+                                                     seed, tracer);
+}
+
+core::BdrmapResult Scenario::run_bdrmap(const topo::Vp& vp,
+                                        core::BdrmapConfig config,
+                                        std::uint64_t seed,
+                                        probe::TracerConfig tracer) const {
+  auto services = services_for(vp, seed, tracer);
+  core::InferenceInputs inputs = inputs_for(vp.as);
+  core::Bdrmap bdrmap(*services, inputs, config);
+  return bdrmap.run();
+}
+
+net::AsId Scenario::first_of(topo::AsKind kind, std::size_t index) const {
+  std::size_t seen = 0;
+  for (const auto& info : gen_.net.ases()) {
+    if (info.kind == kind) {
+      if (seen == index) return info.id;
+      ++seen;
+    }
+  }
+  return net::AsId{};
+}
+
+net::AsId Scenario::featured_access() const {
+  return first_of(topo::AsKind::kAccess);
+}
+net::AsId Scenario::level3_like() const {
+  return first_of(topo::AsKind::kTier1);
+}
+net::AsId Scenario::akamai_like() const {
+  return first_of(topo::AsKind::kContent);
+}
+net::AsId Scenario::google_like() const {
+  return first_of(topo::AsKind::kContent, 1);
+}
+
+topo::GeneratorConfig research_education_config(std::uint64_t seed) {
+  // A small Internet where the VP network is an R&E network with tens of
+  // customers, a couple of peers and one provider (§5.6's first network).
+  topo::GeneratorConfig c;
+  c.seed = seed;
+  c.num_tier1 = 6;
+  c.num_transit = 18;
+  c.num_access = 4;
+  c.num_content = 8;
+  c.num_research_edu = 4;
+  c.num_enterprise = 120;
+  c.num_ixps = 3;
+  // The paper's R&E network had ~30 customers, 2 peers, 1 provider.
+  c.featured_ren_customer_weight = 30.0;
+  return c;
+}
+
+topo::GeneratorConfig large_access_config(std::uint64_t seed) {
+  // The §6 deployment: a 19-PoP US access network with dense Tier-1
+  // peering and CDN interconnection.
+  topo::GeneratorConfig c;
+  c.seed = seed;
+  return c;  // defaults are tuned for this scenario
+}
+
+topo::GeneratorConfig tier1_config(std::uint64_t seed) {
+  // A larger Internet where the VP sits inside a Tier-1 with many hundreds
+  // of customers (§5.6's Tier-1 network, scaled down ~5x).
+  topo::GeneratorConfig c;
+  c.seed = seed;
+  c.num_transit = 48;
+  c.num_enterprise = 380;
+  c.num_content = 16;
+  return c;
+}
+
+topo::GeneratorConfig small_access_config(std::uint64_t seed) {
+  topo::GeneratorConfig c;
+  c.seed = seed;
+  c.num_tier1 = 5;
+  c.num_transit = 14;
+  c.num_access = 6;
+  c.num_content = 6;
+  c.num_research_edu = 2;
+  c.num_enterprise = 80;
+  c.num_ixps = 2;
+  c.featured_access_pops = 4;  // a small regional access network
+  return c;
+}
+
+}  // namespace bdrmap::eval

@@ -1,0 +1,80 @@
+// Scenario wiring: generator → routing → collectors → inference inputs.
+//
+// Bundles everything a bdrmap experiment needs: the synthetic Internet, the
+// BGP/FIB substrate, the simulated public BGP view, the inferred
+// relationships, and a factory for per-VP inference inputs. Named scenario
+// configurations approximate the four validation networks of §5.6 plus the
+// §6 access-network deployment.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/bdrmap.h"
+#include "core/heuristics.h"
+#include "probe/alias.h"
+#include "route/collectors.h"
+#include "route/fib.h"
+#include "topo/generator.h"
+
+namespace bdrmap::eval {
+
+class Scenario {
+ public:
+  explicit Scenario(const topo::GeneratorConfig& config,
+                    const route::CollectorConfig& collector_config = {});
+
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+
+  const topo::Internet& net() const { return gen_.net; }
+  const std::vector<topo::Vp>& vps() const { return gen_.vps; }
+  const route::BgpSimulator& bgp() const { return *bgp_; }
+  const route::Fib& fib() const { return *fib_; }
+  const route::CollectorView& collectors() const { return *collectors_; }
+  const asdata::RelationshipStore& inferred_rels() const {
+    return inferred_rels_;
+  }
+
+  // The inference inputs a VP in `as` receives: public origins, inferred
+  // relationships, IXP/RIR data, and the curated sibling list of the VP's
+  // organization (§5.2).
+  core::InferenceInputs inputs_for(net::AsId as) const;
+
+  // VPs hosted by `as`.
+  std::vector<topo::Vp> vps_in(net::AsId as) const;
+
+  // A fresh probe stack for one VP.
+  std::unique_ptr<probe::LocalProbeServices> services_for(
+      const topo::Vp& vp, std::uint64_t seed = 0x515,
+      probe::TracerConfig tracer = {}) const;
+
+  // Runs the full bdrmap pipeline for one VP.
+  core::BdrmapResult run_bdrmap(const topo::Vp& vp,
+                                core::BdrmapConfig config = {},
+                                std::uint64_t seed = 0x515,
+                                probe::TracerConfig tracer = {}) const;
+
+  // Featured networks (see DESIGN.md).
+  net::AsId featured_access() const;   // the §6 large access network
+  net::AsId level3_like() const;       // its Tier-1 peer (~45 links)
+  net::AsId akamai_like() const;       // selective-announcement CDN
+  net::AsId google_like() const;       // coastal CDN
+  net::AsId first_of(topo::AsKind kind, std::size_t index = 0) const;
+
+ private:
+  topo::GeneratedInternet gen_;
+  std::unique_ptr<route::BgpSimulator> bgp_;
+  std::unique_ptr<route::Fib> fib_;
+  std::unique_ptr<route::CollectorView> collectors_;
+  asdata::RelationshipStore inferred_rels_;
+};
+
+// Named configurations approximating the paper's networks. All are
+// deterministic for a given seed.
+topo::GeneratorConfig research_education_config(std::uint64_t seed = 1);
+topo::GeneratorConfig large_access_config(std::uint64_t seed = 1);
+topo::GeneratorConfig tier1_config(std::uint64_t seed = 1);
+topo::GeneratorConfig small_access_config(std::uint64_t seed = 1);
+
+}  // namespace bdrmap::eval

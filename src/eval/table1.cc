@@ -1,0 +1,122 @@
+#include "eval/table1.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+namespace bdrmap::eval {
+
+namespace {
+
+RelColumn column_for(const asdata::RelationshipStore& rels,
+                     const std::vector<AsId>& vp_ases, AsId neighbor) {
+  for (AsId v : vp_ases) {
+    switch (rels.rel(v, neighbor)) {
+      case asdata::Relationship::kCustomer:
+        return RelColumn::kCustomer;
+      case asdata::Relationship::kPeer:
+        return RelColumn::kPeer;
+      case asdata::Relationship::kProvider:
+        return RelColumn::kProvider;
+      case asdata::Relationship::kNone:
+        break;
+    }
+  }
+  return RelColumn::kTrace;
+}
+
+}  // namespace
+
+Table1 build_table1(const core::BdrmapResult& result,
+                    const asdata::RelationshipStore& rels,
+                    const std::vector<AsId>& vp_ases) {
+  Table1 table;
+  auto is_vp = [&](AsId as) {
+    return std::find(vp_ases.begin(), vp_ases.end(), as) != vp_ases.end();
+  };
+
+  // BGP-observed neighbors of the VP network, by relationship.
+  std::set<AsId> bgp_neighbors;
+  for (AsId v : vp_ases) {
+    for (AsId n : rels.neighbors(v)) {
+      if (!is_vp(n)) bgp_neighbors.insert(n);
+    }
+  }
+  for (AsId n : bgp_neighbors) {
+    ++table.observed_in_bgp[static_cast<std::size_t>(
+        column_for(rels, vp_ases, n))];
+  }
+
+  // Neighbors bdrmap inferred links for.
+  std::set<AsId> inferred_neighbors;
+  for (const auto& [as, links] : result.links_by_as) {
+    inferred_neighbors.insert(as);
+  }
+  for (AsId n : inferred_neighbors) {
+    ++table.observed_in_bdrmap[static_cast<std::size_t>(
+        column_for(rels, vp_ases, n))];
+  }
+
+  // Neighbor routers and their heuristics. Silent/other-ICMP placements
+  // have no router; count them as one router each, as the paper does.
+  const auto& routers = result.graph.routers();
+  std::set<std::size_t> counted;
+  for (const auto& link : result.links) {
+    std::size_t col = static_cast<std::size_t>(
+        column_for(rels, vp_ases, link.neighbor_as));
+    if (link.neighbor_router == core::InferredLink::kNoRouter) {
+      ++table.neighbor_routers[col];
+      ++table.rows[link.how][col];
+      continue;
+    }
+    if (!counted.insert(link.neighbor_router).second) continue;
+    const auto& r = routers[link.neighbor_router];
+    ++table.neighbor_routers[col];
+    ++table.rows[r.how][col];
+  }
+  return table;
+}
+
+std::string render_table1(const Table1& table, const std::string& title) {
+  std::string out;
+  char buf[256];
+  auto row4 = [&](const char* label, const std::array<std::size_t, 4>& v,
+                  bool as_pct, const std::array<std::size_t, 4>& denom) {
+    if (as_pct) {
+      std::string cells;
+      for (std::size_t c = 0; c < 4; ++c) {
+        if (v[c] == 0) {
+          cells += "          ";
+        } else {
+          char cell[32];
+          std::snprintf(cell, sizeof(cell), "%9.1f%%",
+                        denom[c] ? 100.0 * v[c] / denom[c] : 0.0);
+          cells += cell;
+        }
+      }
+      std::snprintf(buf, sizeof(buf), "%-24s%s\n", label, cells.c_str());
+    } else {
+      std::snprintf(buf, sizeof(buf), "%-24s%9zu %9zu %9zu %9zu\n", label,
+                    v[0], v[1], v[2], v[3]);
+    }
+    out += buf;
+  };
+
+  out += "== " + title + " ==\n";
+  std::snprintf(buf, sizeof(buf), "%-24s%9s %9s %9s %9s\n", "", "cust",
+                "peer", "prov", "trace");
+  out += buf;
+  row4("Observed in BGP", table.observed_in_bgp, false, {});
+  row4("Observed in bdrmap", table.observed_in_bdrmap, false, {});
+  std::snprintf(buf, sizeof(buf), "%-24s%8.1f%%\n", "Coverage of BGP",
+                100.0 * table.bgp_coverage());
+  out += buf;
+  for (const auto& [heuristic, counts] : table.rows) {
+    row4(core::heuristic_name(heuristic), counts, true,
+         table.neighbor_routers);
+  }
+  row4("Neighbor routers", table.neighbor_routers, false, {});
+  return out;
+}
+
+}  // namespace bdrmap::eval

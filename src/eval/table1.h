@@ -1,0 +1,60 @@
+// Table 1 accounting: heuristic attribution vs. BGP-observed neighbors.
+//
+// Reproduces the structure of the paper's Table 1 for one VP run: neighbor
+// ASes are grouped into customer / peer / provider columns by the inferred
+// relationship data (the same data bdrmap used), plus a "trace" column for
+// neighbors with inferred links but no BGP-visible relationship; rows count
+// which heuristic identified each inferred neighbor router.
+#pragma once
+
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "asdata/as_relationships.h"
+#include "core/bdrmap.h"
+
+namespace bdrmap::eval {
+
+using net::AsId;
+
+enum class RelColumn : std::size_t {
+  kCustomer = 0,
+  kPeer = 1,
+  kProvider = 2,
+  kTrace = 3,  // interdomain link seen in traceroute but not in BGP
+};
+inline constexpr std::size_t kRelColumns = 4;
+
+struct Table1 {
+  // Neighbors of the VP network observed in the BGP view, by relationship.
+  std::array<std::size_t, kRelColumns> observed_in_bgp{};
+  // Of those, neighbors bdrmap found at least one link for; the kTrace
+  // entry counts trace-only neighbors instead.
+  std::array<std::size_t, kRelColumns> observed_in_bdrmap{};
+  // Inferred neighbor routers per column.
+  std::array<std::size_t, kRelColumns> neighbor_routers{};
+  // heuristic row -> per-column router counts.
+  std::map<core::Heuristic, std::array<std::size_t, kRelColumns>> rows;
+
+  double bgp_coverage() const {
+    std::size_t seen = 0, total = 0;
+    for (std::size_t c = 0; c < 3; ++c) {  // BGP columns only
+      seen += observed_in_bdrmap[c];
+      total += observed_in_bgp[c];
+    }
+    return total == 0 ? 0.0 : static_cast<double>(seen) / total;
+  }
+};
+
+// Builds the table for one bdrmap run. `rels` must be the same inferred
+// relationship store the run consumed; `vp_ases` the VP's sibling list.
+Table1 build_table1(const core::BdrmapResult& result,
+                    const asdata::RelationshipStore& rels,
+                    const std::vector<AsId>& vp_ases);
+
+// Renders the table in the paper's layout.
+std::string render_table1(const Table1& table, const std::string& title);
+
+}  // namespace bdrmap::eval

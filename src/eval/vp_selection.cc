@@ -1,0 +1,48 @@
+#include "eval/vp_selection.h"
+
+#include <algorithm>
+
+namespace bdrmap::eval {
+
+std::size_t VpSelection::vps_for(double fraction) const {
+  const double needed = fraction * static_cast<double>(total_links);
+  for (std::size_t i = 0; i < coverage.size(); ++i) {
+    if (static_cast<double>(coverage[i]) >= needed) return i + 1;
+  }
+  return 0;
+}
+
+VpSelection greedy_vp_selection(
+    const std::vector<std::set<std::uint32_t>>& per_vp_links) {
+  VpSelection out;
+  std::set<std::uint32_t> covered;
+  std::vector<bool> used(per_vp_links.size(), false);
+
+  for (const auto& links : per_vp_links) {
+    for (std::uint32_t l : links) covered.insert(l);
+  }
+  out.total_links = covered.size();
+  covered.clear();
+
+  for (std::size_t round = 0; round < per_vp_links.size(); ++round) {
+    std::size_t best = per_vp_links.size();
+    std::size_t best_gain = 0;
+    for (std::size_t v = 0; v < per_vp_links.size(); ++v) {
+      if (used[v]) continue;
+      std::size_t gain = 0;
+      for (std::uint32_t l : per_vp_links[v]) gain += !covered.count(l);
+      if (best == per_vp_links.size() || gain > best_gain) {
+        best = v;
+        best_gain = gain;
+      }
+    }
+    if (best == per_vp_links.size()) break;
+    used[best] = true;
+    for (std::uint32_t l : per_vp_links[best]) covered.insert(l);
+    out.order.push_back(best);
+    out.coverage.push_back(covered.size());
+  }
+  return out;
+}
+
+}  // namespace bdrmap::eval

@@ -1,0 +1,32 @@
+// Vantage-point selection: which VPs buy the most border coverage?
+//
+// §6 asks "how many VPs we need in a hosting network, and where" — the
+// paper answers empirically (17 of 19 for the Tier-1 peer). Operators
+// placing a *budgeted* deployment want the inverse: the VP order that
+// covers the most interconnects soonest. Max-coverage is NP-hard; the
+// classic greedy algorithm is (1 - 1/e)-optimal and is what we provide,
+// over per-VP sets of discovered links (truth link ids from eval, or
+// merged-map link indices — any integer keys).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace bdrmap::eval {
+
+struct VpSelection {
+  std::vector<std::size_t> order;     // VP indices, most valuable first
+  std::vector<std::size_t> coverage;  // links covered after each pick
+  std::size_t total_links = 0;        // union over all VPs
+
+  // VPs needed to reach `fraction` of total coverage (0 if unreachable).
+  std::size_t vps_for(double fraction) const;
+};
+
+// Greedy max-coverage over per-VP link sets. VPs contributing nothing new
+// are still appended (in index order) so `order` is a full permutation.
+VpSelection greedy_vp_selection(
+    const std::vector<std::set<std::uint32_t>>& per_vp_links);
+
+}  // namespace bdrmap::eval

@@ -1,0 +1,110 @@
+// Strong identifier types shared across the bdrmap libraries.
+//
+// The generator, routing simulator, probe engine and inference core all talk
+// about ASes, routers and interfaces; strong types keep those id spaces from
+// being mixed up at compile time.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace bdrmap::net {
+
+// An autonomous system number.
+struct AsId {
+  std::uint32_t value = 0;
+
+  constexpr AsId() = default;
+  constexpr explicit AsId(std::uint32_t v) : value(v) {}
+
+  constexpr bool valid() const { return value != 0; }
+  std::string str() const { return "AS" + std::to_string(value); }
+
+  friend constexpr auto operator<=>(AsId, AsId) = default;
+};
+
+inline constexpr AsId kNoAs{};
+
+// Index of a router within topo::Internet. Dense, generator-assigned.
+struct RouterId {
+  std::uint32_t value = kInvalid;
+
+  static constexpr std::uint32_t kInvalid =
+      std::numeric_limits<std::uint32_t>::max();
+
+  constexpr RouterId() = default;
+  constexpr explicit RouterId(std::uint32_t v) : value(v) {}
+
+  constexpr bool valid() const { return value != kInvalid; }
+  std::string str() const { return "R" + std::to_string(value); }
+
+  friend constexpr auto operator<=>(RouterId, RouterId) = default;
+};
+
+// Index of an interface within topo::Internet. Dense, generator-assigned.
+struct IfaceId {
+  std::uint32_t value = kInvalid;
+
+  static constexpr std::uint32_t kInvalid =
+      std::numeric_limits<std::uint32_t>::max();
+
+  constexpr IfaceId() = default;
+  constexpr explicit IfaceId(std::uint32_t v) : value(v) {}
+
+  constexpr bool valid() const { return value != kInvalid; }
+
+  friend constexpr auto operator<=>(IfaceId, IfaceId) = default;
+};
+
+// Identifier of an organization (for sibling ASes / RIR delegations).
+struct OrgId {
+  std::uint32_t value = 0;
+
+  constexpr OrgId() = default;
+  constexpr explicit OrgId(std::uint32_t v) : value(v) {}
+
+  constexpr bool valid() const { return value != 0; }
+  std::string str() const { return "ORG" + std::to_string(value); }
+
+  friend constexpr auto operator<=>(OrgId, OrgId) = default;
+};
+
+}  // namespace bdrmap::net
+
+namespace bdrmap::detail {
+inline std::size_t hash_u32(std::uint32_t v) noexcept {
+  std::uint64_t x = v;
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  return static_cast<std::size_t>(x);
+}
+}  // namespace bdrmap::detail
+
+template <>
+struct std::hash<bdrmap::net::AsId> {
+  std::size_t operator()(bdrmap::net::AsId a) const noexcept {
+    return bdrmap::detail::hash_u32(a.value);
+  }
+};
+template <>
+struct std::hash<bdrmap::net::RouterId> {
+  std::size_t operator()(bdrmap::net::RouterId r) const noexcept {
+    return bdrmap::detail::hash_u32(r.value);
+  }
+};
+template <>
+struct std::hash<bdrmap::net::IfaceId> {
+  std::size_t operator()(bdrmap::net::IfaceId i) const noexcept {
+    return bdrmap::detail::hash_u32(i.value);
+  }
+};
+template <>
+struct std::hash<bdrmap::net::OrgId> {
+  std::size_t operator()(bdrmap::net::OrgId o) const noexcept {
+    return bdrmap::detail::hash_u32(o.value);
+  }
+};

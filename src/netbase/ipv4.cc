@@ -1,0 +1,37 @@
+#include "netbase/ipv4.h"
+
+#include <array>
+#include <charconv>
+
+namespace bdrmap::net {
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view text) {
+  std::array<std::uint32_t, 4> octets{};
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+    auto [next, ec] = std::from_chars(p, end, octets[static_cast<size_t>(i)]);
+    if (ec != std::errc() || next == p) return std::nullopt;
+    if (octets[static_cast<size_t>(i)] > 255) return std::nullopt;
+    p = next;
+  }
+  if (p != end) return std::nullopt;
+  return Ipv4Addr((octets[0] << 24) | (octets[1] << 16) | (octets[2] << 8) |
+                  octets[3]);
+}
+
+std::string Ipv4Addr::str() const {
+  std::string out;
+  out.reserve(15);
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    if (shift != 24) out.push_back('.');
+    out += std::to_string((value_ >> shift) & 0xff);
+  }
+  return out;
+}
+
+}  // namespace bdrmap::net

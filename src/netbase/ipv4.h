@@ -1,0 +1,62 @@
+// IPv4 address value type.
+//
+// A thin, strongly-typed wrapper around a host-byte-order 32-bit value.
+// All bdrmap data structures key on this type rather than raw integers so
+// that addresses, AS numbers, and router identifiers cannot be confused.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace bdrmap::net {
+
+// An IPv4 address in host byte order.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t value) : value_(value) {}
+
+  // Builds an address from dotted-quad octets, e.g. Ipv4Addr::of(192,0,2,1).
+  static constexpr Ipv4Addr of(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                               std::uint8_t d) {
+    return Ipv4Addr((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                    (std::uint32_t{c} << 8) | std::uint32_t{d});
+  }
+
+  // Parses dotted-quad text ("192.0.2.1"). Returns nullopt on malformed input.
+  static std::optional<Ipv4Addr> parse(std::string_view text);
+
+  constexpr std::uint32_t value() const { return value_; }
+
+  // Renders as dotted-quad text.
+  std::string str() const;
+
+  constexpr bool is_zero() const { return value_ == 0; }
+
+  // Successor address; wraps at 255.255.255.255.
+  constexpr Ipv4Addr next() const { return Ipv4Addr(value_ + 1); }
+
+  friend constexpr auto operator<=>(Ipv4Addr, Ipv4Addr) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+}  // namespace bdrmap::net
+
+template <>
+struct std::hash<bdrmap::net::Ipv4Addr> {
+  std::size_t operator()(bdrmap::net::Ipv4Addr a) const noexcept {
+    // Finalizer from MurmurHash3: cheap and well distributed for dense
+    // generator-assigned address ranges.
+    std::uint64_t x = a.value();
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return static_cast<std::size_t>(x);
+  }
+};

@@ -1,0 +1,69 @@
+#include "probe/alias.h"
+
+namespace bdrmap::probe {
+
+std::optional<Ipv4Addr> AliasProber::udp_probe(Ipv4Addr addr) {
+  ++probes_sent_;
+  auto iface = net_.iface_at(addr);
+  if (!iface) return std::nullopt;  // hosts don't emit port unreachables here
+  net::RouterId owner = net_.iface(*iface).router;
+  const auto& router = net_.router(owner);
+  if (!router.behavior.responds_udp) return std::nullopt;
+  if (!tracer_.reaches_addr(addr)) return std::nullopt;
+  if (rng_.chance(router.behavior.rate_limit_drop)) return std::nullopt;
+  // The reply is transmitted from the interface toward the prober; if the
+  // router cannot resolve a route back, it uses its canonical address.
+  if (auto out = fib_.egress_iface(owner, tracer_.vp().addr)) {
+    return net_.iface(*out).addr;
+  }
+  return net_.canonical_addr(owner);
+}
+
+std::uint16_t AliasProber::next_ipid(const topo::Router& router,
+                                     net::IfaceId iface, double t) {
+  switch (router.behavior.ipid) {
+    case topo::IpidKind::kSharedCounter: {
+      auto& count = reply_counts_[router.id.value];
+      ++count;
+      double base = router.behavior.ipid_init +
+                    router.behavior.ipid_velocity * t +
+                    static_cast<double>(count);
+      return static_cast<std::uint16_t>(
+          static_cast<std::uint64_t>(base) & 0xffff);
+    }
+    case topo::IpidKind::kPerInterface: {
+      std::uint64_t key = 0x100000000ULL | iface.value;
+      auto& count = reply_counts_[key];
+      ++count;
+      // Each interface has its own counter: decorrelated initial value and
+      // velocity derived from the interface id.
+      std::uint32_t init = router.behavior.ipid_init ^
+                           static_cast<std::uint16_t>(iface.value * 40503u);
+      double velocity =
+          router.behavior.ipid_velocity * (1.0 + (iface.value % 7) * 0.37);
+      double base = init + velocity * t + static_cast<double>(count);
+      return static_cast<std::uint16_t>(
+          static_cast<std::uint64_t>(base) & 0xffff);
+    }
+    case topo::IpidKind::kRandom:
+      return static_cast<std::uint16_t>(rng_.uniform(0, 0xffff));
+    case topo::IpidKind::kZero:
+      return 0;
+  }
+  return 0;
+}
+
+std::optional<std::uint16_t> AliasProber::ipid_sample(Ipv4Addr addr,
+                                                      double t) {
+  ++probes_sent_;
+  auto iface = net_.iface_at(addr);
+  if (!iface) return std::nullopt;
+  net::RouterId owner = net_.iface(*iface).router;
+  const auto& router = net_.router(owner);
+  if (!router.behavior.responds_echo) return std::nullopt;
+  if (!tracer_.reaches_addr(addr)) return std::nullopt;
+  if (rng_.chance(router.behavior.rate_limit_drop)) return std::nullopt;
+  return next_ipid(router, *iface, t);
+}
+
+}  // namespace bdrmap::probe

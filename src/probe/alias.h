@@ -1,0 +1,88 @@
+// Alias-resolution probe primitives: IP-ID sampling and Mercator UDP.
+//
+// §5.3 of the paper resolves aliases with Ally (shared IP-ID counter),
+// Mercator (common source on ICMP port unreachable) and MIDAR-style
+// monotonicity tests. This module simulates what those probes would
+// observe: each router evolves an IP-ID counter per its behaviour model
+// (shared / per-interface / random / zero), advanced by a background
+// traffic velocity plus one per reply it sends.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "netbase/rng.h"
+#include "probe/tracer.h"
+#include "probe/types.h"
+#include "route/fib.h"
+#include "topo/internet.h"
+
+namespace bdrmap::probe {
+
+class AliasProber {
+ public:
+  AliasProber(const topo::Internet& net, const route::Fib& fib,
+              TracerouteEngine& tracer, std::uint64_t seed)
+      : net_(net), fib_(fib), tracer_(tracer), rng_(seed) {}
+
+  // Mercator: UDP probe to `addr`; returns the source address of the ICMP
+  // port-unreachable reply (the interface the router transmits from), if
+  // the address is reachable and the router answers UDP.
+  std::optional<Ipv4Addr> udp_probe(Ipv4Addr addr);
+
+  // Echo probe reading the IP-ID of the reply at virtual time `t` seconds.
+  std::optional<std::uint16_t> ipid_sample(Ipv4Addr addr, double t);
+
+  std::uint64_t probes_sent() const { return probes_sent_; }
+
+ private:
+  std::uint16_t next_ipid(const topo::Router& router, net::IfaceId iface,
+                          double t);
+
+  const topo::Internet& net_;
+  const route::Fib& fib_;
+  TracerouteEngine& tracer_;
+  net::Rng rng_;
+  // Replies sent per counter (router id, or iface id for per-interface
+  // counters) — each reply consumes one IP-ID.
+  std::unordered_map<std::uint64_t, std::uint32_t> reply_counts_;
+  std::uint64_t probes_sent_ = 0;
+};
+
+// Bundles the probe engines into the ProbeServices interface the inference
+// core consumes. This is the "monolithic" deployment (prober and inference
+// on the same machine); remote::RemoteProbeServices is the §5.8 split.
+class LocalProbeServices final : public ProbeServices {
+ public:
+  LocalProbeServices(const topo::Internet& net, const route::Fib& fib,
+                     topo::Vp vp, std::uint64_t seed,
+                     TracerConfig tracer_config = {})
+      : tracer_(net, fib, vp, seed, tracer_config),
+        prober_(net, fib, tracer_, seed ^ 0x5a) {}
+
+  TraceResult trace(Ipv4Addr dst, const StopFn& stop) override {
+    return tracer_.trace(dst, stop);
+  }
+  std::optional<Ipv4Addr> udp_probe(Ipv4Addr addr) override {
+    return prober_.udp_probe(addr);
+  }
+  std::optional<std::uint16_t> ipid_sample(Ipv4Addr addr, double t) override {
+    return prober_.ipid_sample(addr, t);
+  }
+  std::optional<bool> timestamp_probe(Ipv4Addr path_dst,
+                                      Ipv4Addr candidate) override {
+    return tracer_.timestamp_probe(path_dst, candidate);
+  }
+  std::uint64_t probes_sent() const override {
+    return tracer_.probes_sent() + prober_.probes_sent();
+  }
+
+  TracerouteEngine& tracer() { return tracer_; }
+
+ private:
+  TracerouteEngine tracer_;
+  AliasProber prober_;
+};
+
+}  // namespace bdrmap::probe

@@ -1,0 +1,289 @@
+#include "probe/tracer.h"
+
+namespace bdrmap::probe {
+
+using net::IfaceId;
+using net::RouterId;
+
+TracerouteEngine::TracerouteEngine(const topo::Internet& net,
+                                   const route::Fib& fib, topo::Vp vp,
+                                   std::uint64_t seed, TracerConfig config)
+    : net_(net), fib_(fib), vp_(vp), rng_(seed), config_(config) {}
+
+Ipv4Addr TracerouteEngine::reply_source(RouterId router, IfaceId ingress,
+                                        Ipv4Addr dst) const {
+  const auto& behavior = net_.router(router).behavior;
+  switch (behavior.reply_addr) {
+    case topo::ReplyAddrPolicy::kEgressToSrc: {
+      // IETF-advised: source the reply from the interface transmitting it —
+      // the origin of third-party addresses (§4 challenge 2).
+      if (auto out = fib_.egress_iface(router, vp_.addr)) {
+        return net_.iface(*out).addr;
+      }
+      break;
+    }
+    case topo::ReplyAddrPolicy::kVirtualRouter: {
+      // The virtual router that would have forwarded the probe replies
+      // with its own interface (§4 challenge 4).
+      if (auto out = fib_.egress_iface(router, dst)) {
+        return net_.iface(*out).addr;
+      }
+      break;
+    }
+    case topo::ReplyAddrPolicy::kIngress:
+      break;
+  }
+  if (ingress.valid()) return net_.iface(ingress).addr;
+  // First hop (no modelled VP-facing link): real gateways answer from a
+  // LAN/internal interface, not an interdomain one — prefer the lowest
+  // internal-link address over the canonical address, which could be a
+  // neighbor-supplied point-to-point address.
+  Ipv4Addr best;
+  bool found = false;
+  for (net::IfaceId i : net_.router(router).ifaces) {
+    const auto& iface = net_.iface(i);
+    if (net_.link(iface.link).kind != topo::LinkKind::kInternal) continue;
+    if (!found || iface.addr < best) {
+      best = iface.addr;
+      found = true;
+    }
+  }
+  return found ? best : net_.canonical_addr(router);
+}
+
+TraceResult TracerouteEngine::trace(Ipv4Addr dst, const StopFn& stop) {
+  TraceResult result;
+  result.dst = dst;
+
+  // Walk the forward path once (Paris traceroute: one path per flow).
+  struct PathNode {
+    RouterId router;
+    IfaceId ingress;
+    bool is_delivery = false;   // dst terminates at this router
+    bool dst_is_own_addr = false;  // dst is one of the router's interfaces
+    bool firewalled = false;    // edge filter blocks onward/host delivery
+  };
+  std::vector<PathNode> path;
+  // Walks up to `limit` hops with a fixed flow salt, appending nodes.
+  auto walk = [&](std::uint32_t flow_salt, int limit,
+                  std::vector<PathNode>& out) {
+    RouterId cur = vp_.attach_router;
+    IfaceId ingress;  // invalid on the first hop (VP-facing side)
+    bool entered_interdomain = false;
+    for (int i = 0; i < limit; ++i) {
+      PathNode node{cur, ingress, false, false, false};
+      node.is_delivery = fib_.delivered_at(cur, dst);
+      if (node.is_delivery) {
+        auto iface = net_.iface_at(dst);
+        node.dst_is_own_addr = iface && net_.iface(*iface).router == cur;
+      }
+      // Enterprise edge filtering: the border answers for itself but drops
+      // probes transiting into the network — including to hosts behind it —
+      // while its own interface addresses remain reachable (§4 ch. 3).
+      node.firewalled = entered_interdomain &&
+                        net_.router(cur).behavior.firewall_edge &&
+                        !node.dst_is_own_addr;
+      out.push_back(node);
+      if (node.is_delivery || node.firewalled) break;
+      auto hop = fib_.next_hop(cur, dst, flow_salt);
+      if (!hop) break;  // no route
+      entered_interdomain = hop->crossed_interdomain;
+      cur = hop->router;
+      ingress = hop->ingress;
+    }
+  };
+
+  if (config_.paris) {
+    // One flow, one path (flow salt 0 for every probe).
+    walk(0, config_.max_ttl, path);
+  } else {
+    // Classic traceroute: each TTL's probe hashes to its own ECMP choice;
+    // the recorded "path" is hop k of the salt-k walk — which may splice
+    // different true paths together (the [2] artifact).
+    for (int ttl = 1; ttl <= config_.max_ttl; ++ttl) {
+      std::vector<PathNode> probe_path;
+      walk(static_cast<std::uint32_t>(ttl), ttl, probe_path);
+      if (static_cast<int>(probe_path.size()) < ttl) {
+        // The salt-ttl walk ended early (delivery/firewall/no route):
+        // record its terminal node and stop probing.
+        if (!probe_path.empty()) path.push_back(probe_path.back());
+        break;
+      }
+      path.push_back(probe_path.back());
+      if (probe_path.back().is_delivery || probe_path.back().firewalled) {
+        break;
+      }
+    }
+  }
+
+  // Generate per-TTL replies along the walked path.
+  int gap = 0;
+  for (const PathNode& node : path) {
+    ++probes_sent_;
+    const auto& router = net_.router(node.router);
+    TraceHop hop;
+    hop.truth_router = node.router;
+
+    if (node.is_delivery && node.dst_is_own_addr) {
+      // The destination is the router itself: an echo reply whose source is
+      // the probed address (§4: useless for ownership inference).
+      if (router.behavior.responds_echo &&
+          !rng_.chance(router.behavior.rate_limit_drop)) {
+        hop.addr = dst;
+        hop.kind = ReplyKind::kEchoReply;
+        result.reached_dst = true;
+      }
+      result.hops.push_back(hop);
+      break;
+    }
+
+    if (node.is_delivery) {
+      // A host prefix attaches here: the probe whose TTL expires at this
+      // router still elicits a normal time-exceeded reply (this is how the
+      // customer's border appears in traceroute at all); the next TTL
+      // reaches the end host, which may answer.
+      if (router.behavior.sends_ttl_expired &&
+          !rng_.chance(router.behavior.rate_limit_drop)) {
+        hop.addr = reply_source(node.router, node.ingress, dst);
+        hop.kind = ReplyKind::kTimeExceeded;
+      }
+      ++probes_sent_;  // the extra host-directed probe
+      result.hops.push_back(hop);
+      if (hop.kind != ReplyKind::kNone && stop && stop(hop.addr)) {
+        result.stopped_by_stopset = true;
+        break;
+      }
+      TraceHop host_hop;
+      host_hop.truth_router = node.router;
+      const auto* ap = net_.announced_match(dst);
+      if (!node.firewalled && ap && rng_.chance(ap->dest_responsiveness)) {
+        host_hop.addr = dst;
+        host_hop.kind = ReplyKind::kEchoReply;
+        result.reached_dst = true;
+      }
+      result.hops.push_back(host_hop);
+      break;
+    }
+
+    // Intermediate hop: ICMP time exceeded, maybe.
+    if (router.behavior.sends_ttl_expired &&
+        !rng_.chance(router.behavior.rate_limit_drop)) {
+      hop.addr = reply_source(node.router, node.ingress, dst);
+      hop.kind = ReplyKind::kTimeExceeded;
+    }
+    result.hops.push_back(hop);
+
+    if (hop.kind == ReplyKind::kNone) {
+      if (++gap >= config_.gap_limit) break;
+    } else {
+      gap = 0;
+      if (stop && stop(hop.addr)) {
+        result.stopped_by_stopset = true;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+bool TracerouteEngine::reaches(RouterId router, Ipv4Addr probe_dst) const {
+  // Walks the forward path checking the probe is actually delivered to
+  // `router` (firewalls and routing failures make addresses unreachable).
+  RouterId cur = vp_.attach_router;
+  bool entered_interdomain = false;
+  for (int i = 0; i < config_.max_ttl; ++i) {
+    if (fib_.delivered_at(cur, probe_dst)) {
+      if (cur != router) return false;
+      // Edge filters still permit traffic to the router's own addresses,
+      // but not to hosts behind it.
+      auto iface = net_.iface_at(probe_dst);
+      bool own_addr = iface && net_.iface(*iface).router == cur;
+      if (entered_interdomain && net_.router(cur).behavior.firewall_edge &&
+          !own_addr) {
+        return false;
+      }
+      return true;
+    }
+    if (entered_interdomain && net_.router(cur).behavior.firewall_edge) {
+      return false;
+    }
+    auto hop = fib_.next_hop(cur, probe_dst);
+    if (!hop) return false;
+    entered_interdomain = hop->crossed_interdomain;
+    cur = hop->router;
+  }
+  return false;
+}
+
+bool TracerouteEngine::reaches_addr(Ipv4Addr addr) const {
+  auto it = reach_cache_.find(addr.value());
+  if (it != reach_cache_.end()) return it->second;
+  bool ok = false;
+  if (auto iface = net_.iface_at(addr)) {
+    ok = reaches(net_.iface(*iface).router, addr);
+  } else if (const auto* ap = net_.announced_match(addr)) {
+    ok = reaches(ap->host_router, addr);
+  }
+  reach_cache_.emplace(addr.value(), ok);
+  return ok;
+}
+
+std::optional<bool> TracerouteEngine::timestamp_probe(Ipv4Addr path_dst,
+                                                      Ipv4Addr candidate) {
+  ++probes_sent_;
+  auto cand_iface = net_.iface_at(candidate);
+  if (!cand_iface) return std::nullopt;  // not a router interface at all
+  const auto& cand_router = net_.router(net_.iface(*cand_iface).router);
+  if (!cand_router.behavior.honors_timestamp) return std::nullopt;
+
+  // Walk the forward path; the candidate stamps iff it is the ingress
+  // interface of some hop (the semantics [26] exploits: a router stamps
+  // with the address of the interface the packet arrived on).
+  RouterId cur = vp_.attach_router;
+  IfaceId ingress;
+  bool entered_interdomain = false;
+  bool delivered = false;
+  bool stamped = false;
+  for (int i = 0; i < config_.max_ttl; ++i) {
+    if (ingress.valid() && net_.iface(ingress).addr == candidate) {
+      stamped = true;
+    }
+    if (fib_.delivered_at(cur, path_dst)) {
+      delivered = true;
+      break;
+    }
+    if (entered_interdomain && net_.router(cur).behavior.firewall_edge) {
+      break;
+    }
+    auto hop = fib_.next_hop(cur, path_dst);
+    if (!hop) break;
+    entered_interdomain = hop->crossed_interdomain;
+    cur = hop->router;
+    ingress = hop->ingress;
+  }
+  if (stamped) return true;
+  // Negative evidence only if the probe actually completed its journey.
+  if (delivered) return false;
+  return std::nullopt;
+}
+
+std::optional<ReplyKind> TracerouteEngine::ping(Ipv4Addr addr) {
+  ++probes_sent_;
+  auto iface = net_.iface_at(addr);
+  if (iface) {
+    RouterId owner = net_.iface(*iface).router;
+    if (!reaches(owner, addr)) return std::nullopt;
+    const auto& behavior = net_.router(owner).behavior;
+    if (!behavior.responds_echo || rng_.chance(behavior.rate_limit_drop)) {
+      return std::nullopt;
+    }
+    return ReplyKind::kEchoReply;
+  }
+  const auto* ap = net_.announced_match(addr);
+  if (!ap) return std::nullopt;
+  if (!reaches(ap->host_router, addr)) return std::nullopt;
+  if (!rng_.chance(ap->dest_responsiveness)) return std::nullopt;
+  return ReplyKind::kEchoReply;
+}
+
+}  // namespace bdrmap::probe

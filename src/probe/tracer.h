@@ -1,0 +1,78 @@
+// Simulated Paris traceroute over the synthetic Internet.
+//
+// Reproduces the traceroute idiosyncrasies the paper's heuristics exist to
+// handle (§4): replies normally come from the ingress interface of the
+// router where the TTL expired, but a router may instead reply from the
+// interface facing the probe source (third-party addresses), or from the
+// virtual-router interface that would have forwarded the probe; enterprise
+// borders answer for themselves but firewall probes that would transit into
+// their network; silent routers never answer; rate-limited routers answer
+// probabilistically; echo replies carry the probed address as their source.
+// Paris probing is implicit: the FIB is deterministic per flow, so every
+// TTL of a trace follows the same path.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "netbase/rng.h"
+#include "probe/types.h"
+#include "route/fib.h"
+#include "topo/generator.h"
+#include "topo/internet.h"
+
+namespace bdrmap::probe {
+
+struct TracerConfig {
+  int max_ttl = 48;
+  // scamper-style gap limit: stop after this many consecutive non-replies.
+  int gap_limit = 5;
+  // Paris traceroute (the default, as in the paper [2]): every probe of a
+  // trace carries the same flow tuple, so ECMP hashing keeps the path
+  // stable. false = classic traceroute: each TTL's probe hashes
+  // differently and equal-cost paths interleave, manufacturing false
+  // adjacencies.
+  bool paris = true;
+};
+
+class TracerouteEngine {
+ public:
+  TracerouteEngine(const topo::Internet& net, const route::Fib& fib,
+                   topo::Vp vp, std::uint64_t seed, TracerConfig config = {});
+
+  TraceResult trace(Ipv4Addr dst, const StopFn& stop = nullptr);
+
+  // ICMP echo probe to `addr` itself (used for alias resolution / §5.4.8
+  // evidence). Returns the reply source, which for echo replies is the
+  // probed address.
+  std::optional<ReplyKind> ping(Ipv4Addr addr);
+
+  // True iff a probe to `addr` is delivered to the router or host owning
+  // it (considers routing and edge firewalls). Cached per address.
+  bool reaches_addr(Ipv4Addr addr) const;
+
+  // IP prespecified-timestamp probe ([26]): does `candidate` stamp probes
+  // toward `path_dst`? true = stamped (inbound interface on the path),
+  // false = probe delivered unstamped, nullopt = no evidence (the
+  // candidate's router ignores the option or the probe was lost).
+  std::optional<bool> timestamp_probe(Ipv4Addr path_dst, Ipv4Addr candidate);
+
+  std::uint64_t probes_sent() const { return probes_sent_; }
+  const topo::Vp& vp() const { return vp_; }
+
+ private:
+  // The reply source address a router uses for a time-exceeded message.
+  Ipv4Addr reply_source(net::RouterId router, net::IfaceId ingress,
+                        Ipv4Addr dst) const;
+  bool reaches(net::RouterId router, Ipv4Addr probe_dst) const;
+
+  const topo::Internet& net_;
+  const route::Fib& fib_;
+  topo::Vp vp_;
+  net::Rng rng_;
+  TracerConfig config_;
+  std::uint64_t probes_sent_ = 0;
+  mutable std::unordered_map<std::uint32_t, bool> reach_cache_;
+};
+
+}  // namespace bdrmap::probe

@@ -1,0 +1,75 @@
+// Probe-level observation types shared by the probe engine, the inference
+// core, and the remote (split prober/controller) deployment.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "netbase/ids.h"
+#include "netbase/ipv4.h"
+
+namespace bdrmap::probe {
+
+using net::Ipv4Addr;
+
+enum class ReplyKind : std::uint8_t {
+  kNone,             // * — no response
+  kTimeExceeded,     // ICMP time exceeded (the hop addresses bdrmap trusts)
+  kEchoReply,        // ICMP echo reply (source == probed address, §4)
+  kDestUnreachable,  // ICMP destination unreachable
+};
+
+struct TraceHop {
+  Ipv4Addr addr;  // zero when kind == kNone
+  ReplyKind kind = ReplyKind::kNone;
+  // Ground-truth annotation for evaluation ONLY — the inference core never
+  // reads it (eval:: uses it to score where each reply really came from).
+  net::RouterId truth_router;
+};
+
+struct TraceResult {
+  Ipv4Addr dst;
+  std::vector<TraceHop> hops;
+  bool reached_dst = false;     // destination itself replied
+  bool stopped_by_stopset = false;  // doubletree stop set halted the trace
+};
+
+// Predicate the driver passes in: "stop probing past this address" —
+// doubletree's stop set (§5.3). Evaluated on responsive hop addresses.
+using StopFn = std::function<bool(Ipv4Addr)>;
+
+// The probing capabilities a measurement device exposes. core::Bdrmap is
+// written against this interface so the same inference code runs on a
+// monolithic prober (probe::LocalProbeServices) or the split low-resource
+// deployment of §5.8 (remote::RemoteProbeServices).
+class ProbeServices {
+ public:
+  virtual ~ProbeServices() = default;
+
+  // Paris traceroute with ICMP echo probes toward `dst`.
+  virtual TraceResult trace(Ipv4Addr dst, const StopFn& stop) = 0;
+
+  // UDP probe to a high port (Mercator): the source address of the ICMP
+  // port-unreachable reply, if the router answers.
+  virtual std::optional<Ipv4Addr> udp_probe(Ipv4Addr addr) = 0;
+
+  // ICMP echo probe reading the IP-ID of the reply at virtual time `t`
+  // seconds (Ally / MIDAR velocity sampling).
+  virtual std::optional<std::uint16_t> ipid_sample(Ipv4Addr addr,
+                                                   double t) = 0;
+
+  // IP prespecified-timestamp probe ([26]): a probe toward `path_dst`
+  // carrying a timestamp slot prespecified for `candidate`. Returns true
+  // if `candidate` stamped it (it is an inbound interface on the forward
+  // path), false if the probe completed without a stamp, nullopt when no
+  // evidence could be gathered (option stripped / router ignores it).
+  virtual std::optional<bool> timestamp_probe(Ipv4Addr path_dst,
+                                              Ipv4Addr candidate) = 0;
+
+  // Number of probe packets sent so far (run-time accounting, §5.3).
+  virtual std::uint64_t probes_sent() const = 0;
+};
+
+}  // namespace bdrmap::probe

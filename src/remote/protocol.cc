@@ -1,0 +1,127 @@
+#include "remote/protocol.h"
+
+namespace bdrmap::remote {
+
+std::vector<std::uint8_t> encode_trace_req(net::Ipv4Addr dst) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kTraceReq));
+  w.addr(dst);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_trace_resp(const probe::TraceResult& t) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kTraceResp));
+  w.addr(t.dst);
+  w.u8(t.reached_dst ? 1 : 0);
+  w.u16(static_cast<std::uint16_t>(t.hops.size()));
+  for (const auto& hop : t.hops) {
+    w.addr(hop.addr);
+    w.u8(static_cast<std::uint8_t>(hop.kind));
+  }
+  return w.take();
+}
+
+probe::TraceResult decode_trace_resp(const std::vector<std::uint8_t>& buf) {
+  Reader r(buf);
+  if (r.u8() != static_cast<std::uint8_t>(MsgType::kTraceResp)) {
+    throw std::runtime_error("unexpected message type");
+  }
+  probe::TraceResult t;
+  t.dst = r.addr();
+  t.reached_dst = r.u8() != 0;
+  std::uint16_t count = r.u16();
+  t.hops.reserve(count);
+  for (std::uint16_t i = 0; i < count; ++i) {
+    probe::TraceHop hop;
+    hop.addr = r.addr();
+    hop.kind = static_cast<probe::ReplyKind>(r.u8());
+    t.hops.push_back(hop);
+  }
+  return t;
+}
+
+std::vector<std::uint8_t> encode_udp_req(net::Ipv4Addr a) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kUdpReq));
+  w.addr(a);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_udp_resp(std::optional<net::Ipv4Addr> src) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kUdpResp));
+  w.u8(src ? 1 : 0);
+  w.addr(src.value_or(net::Ipv4Addr{}));
+  return w.take();
+}
+
+std::optional<net::Ipv4Addr> decode_udp_resp(
+    const std::vector<std::uint8_t>& buf) {
+  Reader r(buf);
+  if (r.u8() != static_cast<std::uint8_t>(MsgType::kUdpResp)) {
+    throw std::runtime_error("unexpected message type");
+  }
+  bool has = r.u8() != 0;
+  net::Ipv4Addr a = r.addr();
+  if (!has) return std::nullopt;
+  return a;
+}
+
+std::vector<std::uint8_t> encode_ipid_req(net::Ipv4Addr a, double t) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kIpidReq));
+  w.addr(a);
+  w.f64(t);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_ipid_resp(std::optional<std::uint16_t> id) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kIpidResp));
+  w.u8(id ? 1 : 0);
+  w.u16(id.value_or(0));
+  return w.take();
+}
+
+std::optional<std::uint16_t> decode_ipid_resp(
+    const std::vector<std::uint8_t>& buf) {
+  Reader r(buf);
+  if (r.u8() != static_cast<std::uint8_t>(MsgType::kIpidResp)) {
+    throw std::runtime_error("unexpected message type");
+  }
+  bool has = r.u8() != 0;
+  std::uint16_t id = r.u16();
+  if (!has) return std::nullopt;
+  return id;
+}
+
+std::vector<std::uint8_t> encode_ts_req(net::Ipv4Addr path_dst,
+                                        net::Ipv4Addr candidate) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kTsReq));
+  w.addr(path_dst);
+  w.addr(candidate);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_ts_resp(std::optional<bool> stamped) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kTsResp));
+  w.u8(stamped ? 1 : 0);
+  w.u8(stamped.value_or(false) ? 1 : 0);
+  return w.take();
+}
+
+std::optional<bool> decode_ts_resp(const std::vector<std::uint8_t>& buf) {
+  Reader r(buf);
+  if (r.u8() != static_cast<std::uint8_t>(MsgType::kTsResp)) {
+    throw std::runtime_error("unexpected message type");
+  }
+  bool has = r.u8() != 0;
+  bool stamped = r.u8() != 0;
+  if (!has) return std::nullopt;
+  return stamped;
+}
+
+}  // namespace bdrmap::remote

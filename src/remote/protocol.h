@@ -1,0 +1,111 @@
+// Wire protocol between the low-resource prober and the central controller
+// (§5.8 "Supporting resource-limited devices").
+//
+// The paper's deployment runs scamper on 400MHz/32MB devices and keeps all
+// bdrmap state (origin tables, stop sets, alias candidates) on a central
+// system; the device only executes individual measurement commands. The
+// protocol here is a compact length-prefixed binary encoding so the bench
+// can report bytes-on-the-wire and peak device state.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "netbase/ipv4.h"
+#include "probe/types.h"
+
+namespace bdrmap::remote {
+
+enum class MsgType : std::uint8_t {
+  kTraceReq = 1,
+  kTraceResp = 2,
+  kUdpReq = 3,
+  kUdpResp = 4,
+  kIpidReq = 5,
+  kIpidResp = 6,
+  kTsReq = 7,
+  kTsResp = 8,
+};
+
+// Append-only byte writer.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) {
+    u8(static_cast<std::uint8_t>(v >> 8));
+    u8(static_cast<std::uint8_t>(v));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v));
+  }
+  void f64(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    u32(static_cast<std::uint32_t>(bits >> 32));
+    u32(static_cast<std::uint32_t>(bits));
+  }
+  void addr(net::Ipv4Addr a) { u32(a.value()); }
+
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+// Sequential byte reader; throws on truncation (malformed peer).
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& buf) : buf_(buf) {}
+
+  std::uint8_t u8() {
+    if (pos_ >= buf_.size()) throw std::runtime_error("short message");
+    return buf_[pos_++];
+  }
+  std::uint16_t u16() {
+    std::uint16_t hi = u8();
+    return static_cast<std::uint16_t>((hi << 8) | u8());
+  }
+  std::uint32_t u32() {
+    std::uint32_t hi = u16();
+    return (hi << 16) | u16();
+  }
+  double f64() {
+    std::uint64_t bits = (static_cast<std::uint64_t>(u32()) << 32) | u32();
+    double v;
+    __builtin_memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  net::Ipv4Addr addr() { return net::Ipv4Addr(u32()); }
+  bool done() const { return pos_ == buf_.size(); }
+
+ private:
+  const std::vector<std::uint8_t>& buf_;
+  std::size_t pos_ = 0;
+};
+
+// --- message encodings ---
+
+std::vector<std::uint8_t> encode_trace_req(net::Ipv4Addr dst);
+std::vector<std::uint8_t> encode_trace_resp(const probe::TraceResult& t);
+probe::TraceResult decode_trace_resp(const std::vector<std::uint8_t>& buf);
+
+std::vector<std::uint8_t> encode_udp_req(net::Ipv4Addr a);
+std::vector<std::uint8_t> encode_udp_resp(std::optional<net::Ipv4Addr> src);
+std::optional<net::Ipv4Addr> decode_udp_resp(
+    const std::vector<std::uint8_t>& buf);
+
+std::vector<std::uint8_t> encode_ipid_req(net::Ipv4Addr a, double t);
+std::vector<std::uint8_t> encode_ipid_resp(std::optional<std::uint16_t> id);
+std::optional<std::uint16_t> decode_ipid_resp(
+    const std::vector<std::uint8_t>& buf);
+
+std::vector<std::uint8_t> encode_ts_req(net::Ipv4Addr path_dst,
+                                        net::Ipv4Addr candidate);
+std::vector<std::uint8_t> encode_ts_resp(std::optional<bool> stamped);
+std::optional<bool> decode_ts_resp(const std::vector<std::uint8_t>& buf);
+
+}  // namespace bdrmap::remote

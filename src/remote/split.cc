@@ -1,0 +1,80 @@
+#include "remote/split.h"
+
+#include <algorithm>
+
+namespace bdrmap::remote {
+
+std::vector<std::uint8_t> ProberDevice::handle(
+    const std::vector<std::uint8_t>& request) {
+  Reader r(request);
+  switch (static_cast<MsgType>(r.u8())) {
+    case MsgType::kTraceReq: {
+      net::Ipv4Addr dst = r.addr();
+      // The device runs the plain trace; stop-set state lives with the
+      // controller, which truncates the result.
+      probe::TraceResult t = services_.trace(dst, nullptr);
+      return encode_trace_resp(t);
+    }
+    case MsgType::kUdpReq:
+      return encode_udp_resp(services_.udp_probe(r.addr()));
+    case MsgType::kIpidReq: {
+      net::Ipv4Addr a = r.addr();
+      double t = r.f64();
+      return encode_ipid_resp(services_.ipid_sample(a, t));
+    }
+    case MsgType::kTsReq: {
+      net::Ipv4Addr path_dst = r.addr();
+      net::Ipv4Addr candidate = r.addr();
+      return encode_ts_resp(services_.timestamp_probe(path_dst, candidate));
+    }
+    default:
+      throw std::runtime_error("unknown request");
+  }
+}
+
+std::vector<std::uint8_t> RemoteProbeServices::roundtrip(
+    std::vector<std::uint8_t> request) {
+  stats_.messages += 2;
+  stats_.bytes_to_device += request.size();
+  stats_.peak_message_bytes =
+      std::max(stats_.peak_message_bytes, request.size());
+  std::vector<std::uint8_t> response = device_.handle(request);
+  stats_.bytes_from_device += response.size();
+  stats_.peak_message_bytes =
+      std::max(stats_.peak_message_bytes, response.size());
+  return response;
+}
+
+probe::TraceResult RemoteProbeServices::trace(net::Ipv4Addr dst,
+                                              const probe::StopFn& stop) {
+  probe::TraceResult t = decode_trace_resp(roundtrip(encode_trace_req(dst)));
+  if (!stop) return t;
+  // Controller-side doubletree: truncate at the first hop the stop set
+  // covers, as the monolithic prober would have stopped there.
+  for (std::size_t i = 0; i < t.hops.size(); ++i) {
+    if (t.hops[i].kind != probe::ReplyKind::kNone && stop(t.hops[i].addr)) {
+      t.hops.resize(i + 1);
+      t.reached_dst = false;
+      t.stopped_by_stopset = true;
+      break;
+    }
+  }
+  return t;
+}
+
+std::optional<net::Ipv4Addr> RemoteProbeServices::udp_probe(
+    net::Ipv4Addr addr) {
+  return decode_udp_resp(roundtrip(encode_udp_req(addr)));
+}
+
+std::optional<std::uint16_t> RemoteProbeServices::ipid_sample(
+    net::Ipv4Addr addr, double t) {
+  return decode_ipid_resp(roundtrip(encode_ipid_req(addr, t)));
+}
+
+std::optional<bool> RemoteProbeServices::timestamp_probe(
+    net::Ipv4Addr path_dst, net::Ipv4Addr candidate) {
+  return decode_ts_resp(roundtrip(encode_ts_req(path_dst, candidate)));
+}
+
+}  // namespace bdrmap::remote

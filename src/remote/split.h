@@ -1,0 +1,68 @@
+// Split prober/controller deployment (§5.8).
+//
+// ProberDevice is what runs on the resource-limited box: it executes one
+// measurement command at a time and holds no bdrmap state (the paper's
+// scamper used 3.5MB of RAM on BISmark devices vs ~150MB for full bdrmap).
+// RemoteProbeServices is the controller-side adapter: it implements
+// probe::ProbeServices by marshalling each command over the channel, so the
+// unmodified core::Bdrmap pipeline drives a remote device. The doubletree
+// stop set stays controller-side: the device traces, the controller
+// truncates — trading some extra device probes for near-zero device state,
+// the same trade the paper makes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "probe/alias.h"
+#include "probe/types.h"
+#include "remote/protocol.h"
+
+namespace bdrmap::remote {
+
+struct ChannelStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes_to_device = 0;
+  std::uint64_t bytes_from_device = 0;
+  std::size_t peak_message_bytes = 0;  // proxy for device buffer footprint
+};
+
+// The measurement device: wraps the actual prober and answers one encoded
+// command per call. Stateless between commands by design.
+class ProberDevice {
+ public:
+  explicit ProberDevice(probe::LocalProbeServices& services)
+      : services_(services) {}
+
+  std::vector<std::uint8_t> handle(const std::vector<std::uint8_t>& request);
+
+  std::uint64_t probes_sent() const { return services_.probes_sent(); }
+
+ private:
+  probe::LocalProbeServices& services_;
+};
+
+// Controller-side ProbeServices speaking the wire protocol.
+class RemoteProbeServices final : public probe::ProbeServices {
+ public:
+  explicit RemoteProbeServices(ProberDevice& device) : device_(device) {}
+
+  probe::TraceResult trace(net::Ipv4Addr dst,
+                           const probe::StopFn& stop) override;
+  std::optional<net::Ipv4Addr> udp_probe(net::Ipv4Addr addr) override;
+  std::optional<std::uint16_t> ipid_sample(net::Ipv4Addr addr,
+                                           double t) override;
+  std::optional<bool> timestamp_probe(net::Ipv4Addr path_dst,
+                                      net::Ipv4Addr candidate) override;
+  std::uint64_t probes_sent() const override { return device_.probes_sent(); }
+
+  const ChannelStats& channel_stats() const { return stats_; }
+
+ private:
+  std::vector<std::uint8_t> roundtrip(std::vector<std::uint8_t> request);
+
+  ProberDevice& device_;
+  ChannelStats stats_;
+};
+
+}  // namespace bdrmap::remote

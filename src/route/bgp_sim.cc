@@ -1,0 +1,191 @@
+#include "route/bgp_sim.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+namespace bdrmap::route {
+
+BgpSimulator::BgpSimulator(const topo::Internet& net) : net_(net) {
+  for (const auto& info : net.ases()) {
+    as_index_.emplace(info.id, as_ids_.size());
+    as_ids_.push_back(info.id);
+  }
+}
+
+const BgpSimulator::PerDst& BgpSimulator::table(AsId dst) const {
+  auto it = cache_.find(dst);
+  if (it != cache_.end()) return *it->second;
+
+  const auto& rels = net_.truth_relationships();
+  auto t = std::make_unique<PerDst>();
+  const std::size_t n = as_ids_.size();
+  t->cust.assign(n, kInf);
+  t->peer.assign(n, kInf);
+  t->prov.assign(n, kInf);
+
+  // 1. Customer-cone distances: BFS from dst upward along customer->provider
+  //    edges. cust[x] = hops of the p2c chain from x down to dst.
+  std::deque<AsId> queue;
+  t->cust[index(dst)] = 0;
+  queue.push_back(dst);
+  while (!queue.empty()) {
+    AsId cur = queue.front();
+    queue.pop_front();
+    std::uint16_t d = t->cust[index(cur)];
+    for (AsId provider : rels.providers(cur)) {
+      auto& slot = t->cust[index(provider)];
+      if (slot == kInf) {
+        slot = static_cast<std::uint16_t>(d + 1);
+        queue.push_back(provider);
+      }
+    }
+  }
+
+  // 2. Peer routes: one peer edge into a customer cone.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (AsId p : rels.peers(as_ids_[i])) {
+      std::uint16_t via = t->cust[index(p)];
+      if (via != kInf && via + 1 < t->peer[i]) {
+        t->peer[i] = static_cast<std::uint16_t>(via + 1);
+      }
+    }
+  }
+
+  // 3. Provider routes: propagate down provider->customer edges; a provider
+  //    exports its best route (of any class) to customers. Dijkstra with
+  //    unit weights over base values.
+  using Entry = std::pair<std::uint16_t, std::uint32_t>;  // (dist, index)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  auto base = [&](std::size_t i) {
+    return std::min(t->cust[i], t->peer[i]);
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    if (base(i) != kInf) {
+      pq.emplace(base(i), static_cast<std::uint32_t>(i));
+    }
+  }
+  while (!pq.empty()) {
+    auto [d, i] = pq.top();
+    pq.pop();
+    std::uint16_t best_i = std::min(base(i), t->prov[i]);
+    if (d > best_i) continue;  // stale entry
+    for (AsId customer : rels.customers(as_ids_[i])) {
+      std::size_t c = index(customer);
+      std::uint16_t nd = static_cast<std::uint16_t>(d + 1);
+      if (nd < t->prov[c] && nd < base(c)) {
+        t->prov[c] = nd;
+        pq.emplace(nd, static_cast<std::uint32_t>(c));
+      }
+    }
+  }
+
+  const PerDst& ref = *t;
+  cache_.emplace(dst, std::move(t));
+  return ref;
+}
+
+RouteInfo BgpSimulator::route(AsId src, AsId dst) const {
+  if (!as_index_.count(src) || !as_index_.count(dst)) return {};
+  if (src == dst) return {RouteClass::kSelf, 0};
+  const PerDst& t = table(dst);
+  std::size_t i = index(src);
+  if (t.cust[i] != kInf) return {RouteClass::kCustomer, t.cust[i]};
+  if (t.peer[i] != kInf) return {RouteClass::kPeer, t.peer[i]};
+  if (t.prov[i] != kInf) return {RouteClass::kProvider, t.prov[i]};
+  return {};
+}
+
+std::vector<std::vector<AsId>> BgpSimulator::candidate_tiers(AsId src,
+                                                             AsId dst) const {
+  std::vector<std::vector<AsId>> tiers;
+  if (!as_index_.count(src) || !as_index_.count(dst) || src == dst) {
+    return tiers;
+  }
+  const auto& rels = net_.truth_relationships();
+  const PerDst& t = table(dst);
+  std::size_t i = index(src);
+
+  if (t.cust[i] != kInf) {
+    std::vector<AsId> tier;
+    for (AsId c : rels.customers(src)) {
+      if (t.cust[index(c)] + 1 == t.cust[i]) tier.push_back(c);
+    }
+    std::sort(tier.begin(), tier.end());
+    if (!tier.empty()) tiers.push_back(std::move(tier));
+  }
+  if (t.peer[i] != kInf) {
+    std::vector<AsId> tier;
+    for (AsId p : rels.peers(src)) {
+      std::uint16_t via = t.cust[index(p)];
+      if (via != kInf && via + 1 == t.peer[i]) tier.push_back(p);
+    }
+    std::sort(tier.begin(), tier.end());
+    if (!tier.empty()) tiers.push_back(std::move(tier));
+  }
+  if (t.prov[i] != kInf || t.cust[i] != kInf || t.peer[i] != kInf) {
+    // Provider fallback tier: providers that have any route, best first.
+    std::vector<AsId> tier;
+    std::uint16_t best = kInf;
+    for (AsId y : rels.providers(src)) {
+      std::size_t yi = index(y);
+      std::uint16_t via =
+          std::min({t.cust[yi], t.peer[yi], t.prov[yi]});
+      if (via != kInf) best = std::min<std::uint16_t>(best, via);
+    }
+    for (AsId y : rels.providers(src)) {
+      std::size_t yi = index(y);
+      std::uint16_t via =
+          std::min({t.cust[yi], t.peer[yi], t.prov[yi]});
+      if (via == best && via != kInf) tier.push_back(y);
+    }
+    std::sort(tier.begin(), tier.end());
+    if (!tier.empty()) tiers.push_back(std::move(tier));
+  }
+  return tiers;
+}
+
+std::vector<AsId> BgpSimulator::as_path(AsId src, AsId dst) const {
+  std::vector<AsId> path;
+  if (!as_index_.count(src) || !as_index_.count(dst)) return path;
+  path.push_back(src);
+  if (src == dst) return path;
+  const auto& rels = net_.truth_relationships();
+  const PerDst& t = table(dst);
+
+  AsId cur = src;
+  bool downhill = false;  // after crossing a peer or p2c edge, only descend
+  for (int guard = 0; guard < 48 && cur != dst; ++guard) {
+    AsId next;
+    if (downhill) {
+      // Follow the customer chain toward dst, lowest-AS tie break.
+      std::uint16_t want = static_cast<std::uint16_t>(t.cust[index(cur)] - 1);
+      bool found = false;
+      for (AsId c : rels.customers(cur)) {
+        if (t.cust[index(c)] == want && (!found || c < next)) {
+          next = c;
+          found = true;
+        }
+      }
+      if (!found && rels.rel(cur, dst) != asdata::Relationship::kNone &&
+          want == 0) {
+        next = dst;
+        found = true;
+      }
+      if (!found) return {};
+    } else {
+      auto tiers = candidate_tiers(cur, dst);
+      if (tiers.empty()) return {};
+      next = tiers.front().front();
+      // Crossing into a peer or customer flips us to descend-only mode.
+      auto rel = rels.rel(cur, next);
+      if (rel != asdata::Relationship::kProvider) downhill = true;
+    }
+    path.push_back(next);
+    cur = next;
+  }
+  if (cur != dst) return {};
+  return path;
+}
+
+}  // namespace bdrmap::route

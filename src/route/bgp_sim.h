@@ -1,0 +1,84 @@
+// AS-level BGP route computation over the ground-truth relationship graph.
+//
+// Implements the standard Gao-Rexford model: an AS prefers routes learned
+// from customers over peers over providers (economics), uses path length
+// within a preference class, and exports customer-learned routes to
+// everyone but peer/provider-learned routes only to customers (valley-free
+// export). The router-level FIB (fib.h) consumes the per-destination
+// candidate tiers to make hot-potato egress choices, and the collector view
+// (collectors.h) extracts the deterministic best AS paths a route collector
+// would record.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "netbase/ids.h"
+#include "topo/internet.h"
+
+namespace bdrmap::route {
+
+using net::AsId;
+
+enum class RouteClass : std::uint8_t {
+  kNone,      // unreachable
+  kSelf,      // destination is the AS itself
+  kCustomer,  // learned from a customer (most preferred)
+  kPeer,      // learned from a settlement-free peer
+  kProvider,  // learned from a provider (least preferred)
+};
+
+struct RouteInfo {
+  RouteClass cls = RouteClass::kNone;
+  std::uint16_t dist = 0;  // AS hops to the destination
+};
+
+class BgpSimulator {
+ public:
+  explicit BgpSimulator(const topo::Internet& net);
+
+  // Best route class/length from `src` toward `dst` (an AS).
+  RouteInfo route(AsId src, AsId dst) const;
+
+  // Next-hop AS candidates grouped into preference tiers: tier 0 is the
+  // most preferred non-empty class (all neighbors tied at the best path
+  // length within that class), followed by the remaining classes in
+  // preference order. Routers fall back to a later tier only when
+  // per-prefix announcement filtering empties an earlier one.
+  std::vector<std::vector<AsId>> candidate_tiers(AsId src, AsId dst) const;
+
+  // The deterministic best AS path from `src` to `dst` using lowest-AS
+  // tie-breaking — what a route collector peering with `src` records.
+  // Empty when unreachable; otherwise starts with `src`, ends with `dst`.
+  std::vector<AsId> as_path(AsId src, AsId dst) const;
+
+  bool reachable(AsId src, AsId dst) const {
+    return route(src, dst).cls != RouteClass::kNone;
+  }
+
+ private:
+  static constexpr std::uint16_t kInf = 0xffff;
+
+  struct PerDst {
+    // All indexed by dense AS index. cust[x]: length of the shortest
+    // customer-chain from x down to dst (x's customer cone contains dst);
+    // peer[x]: via one peer edge then a customer chain; prov[x]: via one or
+    // more provider edges first (valley-free "up then down").
+    std::vector<std::uint16_t> cust, peer, prov;
+  };
+
+  const PerDst& table(AsId dst) const;
+  std::size_t index(AsId as) const { return as_index_.at(as); }
+
+  const topo::Internet& net_;
+  std::unordered_map<AsId, std::size_t> as_index_;
+  std::vector<AsId> as_ids_;
+  // Lazily computed per-destination tables (most workloads touch every
+  // destination exactly once, so we cache forever).
+  mutable std::unordered_map<AsId, std::unique_ptr<PerDst>> cache_;
+};
+
+}  // namespace bdrmap::route

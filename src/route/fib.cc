@@ -1,0 +1,306 @@
+#include "route/fib.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace bdrmap::route {
+
+const std::vector<Session> Fib::kNoSessions;
+
+namespace {
+
+constexpr double kInfDist = std::numeric_limits<double>::infinity();
+
+// How a destination address is delivered.
+struct Resolved {
+  bool ok = false;
+  AsId dst_as;                 // AS-level routing target
+  RouterId target;             // delivery router inside dst_as
+  RouterId final_router;       // router that ultimately owns the address
+  LinkId cross_link;           // link to cross from target to final_router
+  const topo::AnnouncedPrefix* ap = nullptr;
+  const std::vector<LinkId>* pinned = nullptr;
+};
+
+Resolved resolve(const topo::Internet& net, Ipv4Addr dst) {
+  Resolved r;
+  if (auto iface_id = net.iface_at(dst)) {
+    const auto& iface = net.iface(*iface_id);
+    const auto& link = net.link(iface.link);
+    RouterId t = iface.router;
+    AsId owner = net.router(t).owner;
+    r.ok = true;
+    r.final_router = t;
+    if (link.kind == topo::LinkKind::kInterdomain &&
+        link.addr_space_owner != owner) {
+      // Provider-assigned p2p address on the far side: packets route toward
+      // the supplier's AS, whose router on the subnet delivers across the
+      // link (this is why far-side link addresses are reachable at all).
+      for (net::IfaceId other : link.ifaces) {
+        const auto& oi = net.iface(other);
+        if (net.router(oi.router).owner == link.addr_space_owner) {
+          r.dst_as = link.addr_space_owner;
+          r.target = oi.router;
+          r.cross_link = link.id;
+          return r;
+        }
+      }
+    }
+    r.dst_as = owner;
+    r.target = t;
+    return r;
+  }
+  if (const auto* ap = net.announced_match(dst)) {
+    r.ok = true;
+    r.dst_as = ap->origin;
+    r.target = ap->host_router;
+    r.final_router = ap->host_router;
+    r.ap = ap;
+    if (!ap->only_via_links.empty()) r.pinned = &ap->only_via_links;
+    return r;
+  }
+  return r;
+}
+
+}  // namespace
+
+Fib::Fib(const topo::Internet& net, const BgpSimulator& bgp)
+    : net_(net), bgp_(bgp) {
+  for (const auto& info : net.interdomain_links()) {
+    const auto& link = net.link(info.link);
+    auto iface_of = [&](RouterId r) {
+      for (IfaceId i : link.ifaces) {
+        if (net.iface(i).router == r) return i;
+      }
+      return IfaceId{};
+    };
+    IfaceId ia = iface_of(info.router_a);
+    IfaceId ib = iface_of(info.router_b);
+    sessions_[info.as_a].push_back({info.link, info.router_a, info.router_b,
+                                    ia, ib, info.as_a, info.as_b,
+                                    info.via_ixp});
+    sessions_[info.as_b].push_back({info.link, info.router_b, info.router_a,
+                                    ib, ia, info.as_b, info.as_a,
+                                    info.via_ixp});
+  }
+}
+
+const std::vector<Session>& Fib::sessions_of(AsId as) const {
+  auto it = sessions_.find(as);
+  return it == sessions_.end() ? kNoSessions : it->second;
+}
+
+const Fib::AsRouting& Fib::routing_for(AsId as) const {
+  auto it = routing_.find(as);
+  if (it != routing_.end()) return *it->second;
+
+  auto r = std::make_unique<AsRouting>();
+  r->routers = net_.as_info(as).routers;
+  const std::size_t n = r->routers.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    r->router_index.emplace(r->routers[i].value, i);
+  }
+  r->dist.assign(n * n, kInfDist);
+  r->next_iface.assign(n * n, IfaceId{});
+  r->alt_iface.assign(n * n, IfaceId{});
+
+  // Adjacency from internal links between two routers of this AS.
+  struct Edge {
+    std::size_t to;
+    double cost;
+    IfaceId from_iface;
+    IfaceId to_iface;
+  };
+  std::vector<std::vector<Edge>> adj(n);
+  for (const auto& link : net_.links()) {
+    if (link.kind != topo::LinkKind::kInternal || link.ifaces.size() != 2) {
+      continue;
+    }
+    const auto& i0 = net_.iface(link.ifaces[0]);
+    const auto& i1 = net_.iface(link.ifaces[1]);
+    auto a = r->router_index.find(i0.router.value);
+    auto b = r->router_index.find(i1.router.value);
+    if (a == r->router_index.end() || b == r->router_index.end()) continue;
+    adj[a->second].push_back({b->second, link.igp_cost, i0.id, i1.id});
+    adj[b->second].push_back({a->second, link.igp_cost, i1.id, i0.id});
+  }
+
+  // Dijkstra from every router (intra-AS topologies are small).
+  for (std::size_t s = 0; s < n; ++s) {
+    using Entry = std::pair<double, std::size_t>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+    r->dist[s * n + s] = 0.0;
+    pq.emplace(0.0, s);
+    while (!pq.empty()) {
+      auto [d, u] = pq.top();
+      pq.pop();
+      if (d > r->dist[s * n + u]) continue;
+      for (const Edge& e : adj[u]) {
+        double nd = d + e.cost;
+        IfaceId first_hop =
+            (u == s) ? e.from_iface : r->next_iface[s * n + u];
+        if (nd < r->dist[s * n + e.to]) {
+          r->dist[s * n + e.to] = nd;
+          // First hop out of s toward e.to: inherit s's first hop toward u,
+          // unless u == s, in which case the edge itself is the first hop.
+          r->next_iface[s * n + e.to] = first_hop;
+          r->alt_iface[s * n + e.to] = IfaceId{};
+          pq.emplace(nd, e.to);
+        } else if (nd == r->dist[s * n + e.to] &&
+                   first_hop != r->next_iface[s * n + e.to] &&
+                   first_hop.valid()) {
+          // Equal-cost alternative first hop (ECMP).
+          r->alt_iface[s * n + e.to] = first_hop;
+        }
+      }
+    }
+  }
+
+  const AsRouting& ref = *r;
+  routing_.emplace(as, std::move(r));
+  return ref;
+}
+
+double Fib::igp_distance(RouterId a, RouterId b) const {
+  if (a == b) return 0.0;
+  AsId as_a = net_.router(a).owner;
+  if (as_a != net_.router(b).owner) return kInfDist;
+  const AsRouting& r = routing_for(as_a);
+  auto ia = r.router_index.find(a.value);
+  auto ib = r.router_index.find(b.value);
+  if (ia == r.router_index.end() || ib == r.router_index.end()) {
+    return kInfDist;
+  }
+  return r.dist[ia->second * r.routers.size() + ib->second];
+}
+
+std::optional<Fib::Hop> Fib::internal_step(RouterId r, RouterId target,
+                                           Ipv4Addr dst,
+                                           std::uint32_t flow_salt) const {
+  AsId as = net_.router(r).owner;
+  const AsRouting& rt = routing_for(as);
+  auto ir = rt.router_index.find(r.value);
+  auto it = rt.router_index.find(target.value);
+  if (ir == rt.router_index.end() || it == rt.router_index.end()) {
+    return std::nullopt;
+  }
+  std::size_t n = rt.routers.size();
+  IfaceId out = rt.next_iface[ir->second * n + it->second];
+  IfaceId alt = rt.alt_iface[ir->second * n + it->second];
+  if (alt.valid()) {
+    // ECMP: hash the flow (destination + salt). Salt 0 == Paris (stable
+    // per destination); per-probe salts flap between the two paths.
+    std::uint64_t h = (std::uint64_t{dst.value()} << 32) |
+                      (std::uint64_t{flow_salt} ^ r.value);
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 29;
+    if (h & 1) out = alt;
+  }
+  if (!out.valid()) return std::nullopt;  // disconnected
+  const auto& iface = net_.iface(out);
+  IfaceId in = net_.p2p_other_end(out);
+  if (!in.valid()) return std::nullopt;
+  return Hop{net_.iface(in).router, in, iface.link, false};
+}
+
+const Session* Fib::choose_egress(RouterId r, AsId as, AsId dst_as,
+                                  Ipv4Addr dst,
+                                  const std::vector<LinkId>* pinned) const {
+  const auto& sessions = sessions_of(as);
+  if (sessions.empty()) return nullptr;
+  // Flow-stable tie break for equal-cost egresses (per-destination ECMP).
+  auto flow_rank = [&](const Session& s) {
+    std::uint64_t x = (std::uint64_t{dst.value()} << 32) | s.link.value;
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 29;
+    return x;
+  };
+  auto tiers = bgp_.candidate_tiers(as, dst_as);
+  for (const auto& tier : tiers) {
+    const Session* best = nullptr;
+    double best_dist = kInfDist;
+    std::uint64_t best_rank = 0;
+    for (const Session& s : sessions) {
+      if (std::find(tier.begin(), tier.end(), s.far_as) == tier.end()) {
+        continue;
+      }
+      // Selective-announcement filter at sessions adjacent to the origin.
+      if (pinned && s.far_as == dst_as &&
+          std::find(pinned->begin(), pinned->end(), s.link) == pinned->end()) {
+        continue;
+      }
+      double d = igp_distance(r, s.near_router);
+      if (d == kInfDist) continue;
+      std::uint64_t rank = flow_rank(s);
+      if (!best || d < best_dist || (d == best_dist && rank < best_rank)) {
+        best = &s;
+        best_dist = d;
+        best_rank = rank;
+      }
+    }
+    if (best) return best;
+  }
+  return nullptr;
+}
+
+std::optional<Fib::Hop> Fib::next_hop(RouterId r, Ipv4Addr dst,
+                                      std::uint32_t flow_salt) const {
+  Resolved res = resolve(net_, dst);
+  if (!res.ok) return std::nullopt;
+  AsId x = net_.router(r).owner;
+
+  // Already inside the AS that ultimately owns the address.
+  if (res.final_router.valid() &&
+      net_.router(res.final_router).owner == x) {
+    if (r == res.final_router) return std::nullopt;  // delivered
+    return internal_step(r, res.final_router, dst, flow_salt);
+  }
+
+  if (x == res.dst_as) {
+    if (r == res.target) {
+      if (res.cross_link.valid()) {
+        // Deliver across the p2p subnet to the far-side router.
+        const auto& link = net_.link(res.cross_link);
+        for (IfaceId i : link.ifaces) {
+          const auto& iface = net_.iface(i);
+          if (iface.router == res.final_router) {
+            return Hop{iface.router, i, link.id, true};
+          }
+        }
+        return std::nullopt;
+      }
+      return std::nullopt;  // delivered (host prefix attachment point)
+    }
+    return internal_step(r, res.target, dst, flow_salt);
+  }
+
+  // Interdomain: pick an egress session by preference tier + hot potato.
+  const Session* egress = choose_egress(r, x, res.dst_as, dst, res.pinned);
+  if (!egress) return std::nullopt;
+  if (egress->near_router == r) {
+    return Hop{egress->far_router, egress->far_iface, egress->link, true};
+  }
+  return internal_step(r, egress->near_router, dst, flow_salt);
+}
+
+bool Fib::delivered_at(RouterId r, Ipv4Addr dst) const {
+  Resolved res = resolve(net_, dst);
+  if (!res.ok) return false;
+  if (net_.iface_at(dst)) return r == res.final_router;
+  return r == res.target && res.ap && res.ap->prefix.contains(dst);
+}
+
+std::optional<IfaceId> Fib::egress_iface(RouterId r, Ipv4Addr dst) const {
+  auto hop = next_hop(r, dst);
+  if (!hop) return std::nullopt;
+  const auto& link = net_.link(hop->link);
+  for (IfaceId i : link.ifaces) {
+    if (net_.iface(i).router == r) return i;
+  }
+  return std::nullopt;
+}
+
+}  // namespace bdrmap::route

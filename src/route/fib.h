@@ -1,0 +1,114 @@
+// Router-level forwarding over the synthetic Internet.
+//
+// Combines AS-level BGP decisions (bgp_sim.h) with intra-AS shortest-path
+// routing and hot-potato egress selection: when several border sessions can
+// carry traffic toward a destination, each router exits via the session
+// closest to it in IGP distance (Teixeira et al.'s hot-potato routing [42]),
+// which is what makes the Figures 14-16 phenomena appear — VPs in different
+// PoPs of the access network leave via different border routers.
+//
+// Per-prefix selective announcement (AnnouncedPrefix::only_via_links) is
+// honored at sessions adjacent to the origin AS, modelling the Akamai-style
+// policy of announcing certain prefixes only at specific interconnects.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "netbase/ids.h"
+#include "route/bgp_sim.h"
+#include "topo/internet.h"
+
+namespace bdrmap::route {
+
+using net::AsId;
+using net::IfaceId;
+using net::Ipv4Addr;
+using net::RouterId;
+using topo::LinkId;
+
+// One usable interdomain attachment: a direction over an interdomain or
+// IXP link from `near` (in near_as) to `far` (in far_as).
+struct Session {
+  LinkId link;
+  RouterId near_router;
+  RouterId far_router;
+  IfaceId near_iface;
+  IfaceId far_iface;
+  AsId near_as;
+  AsId far_as;
+  bool via_ixp = false;
+};
+
+class Fib {
+ public:
+  Fib(const topo::Internet& net, const BgpSimulator& bgp);
+
+  struct Hop {
+    RouterId router;  // the next router the packet arrives at
+    IfaceId ingress;  // the interface it arrives on
+    LinkId link;
+    bool crossed_interdomain = false;
+  };
+
+  // Where the packet at router `r` goes next on its way to `dst`.
+  // nullopt means: either `r` is the delivery point for `dst` (use
+  // `delivered_at` to distinguish) or there is no route.
+  //
+  // `flow_salt` selects among equal-cost internal paths (ECMP): real
+  // routers hash the flow tuple, so Paris traceroute (constant tuple,
+  // salt 0) sees one stable path while classic traceroute (varying probe
+  // headers) flaps between them — the [2] artifact the paper's collection
+  // avoids.
+  std::optional<Hop> next_hop(RouterId r, Ipv4Addr dst,
+                              std::uint32_t flow_salt = 0) const;
+
+  // True iff a packet for `dst` terminates at router `r`: `dst` is one of
+  // r's interface addresses, or r hosts the announced prefix covering dst.
+  bool delivered_at(RouterId r, Ipv4Addr dst) const;
+
+  // The interface router `r` would transmit a packet to `dst` from
+  // (drives the kEgressToSrc / kVirtualRouter reply-address policies).
+  std::optional<IfaceId> egress_iface(RouterId r, Ipv4Addr dst) const;
+
+  // IGP distance between two routers of the same AS (infinity if
+  // disconnected or in different ASes).
+  double igp_distance(RouterId a, RouterId b) const;
+
+  // All sessions whose near side is in `as`.
+  const std::vector<Session>& sessions_of(AsId as) const;
+
+ private:
+  struct AsRouting {
+    std::vector<RouterId> routers;                    // of this AS
+    std::unordered_map<std::uint32_t, std::size_t> router_index;
+    // dist[i*n + j], next_iface[i*n + j]: first-hop interface from router i
+    // on its shortest path to router j. alt_iface holds a second
+    // equal-cost first hop where one exists (ECMP), invalid otherwise.
+    std::vector<double> dist;
+    std::vector<IfaceId> next_iface;
+    std::vector<IfaceId> alt_iface;
+  };
+
+  const AsRouting& routing_for(AsId as) const;
+  // Chooses the egress session for traffic from `r` (in `as`) toward the
+  // destination resolved as (dst_as, pinned links if any). Ties in IGP
+  // distance (parallel links at one PoP) are broken per destination, the
+  // ECMP-style load sharing that makes every parallel interconnect carry
+  // some traffic.
+  const Session* choose_egress(RouterId r, AsId as, AsId dst_as,
+                               Ipv4Addr dst,
+                               const std::vector<LinkId>* pinned) const;
+  std::optional<Hop> internal_step(RouterId r, RouterId target, Ipv4Addr dst,
+                                   std::uint32_t flow_salt) const;
+
+  const topo::Internet& net_;
+  const BgpSimulator& bgp_;
+  std::unordered_map<AsId, std::vector<Session>> sessions_;
+  mutable std::unordered_map<AsId, std::unique_ptr<AsRouting>> routing_;
+  static const std::vector<Session> kNoSessions;
+};
+
+}  // namespace bdrmap::route

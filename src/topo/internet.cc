@@ -1,0 +1,129 @@
+#include "topo/internet.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bdrmap::topo {
+
+AsId Internet::add_as(AsKind kind, OrgId org, std::string name) {
+  // AS numbers start at 1 and grow densely; tests may rely on determinism.
+  AsId id(static_cast<std::uint32_t>(ases_.size() + 1));
+  AsInfo info;
+  info.id = id;
+  info.kind = kind;
+  info.org = org;
+  info.name = std::move(name);
+  as_index_.emplace(id, ases_.size());
+  ases_.push_back(std::move(info));
+  if (org.valid()) siblings_.assign(id, org);
+  return id;
+}
+
+std::uint32_t Internet::add_pop(Pop pop) {
+  pops_.push_back(std::move(pop));
+  return static_cast<std::uint32_t>(pops_.size() - 1);
+}
+
+RouterId Internet::add_router(AsId owner, std::uint32_t pop,
+                              RouterBehavior behavior) {
+  RouterId id(static_cast<std::uint32_t>(routers_.size()));
+  Router r;
+  r.id = id;
+  r.owner = owner;
+  r.pop = pop;
+  r.behavior = behavior;
+  routers_.push_back(std::move(r));
+  as_info_mutable(owner).routers.push_back(id);
+  return id;
+}
+
+LinkId Internet::add_link(
+    LinkKind kind, Prefix subnet, AsId addr_space_owner,
+    const std::vector<std::pair<RouterId, Ipv4Addr>>& ends, double igp_cost) {
+  LinkId id(static_cast<std::uint32_t>(links_.size()));
+  Link link;
+  link.id = id;
+  link.kind = kind;
+  link.subnet = subnet;
+  link.addr_space_owner = addr_space_owner;
+  link.igp_cost = igp_cost;
+  for (const auto& [router_id, addr] : ends) {
+    if (addr_index_.count(addr) != 0) {
+      throw std::logic_error("duplicate interface address " + addr.str());
+    }
+    IfaceId iface_id(static_cast<std::uint32_t>(ifaces_.size()));
+    ifaces_.push_back(Interface{iface_id, addr, router_id, id});
+    addr_index_.emplace(addr, iface_id);
+    routers_.at(router_id.value).ifaces.push_back(iface_id);
+    link.ifaces.push_back(iface_id);
+    if (kind != LinkKind::kInternal) {
+      routers_.at(router_id.value).is_border = true;
+    }
+  }
+  links_.push_back(std::move(link));
+  return id;
+}
+
+std::size_t Internet::add_announced(AnnouncedPrefix ap) {
+  std::size_t index = announced_.size();
+  announced_trie_.insert(ap.prefix, index);
+  truth_origins_.add(ap.prefix, ap.origin);
+  as_info_mutable(ap.origin).announced.push_back(index);
+  announced_.push_back(std::move(ap));
+  return index;
+}
+
+void Internet::record_interdomain(InterdomainLinkInfo info) {
+  interdomain_.push_back(info);
+}
+
+std::optional<IfaceId> Internet::iface_at(Ipv4Addr a) const {
+  auto it = addr_index_.find(a);
+  if (it == addr_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<RouterId> Internet::router_at(Ipv4Addr a) const {
+  auto i = iface_at(a);
+  if (!i) return std::nullopt;
+  return ifaces_.at(i->value).router;
+}
+
+const AnnouncedPrefix* Internet::announced_match(Ipv4Addr a) const {
+  const std::size_t* idx = announced_trie_.match(a);
+  return idx ? &announced_.at(*idx) : nullptr;
+}
+
+std::vector<InterdomainLinkInfo> Internet::interdomain_links_of(
+    AsId as) const {
+  std::vector<InterdomainLinkInfo> out;
+  for (const auto& info : interdomain_) {
+    if (info.as_a == as || info.as_b == as) out.push_back(info);
+  }
+  return out;
+}
+
+Ipv4Addr Internet::canonical_addr(RouterId r) const {
+  const Router& router = routers_.at(r.value);
+  Ipv4Addr best;
+  bool found = false;
+  for (IfaceId i : router.ifaces) {
+    Ipv4Addr a = ifaces_.at(i.value).addr;
+    if (!found || a < best) {
+      best = a;
+      found = true;
+    }
+  }
+  return best;  // zero address when the router has no interfaces
+}
+
+IfaceId Internet::p2p_other_end(IfaceId from_iface) const {
+  const Interface& from = ifaces_.at(from_iface.value);
+  const Link& link = links_.at(from.link.value);
+  for (IfaceId i : link.ifaces) {
+    if (i != from_iface) return i;
+  }
+  return IfaceId{};
+}
+
+}  // namespace bdrmap::topo

@@ -1,0 +1,232 @@
+// The synthetic Internet: ground-truth ASes, routers, interfaces and links.
+//
+// This structure substitutes for the real Internet the paper probes. It is
+// the *only* holder of ground truth (router ownership, true relationships,
+// true interdomain links); the routing simulator and probe engine consume it
+// to produce observable behaviour, while the inference core never touches it
+// directly. eval:: reads it to score inferences (§5.6).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "asdata/as_relationships.h"
+#include "asdata/bgp_origins.h"
+#include "asdata/dns.h"
+#include "asdata/ixp.h"
+#include "asdata/rir.h"
+#include "asdata/siblings.h"
+#include "netbase/ids.h"
+#include "netbase/ipv4.h"
+#include "netbase/prefix.h"
+#include "netbase/radix_trie.h"
+#include "topo/behavior.h"
+
+namespace bdrmap::topo {
+
+using net::AsId;
+using net::IfaceId;
+using net::Ipv4Addr;
+using net::OrgId;
+using net::Prefix;
+using net::RouterId;
+
+// Role of an AS in the synthetic topology; drives router counts, peering
+// policy and behaviour mixtures in the generator.
+enum class AsKind : std::uint8_t {
+  kTier1,        // member of the transit-free clique
+  kTransit,      // mid-tier transit provider
+  kAccess,       // access/eyeball ISP (the paper's "large access network")
+  kContent,      // CDN / content network (Akamai/Google-like)
+  kEnterprise,   // enterprise or stub customer — firewalls at the edge
+  kResearchEdu,  // R&E network (the paper's first validation network)
+  kIxpOperator,  // the IXP's own AS (originates the peering LAN, sometimes)
+};
+
+struct LinkId {
+  std::uint32_t value = kInvalid;
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+  constexpr LinkId() = default;
+  constexpr explicit LinkId(std::uint32_t v) : value(v) {}
+  constexpr bool valid() const { return value != kInvalid; }
+  friend constexpr auto operator<=>(LinkId, LinkId) = default;
+};
+
+enum class LinkKind : std::uint8_t {
+  kInternal,     // intra-AS backbone/PoP link
+  kInterdomain,  // private point-to-point interconnection (/30 or /31)
+  kIxpLan,       // shared IXP peering fabric
+};
+
+struct Interface {
+  IfaceId id;
+  Ipv4Addr addr;
+  RouterId router;
+  LinkId link;
+};
+
+struct Link {
+  LinkId id;
+  LinkKind kind = LinkKind::kInternal;
+  Prefix subnet;                  // /30 or /31 for p2p, larger for IXP LANs
+  std::vector<IfaceId> ifaces;    // exactly 2 for p2p links
+  // For interdomain links: the AS whose address space numbers the subnet
+  // (usually the provider in a c2p relationship, §4 challenge 1). For IXP
+  // LANs this is the IXP operator AS. Unused for internal links.
+  AsId addr_space_owner;
+  double igp_cost = 1.0;          // metric for internal shortest paths
+};
+
+// A point of presence: a named location. Longitude matters for Figures 15
+// and 16 (geographic diversity of VPs vs. observed interdomain links).
+struct Pop {
+  std::string city;
+  double longitude = 0.0;
+  double latitude = 0.0;
+};
+
+struct Router {
+  RouterId id;
+  AsId owner;                     // ground truth
+  std::uint32_t pop = 0;          // index into Internet::pops
+  std::vector<IfaceId> ifaces;
+  RouterBehavior behavior;
+  // Convenience ground-truth flag: has at least one interdomain/IXP iface.
+  bool is_border = false;
+};
+
+// An announced prefix with its attachment point and announcement policy.
+struct AnnouncedPrefix {
+  Prefix prefix;
+  AsId origin;
+  RouterId host_router;  // where destination addresses "live"
+  // Selective announcement (Akamai-style, §6): when non-empty, the origin
+  // announces this prefix only over the listed interdomain links. Empty
+  // means announced everywhere (Level3-style / hot potato).
+  std::vector<LinkId> only_via_links;
+  // Probability a probe to a host in this prefix gets an echo reply back
+  // from the destination itself (end hosts are often firewalled).
+  double dest_responsiveness = 0.3;
+};
+
+struct AsInfo {
+  AsId id;
+  AsKind kind = AsKind::kEnterprise;
+  OrgId org;  // owning organization (drives sibling grouping)
+  std::string name;
+  std::vector<RouterId> routers;
+  std::vector<std::uint32_t> pops;  // indices into Internet::pops
+  // Prefixes this AS announces (indices into Internet::announced).
+  std::vector<std::size_t> announced;
+  // Infrastructure blocks used on interfaces but NOT announced in BGP
+  // (§5.4.3 "unrouted addresses"). Registered in RIR delegations only.
+  std::vector<Prefix> unrouted_infra;
+};
+
+// Ground-truth record of one interdomain interconnection.
+struct InterdomainLinkInfo {
+  LinkId link;
+  AsId as_a;
+  AsId as_b;
+  RouterId router_a;
+  RouterId router_b;
+  bool via_ixp = false;
+};
+
+class Internet {
+ public:
+  // ---- construction (used by the generator and by tests) ----
+  AsId add_as(AsKind kind, OrgId org, std::string name);
+  std::uint32_t add_pop(Pop pop);
+  RouterId add_router(AsId owner, std::uint32_t pop, RouterBehavior behavior);
+  // Creates a link with one interface per (router, addr) pair given.
+  LinkId add_link(LinkKind kind, Prefix subnet, AsId addr_space_owner,
+                  const std::vector<std::pair<RouterId, Ipv4Addr>>& ends,
+                  double igp_cost = 1.0);
+  std::size_t add_announced(AnnouncedPrefix ap);
+  void record_interdomain(InterdomainLinkInfo info);
+
+  // ---- queries ----
+  const std::vector<AsInfo>& ases() const { return ases_; }
+  const std::vector<Router>& routers() const { return routers_; }
+  const std::vector<Interface>& ifaces() const { return ifaces_; }
+  const std::vector<Link>& links() const { return links_; }
+  const std::vector<Pop>& pops() const { return pops_; }
+  const std::vector<AnnouncedPrefix>& announced() const { return announced_; }
+  const std::vector<InterdomainLinkInfo>& interdomain_links() const {
+    return interdomain_;
+  }
+
+  const AsInfo& as_info(AsId as) const { return ases_.at(index_of(as)); }
+  AsInfo& as_info_mutable(AsId as) { return ases_.at(index_of(as)); }
+  bool has_as(AsId as) const { return as_index_.count(as) > 0; }
+  const Router& router(RouterId r) const { return routers_.at(r.value); }
+  Router& router_mutable(RouterId r) { return routers_.at(r.value); }
+  const Interface& iface(IfaceId i) const { return ifaces_.at(i.value); }
+  const Link& link(LinkId l) const { return links_.at(l.value); }
+
+  // Interface carrying address `a`, if any. Generator guarantees interface
+  // addresses are unique Internet-wide.
+  std::optional<IfaceId> iface_at(Ipv4Addr a) const;
+  // Router owning address `a`, if any.
+  std::optional<RouterId> router_at(Ipv4Addr a) const;
+
+  // The announced prefix covering `a` (longest match), if any.
+  const AnnouncedPrefix* announced_match(Ipv4Addr a) const;
+
+  // Ground-truth relationship store (generator-populated).
+  asdata::RelationshipStore& truth_relationships() { return truth_rels_; }
+  const asdata::RelationshipStore& truth_relationships() const {
+    return truth_rels_;
+  }
+
+  // Ground-truth origin table (what "the BGP system" would see if every
+  // announcement were visible; collectors derive partial views from this).
+  asdata::OriginTable& truth_origins() { return truth_origins_; }
+  const asdata::OriginTable& truth_origins() const { return truth_origins_; }
+
+  // Public data products the generator also emits (inputs to bdrmap, §5.2).
+  asdata::IxpDirectory& ixp_directory() { return ixps_; }
+  const asdata::IxpDirectory& ixp_directory() const { return ixps_; }
+  asdata::RirDelegations& rir() { return rir_; }
+  const asdata::RirDelegations& rir() const { return rir_; }
+  asdata::SiblingTable& sibling_table() { return siblings_; }
+  const asdata::SiblingTable& sibling_table() const { return siblings_; }
+  asdata::ReverseDns& reverse_dns() { return rdns_; }
+  const asdata::ReverseDns& reverse_dns() const { return rdns_; }
+
+  // All interdomain/IXP link infos touching `as`.
+  std::vector<InterdomainLinkInfo> interdomain_links_of(AsId as) const;
+
+  // Canonical (lowest) interface address of a router — Mercator reply source.
+  Ipv4Addr canonical_addr(RouterId r) const;
+
+  // The other end of a point-to-point link from `from_iface`.
+  IfaceId p2p_other_end(IfaceId from_iface) const;
+
+ private:
+  std::size_t index_of(AsId as) const { return as_index_.at(as); }
+
+  std::vector<AsInfo> ases_;
+  std::unordered_map<AsId, std::size_t> as_index_;
+  std::vector<Router> routers_;
+  std::vector<Interface> ifaces_;
+  std::vector<Link> links_;
+  std::vector<Pop> pops_;
+  std::vector<AnnouncedPrefix> announced_;
+  net::RadixTrie<std::size_t> announced_trie_;  // prefix -> index
+  std::vector<InterdomainLinkInfo> interdomain_;
+  std::unordered_map<Ipv4Addr, IfaceId> addr_index_;
+
+  asdata::RelationshipStore truth_rels_;
+  asdata::OriginTable truth_origins_;
+  asdata::IxpDirectory ixps_;
+  asdata::RirDelegations rir_;
+  asdata::SiblingTable siblings_;
+  asdata::ReverseDns rdns_;
+};
+
+}  // namespace bdrmap::topo

@@ -1,0 +1,17 @@
+// Graphviz export of the inferred border map.
+//
+// Renders the VP network's border as a dot graph: VP-side routers in one
+// cluster, each neighbor AS grouped and colored by the heuristic that
+// identified it. Feed to `dot -Tsvg` for the visual the paper's Figure 3
+// gestures at.
+#pragma once
+
+#include <string>
+
+#include "core/bdrmap.h"
+
+namespace bdrmap::warts {
+
+std::string result_to_dot(const core::BdrmapResult& result);
+
+}  // namespace bdrmap::warts

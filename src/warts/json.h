@@ -1,0 +1,45 @@
+// Minimal JSON emission for bdrmap results.
+//
+// The deployed system feeds downstream analysis (the congestion project's
+// probers, dashboards); a machine-readable export of the inferred border
+// map is part of being adoptable. This is a small, dependency-free writer
+// — emission only, correct string escaping, deterministic key order.
+#pragma once
+
+#include <string>
+
+#include "core/bdrmap.h"
+
+namespace bdrmap::warts {
+
+// Streaming JSON writer with minimal state tracking.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(std::string_view name);
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(double number);
+  JsonWriter& value(bool boolean);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void separator();
+  void escape(std::string_view text);
+
+  std::string out_;
+  // Tracks whether a value has been emitted at each nesting level.
+  std::string stack_;  // '{' or '[' per level
+  std::string pending_;
+  bool need_comma_ = false;
+};
+
+// Serializes the inferred border map: per neighbor AS, its links with the
+// heuristic used and the observed router addresses, plus run statistics.
+std::string result_to_json(const core::BdrmapResult& result);
+
+}  // namespace bdrmap::warts

@@ -1,0 +1,86 @@
+// Tests for the §5.2 public datasets: siblings, RIR delegations, IXP
+// directory.
+#include <gtest/gtest.h>
+
+#include "asdata/ixp.h"
+#include "asdata/rir.h"
+#include "asdata/siblings.h"
+
+namespace bdrmap::asdata {
+namespace {
+
+using net::AsId;
+using net::Ipv4Addr;
+using net::OrgId;
+using net::Prefix;
+
+Prefix P(const char* s) { return *Prefix::parse(s); }
+Ipv4Addr A(const char* s) { return *Ipv4Addr::parse(s); }
+
+TEST(SiblingTable, BasicMembership) {
+  SiblingTable t;
+  t.assign(AsId(1), OrgId(10));
+  t.assign(AsId(2), OrgId(10));
+  t.assign(AsId(3), OrgId(11));
+  EXPECT_TRUE(t.are_siblings(AsId(1), AsId(2)));
+  EXPECT_FALSE(t.are_siblings(AsId(1), AsId(3)));
+  EXPECT_TRUE(t.are_siblings(AsId(1), AsId(1)));
+  EXPECT_EQ(t.members(OrgId(10)).size(), 2u);
+  EXPECT_EQ(t.siblings_of(AsId(3)).size(), 1u);
+}
+
+TEST(SiblingTable, UnknownAsIsOwnSibling) {
+  SiblingTable t;
+  EXPECT_TRUE(t.are_siblings(AsId(9), AsId(9)));
+  EXPECT_FALSE(t.are_siblings(AsId(9), AsId(8)));
+  auto sibs = t.siblings_of(AsId(9));
+  ASSERT_EQ(sibs.size(), 1u);
+  EXPECT_EQ(sibs[0], AsId(9));
+}
+
+TEST(SiblingTable, ReassignmentMovesOrg) {
+  SiblingTable t;
+  t.assign(AsId(1), OrgId(10));
+  t.assign(AsId(2), OrgId(10));
+  t.assign(AsId(1), OrgId(11));  // merger: AS1 changes hands
+  EXPECT_FALSE(t.are_siblings(AsId(1), AsId(2)));
+  EXPECT_EQ(t.members(OrgId(10)).size(), 1u);
+  EXPECT_EQ(t.org_of(AsId(1)), OrgId(11));
+}
+
+TEST(RirDelegations, LongestMatchAndSameOrg) {
+  RirDelegations rir;
+  rir.add({P("10.0.0.0/8"), OrgId(1)});
+  rir.add({P("10.1.0.0/16"), OrgId(2)});
+  auto d = rir.lookup(A("10.1.2.3"));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->org, OrgId(2));
+  EXPECT_EQ(d->block, P("10.1.0.0/16"));
+  EXPECT_TRUE(rir.same_org(A("10.2.0.1"), A("10.3.0.1")));
+  EXPECT_FALSE(rir.same_org(A("10.1.0.1"), A("10.2.0.1")));
+  EXPECT_FALSE(rir.lookup(A("192.0.2.1")).has_value());
+}
+
+TEST(IxpDirectory, LanMembershipAndLookup) {
+  IxpDirectory d;
+  std::size_t x = d.add_ixp({"TEST-IX", P("198.32.1.0/24"), AsId(100)});
+  d.add_membership({x, AsId(7), A("198.32.1.7")});
+  EXPECT_TRUE(d.is_ixp_address(A("198.32.1.99")));
+  EXPECT_FALSE(d.is_ixp_address(A("198.32.2.1")));
+  ASSERT_TRUE(d.ixp_of(A("198.32.1.1")).has_value());
+  EXPECT_EQ(*d.ixp_of(A("198.32.1.1")), x);
+  ASSERT_TRUE(d.member_at(A("198.32.1.7")).has_value());
+  EXPECT_EQ(*d.member_at(A("198.32.1.7")), AsId(7));
+  EXPECT_FALSE(d.member_at(A("198.32.1.8")).has_value());
+}
+
+TEST(IxpDirectory, MultipleIxps) {
+  IxpDirectory d;
+  d.add_ixp({"A", P("198.32.1.0/24"), AsId(100)});
+  d.add_ixp({"B", P("198.32.2.0/24"), AsId{}});  // LAN not originated
+  EXPECT_EQ(d.ixps().size(), 2u);
+  EXPECT_EQ(*d.ixp_of(A("198.32.2.5")), 1u);
+}
+
+}  // namespace
+}  // namespace bdrmap::asdata

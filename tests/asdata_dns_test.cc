@@ -1,0 +1,71 @@
+#include "asdata/dns.h"
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace bdrmap::asdata {
+namespace {
+
+using test::ip;
+
+TEST(ReverseDns, StoreAndLookup) {
+  ReverseDns dns;
+  dns.add(ip("10.0.0.1"), "xe-1.sea.as10.acme.net");
+  ASSERT_TRUE(dns.lookup(ip("10.0.0.1")).has_value());
+  EXPECT_EQ(*dns.lookup(ip("10.0.0.1")), "xe-1.sea.as10.acme.net");
+  EXPECT_FALSE(dns.lookup(ip("10.0.0.2")).has_value());
+  dns.add(ip("10.0.0.1"), "renamed.example.net");
+  EXPECT_EQ(*dns.lookup(ip("10.0.0.1")), "renamed.example.net");
+  EXPECT_EQ(dns.size(), 1u);
+}
+
+TEST(ReverseDns, CityCodes) {
+  EXPECT_EQ(city_code_of("Seattle"), "sea");
+  EXPECT_EQ(city_code_of("NewYork"), "new");
+  EXPECT_EQ(city_code_of("LA"), "la");
+}
+
+TEST(ReverseDns, MakeHostname) {
+  EXPECT_EQ(make_hostname("xe", 3, "sea", net::AsId(49), "acme"),
+            "xe-3.sea.as49.acme.net");
+}
+
+TEST(ReverseDns, ParseFullConvention) {
+  auto hints = parse_hostname("xe-3.sea.as49.acme.net");
+  ASSERT_TRUE(hints.city_code.has_value());
+  EXPECT_EQ(*hints.city_code, "sea");
+  ASSERT_TRUE(hints.as_hint.has_value());
+  EXPECT_EQ(*hints.as_hint, net::AsId(49));
+  ASSERT_TRUE(hints.org_label.has_value());
+  EXPECT_EQ(*hints.org_label, "acme");
+}
+
+TEST(ReverseDns, ParseOrgOnlyName) {
+  auto hints = parse_hostname("ae-0.nyc.bigtelecom.net");
+  EXPECT_TRUE(hints.city_code.has_value());
+  EXPECT_FALSE(hints.as_hint.has_value());
+  ASSERT_TRUE(hints.org_label.has_value());
+  EXPECT_EQ(*hints.org_label, "bigtelecom");
+}
+
+TEST(ReverseDns, ParseUninformativeNames) {
+  EXPECT_FALSE(parse_hostname("host").city_code.has_value());
+  auto hints = parse_hostname("dsl-pool-1234.example.com");
+  EXPECT_FALSE(hints.as_hint.has_value());
+  // "as" label without digits is not an AS hint.
+  EXPECT_FALSE(parse_hostname("r1.asx.example.net").as_hint.has_value());
+  // Round-trip: a parsed ASN of zero never appears.
+  EXPECT_FALSE(parse_hostname("r1.as0x.example.net").as_hint.has_value());
+}
+
+TEST(ReverseDns, RoundTripThroughParser) {
+  auto name = make_hostname("ix", 7, "chi", net::AsId(3356), "level");
+  auto hints = parse_hostname(name);
+  EXPECT_EQ(*hints.city_code, "chi");
+  EXPECT_EQ(*hints.as_hint, net::AsId(3356));
+  EXPECT_EQ(*hints.org_label, "level");
+}
+
+}  // namespace
+}  // namespace bdrmap::asdata

@@ -1,0 +1,74 @@
+#include "asdata/bgp_origins.h"
+
+#include <gtest/gtest.h>
+
+namespace bdrmap::asdata {
+namespace {
+
+using net::AsId;
+using net::Ipv4Addr;
+using net::Prefix;
+
+Prefix P(const char* s) { return *Prefix::parse(s); }
+Ipv4Addr A(const char* s) { return *Ipv4Addr::parse(s); }
+
+TEST(OriginTable, LongestMatchWins) {
+  OriginTable t;
+  t.add(P("10.0.0.0/8"), AsId(1));
+  t.add(P("10.1.0.0/16"), AsId(2));
+  EXPECT_EQ(t.origin(A("10.1.2.3")), AsId(2));
+  EXPECT_EQ(t.origin(A("10.2.0.1")), AsId(1));
+  EXPECT_EQ(t.origin(A("11.0.0.1")), net::kNoAs);
+}
+
+TEST(OriginTable, MoasKeepsAllOrigins) {
+  OriginTable t;
+  t.add(P("10.0.0.0/16"), AsId(7));
+  t.add(P("10.0.0.0/16"), AsId(3));
+  t.add(P("10.0.0.0/16"), AsId(3));  // duplicate ignored
+  const auto* set = t.origins(A("10.0.1.1"));
+  ASSERT_NE(set, nullptr);
+  ASSERT_EQ(set->size(), 2u);
+  EXPECT_EQ((*set)[0], AsId(3));  // sorted: lowest first
+  EXPECT_EQ(t.origin(A("10.0.1.1")), AsId(3));
+}
+
+TEST(OriginTable, MatchedPrefixReported) {
+  OriginTable t;
+  t.add(P("10.0.0.0/8"), AsId(1));
+  Prefix matched;
+  ASSERT_NE(t.origins(A("10.200.0.1"), &matched), nullptr);
+  EXPECT_EQ(matched, P("10.0.0.0/8"));
+}
+
+TEST(OriginTable, PrefixesOfAs) {
+  OriginTable t;
+  t.add(P("10.0.0.0/16"), AsId(1));
+  t.add(P("10.1.0.0/16"), AsId(1));
+  t.add(P("10.2.0.0/16"), AsId(2));
+  auto prefixes = t.prefixes_of(AsId(1));
+  ASSERT_EQ(prefixes.size(), 2u);
+  EXPECT_EQ(prefixes[0], P("10.0.0.0/16"));
+  EXPECT_TRUE(t.prefixes_of(AsId(9)).empty());
+}
+
+TEST(OriginTable, AllPrefixesSortedWithOrigins) {
+  OriginTable t;
+  t.add(P("11.0.0.0/8"), AsId(2));
+  t.add(P("10.0.0.0/8"), AsId(1));
+  auto all = t.all_prefixes();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].first, P("10.0.0.0/8"));
+  EXPECT_EQ(all[0].second.front(), AsId(1));
+  EXPECT_EQ(t.prefix_count(), 2u);
+}
+
+TEST(OriginTable, IsRouted) {
+  OriginTable t;
+  t.add(P("10.0.0.0/8"), AsId(1));
+  EXPECT_TRUE(t.is_routed(A("10.0.0.1")));
+  EXPECT_FALSE(t.is_routed(A("192.0.2.1")));
+}
+
+}  // namespace
+}  // namespace bdrmap::asdata

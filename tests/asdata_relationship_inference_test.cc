@@ -1,0 +1,103 @@
+#include "asdata/relationship_inference.h"
+
+#include <gtest/gtest.h>
+
+namespace bdrmap::asdata {
+namespace {
+
+using net::AsId;
+
+// A realistic-shaped path set: 1, 2 form the clique (high transit degree,
+// appearing mid-path in cross-traffic); 3, 4 are transits under them; stubs
+// 20-29 under 1, 30-39 under 2, 5-9 under 3, 10-14 under 4; 3-4 peer.
+class InferenceFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    config_.clique_seed_size = 2;
+    // Collector at transit 3: climbs to 1, descends everywhere.
+    for (std::uint32_t s = 20; s <= 29; ++s) add({3, 1, s});
+    for (std::uint32_t s = 30; s <= 39; ++s) add({3, 1, 2, s});
+    // Collector at transit 4: climbs to 2.
+    for (std::uint32_t s = 30; s <= 39; ++s) add({4, 2, s});
+    for (std::uint32_t s = 20; s <= 29; ++s) add({4, 2, 1, s});
+    // Stubs of 3 and 4 via the hierarchy.
+    for (std::uint32_t s = 5; s <= 9; ++s) {
+      add({4, 2, 1, 3, s});
+      add({3, s});
+    }
+    for (std::uint32_t s = 10; s <= 14; ++s) {
+      add({3, 1, 2, 4, s});
+      add({4, s});
+    }
+    // The 3-4 peer link, seen from inside 3's cone.
+    for (std::uint32_t s = 10; s <= 14; ++s) add({5, 3, 4, s});
+    // Bulk stubs directly under the clique give 1 and 2 the transit-degree
+    // dominance real Tier-1s have.
+    for (std::uint32_t s = 40; s <= 69; ++s) {
+      add({3, 1, s});
+      add({4, 2, 1, s});
+    }
+    for (std::uint32_t s = 70; s <= 99; ++s) {
+      add({4, 2, s});
+      add({3, 1, 2, s});
+    }
+  }
+
+  void add(std::initializer_list<std::uint32_t> path) {
+    std::vector<AsId> p;
+    for (auto v : path) p.push_back(AsId(v));
+    paths_.push_back(std::move(p));
+  }
+
+  RelationshipStore infer() {
+    RelationshipInferrer inf(config_);
+    for (const auto& p : paths_) inf.add_path(p);
+    return inf.infer();
+  }
+
+  RelationshipInferenceConfig config_;
+  std::vector<std::vector<AsId>> paths_;
+};
+
+TEST_F(InferenceFixture, InfersCliqueAsPeers) {
+  auto rels = infer();
+  EXPECT_EQ(rels.rel(AsId(1), AsId(2)), Relationship::kPeer);
+}
+
+TEST_F(InferenceFixture, InfersStubsAsCustomers) {
+  auto rels = infer();
+  EXPECT_EQ(rels.rel(AsId(1), AsId(20)), Relationship::kCustomer);
+  EXPECT_EQ(rels.rel(AsId(20), AsId(1)), Relationship::kProvider);
+  EXPECT_EQ(rels.rel(AsId(2), AsId(35)), Relationship::kCustomer);
+  EXPECT_EQ(rels.rel(AsId(3), AsId(5)), Relationship::kCustomer);
+}
+
+TEST_F(InferenceFixture, InfersTransitUnderClique) {
+  auto rels = infer();
+  EXPECT_EQ(rels.rel(AsId(3), AsId(1)), Relationship::kProvider);
+  EXPECT_EQ(rels.rel(AsId(4), AsId(2)), Relationship::kProvider);
+}
+
+TEST_F(InferenceFixture, SimilarSizeTransitsPeer) {
+  auto rels = infer();
+  EXPECT_EQ(rels.rel(AsId(3), AsId(4)), Relationship::kPeer);
+}
+
+TEST(RelationshipInferrer, IgnoresLoopsAndShortPaths) {
+  RelationshipInferrer inf;
+  inf.add_path({AsId(1)});
+  inf.add_path({AsId(1), AsId(2), AsId(1)});
+  EXPECT_EQ(inf.path_count(), 0u);
+  inf.add_path({AsId(1), AsId(2)});
+  EXPECT_EQ(inf.path_count(), 1u);
+}
+
+TEST(RelationshipInferrer, LinksNotInPathsAreAbsent) {
+  RelationshipInferrer inf;
+  inf.add_path({AsId(1), AsId(2), AsId(3)});
+  auto rels = inf.infer();
+  EXPECT_EQ(rels.rel(AsId(1), AsId(3)), Relationship::kNone);
+}
+
+}  // namespace
+}  // namespace bdrmap::asdata

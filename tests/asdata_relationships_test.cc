@@ -1,0 +1,86 @@
+#include "asdata/as_relationships.h"
+
+#include <gtest/gtest.h>
+
+namespace bdrmap::asdata {
+namespace {
+
+using net::AsId;
+
+TEST(RelationshipStore, C2pIsDirectional) {
+  RelationshipStore store;
+  store.add_c2p(AsId(2), AsId(1));  // 2 is customer of 1
+  EXPECT_EQ(store.rel(AsId(1), AsId(2)), Relationship::kCustomer);
+  EXPECT_EQ(store.rel(AsId(2), AsId(1)), Relationship::kProvider);
+  EXPECT_EQ(store.rel(AsId(1), AsId(3)), Relationship::kNone);
+}
+
+TEST(RelationshipStore, P2pIsSymmetric) {
+  RelationshipStore store;
+  store.add_p2p(AsId(1), AsId(2));
+  EXPECT_EQ(store.rel(AsId(1), AsId(2)), Relationship::kPeer);
+  EXPECT_EQ(store.rel(AsId(2), AsId(1)), Relationship::kPeer);
+}
+
+TEST(RelationshipStore, DuplicateEdgeKeepsFirstLabel) {
+  RelationshipStore store;
+  store.add_c2p(AsId(2), AsId(1));
+  store.add_p2p(AsId(1), AsId(2));  // ignored: edge already labeled
+  EXPECT_EQ(store.rel(AsId(1), AsId(2)), Relationship::kCustomer);
+  EXPECT_EQ(store.customers(AsId(1)).size(), 1u);
+  EXPECT_EQ(store.peers(AsId(1)).size(), 0u);
+}
+
+TEST(RelationshipStore, AdjacencyLists) {
+  RelationshipStore store;
+  store.add_c2p(AsId(2), AsId(1));
+  store.add_c2p(AsId(3), AsId(1));
+  store.add_p2p(AsId(1), AsId(4));
+  EXPECT_EQ(store.customers(AsId(1)).size(), 2u);
+  EXPECT_EQ(store.peers(AsId(1)).size(), 1u);
+  EXPECT_EQ(store.providers(AsId(2)).size(), 1u);
+  EXPECT_EQ(store.neighbors(AsId(1)).size(), 3u);
+}
+
+TEST(RelationshipStore, Invert) {
+  EXPECT_EQ(invert(Relationship::kCustomer), Relationship::kProvider);
+  EXPECT_EQ(invert(Relationship::kProvider), Relationship::kCustomer);
+  EXPECT_EQ(invert(Relationship::kPeer), Relationship::kPeer);
+  EXPECT_EQ(invert(Relationship::kNone), Relationship::kNone);
+}
+
+TEST(RelationshipStore, CustomerConeIsTransitive) {
+  RelationshipStore store;
+  // 1 <- 2 <- 3; 1 <- 4; 5 peers with 1 (not in cone).
+  store.add_c2p(AsId(2), AsId(1));
+  store.add_c2p(AsId(3), AsId(2));
+  store.add_c2p(AsId(4), AsId(1));
+  store.add_p2p(AsId(1), AsId(5));
+  auto cone = store.customer_cone(AsId(1));
+  EXPECT_EQ(cone.size(), 4u);
+  EXPECT_TRUE(cone.count(AsId(1)));
+  EXPECT_TRUE(cone.count(AsId(3)));
+  EXPECT_FALSE(cone.count(AsId(5)));
+}
+
+TEST(RelationshipStore, ConeHandlesCycles) {
+  RelationshipStore store;
+  // Pathological mutual transit must not loop forever.
+  store.add_c2p(AsId(2), AsId(1));
+  store.add_c2p(AsId(1), AsId(2));
+  auto cone = store.customer_cone(AsId(1));
+  EXPECT_EQ(cone.size(), 2u);
+}
+
+TEST(RelationshipStore, AllAses) {
+  RelationshipStore store;
+  store.add_c2p(AsId(5), AsId(3));
+  store.add_p2p(AsId(3), AsId(9));
+  auto all = store.all_ases();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0], AsId(3));
+  EXPECT_EQ(all[2], AsId(9));
+}
+
+}  // namespace
+}  // namespace bdrmap::asdata

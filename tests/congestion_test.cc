@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "congestion/tslp.h"
+#include "eval/scenario.h"
+
+namespace bdrmap::congestion {
+namespace {
+
+class CongestionFixture : public ::testing::Test {
+ protected:
+  CongestionFixture() : scenario_(eval::small_access_config(7)) {
+    vp_as_ = scenario_.first_of(topo::AsKind::kAccess);
+    vp_ = scenario_.vps_in(vp_as_).front();
+  }
+
+  eval::Scenario scenario_;
+  net::AsId vp_as_;
+  topo::Vp vp_;
+};
+
+TEST_F(CongestionFixture, QueueDelayIsDiurnal) {
+  CongestionConfig config;
+  config.seed = 5;
+  config.congested_fraction = 1.0;  // every link congested
+  CongestionModel model(scenario_.net(), scenario_.fib(), config);
+  auto link = scenario_.net().interdomain_links().front().link;
+  EXPECT_TRUE(model.link_congested(link));
+  EXPECT_DOUBLE_EQ(model.queue_delay_ms(link, config.peak_hour),
+                   config.max_queue_ms);
+  EXPECT_DOUBLE_EQ(model.queue_delay_ms(link, 6.0), 0.0);  // off-peak
+  // Shoulder: between zero and max.
+  double shoulder = model.queue_delay_ms(link, config.peak_hour + 2.0);
+  EXPECT_GT(shoulder, 0.0);
+  EXPECT_LT(shoulder, config.max_queue_ms);
+}
+
+TEST_F(CongestionFixture, UncongestedLinksAddNoQueue) {
+  CongestionConfig config;
+  config.congested_fraction = 0.0;
+  CongestionModel model(scenario_.net(), scenario_.fib(), config);
+  EXPECT_TRUE(model.congested_links().empty());
+  auto link = scenario_.net().interdomain_links().front().link;
+  EXPECT_DOUBLE_EQ(model.queue_delay_ms(link, config.peak_hour), 0.0);
+}
+
+TEST_F(CongestionFixture, RttGrowsAcrossCongestedLink) {
+  CongestionConfig config;
+  config.congested_fraction = 1.0;
+  config.noise_ms = 0.0;
+  CongestionModel model(scenario_.net(), scenario_.fib(), config);
+  // The far side of the VP's first interdomain link.
+  const auto& sessions = scenario_.fib().sessions_of(vp_as_);
+  ASSERT_FALSE(sessions.empty());
+  net::Ipv4Addr far = scenario_.net().iface(sessions.front().far_iface).addr;
+  auto off_peak = model.rtt_ms(vp_, far, 6.0);
+  auto peak = model.rtt_ms(vp_, far, config.peak_hour);
+  ASSERT_TRUE(off_peak && peak);
+  EXPECT_GT(*peak, *off_peak + config.max_queue_ms * 1.5);  // both directions
+}
+
+TEST_F(CongestionFixture, MakeTargetsCoversBothSidedLinks) {
+  auto result = scenario_.run_bdrmap(vp_);
+  auto targets = make_targets(result, scenario_.net());
+  ASSERT_GT(targets.size(), 10u);
+  std::size_t with_truth = 0;
+  for (const auto& t : targets) {
+    EXPECT_FALSE(t.near_addr.is_zero());
+    EXPECT_FALSE(t.far_addr.is_zero());
+    with_truth += t.truth_link.valid();
+  }
+  EXPECT_GT(with_truth * 2, targets.size());
+}
+
+TEST_F(CongestionFixture, DetectorFindsCongestedLinksWithGoodScores) {
+  auto result = scenario_.run_bdrmap(vp_);
+  auto targets = make_targets(result, scenario_.net());
+  CongestionConfig config;
+  config.seed = 13;
+  config.congested_fraction = 0.3;
+  CongestionModel model(scenario_.net(), scenario_.fib(), config);
+  auto series = run_tslp(targets, model, vp_);
+  auto score = score_tslp(series, model);
+  ASSERT_GT(score.targets, 10u);
+  ASSERT_GT(score.truth_congested, 0u);
+  // Not perfect by design: a far address supplied by the neighbor can be
+  // reached over a parallel interconnect, shifting the blame (a real TSLP
+  // artifact [24]).
+  EXPECT_GT(score.precision(), 0.7);
+  EXPECT_GT(score.recall(), 0.8);
+}
+
+TEST_F(CongestionFixture, NothingDetectedOnQuietNetwork) {
+  auto result = scenario_.run_bdrmap(vp_);
+  auto targets = make_targets(result, scenario_.net());
+  CongestionConfig config;
+  config.congested_fraction = 0.0;
+  CongestionModel model(scenario_.net(), scenario_.fib(), config);
+  auto series = run_tslp(targets, model, vp_);
+  auto score = score_tslp(series, model);
+  EXPECT_EQ(score.detected, 0u);
+}
+
+}  // namespace
+}  // namespace bdrmap::congestion

@@ -1,0 +1,75 @@
+#include "core/baseline.h"
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace bdrmap::core {
+namespace {
+
+using net::AsId;
+using test::ip;
+using test::make_trace;
+using test::pfx;
+
+class BaselineFixture : public ::testing::Test {
+ protected:
+  BaselineFixture() {
+    origins_.add(pfx("10.0.0.0/8"), AsId(1));
+    origins_.add(pfx("20.0.0.0/8"), AsId(2));
+    origins_.add(pfx("30.0.0.0/8"), AsId(3));
+  }
+  asdata::OriginTable origins_;
+};
+
+TEST_F(BaselineFixture, OwnersAreLongestPrefixOrigins) {
+  auto result = naive_ip_as(
+      {make_trace(AsId(2), "20.0.9.9", {{"10.0.0.1"}, {"20.0.0.1"}})},
+      origins_, {AsId(1)});
+  EXPECT_EQ(result.owners.at(ip("10.0.0.1")), AsId(1));
+  EXPECT_EQ(result.owners.at(ip("20.0.0.1")), AsId(2));
+}
+
+TEST_F(BaselineFixture, LinksAtVpBoundaryOnly) {
+  auto result = naive_ip_as(
+      {make_trace(AsId(3), "30.0.9.9",
+                  {{"10.0.0.1"}, {"20.0.0.1"}, {"30.0.0.1"}})},
+      origins_, {AsId(1)});
+  // Only the 10->20 crossing has the VP on the near side.
+  ASSERT_EQ(result.links.size(), 1u);
+  EXPECT_EQ(result.links[0].near_as, AsId(1));
+  EXPECT_EQ(result.links[0].far_as, AsId(2));
+}
+
+TEST_F(BaselineFixture, ThirdPartyAddressFoolsTheBaseline) {
+  // The far border answers with a third-party (AS3) address: the baseline
+  // happily reports an AS1-AS3 link that does not exist — the §4 failure
+  // mode bdrmap's heuristics catch.
+  auto result = naive_ip_as(
+      {make_trace(AsId(2), "20.0.9.9", {{"10.0.0.1"}, {"30.0.0.7"}})},
+      origins_, {AsId(1)});
+  ASSERT_EQ(result.links.size(), 1u);
+  EXPECT_EQ(result.links[0].far_as, AsId(3));
+}
+
+TEST_F(BaselineFixture, GapsAndUnroutedBreakLinks) {
+  auto result = naive_ip_as(
+      {make_trace(AsId(2), "20.0.9.9",
+                  {{"10.0.0.1"}, {nullptr}, {"20.0.0.1"}}),
+       make_trace(AsId(2), "20.1.9.9",
+                  {{"10.0.0.1"}, {"172.16.0.1"}, {"20.0.0.1"}})},
+      origins_, {AsId(1)});
+  // A star breaks adjacency; an unrouted hop has no AS to link from.
+  EXPECT_TRUE(result.links.empty());
+}
+
+TEST_F(BaselineFixture, DuplicateLinksReportedOnce) {
+  auto result = naive_ip_as(
+      {make_trace(AsId(2), "20.0.9.9", {{"10.0.0.1"}, {"20.0.0.1"}}),
+       make_trace(AsId(2), "20.1.9.9", {{"10.0.0.1"}, {"20.0.0.1"}})},
+      origins_, {AsId(1)});
+  EXPECT_EQ(result.links.size(), 1u);
+}
+
+}  // namespace
+}  // namespace bdrmap::core

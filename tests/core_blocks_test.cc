@@ -1,0 +1,93 @@
+#include "core/blocks.h"
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace bdrmap::core {
+namespace {
+
+using net::AsId;
+using test::pfx;
+
+TEST(ProbeBlocks, ExcludesVpNetworkAndSiblings) {
+  asdata::OriginTable origins;
+  origins.add(pfx("10.0.0.0/16"), AsId(1));
+  origins.add(pfx("20.0.0.0/16"), AsId(2));
+  origins.add(pfx("30.0.0.0/16"), AsId(3));
+  auto blocks = build_probe_blocks(origins, {AsId(1), AsId(3)});
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].target_as, AsId(2));
+}
+
+TEST(ProbeBlocks, SplitsAroundMoreSpecifics) {
+  // The paper's §5.3 example: X's /16 with Y's /24 hole.
+  asdata::OriginTable origins;
+  origins.add(pfx("128.66.0.0/16"), AsId(10));
+  origins.add(pfx("128.66.2.0/24"), AsId(20));
+  auto blocks = build_probe_blocks(origins, {AsId(99)});
+  std::uint64_t x_space = 0;
+  std::size_t y_blocks = 0;
+  for (const auto& b : blocks) {
+    if (b.target_as == AsId(10)) {
+      x_space += b.prefix.size();
+      EXPECT_FALSE(b.prefix.contains(pfx("128.66.2.0/24")));
+    } else {
+      EXPECT_EQ(b.target_as, AsId(20));
+      ++y_blocks;
+    }
+  }
+  EXPECT_EQ(x_space, 65536u - 256u);
+  EXPECT_EQ(y_blocks, 1u);
+}
+
+TEST(ProbeBlocks, MoasPrimaryOriginIsLowest) {
+  asdata::OriginTable origins;
+  origins.add(pfx("10.0.0.0/16"), AsId(7));
+  origins.add(pfx("10.0.0.0/16"), AsId(3));
+  auto blocks = build_probe_blocks(origins, {});
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].target_as, AsId(3));
+}
+
+TEST(ProbeBlocks, MoasWithVpAsIsExcluded) {
+  asdata::OriginTable origins;
+  origins.add(pfx("10.0.0.0/16"), AsId(3));
+  origins.add(pfx("10.0.0.0/16"), AsId(1));  // VP co-originates
+  auto blocks = build_probe_blocks(origins, {AsId(1)});
+  EXPECT_TRUE(blocks.empty());
+}
+
+TEST(ProbeBlocks, SortedByTargetAsThenPrefix) {
+  asdata::OriginTable origins;
+  origins.add(pfx("30.0.0.0/16"), AsId(2));
+  origins.add(pfx("10.0.0.0/16"), AsId(5));
+  origins.add(pfx("20.0.0.0/16"), AsId(2));
+  auto blocks = build_probe_blocks(origins, {});
+  ASSERT_EQ(blocks.size(), 3u);
+  EXPECT_EQ(blocks[0].target_as, AsId(2));
+  EXPECT_EQ(blocks[0].prefix, pfx("20.0.0.0/16"));
+  EXPECT_EQ(blocks[1].prefix, pfx("30.0.0.0/16"));
+  EXPECT_EQ(blocks[2].target_as, AsId(5));
+}
+
+TEST(ProbeBlocks, NestedHolesOfDifferentOwners) {
+  asdata::OriginTable origins;
+  origins.add(pfx("10.0.0.0/8"), AsId(1));
+  origins.add(pfx("10.1.0.0/16"), AsId(2));
+  origins.add(pfx("10.1.1.0/24"), AsId(3));
+  auto blocks = build_probe_blocks(origins, {});
+  // AS2's blocks must exclude AS3's /24; AS1's must exclude the whole /16.
+  for (const auto& b : blocks) {
+    if (b.target_as == AsId(1)) {
+      EXPECT_FALSE(pfx("10.1.0.0/16").contains(b.prefix));
+    }
+    if (b.target_as == AsId(2)) {
+      EXPECT_TRUE(pfx("10.1.0.0/16").contains(b.prefix));
+      EXPECT_FALSE(pfx("10.1.1.0/24").contains(b.prefix));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bdrmap::core

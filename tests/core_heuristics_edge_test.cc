@@ -1,0 +1,164 @@
+// Edge cases around the §5.4 heuristics: sibling collapsing, MOAS
+// addresses, VP-as-nextas reassignment, tie-breaking, and mixed-class
+// alias sets.
+#include <gtest/gtest.h>
+
+#include "core/heuristics.h"
+#include "test_support.h"
+
+namespace bdrmap::core {
+namespace {
+
+using net::AsId;
+using net::OrgId;
+using test::InputBundle;
+using test::ip;
+using test::make_trace;
+using test::pfx;
+
+class EdgeFixture : public ::testing::Test {
+ protected:
+  EdgeFixture() {
+    in_.vp_ases = {AsId(1)};
+    in_.origins.add(pfx("10.0.0.0/8"), AsId(1));
+    in_.origins.add(pfx("20.0.0.0/8"), AsId(2));
+    in_.origins.add(pfx("30.0.0.0/8"), AsId(3));
+    in_.origins.add(pfx("40.0.0.0/8"), AsId(4));
+  }
+
+  std::vector<UncooperativeNeighbor> run(std::vector<ObservedTrace> traces) {
+    graph_ = std::make_unique<RouterGraph>(std::move(traces), groups_);
+    inputs_ = in_.inputs();
+    Heuristics h(*graph_, inputs_, config_);
+    return h.run();
+  }
+
+  const GraphRouter& router_at(const char* addr) {
+    return graph_->routers()[*graph_->router_of(ip(addr))];
+  }
+
+  InputBundle in_;
+  InferenceInputs inputs_;
+  HeuristicsConfig config_;
+  std::vector<std::vector<net::Ipv4Addr>> groups_;
+  std::unique_ptr<RouterGraph> graph_;
+};
+
+TEST_F(EdgeFixture, FirewallCollapsesSiblingDestinations) {
+  // Terminal router carries traces toward AS2 and AS3, which are siblings:
+  // a single organization, so the firewall heuristic still applies.
+  in_.siblings.assign(AsId(2), OrgId(7));
+  in_.siblings.assign(AsId(3), OrgId(7));
+  run({make_trace(AsId(2), "20.0.0.9",
+                  {{"10.0.0.1"}, {"10.0.1.2"}, {nullptr}}),
+       make_trace(AsId(3), "30.0.0.9",
+                  {{"10.0.0.1"}, {"10.0.1.2"}, {nullptr}})});
+  EXPECT_EQ(router_at("10.0.1.2").how, Heuristic::kFirewall);
+  // Owner is one of the siblings.
+  EXPECT_TRUE(router_at("10.0.1.2").owner == AsId(2) ||
+              router_at("10.0.1.2").owner == AsId(3));
+}
+
+TEST_F(EdgeFixture, NextasPointingAtVpMakesRouterVpSide) {
+  // Terminal router in front of two unrelated destination orgs whose only
+  // common provider is the VP network itself: it is the VP's own border.
+  in_.rels.add_c2p(AsId(2), AsId(1));
+  in_.rels.add_c2p(AsId(3), AsId(1));
+  run({make_trace(AsId(2), "20.0.0.9",
+                  {{"10.0.0.1"}, {"10.0.1.2"}, {nullptr}}),
+       make_trace(AsId(3), "30.0.0.9",
+                  {{"10.0.0.1"}, {"10.0.1.2"}, {nullptr}})});
+  EXPECT_TRUE(router_at("10.0.1.2").vp_side);
+  EXPECT_EQ(router_at("10.0.1.2").owner, AsId(1));
+}
+
+TEST_F(EdgeFixture, MixedAliasSetStillVpSideWithVpAfter) {
+  // Alias resolution merged a VP-space address with a neighbor-supplied
+  // p2p address on the same border router; VP addresses follow in traces.
+  groups_ = {{ip("10.0.0.2"), ip("20.0.9.1")}};
+  run({make_trace(AsId(3), "30.0.0.9",
+                  {{"10.0.0.1"}, {"10.0.0.2"}, {"10.0.0.3"}, {"30.0.0.1"}}),
+       make_trace(AsId(2), "20.0.5.9",
+                  {{"10.0.0.1"}, {"20.0.9.1"}, {"20.0.0.1"}, {nullptr}})});
+  EXPECT_TRUE(router_at("10.0.0.2").vp_side);
+  EXPECT_EQ(*graph_->router_of(ip("20.0.9.1")),
+            *graph_->router_of(ip("10.0.0.2")));
+}
+
+TEST_F(EdgeFixture, MoasAddressUsesLowestOrigin) {
+  // 40/8 co-originated by AS4 and AS9: classification uses the lowest.
+  in_.origins.add(pfx("40.0.0.0/8"), AsId(9));
+  run({make_trace(AsId(4), "40.0.9.9",
+                  {{"10.0.0.1"}, {nullptr}, {"40.0.0.1"}, {nullptr}})});
+  inputs_ = in_.inputs();
+  Heuristics h(*graph_, inputs_, config_);
+  EXPECT_EQ(h.classify(ip("40.0.0.1")).origin, AsId(4));
+}
+
+TEST_F(EdgeFixture, VpSiblingAddressesCountAsVp) {
+  // 20/8 belongs to a sibling of the VP network.
+  in_.vp_ases = {AsId(1), AsId(2)};
+  run({make_trace(AsId(3), "30.0.0.9",
+                  {{"10.0.0.1"}, {"20.0.0.1"}, {"10.0.0.2"}, {"30.0.0.1"}})});
+  // The sibling-addressed router has VP-class space after it: VP side.
+  EXPECT_TRUE(router_at("20.0.0.1").vp_side);
+  EXPECT_EQ(router_at("20.0.0.1").owner, AsId(1));
+}
+
+TEST_F(EdgeFixture, Phase6TieWithoutRelationshipsPicksLowestAs) {
+  run({make_trace(AsId(2), "20.0.9.9",
+                  {{"10.0.0.1"}, {"10.0.0.2"}, {"10.0.1.2"}, {"20.0.0.1"},
+                   {nullptr}}),
+       make_trace(AsId(3), "30.0.9.9",
+                  {{"10.0.0.1"}, {"10.0.0.2"}, {"10.0.1.2"}, {"30.0.0.1"},
+                   {nullptr}})});
+  EXPECT_EQ(router_at("10.0.1.2").how, Heuristic::kCount);
+  EXPECT_EQ(router_at("10.0.1.2").owner, AsId(2));
+}
+
+TEST_F(EdgeFixture, RelationshipsDisabledFallsThroughToCounting) {
+  config_.enable_relationships = false;
+  in_.rels.add_p2p(AsId(1), AsId(2));
+  run({make_trace(AsId(2), "20.0.9.9",
+                  {{"10.0.0.1"}, {"10.0.0.2"}, {"10.0.1.2"}, {"20.0.0.1"},
+                   {nullptr}})});
+  // 5.3 would have fired; with phase 5 off the counting step owns it.
+  EXPECT_EQ(router_at("10.0.1.2").how, Heuristic::kCount);
+  EXPECT_EQ(router_at("10.0.1.2").owner, AsId(2));
+}
+
+TEST_F(EdgeFixture, RirExtensionDoesNotClaimForeignUnroutedSpace) {
+  // Unrouted space appearing only AFTER the last VP hop must not be
+  // attributed to the VP network.
+  in_.rir.add({pfx("172.16.0.0/16"), net::OrgId(9)});
+  run({make_trace(AsId(2), "20.0.0.9",
+                  {{"10.0.0.1"}, {"10.0.0.2"}, {"172.16.0.1"},
+                   {"20.0.0.1"}})});
+  inputs_ = in_.inputs();
+  Heuristics h(*graph_, inputs_, config_);
+  EXPECT_EQ(h.classify(ip("172.16.0.1")).cls, AddrClass::kUnrouted);
+}
+
+TEST_F(EdgeFixture, UncooperativePlacementSkipsOrgsWithLinks) {
+  // AS2 is a BGP neighbor whose border was inferred normally in one trace;
+  // other traces toward it die silently — no duplicate placement.
+  in_.rels.add_c2p(AsId(2), AsId(1));
+  auto placements =
+      run({make_trace(AsId(2), "20.0.0.9",
+                      {{"10.0.0.1"}, {"10.0.0.2"}, {"20.0.0.1"},
+                       {"20.0.1.1"}}),
+           make_trace(AsId(2), "20.0.9.9",
+                      {{"10.0.0.1"}, {"10.0.0.2"}, {nullptr}, {nullptr}})});
+  EXPECT_TRUE(placements.empty());
+}
+
+TEST_F(EdgeFixture, OnenetNotFooledByDifferentNextAs) {
+  // Router with AS2 address followed by an AS3 router: no onenet.
+  run({make_trace(AsId(3), "30.0.9.9",
+                  {{"10.0.0.1"}, {"10.0.0.2"}, {"20.0.0.1"}, {"30.0.0.1"},
+                   {"30.0.1.1"}})});
+  EXPECT_NE(router_at("20.0.0.1").how, Heuristic::kOnenet);
+}
+
+}  // namespace
+}  // namespace bdrmap::core

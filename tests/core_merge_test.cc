@@ -1,0 +1,125 @@
+// Multi-VP aggregation: cross-VP router identity, ownership voting and
+// marginal-utility accounting.
+#include "core/merge.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/ground_truth.h"
+#include "eval/scenario.h"
+#include "test_support.h"
+
+namespace bdrmap::core {
+namespace {
+
+using net::AsId;
+using test::ip;
+using test::make_trace;
+
+// Builds a BdrmapResult directly from traces + manual annotations.
+BdrmapResult fake_result(std::vector<ObservedTrace> traces,
+                         std::vector<std::vector<net::Ipv4Addr>> groups) {
+  return BdrmapResult{RouterGraph(std::move(traces), groups), {}, {}, {}};
+}
+
+TEST(Merge, SharedAddressesUnifyRouters) {
+  auto a = fake_result(
+      {make_trace(AsId(2), "20.0.0.9", {{"10.0.0.1"}, {"10.0.0.5"}})}, {});
+  auto b = fake_result(
+      {make_trace(AsId(2), "20.0.1.9", {{"10.0.0.2"}, {"10.0.0.5"}})}, {});
+  // Annotate owners so the merge has something to vote on.
+  for (auto* r : {&a, &b}) {
+    for (auto& router : r->graph.routers()) {
+      router.owner = AsId(1);
+      router.how = Heuristic::kVpNetwork;
+      router.vp_side = true;
+    }
+  }
+  auto merged = merge_results({&a, &b});
+  // 10.0.0.5 appears in both runs: its routers unify; total = 3 routers.
+  EXPECT_EQ(merged.routers.size(), 3u);
+  auto shared = merged.router_of(ip("10.0.0.5"));
+  ASSERT_TRUE(shared.has_value());
+  EXPECT_EQ(merged.routers[*shared].seen_by.size(), 2u);
+}
+
+TEST(Merge, AliasSetsBridgeAcrossRuns) {
+  // Run A saw {x1, x2} as one router; run B saw {x2, x3}: the merge must
+  // produce a single router {x1, x2, x3}.
+  auto a = fake_result(
+      {make_trace(AsId(2), "20.0.0.9", {{"10.0.0.1"}, {"10.0.0.2"}})},
+      {{ip("10.0.0.1"), ip("10.0.0.2")}});
+  auto b = fake_result(
+      {make_trace(AsId(2), "20.0.1.9", {{"10.0.0.2"}, {"10.0.0.3"}})},
+      {{ip("10.0.0.2"), ip("10.0.0.3")}});
+  auto merged = merge_results({&a, &b});
+  auto r1 = merged.router_of(ip("10.0.0.1"));
+  auto r3 = merged.router_of(ip("10.0.0.3"));
+  ASSERT_TRUE(r1 && r3);
+  EXPECT_EQ(*r1, *r3);
+  EXPECT_EQ(merged.routers[*r1].addrs.size(), 3u);
+}
+
+TEST(Merge, OwnershipMajorityVote) {
+  auto mk = [&](AsId owner) {
+    auto r = fake_result(
+        {make_trace(AsId(2), "20.0.0.9", {{"10.0.0.1"}})}, {});
+    r.graph.routers()[0].owner = owner;
+    r.graph.routers()[0].how = Heuristic::kIpAs;
+    return r;
+  };
+  auto a = mk(AsId(2)), b = mk(AsId(2)), c = mk(AsId(3));
+  auto merged = merge_results({&a, &b, &c});
+  ASSERT_EQ(merged.routers.size(), 1u);
+  EXPECT_EQ(merged.routers[0].owner, AsId(2));
+  EXPECT_EQ(merged.routers[0].seen_by.size(), 3u);
+}
+
+TEST(Merge, CumulativeLinksTrackMarginalUtility) {
+  eval::Scenario s(eval::small_access_config(42));
+  net::AsId vp_as = s.first_of(topo::AsKind::kAccess);
+  auto vps = s.vps_in(vp_as);
+  ASSERT_GE(vps.size(), 3u);
+  std::vector<BdrmapResult> results;
+  for (std::size_t i = 0; i < 3; ++i) {
+    results.push_back(s.run_bdrmap(vps[i], {}, 0x600 + i));
+  }
+  auto merged = merge_results({&results[0], &results[1], &results[2]});
+  ASSERT_EQ(merged.cumulative_links.size(), 3u);
+  // Monotone non-decreasing; first point equals run 0's distinct links.
+  EXPECT_LE(merged.cumulative_links[0], merged.cumulative_links[1]);
+  EXPECT_LE(merged.cumulative_links[1], merged.cumulative_links[2]);
+  EXPECT_GT(merged.cumulative_links[0], 0u);
+  EXPECT_EQ(merged.cumulative_links[2], merged.links.size());
+  // Every link records who saw it, with the discoverer first.
+  for (const auto& link : merged.links) {
+    EXPECT_FALSE(link.seen_by.empty());
+    EXPECT_EQ(*link.seen_by.begin(), link.first_seen_by);
+  }
+}
+
+TEST(Merge, MergedOwnersRemainMostlyCorrect) {
+  eval::Scenario s(eval::small_access_config(42));
+  net::AsId vp_as = s.first_of(topo::AsKind::kAccess);
+  auto vps = s.vps_in(vp_as);
+  std::vector<BdrmapResult> results;
+  std::vector<const BdrmapResult*> ptrs;
+  for (std::size_t i = 0; i < vps.size(); ++i) {
+    results.push_back(s.run_bdrmap(vps[i], {}, 0x700 + i));
+  }
+  for (const auto& r : results) ptrs.push_back(&r);
+  auto merged = merge_results(ptrs);
+  eval::GroundTruth truth(s.net(), vp_as);
+  std::size_t total = 0, correct = 0;
+  for (const auto& router : merged.routers) {
+    if (router.vp_side || !router.owner.valid()) continue;
+    auto owner = truth.true_owner(router.addrs);
+    if (!owner) continue;
+    ++total;
+    correct += truth.same_org(*owner, router.owner);
+  }
+  ASSERT_GT(total, 50u);
+  EXPECT_GT(static_cast<double>(correct) / total, 0.85);
+}
+
+}  // namespace
+}  // namespace bdrmap::core

@@ -1,0 +1,128 @@
+// MIDAR-style estimation/discovery/corroboration over simulated routers.
+#include "core/midar.h"
+
+#include <gtest/gtest.h>
+
+#include "core/bdrmap.h"
+#include "eval/ground_truth.h"
+#include "eval/scenario.h"
+#include "probe/alias.h"
+#include "route/bgp_sim.h"
+#include "route/fib.h"
+#include "test_support.h"
+
+namespace bdrmap::core {
+namespace {
+
+using net::RouterId;
+using test::ip;
+
+class MidarFixture : public ::testing::Test {
+ protected:
+  MidarFixture() {
+    as1_ = m_.add_as();
+    r1_ = m_.add_router(as1_);  // attach
+    r2_ = m_.add_router(as1_);  // 3 interfaces, shared counter
+    r3_ = m_.add_router(as1_);  // distinct router
+    m_.link(topo::LinkKind::kInternal, as1_, r1_, ip("10.0.0.1"), r2_,
+            ip("10.0.0.2"));
+    m_.link(topo::LinkKind::kInternal, as1_, r2_, ip("10.0.0.5"), r3_,
+            ip("10.0.0.6"));
+    m_.link(topo::LinkKind::kInternal, as1_, r2_, ip("10.0.0.9"), r1_,
+            ip("10.0.0.10"));
+    m_.announce("10.0.0.0/16", as1_, r1_);
+    // Both candidates unresponsive to UDP: Ally/MIDAR is the only signal.
+    for (RouterId r : {r1_, r2_, r3_}) {
+      m_.net().router_mutable(r).behavior.responds_udp = false;
+    }
+    m_.net().router_mutable(r2_).behavior.ipid_velocity = 40.0;
+    m_.net().router_mutable(r3_).behavior.ipid_velocity = 160.0;
+  }
+
+  void build() {
+    bgp_ = std::make_unique<route::BgpSimulator>(m_.net());
+    fib_ = std::make_unique<route::Fib>(m_.net(), *bgp_);
+    topo::Vp vp{as1_, r1_, ip("10.0.255.1"), 0};
+    services_ = std::make_unique<probe::LocalProbeServices>(m_.net(), *fib_,
+                                                            vp, 21);
+    resolver_ = std::make_unique<AliasResolver>(*services_);
+  }
+
+  test::MiniNet m_;
+  net::AsId as1_;
+  RouterId r1_, r2_, r3_;
+  std::unique_ptr<route::BgpSimulator> bgp_;
+  std::unique_ptr<route::Fib> fib_;
+  std::unique_ptr<probe::LocalProbeServices> services_;
+  std::unique_ptr<AliasResolver> resolver_;
+};
+
+TEST_F(MidarFixture, DiscoversAliasesWithoutTopologyHints) {
+  build();
+  MidarResolver midar(*services_, *resolver_);
+  std::vector<net::Ipv4Addr> addrs = {ip("10.0.0.2"), ip("10.0.0.6"),
+                                      ip("10.0.0.5"), ip("10.0.0.9")};
+  midar.resolve(addrs);
+  EXPECT_EQ(midar.stats().addresses, 4u);
+  EXPECT_GE(midar.stats().responsive, 4u);
+  EXPECT_GE(midar.stats().monotonic, 4u);
+  EXPECT_GE(midar.stats().confirmed, 2u);  // r2's three interfaces pair up
+
+  auto groups = resolver_->groups(addrs);
+  auto find_group = [&](net::Ipv4Addr a) {
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      if (std::find(groups[i].begin(), groups[i].end(), a) !=
+          groups[i].end()) {
+        return i;
+      }
+    }
+    return groups.size();
+  };
+  // r2's interfaces 10.0.0.2 / 10.0.0.5 / 10.0.0.9 in one group...
+  EXPECT_EQ(find_group(ip("10.0.0.2")), find_group(ip("10.0.0.5")));
+  EXPECT_EQ(find_group(ip("10.0.0.2")), find_group(ip("10.0.0.9")));
+  // ...and r3's interface kept apart.
+  EXPECT_NE(find_group(ip("10.0.0.6")), find_group(ip("10.0.0.2")));
+}
+
+TEST_F(MidarFixture, SkipsRandomAndZeroCounters) {
+  m_.net().router_mutable(r2_).behavior.ipid = topo::IpidKind::kRandom;
+  m_.net().router_mutable(r3_).behavior.ipid = topo::IpidKind::kZero;
+  build();
+  MidarResolver midar(*services_, *resolver_);
+  midar.resolve({ip("10.0.0.2"), ip("10.0.0.5"), ip("10.0.0.6")});
+  EXPECT_EQ(midar.stats().confirmed, 0u);
+  // Random counters usually fail the sanity screen; zero counters always.
+  EXPECT_LT(midar.stats().monotonic, 3u);
+}
+
+TEST_F(MidarFixture, UnresponsiveAddressesDropOut) {
+  m_.net().router_mutable(r2_).behavior.responds_echo = false;
+  build();
+  MidarResolver midar(*services_, *resolver_);
+  midar.resolve({ip("10.0.0.2"), ip("10.0.0.5"), ip("10.0.0.6")});
+  EXPECT_EQ(midar.stats().responsive, 1u);  // only r3's interface
+  EXPECT_EQ(midar.stats().confirmed, 0u);
+}
+
+TEST(MidarPipeline, ImprovesOrMatchesAliasCollapse) {
+  eval::Scenario s(eval::small_access_config(42));
+  net::AsId vp_as = s.first_of(topo::AsKind::kAccess);
+  auto vp = s.vps_in(vp_as).front();
+  BdrmapConfig plain;
+  auto without = s.run_bdrmap(vp, plain);
+  BdrmapConfig with = plain;
+  with.enable_midar_discovery = true;
+  auto with_midar = s.run_bdrmap(vp, with);
+  // More discovery can only merge more (or equal) routers, never split.
+  EXPECT_LE(with_midar.stats.routers, without.stats.routers);
+  EXPECT_GT(with_midar.stats.alias_pair_tests,
+            without.stats.alias_pair_tests);
+  // And accuracy must not collapse.
+  eval::GroundTruth truth(s.net(), vp_as);
+  auto summary = truth.validate(with_midar);
+  EXPECT_GT(summary.link_accuracy(), 0.85);
+}
+
+}  // namespace
+}  // namespace bdrmap::core

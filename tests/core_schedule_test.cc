@@ -1,0 +1,86 @@
+#include "core/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace bdrmap::core {
+namespace {
+
+using net::AsId;
+using test::pfx;
+
+std::vector<ProbeBlock> blocks_for(
+    std::initializer_list<std::pair<std::uint32_t, int>> per_as) {
+  std::vector<ProbeBlock> out;
+  std::uint32_t base = 0x0a000000;
+  for (auto [as, count] : per_as) {
+    for (int i = 0; i < count; ++i) {
+      out.push_back({net::Prefix(net::Ipv4Addr(base), 24), AsId(as)});
+      base += 256;
+    }
+  }
+  return out;
+}
+
+TEST(Schedule, EmptyInput) {
+  auto report = simulate_schedule({});
+  EXPECT_EQ(report.packets, 0u);
+  EXPECT_EQ(report.duration_seconds, 0.0);
+}
+
+TEST(Schedule, PacketCountAndDurationMatchRate) {
+  ScheduleConfig config;
+  config.packets_per_second = 100.0;
+  config.probes_per_block = 10.0;
+  auto report = simulate_schedule(blocks_for({{1, 5}, {2, 5}}), config);
+  EXPECT_EQ(report.blocks, 10u);
+  EXPECT_EQ(report.target_ases, 2u);
+  EXPECT_EQ(report.packets, 100u);  // 10 blocks x 10 probes
+  EXPECT_DOUBLE_EQ(report.duration_seconds, 1.0);
+}
+
+TEST(Schedule, ParallelismBoundedByConfig) {
+  ScheduleConfig config;
+  config.parallel_ases = 3;
+  auto report = simulate_schedule(
+      blocks_for({{1, 2}, {2, 2}, {3, 2}, {4, 2}, {5, 2}}), config);
+  EXPECT_EQ(report.peak_parallel, 3u);
+  EXPECT_LE(report.mean_parallel, 3.0);
+  EXPECT_GT(report.mean_parallel, 1.0);
+}
+
+TEST(Schedule, EveryAsFinishesAndLaterAsesFinishLater) {
+  ScheduleConfig config;
+  config.parallel_ases = 1;  // strictly sequential across ASes
+  auto report = simulate_schedule(blocks_for({{1, 3}, {2, 3}}), config);
+  ASSERT_EQ(report.as_finish_time.size(), 2u);
+  EXPECT_LT(report.as_finish_time.at(AsId(1)),
+            report.as_finish_time.at(AsId(2)));
+  EXPECT_DOUBLE_EQ(report.as_finish_time.at(AsId(2)),
+                   report.duration_seconds);
+}
+
+TEST(Schedule, RoundRobinInterleavesActiveAses) {
+  // With 2 parallel ASes of equal size, both finish at roughly the same
+  // time (neither starves).
+  ScheduleConfig config;
+  config.parallel_ases = 2;
+  auto report = simulate_schedule(blocks_for({{1, 10}, {2, 10}}), config);
+  double f1 = report.as_finish_time.at(AsId(1));
+  double f2 = report.as_finish_time.at(AsId(2));
+  EXPECT_LT(std::abs(f1 - f2), report.duration_seconds * 0.05);
+}
+
+TEST(Schedule, HalfRateDoublesDuration) {
+  auto blocks = blocks_for({{1, 8}, {2, 8}});
+  ScheduleConfig fast, slow;
+  fast.packets_per_second = 200.0;
+  slow.packets_per_second = 100.0;
+  auto f = simulate_schedule(blocks, fast);
+  auto s = simulate_schedule(blocks, slow);
+  EXPECT_NEAR(s.duration_seconds, 2.0 * f.duration_seconds, 1e-9);
+}
+
+}  // namespace
+}  // namespace bdrmap::core

@@ -1,0 +1,31 @@
+#include "core/stopset.h"
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace bdrmap::core {
+namespace {
+
+using net::AsId;
+using test::ip;
+
+TEST(StopSet, KeyedPerTargetAs) {
+  StopSet s;
+  s.add(AsId(1), ip("10.0.0.1"));
+  EXPECT_TRUE(s.contains(AsId(1), ip("10.0.0.1")));
+  EXPECT_FALSE(s.contains(AsId(2), ip("10.0.0.1")));
+  EXPECT_FALSE(s.contains(AsId(1), ip("10.0.0.2")));
+}
+
+TEST(StopSet, SizeCountsAllEntries) {
+  StopSet s;
+  s.add(AsId(1), ip("10.0.0.1"));
+  s.add(AsId(1), ip("10.0.0.2"));
+  s.add(AsId(2), ip("10.0.0.1"));
+  s.add(AsId(1), ip("10.0.0.1"));  // duplicate
+  EXPECT_EQ(s.size(), 3u);
+}
+
+}  // namespace
+}  // namespace bdrmap::core

@@ -1,0 +1,71 @@
+#include "eval/geo.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/scenario.h"
+#include "topo/generator.h"
+
+namespace bdrmap::eval {
+namespace {
+
+TEST(Geo, GeneratorPopulatesReverseDns) {
+  auto gen = topo::generate(small_access_config(3));
+  EXPECT_GT(gen.net.reverse_dns().size(), gen.net.ifaces().size() / 3);
+  // Some interface resolves with a full AS-carrying convention.
+  std::size_t with_as = 0, with_city = 0;
+  for (const auto& iface : gen.net.ifaces()) {
+    auto name = gen.net.reverse_dns().lookup(iface.addr);
+    if (!name) continue;
+    auto hints = asdata::parse_hostname(*name);
+    with_as += hints.as_hint.has_value();
+    with_city += hints.city_code.has_value();
+  }
+  EXPECT_GT(with_as, 0u);
+  EXPECT_GT(with_city, with_as / 2);
+}
+
+TEST(Geo, RdnsAsHintsAreMostlyTruthful) {
+  auto gen = topo::generate(small_access_config(3));
+  std::size_t checked = 0, right = 0;
+  for (const auto& iface : gen.net.ifaces()) {
+    auto name = gen.net.reverse_dns().lookup(iface.addr);
+    if (!name) continue;
+    auto hints = asdata::parse_hostname(*name);
+    if (!hints.as_hint) continue;
+    ++checked;
+    right += *hints.as_hint == gen.net.router(iface.router).owner;
+  }
+  ASSERT_GT(checked, 100u);
+  EXPECT_EQ(right, checked);  // AS labels are truthful; cities may be stale
+}
+
+TEST(Geo, RdnsLongitudeResolvesCityCodes) {
+  auto gen = topo::generate(small_access_config(3));
+  std::size_t resolved = 0, close = 0;
+  for (const auto& router : gen.net.routers()) {
+    std::vector<net::Ipv4Addr> addrs;
+    for (auto i : router.ifaces) addrs.push_back(gen.net.iface(i).addr);
+    auto lon = rdns_longitude(gen.net, addrs);
+    if (!lon) continue;
+    ++resolved;
+    double true_lon = gen.net.pops()[router.pop].longitude;
+    if (std::abs(*lon - true_lon) < 1.0) ++close;
+  }
+  ASSERT_GT(resolved, 50u);
+  // Stale city codes (3%) put a few routers in the wrong place.
+  EXPECT_GT(static_cast<double>(close) / resolved, 0.85);
+}
+
+TEST(Geo, DnsSanityCheckAgreesWithGoodInference) {
+  Scenario s(small_access_config(3));
+  net::AsId vp_as = s.first_of(topo::AsKind::kAccess);
+  auto result = s.run_bdrmap(s.vps_in(vp_as).front());
+  auto sanity = dns_sanity_check(result, s.net());
+  ASSERT_GT(sanity.routers_checked, 20u);
+  // §5.1: hostname hints corroborate most inferences.
+  EXPECT_GT(sanity.agreement(), 0.8);
+  EXPECT_EQ(sanity.agree + sanity.disagree, sanity.routers_checked);
+}
+
+}  // namespace
+}  // namespace bdrmap::eval

@@ -1,0 +1,74 @@
+#include "eval/robustness.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/scenario.h"
+#include "test_support.h"
+
+namespace bdrmap::eval {
+namespace {
+
+using test::pfx;
+
+TraceExit exit_record(const char* prefix, std::uint32_t router) {
+  TraceExit e;
+  e.prefix = pfx(prefix);
+  e.egress_truth = RouterId(router);
+  return e;
+}
+
+TEST(Robustness, SharesAndBlastRadius) {
+  std::vector<std::vector<TraceExit>> runs = {{
+      exit_record("10.0.0.0/24", 1),
+      exit_record("10.0.1.0/24", 1),
+      exit_record("10.0.2.0/24", 2),
+  },
+  {
+      exit_record("10.0.0.0/24", 2),  // second VP: another egress for p0
+  }};
+  auto report = robustness_report(runs);
+  EXPECT_EQ(report.prefixes_measured, 3u);
+  ASSERT_EQ(report.routers.size(), 2u);
+  // Router 1 and 2 both carry 2 prefixes; sole-exit counts differ.
+  EXPECT_EQ(report.routers[0].prefixes, 2u);
+  EXPECT_EQ(report.single_homed_prefixes, 2u);  // 10.0.1 and 10.0.2
+  // Worst blast radius: a router that is the sole exit for one prefix.
+  EXPECT_NEAR(report.worst_blast_radius, 1.0 / 3.0, 1e-9);
+}
+
+TEST(Robustness, EmptyInput) {
+  auto report = robustness_report({});
+  EXPECT_EQ(report.prefixes_measured, 0u);
+  EXPECT_TRUE(report.routers.empty());
+}
+
+TEST(Robustness, EndToEndOnScenario) {
+  Scenario s(small_access_config(42));
+  net::AsId vp_as = s.first_of(topo::AsKind::kAccess);
+  auto vps = s.vps_in(vp_as);
+  GroundTruth truth(s.net(), vp_as);
+  std::vector<std::vector<TraceExit>> runs;
+  for (std::size_t i = 0; i < vps.size(); ++i) {
+    auto result = s.run_bdrmap(vps[i], {}, 0x900 + i);
+    runs.push_back(
+        trace_exits(result, truth, s.collectors().public_origins()));
+  }
+  auto report = robustness_report(runs);
+  ASSERT_GT(report.prefixes_measured, 300u);
+  ASSERT_FALSE(report.routers.empty());
+  // Shares are sane and ordered.
+  EXPECT_LE(report.routers.front().share, 1.0);
+  for (std::size_t i = 1; i < report.routers.size(); ++i) {
+    EXPECT_GE(report.routers[i - 1].share, report.routers[i].share);
+  }
+  // Every critical router really belongs to the hosting org.
+  for (const auto& r : report.routers) {
+    EXPECT_TRUE(
+        truth.same_org(s.net().router(r.router).owner, vp_as));
+  }
+  EXPECT_GT(report.worst_blast_radius, 0.0);
+  EXPECT_LT(report.worst_blast_radius, 1.0);
+}
+
+}  // namespace
+}  // namespace bdrmap::eval

@@ -1,0 +1,55 @@
+#include "eval/vp_selection.h"
+
+#include <gtest/gtest.h>
+
+namespace bdrmap::eval {
+namespace {
+
+TEST(VpSelection, GreedyPicksLargestFirst) {
+  auto sel = greedy_vp_selection({{1, 2}, {1, 2, 3, 4}, {4, 5}});
+  ASSERT_EQ(sel.order.size(), 3u);
+  EXPECT_EQ(sel.order[0], 1u);  // covers 4 links
+  EXPECT_EQ(sel.coverage[0], 4u);
+  EXPECT_EQ(sel.total_links, 5u);
+  EXPECT_EQ(sel.coverage.back(), 5u);
+}
+
+TEST(VpSelection, CoverageIsMonotone) {
+  auto sel = greedy_vp_selection({{1}, {2, 3}, {1, 2}, {4}, {}});
+  for (std::size_t i = 1; i < sel.coverage.size(); ++i) {
+    EXPECT_GE(sel.coverage[i], sel.coverage[i - 1]);
+  }
+  EXPECT_EQ(sel.coverage.back(), sel.total_links);
+  EXPECT_EQ(sel.order.size(), 5u);  // full permutation, empties appended
+}
+
+TEST(VpSelection, GreedyDominatesIndexOrderEverywhere) {
+  std::vector<std::set<std::uint32_t>> per_vp = {
+      {1}, {2}, {1, 2, 3, 4, 5}, {6, 7}, {3}};
+  auto sel = greedy_vp_selection(per_vp);
+  // Index-order cumulative coverage.
+  std::set<std::uint32_t> covered;
+  for (std::size_t i = 0; i < per_vp.size(); ++i) {
+    for (auto l : per_vp[i]) covered.insert(l);
+    EXPECT_GE(sel.coverage[i], covered.size()) << i;
+  }
+}
+
+TEST(VpSelection, VpsForFraction) {
+  auto sel = greedy_vp_selection({{1, 2, 3}, {4}, {5}});
+  EXPECT_EQ(sel.total_links, 5u);
+  EXPECT_EQ(sel.vps_for(0.6), 1u);   // 3/5 covered by the first pick
+  EXPECT_EQ(sel.vps_for(0.8), 2u);
+  EXPECT_EQ(sel.vps_for(1.0), 3u);
+  EXPECT_EQ(sel.vps_for(1.1), 0u);   // unreachable
+}
+
+TEST(VpSelection, EmptyInput) {
+  auto sel = greedy_vp_selection({});
+  EXPECT_TRUE(sel.order.empty());
+  EXPECT_EQ(sel.total_links, 0u);
+  EXPECT_EQ(sel.vps_for(0.5), 0u);
+}
+
+}  // namespace
+}  // namespace bdrmap::eval

@@ -1,0 +1,91 @@
+// Capstone: the full §6 deployment — 19 VPs across the access network,
+// merged into one border map — validated against ground truth.
+#include <gtest/gtest.h>
+
+#include "core/merge.h"
+#include "eval/ground_truth.h"
+#include "eval/scenario.h"
+
+namespace bdrmap {
+namespace {
+
+class FullDeployment : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    scenario_ = new eval::Scenario(eval::large_access_config(42));
+    vp_as_ = scenario_->featured_access();
+    auto vps = scenario_->vps_in(vp_as_);
+    for (std::size_t i = 0; i < vps.size(); ++i) {
+      results_->push_back(scenario_->run_bdrmap(vps[i], {}, 0xF00 + i));
+    }
+  }
+  static void TearDownTestSuite() {
+    delete results_;
+    results_ = nullptr;
+    delete scenario_;
+    scenario_ = nullptr;
+  }
+
+  static eval::Scenario* scenario_;
+  static net::AsId vp_as_;
+  static std::vector<core::BdrmapResult>* results_;
+};
+
+eval::Scenario* FullDeployment::scenario_ = nullptr;
+net::AsId FullDeployment::vp_as_;
+std::vector<core::BdrmapResult>* FullDeployment::results_ =
+    new std::vector<core::BdrmapResult>();
+
+TEST_F(FullDeployment, NineteenVpsMergeIntoOneMap) {
+  ASSERT_EQ(results_->size(), 19u);
+  std::vector<const core::BdrmapResult*> ptrs;
+  for (const auto& r : *results_) ptrs.push_back(&r);
+  auto merged = core::merge_results(ptrs);
+
+  // Marginal utility is monotone and the union strictly beats one VP.
+  ASSERT_EQ(merged.cumulative_links.size(), 19u);
+  for (std::size_t i = 1; i < 19; ++i) {
+    EXPECT_GE(merged.cumulative_links[i], merged.cumulative_links[i - 1]);
+  }
+  EXPECT_GT(merged.cumulative_links.back(),
+            merged.cumulative_links.front() * 2);
+
+  // The merged map covers nearly every true neighbor organization.
+  eval::GroundTruth truth(scenario_->net(), vp_as_);
+  auto neighbors = truth.true_neighbors();
+  std::size_t found = 0;
+  for (net::AsId n : neighbors) {
+    for (const auto& [as, links] : merged.links_by_as) {
+      if (truth.same_org(as, n)) {
+        ++found;
+        break;
+      }
+    }
+  }
+  ASSERT_GT(neighbors.size(), 50u);
+  EXPECT_GT(static_cast<double>(found) / neighbors.size(), 0.9)
+      << found << "/" << neighbors.size();
+
+  // The Tier-1 peer is the densest neighbor in the merged view.
+  std::size_t tier1_links = 0, max_links = 0;
+  for (const auto& [as, links] : merged.links_by_as) {
+    max_links = std::max(max_links, links.size());
+    if (truth.same_org(as, scenario_->level3_like())) {
+      tier1_links = links.size();
+    }
+  }
+  EXPECT_EQ(tier1_links, max_links);
+  EXPECT_GE(tier1_links, 20u);  // dozens of router-level links (45 truth)
+}
+
+TEST_F(FullDeployment, PerVpAccuracyIsUniformlyHigh) {
+  eval::GroundTruth truth(scenario_->net(), vp_as_);
+  for (std::size_t i = 0; i < results_->size(); ++i) {
+    auto summary = truth.validate((*results_)[i]);
+    ASSERT_GT(summary.links_total, 30u) << "VP " << i;
+    EXPECT_GT(summary.link_accuracy(), 0.88) << "VP " << i;
+  }
+}
+
+}  // namespace
+}  // namespace bdrmap

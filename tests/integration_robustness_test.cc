@@ -1,0 +1,139 @@
+// Cross-cutting integration properties: remote timestamp plumbing, MOAS
+// forwarding, pinned-prefix fallback, link emission after response gaps,
+// and validation robustness across seeds at access-network scale.
+#include <gtest/gtest.h>
+
+#include "eval/ground_truth.h"
+#include "eval/scenario.h"
+#include "remote/split.h"
+#include "route/fib.h"
+#include "test_support.h"
+
+namespace bdrmap {
+namespace {
+
+using net::AsId;
+using test::ip;
+
+TEST(RemoteTimestamp, RoundTripsThroughDevice) {
+  eval::Scenario s(eval::small_access_config(11));
+  net::AsId vp_as = s.first_of(topo::AsKind::kAccess);
+  auto vp = s.vps_in(vp_as).front();
+  auto local = s.services_for(vp, 5);
+  auto device_backend = s.services_for(vp, 5);
+  remote::ProberDevice device(*device_backend);
+  remote::RemoteProbeServices remote_services(device);
+
+  // Compare verdicts for a handful of (path_dst, candidate) pairs.
+  std::size_t compared = 0;
+  for (const auto& session : s.fib().sessions_of(vp_as)) {
+    net::Ipv4Addr far = s.net().iface(session.far_iface).addr;
+    auto a = local->timestamp_probe(far, far);
+    auto b = remote_services.timestamp_probe(far, far);
+    EXPECT_EQ(a.has_value(), b.has_value());
+    if (a && b) {
+      EXPECT_EQ(*a, *b);
+    }
+    if (++compared == 10) break;
+  }
+  EXPECT_GE(compared, 5u);
+}
+
+TEST(MoasForwarding, CoOriginatedPrefixStillDelivered) {
+  // Generated MOAS prefixes (sibling co-origination) must be reachable.
+  topo::GeneratorConfig config;
+  config.seed = 13;
+  config.p_moas_prefix = 0.5;
+  config.p_sibling_org = 0.4;
+  config.num_transit = 14;
+  config.num_enterprise = 90;
+  auto gen = topo::generate(config);
+  route::BgpSimulator bgp(gen.net);
+  route::Fib fib(gen.net, bgp);
+  std::size_t moas = 0, delivered = 0;
+  const auto& vp = gen.vps.front();
+  for (const auto& [prefix, origins] : gen.net.truth_origins().all_prefixes()) {
+    if (origins.size() < 2) continue;
+    ++moas;
+    net::Ipv4Addr dst(prefix.first().value() + 1);
+    net::RouterId cur = vp.attach_router;
+    for (int i = 0; i < 64; ++i) {
+      if (fib.delivered_at(cur, dst)) {
+        ++delivered;
+        break;
+      }
+      auto hop = fib.next_hop(cur, dst);
+      if (!hop) break;
+      cur = hop->router;
+    }
+  }
+  ASSERT_GT(moas, 3u);
+  EXPECT_EQ(delivered, moas);
+}
+
+TEST(PinnedPrefixes, OtherNetworksFallBackToTransit) {
+  // A pinned (Akamai-style) prefix probed from a *different* access
+  // network must be delivered via the CDN's transit, not loop.
+  eval::Scenario s(eval::large_access_config(21));
+  net::AsId other_access = s.first_of(topo::AsKind::kAccess, 1);
+  ASSERT_TRUE(other_access.valid());
+  const auto& routers = s.net().as_info(other_access).routers;
+  ASSERT_FALSE(routers.empty());
+  std::size_t pinned_checked = 0;
+  for (const auto& ap : s.net().announced()) {
+    if (ap.only_via_links.empty()) continue;
+    net::Ipv4Addr dst(ap.prefix.first().value() + 1);
+    net::RouterId cur = routers.front();
+    bool delivered = false;
+    for (int i = 0; i < 64; ++i) {
+      if (s.fib().delivered_at(cur, dst)) {
+        delivered = true;
+        break;
+      }
+      auto hop = s.fib().next_hop(cur, dst);
+      if (!hop) break;
+      cur = hop->router;
+    }
+    EXPECT_TRUE(delivered) << dst.str();
+    if (++pinned_checked == 24) break;
+  }
+  EXPECT_GE(pinned_checked, 8u);
+}
+
+class AccessValidation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AccessValidation, LinkAccuracyHoldsAtScale) {
+  eval::Scenario s(eval::large_access_config(GetParam()));
+  net::AsId vp_as = s.featured_access();
+  auto vps = s.vps_in(vp_as);
+  ASSERT_EQ(vps.size(), 19u);
+  // One VP from the middle of the footprint.
+  auto result = s.run_bdrmap(vps[vps.size() / 2]);
+  eval::GroundTruth truth(s.net(), vp_as);
+  auto summary = truth.validate(result);
+  ASSERT_GT(summary.links_total, 40u);
+  EXPECT_GT(summary.link_accuracy(), 0.9)
+      << summary.links_correct << "/" << summary.links_total;
+  EXPECT_GT(summary.router_accuracy(), 0.8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AccessValidation,
+                         ::testing::Values(42, 7, 99));
+
+TEST(GapLinks, FirstRouterAfterSilentBorderStillLinked) {
+  // Find a run where some neighbor is reached only past a response gap;
+  // its first responsive router must still yield a link (kNoRouter near).
+  eval::Scenario s(eval::research_education_config(42));
+  net::AsId vp_as = s.first_of(topo::AsKind::kResearchEdu);
+  auto result = s.run_bdrmap(s.vps_in(vp_as).front());
+  std::size_t gap_links = 0;
+  for (const auto& link : result.links) {
+    gap_links += link.vp_router == core::InferredLink::kNoRouter &&
+                 link.neighbor_router != core::InferredLink::kNoRouter;
+  }
+  // Statistically present in every R&E run at this scale.
+  EXPECT_GT(gap_links, 0u);
+}
+
+}  // namespace
+}  // namespace bdrmap

@@ -1,0 +1,64 @@
+#include "netbase/ipv4.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace bdrmap::net {
+namespace {
+
+TEST(Ipv4Addr, ParsesDottedQuad) {
+  auto a = Ipv4Addr::parse("192.0.2.1");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->value(), 0xc0000201u);
+}
+
+TEST(Ipv4Addr, ParsesBoundaries) {
+  EXPECT_EQ(Ipv4Addr::parse("0.0.0.0")->value(), 0u);
+  EXPECT_EQ(Ipv4Addr::parse("255.255.255.255")->value(), 0xffffffffu);
+}
+
+TEST(Ipv4Addr, RejectsMalformed) {
+  EXPECT_FALSE(Ipv4Addr::parse(""));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4.5"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.256"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.-1"));
+  EXPECT_FALSE(Ipv4Addr::parse("a.b.c.d"));
+  EXPECT_FALSE(Ipv4Addr::parse("1..2.3"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4 "));
+}
+
+TEST(Ipv4Addr, FormatsDottedQuad) {
+  EXPECT_EQ(Ipv4Addr::of(192, 0, 2, 1).str(), "192.0.2.1");
+  EXPECT_EQ(Ipv4Addr(0).str(), "0.0.0.0");
+  EXPECT_EQ(Ipv4Addr(0xffffffffu).str(), "255.255.255.255");
+}
+
+TEST(Ipv4Addr, RoundTripsParseFormat) {
+  for (std::uint32_t v : {0u, 1u, 0x01020304u, 0xc0a80101u, 0xfffffffeu}) {
+    Ipv4Addr a(v);
+    auto parsed = Ipv4Addr::parse(a.str());
+    ASSERT_TRUE(parsed.has_value()) << a.str();
+    EXPECT_EQ(*parsed, a);
+  }
+}
+
+TEST(Ipv4Addr, OrdersNumerically) {
+  EXPECT_LT(Ipv4Addr::of(1, 0, 0, 1), Ipv4Addr::of(1, 0, 0, 2));
+  EXPECT_LT(Ipv4Addr::of(9, 255, 255, 255), Ipv4Addr::of(10, 0, 0, 0));
+}
+
+TEST(Ipv4Addr, NextWraps) {
+  EXPECT_EQ(Ipv4Addr::of(1, 2, 3, 4).next(), Ipv4Addr::of(1, 2, 3, 5));
+  EXPECT_EQ(Ipv4Addr(0xffffffffu).next(), Ipv4Addr(0));
+}
+
+TEST(Ipv4Addr, HashesDistinctly) {
+  std::unordered_set<Ipv4Addr> set;
+  for (std::uint32_t i = 0; i < 10000; ++i) set.insert(Ipv4Addr(i));
+  EXPECT_EQ(set.size(), 10000u);
+}
+
+}  // namespace
+}  // namespace bdrmap::net

@@ -1,0 +1,138 @@
+#include "netbase/prefix.h"
+
+#include <gtest/gtest.h>
+
+#include "netbase/rng.h"
+
+namespace bdrmap::net {
+namespace {
+
+Prefix P(const char* s) { return *Prefix::parse(s); }
+
+TEST(Prefix, ParsesAndCanonicalizes) {
+  Prefix p = P("192.0.2.129/25");
+  EXPECT_EQ(p.network().str(), "192.0.2.128");
+  EXPECT_EQ(p.length(), 25);
+  EXPECT_EQ(p.str(), "192.0.2.128/25");
+}
+
+TEST(Prefix, RejectsMalformed) {
+  EXPECT_FALSE(Prefix::parse("192.0.2.0"));
+  EXPECT_FALSE(Prefix::parse("192.0.2.0/33"));
+  EXPECT_FALSE(Prefix::parse("192.0.2.0/"));
+  EXPECT_FALSE(Prefix::parse("/24"));
+  EXPECT_FALSE(Prefix::parse("192.0.2.0/24x"));
+}
+
+TEST(Prefix, SizeAndBounds) {
+  Prefix p = P("10.0.0.0/30");
+  EXPECT_EQ(p.size(), 4u);
+  EXPECT_EQ(p.first().str(), "10.0.0.0");
+  EXPECT_EQ(p.last().str(), "10.0.0.3");
+  EXPECT_EQ(P("0.0.0.0/0").size(), std::uint64_t{1} << 32);
+  EXPECT_EQ(P("1.2.3.4/32").size(), 1u);
+}
+
+TEST(Prefix, ContainsAddresses) {
+  Prefix p = P("10.1.0.0/16");
+  EXPECT_TRUE(p.contains(*Ipv4Addr::parse("10.1.255.255")));
+  EXPECT_TRUE(p.contains(*Ipv4Addr::parse("10.1.0.0")));
+  EXPECT_FALSE(p.contains(*Ipv4Addr::parse("10.2.0.0")));
+}
+
+TEST(Prefix, ContainsPrefixes) {
+  EXPECT_TRUE(P("10.0.0.0/8").contains(P("10.1.0.0/16")));
+  EXPECT_TRUE(P("10.0.0.0/8").contains(P("10.0.0.0/8")));
+  EXPECT_FALSE(P("10.1.0.0/16").contains(P("10.0.0.0/8")));
+  EXPECT_FALSE(P("10.1.0.0/16").contains(P("10.2.0.0/24")));
+}
+
+TEST(Prefix, Halves) {
+  Prefix p = P("10.0.0.0/8");
+  EXPECT_EQ(p.lower_half().str(), "10.0.0.0/9");
+  EXPECT_EQ(p.upper_half().str(), "10.128.0.0/9");
+}
+
+TEST(Prefix, Mate31) {
+  EXPECT_EQ(mate31(*Ipv4Addr::parse("10.0.0.4")).str(), "10.0.0.5");
+  EXPECT_EQ(mate31(*Ipv4Addr::parse("10.0.0.5")).str(), "10.0.0.4");
+}
+
+TEST(Prefix, Mate30) {
+  // Usable hosts of a /30 are .1 and .2; .0 and .3 have no mate.
+  EXPECT_EQ(mate30(*Ipv4Addr::parse("10.0.0.1"))->str(), "10.0.0.2");
+  EXPECT_EQ(mate30(*Ipv4Addr::parse("10.0.0.2"))->str(), "10.0.0.1");
+  EXPECT_FALSE(mate30(*Ipv4Addr::parse("10.0.0.0")).has_value());
+  EXPECT_FALSE(mate30(*Ipv4Addr::parse("10.0.0.3")).has_value());
+}
+
+TEST(PrefixSubtract, NoHolesKeepsWhole) {
+  auto out = subtract(P("10.0.0.0/16"), {});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], P("10.0.0.0/16"));
+}
+
+TEST(PrefixSubtract, FullCoverRemovesEverything) {
+  EXPECT_TRUE(subtract(P("10.0.0.0/16"), {P("10.0.0.0/8")}).empty());
+  EXPECT_TRUE(subtract(P("10.0.0.0/16"), {P("10.0.0.0/16")}).empty());
+}
+
+TEST(PrefixSubtract, PaperExample) {
+  // §5.3: X originates 128.66.0.0/16, Y the more-specific 128.66.2.0/24;
+  // X's blocks are 128.66.0.0-128.66.1.255 and 128.66.3.0-128.66.255.255.
+  auto out = subtract(P("128.66.0.0/16"), {P("128.66.2.0/24")});
+  std::uint64_t covered = 0;
+  for (const auto& p : out) {
+    covered += p.size();
+    EXPECT_FALSE(p.contains(*Ipv4Addr::parse("128.66.2.1")));
+  }
+  EXPECT_EQ(covered, (std::uint64_t{1} << 16) - 256);
+  // The first piece is the /23 covering 128.66.0.0-128.66.1.255.
+  EXPECT_EQ(out.front(), P("128.66.0.0/23"));
+}
+
+TEST(PrefixSubtract, MultipleAndNestedHoles) {
+  auto out = subtract(P("10.0.0.0/16"),
+                      {P("10.0.1.0/24"), P("10.0.128.0/17"),
+                       P("10.0.129.0/24")});  // nested inside the /17
+  std::uint64_t covered = 0;
+  for (const auto& p : out) covered += p.size();
+  EXPECT_EQ(covered, 65536u - 256 - 32768);
+}
+
+// Property: subtraction always partitions the remainder exactly.
+class SubtractProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SubtractProperty, CoversExactlyTheRemainder) {
+  Rng rng(GetParam());
+  Prefix whole(Ipv4Addr(rng.uniform(0, 0xffff) << 16), 16);
+  std::vector<Prefix> holes;
+  for (int i = 0; i < 5; ++i) {
+    std::uint8_t len = static_cast<std::uint8_t>(rng.uniform(18, 26));
+    std::uint32_t offset = rng.uniform(0, 0xffff);
+    holes.push_back(Prefix(Ipv4Addr(whole.first().value() + offset), len));
+  }
+  auto pieces = subtract(whole, holes);
+  // Sample addresses and verify membership equivalence.
+  for (int i = 0; i < 2000; ++i) {
+    Ipv4Addr a(whole.first().value() + rng.uniform(0, 0xffff));
+    bool in_hole = false;
+    for (const auto& h : holes) in_hole |= h.contains(a);
+    bool in_piece = false;
+    for (const auto& p : pieces) in_piece |= p.contains(a);
+    EXPECT_EQ(in_piece, !in_hole) << a.str();
+  }
+  // Pieces are disjoint.
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    for (std::size_t j = i + 1; j < pieces.size(); ++j) {
+      EXPECT_FALSE(pieces[i].contains(pieces[j]));
+      EXPECT_FALSE(pieces[j].contains(pieces[i]));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SubtractProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace bdrmap::net

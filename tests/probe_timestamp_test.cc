@@ -1,0 +1,153 @@
+// IP prespecified-timestamp probing ([26]) and its use against false
+// third-party reclassification.
+#include <gtest/gtest.h>
+
+#include "core/bdrmap.h"
+#include "probe/alias.h"
+#include "route/bgp_sim.h"
+#include "route/fib.h"
+#include "test_support.h"
+
+namespace bdrmap::probe {
+namespace {
+
+using net::AsId;
+using net::RouterId;
+using test::ip;
+
+// VP(as1): r1 -> r2 -> interdomain -> r3(as2) -> r4(as2, hosts prefix).
+class TimestampFixture : public ::testing::Test {
+ protected:
+  TimestampFixture() {
+    as1_ = m_.add_as();
+    as2_ = m_.add_as();
+    r1_ = m_.add_router(as1_);
+    r2_ = m_.add_router(as1_);
+    r3_ = m_.add_router(as2_);
+    r4_ = m_.add_router(as2_);
+    m_.net().truth_relationships().add_c2p(as2_, as1_);
+    m_.link(topo::LinkKind::kInternal, as1_, r1_, ip("10.0.0.1"), r2_,
+            ip("10.0.0.2"));
+    m_.link(topo::LinkKind::kInterdomain, as1_, r2_, ip("10.0.1.1"), r3_,
+            ip("10.0.1.2"));
+    m_.link(topo::LinkKind::kInternal, as2_, r3_, ip("20.0.0.1"), r4_,
+            ip("20.0.0.2"));
+    m_.announce("10.0.0.0/16", as1_, r1_);
+    m_.announce("20.0.0.0/16", as2_, r4_);
+  }
+
+  void build() {
+    bgp_ = std::make_unique<route::BgpSimulator>(m_.net());
+    fib_ = std::make_unique<route::Fib>(m_.net(), *bgp_);
+    topo::Vp vp{as1_, r1_, ip("10.0.255.1"), 0};
+    engine_ = std::make_unique<TracerouteEngine>(m_.net(), *fib_, vp, 3);
+  }
+
+  topo::RouterBehavior& behavior(RouterId r) {
+    return m_.net().router_mutable(r).behavior;
+  }
+
+  test::MiniNet m_;
+  AsId as1_, as2_;
+  RouterId r1_, r2_, r3_, r4_;
+  std::unique_ptr<route::BgpSimulator> bgp_;
+  std::unique_ptr<route::Fib> fib_;
+  std::unique_ptr<TracerouteEngine> engine_;
+};
+
+TEST_F(TimestampFixture, ConfirmsInboundInterface) {
+  behavior(r3_).honors_timestamp = true;
+  build();
+  // 10.0.1.2 is r3's ingress on paths toward 20/16.
+  auto verdict = engine_->timestamp_probe(ip("20.0.5.5"), ip("10.0.1.2"));
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_TRUE(*verdict);
+}
+
+TEST_F(TimestampFixture, RefutesOffPathInterface) {
+  behavior(r4_).honors_timestamp = true;
+  build();
+  // 20.0.0.2 (r4's internal side) is never an ingress on the path toward
+  // r3's own link address.
+  auto verdict = engine_->timestamp_probe(ip("10.0.1.2"), ip("20.0.0.2"));
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_FALSE(*verdict);
+}
+
+TEST_F(TimestampFixture, NoEvidenceWhenOptionIgnored) {
+  build();  // honors_timestamp defaults to false
+  EXPECT_FALSE(
+      engine_->timestamp_probe(ip("20.0.5.5"), ip("10.0.1.2")).has_value());
+}
+
+TEST_F(TimestampFixture, NoEvidenceForNonInterfaceAddresses) {
+  build();
+  EXPECT_FALSE(
+      engine_->timestamp_probe(ip("20.0.5.5"), ip("20.0.9.9")).has_value());
+}
+
+TEST_F(TimestampFixture, NoNegativeEvidenceWhenPathIncomplete) {
+  behavior(r3_).honors_timestamp = true;
+  behavior(r3_).firewall_edge = true;
+  build();
+  // Probe toward hosts behind the firewall never completes: no evidence
+  // about an (off-path) candidate on r3.
+  auto verdict = engine_->timestamp_probe(ip("20.0.5.5"), ip("20.0.0.1"));
+  EXPECT_FALSE(verdict.has_value());
+}
+
+}  // namespace
+}  // namespace bdrmap::probe
+
+namespace bdrmap::core {
+namespace {
+
+using net::AsId;
+using test::ip;
+using test::make_trace;
+using test::pfx;
+
+// The [26] use case: an AS4-mapped hop on paths toward AS3 (AS4 being
+// AS3's provider) is normally reclassified as AS3's router (third-party);
+// a timestamp confirmation that the address is genuinely inbound keeps the
+// IP-AS interpretation (the router really is AS4's).
+TEST(TimestampHeuristics, ConfirmedInboundExemptFromThirdParty) {
+  test::InputBundle in;
+  in.vp_ases = {AsId(1)};
+  in.origins.add(pfx("10.0.0.0/8"), AsId(1));
+  in.origins.add(pfx("30.0.0.0/8"), AsId(3));
+  in.origins.add(pfx("40.0.0.0/8"), AsId(4));
+  in.rels.add_c2p(AsId(3), AsId(4));
+
+  std::vector<ObservedTrace> traces{
+      make_trace(AsId(3), "30.0.0.9",
+                 {{"10.0.0.1"}, {"10.0.0.2"}, {"40.0.0.1"}, {nullptr}}),
+      make_trace(AsId(3), "30.0.1.9",
+                 {{"10.0.0.1"}, {"10.0.0.2"}, {"40.0.0.1"}, {nullptr}})};
+
+  // Without confirmation: third-party reclassification to AS3.
+  {
+    RouterGraph graph(traces, {});
+    auto inputs = in.inputs();
+    Heuristics h(graph, inputs, {});
+    h.run();
+    auto r = *graph.router_of(ip("40.0.0.1"));
+    EXPECT_EQ(graph.routers()[r].how, Heuristic::kThirdParty);
+  }
+  // With 40.0.0.1 confirmed inbound: the router keeps its AS4 mapping.
+  {
+    RouterGraph graph(traces, {});
+    auto inputs = in.inputs();
+    std::unordered_set<net::Ipv4Addr> confirmed{ip("40.0.0.1")};
+    HeuristicsConfig config;
+    config.confirmed_inbound = &confirmed;
+    Heuristics h(graph, inputs, config);
+    h.run();
+    auto r = *graph.router_of(ip("40.0.0.1"));
+    EXPECT_NE(graph.routers()[r].how, Heuristic::kThirdParty);
+    EXPECT_EQ(graph.routers()[r].owner, AsId(4));
+  }
+}
+
+}  // namespace
+}  // namespace bdrmap::core

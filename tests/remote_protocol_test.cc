@@ -1,0 +1,73 @@
+#include "remote/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace bdrmap::remote {
+namespace {
+
+using test::ip;
+
+TEST(Protocol, TraceRoundTrip) {
+  probe::TraceResult t;
+  t.dst = ip("20.0.0.9");
+  t.reached_dst = true;
+  t.hops.push_back({ip("10.0.0.1"), probe::ReplyKind::kTimeExceeded, {}});
+  t.hops.push_back({net::Ipv4Addr{}, probe::ReplyKind::kNone, {}});
+  t.hops.push_back({ip("20.0.0.9"), probe::ReplyKind::kEchoReply, {}});
+  auto decoded = decode_trace_resp(encode_trace_resp(t));
+  EXPECT_EQ(decoded.dst, t.dst);
+  EXPECT_TRUE(decoded.reached_dst);
+  ASSERT_EQ(decoded.hops.size(), 3u);
+  EXPECT_EQ(decoded.hops[0].addr, ip("10.0.0.1"));
+  EXPECT_EQ(decoded.hops[1].kind, probe::ReplyKind::kNone);
+  EXPECT_EQ(decoded.hops[2].kind, probe::ReplyKind::kEchoReply);
+}
+
+TEST(Protocol, UdpRoundTrip) {
+  auto some = decode_udp_resp(encode_udp_resp(ip("10.0.0.1")));
+  ASSERT_TRUE(some.has_value());
+  EXPECT_EQ(*some, ip("10.0.0.1"));
+  EXPECT_FALSE(decode_udp_resp(encode_udp_resp(std::nullopt)).has_value());
+}
+
+TEST(Protocol, IpidRoundTrip) {
+  auto some = decode_ipid_resp(encode_ipid_resp(std::uint16_t{0xBEEF}));
+  ASSERT_TRUE(some.has_value());
+  EXPECT_EQ(*some, 0xBEEF);
+  EXPECT_FALSE(decode_ipid_resp(encode_ipid_resp(std::nullopt)).has_value());
+}
+
+TEST(Protocol, RejectsWrongMessageType) {
+  auto buf = encode_udp_resp(ip("10.0.0.1"));
+  EXPECT_THROW(decode_trace_resp(buf), std::runtime_error);
+  EXPECT_THROW(decode_ipid_resp(buf), std::runtime_error);
+}
+
+TEST(Protocol, RejectsTruncatedMessage) {
+  probe::TraceResult t;
+  t.dst = ip("20.0.0.9");
+  t.hops.push_back({ip("10.0.0.1"), probe::ReplyKind::kTimeExceeded, {}});
+  auto buf = encode_trace_resp(t);
+  buf.resize(buf.size() - 2);
+  EXPECT_THROW(decode_trace_resp(buf), std::runtime_error);
+}
+
+TEST(Protocol, ReaderPrimitives) {
+  Writer w;
+  w.u8(0x12);
+  w.u16(0x3456);
+  w.u32(0x789abcde);
+  w.f64(3.25);
+  auto buf = w.take();
+  Reader r(buf);
+  EXPECT_EQ(r.u8(), 0x12);
+  EXPECT_EQ(r.u16(), 0x3456);
+  EXPECT_EQ(r.u32(), 0x789abcdeu);
+  EXPECT_EQ(r.f64(), 3.25);
+  EXPECT_TRUE(r.done());
+}
+
+}  // namespace
+}  // namespace bdrmap::remote

@@ -1,0 +1,112 @@
+// §5.8 split deployment: the identical inference must come out of the
+// remote prober path, with all bdrmap state controller-side.
+#include "remote/split.h"
+
+#include <gtest/gtest.h>
+
+#include "core/bdrmap.h"
+#include "eval/scenario.h"
+
+namespace bdrmap::remote {
+namespace {
+
+namespace {
+topo::GeneratorConfig deterministic_config() {
+  // Eliminate the per-probe randomness (rate limiting, lossy destinations)
+  // so the local and remote paths consume identical RNG streams: the
+  // comparison then isolates the deployment split itself.
+  auto c = eval::small_access_config(11);
+  c.rate_limit_max = 0.0;
+  c.p_silent = 0.0;
+  c.p_echo_only = 0.0;
+  c.dest_responsiveness_enterprise = 1.0;
+  c.dest_responsiveness_default = 1.0;
+  return c;
+}
+}  // namespace
+
+class SplitFixture : public ::testing::Test {
+ protected:
+  SplitFixture() : scenario_(deterministic_config()) {
+    vp_as_ = scenario_.first_of(topo::AsKind::kAccess);
+    vp_ = scenario_.vps_in(vp_as_).front();
+  }
+
+  eval::Scenario scenario_;
+  net::AsId vp_as_;
+  topo::Vp vp_;
+};
+
+TEST_F(SplitFixture, RemoteMatchesLocalInference) {
+  core::InferenceInputs inputs = scenario_.inputs_for(vp_as_);
+
+  auto local_services = scenario_.services_for(vp_, 123);
+  core::Bdrmap local(*local_services, inputs);
+  auto local_result = local.run();
+
+  auto device_services = scenario_.services_for(vp_, 123);
+  ProberDevice device(*device_services);
+  RemoteProbeServices remote_services(device);
+  core::Bdrmap remote(remote_services, inputs);
+  auto remote_result = remote.run();
+
+  // Same routers and links inferred (the RNG streams are identical; only
+  // stop-set truncation differs mechanically, and it is applied to the
+  // same traces).
+  EXPECT_EQ(remote_result.links.size(), local_result.links.size());
+  EXPECT_EQ(remote_result.links_by_as.size(),
+            local_result.links_by_as.size());
+  for (const auto& [as, links] : local_result.links_by_as) {
+    ASSERT_TRUE(remote_result.links_by_as.count(as)) << as.str();
+    EXPECT_EQ(remote_result.links_by_as.at(as).size(), links.size());
+  }
+}
+
+TEST_F(SplitFixture, ChannelStatsAccumulate) {
+  core::InferenceInputs inputs = scenario_.inputs_for(vp_as_);
+  auto device_services = scenario_.services_for(vp_, 123);
+  ProberDevice device(*device_services);
+  RemoteProbeServices remote_services(device);
+  core::Bdrmap remote(remote_services, inputs);
+  auto result = remote.run();
+
+  const ChannelStats& stats = remote_services.channel_stats();
+  EXPECT_GT(stats.messages, result.stats.traces);
+  EXPECT_GT(stats.bytes_to_device, 0u);
+  EXPECT_GT(stats.bytes_from_device, 0u);
+  // The device never buffers more than one (small) message: the paper's
+  // 3.5MB-scamper vs 150MB-bdrmap split. Our messages are tiny.
+  EXPECT_LT(stats.peak_message_bytes, 4096u);
+}
+
+TEST_F(SplitFixture, ControllerAppliesStopSetTruncation) {
+  auto device_services = scenario_.services_for(vp_, 9);
+  ProberDevice device(*device_services);
+  RemoteProbeServices remote_services(device);
+  // Trace something, then ask again with a stop set covering the first
+  // responsive hop: the controller-side truncation must apply.
+  auto full = remote_services.trace(
+      net::Ipv4Addr(scenario_.net().announced().front().prefix.first().value() + 1),
+      nullptr);
+  net::Ipv4Addr first;
+  for (const auto& hop : full.hops) {
+    if (hop.kind != probe::ReplyKind::kNone) {
+      first = hop.addr;
+      break;
+    }
+  }
+  ASSERT_FALSE(first.is_zero());
+  auto truncated = remote_services.trace(
+      full.dst, [&](net::Ipv4Addr a) { return a == first; });
+  EXPECT_TRUE(truncated.stopped_by_stopset);
+  EXPECT_EQ(truncated.hops.back().addr, first);
+}
+
+TEST_F(SplitFixture, DeviceRejectsGarbage) {
+  auto device_services = scenario_.services_for(vp_, 9);
+  ProberDevice device(*device_services);
+  EXPECT_THROW(device.handle({0xFF, 0x01}), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace bdrmap::remote

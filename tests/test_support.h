@@ -1,0 +1,113 @@
+// Shared fixtures for the bdrmap test suite: a hand-buildable mini Internet
+// and helpers for constructing observations directly, so each heuristic can
+// be exercised on exactly the topology of the corresponding paper figure.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "asdata/bgp_origins.h"
+#include "core/heuristics.h"
+#include "core/observations.h"
+#include "probe/alias.h"
+#include "route/bgp_sim.h"
+#include "route/fib.h"
+#include "topo/generator.h"
+#include "topo/internet.h"
+
+namespace bdrmap::test {
+
+using net::AsId;
+using net::Ipv4Addr;
+using net::Prefix;
+using net::RouterId;
+
+inline Ipv4Addr ip(const char* s) { return *Ipv4Addr::parse(s); }
+inline Prefix pfx(const char* s) { return *Prefix::parse(s); }
+
+// A convenience builder over topo::Internet for handwritten topologies.
+class MiniNet {
+ public:
+  MiniNet() { pop_ = net_.add_pop({"TestCity", -100.0, 40.0}); }
+
+  AsId add_as(topo::AsKind kind = topo::AsKind::kTransit) {
+    AsId as = net_.add_as(kind, net::OrgId(next_org_++), "T");
+    return as;
+  }
+
+  RouterId add_router(AsId owner, topo::RouterBehavior behavior = {}) {
+    return net_.add_router(owner, pop_, behavior);
+  }
+
+  // Point-to-point link with explicit addresses; subnet inferred as the
+  // covering /30 of the first address (tests pick compatible pairs).
+  topo::LinkId link(topo::LinkKind kind, AsId addr_owner, RouterId a,
+                    Ipv4Addr addr_a, RouterId b, Ipv4Addr addr_b) {
+    topo::LinkId l = net_.add_link(kind, Prefix(addr_a, 30), addr_owner,
+                                   {{a, addr_a}, {b, addr_b}});
+    if (kind != topo::LinkKind::kInternal) {
+      net_.record_interdomain({l, net_.router(a).owner, net_.router(b).owner,
+                               a, b, kind == topo::LinkKind::kIxpLan});
+    }
+    return l;
+  }
+
+  void announce(const char* prefix, AsId origin, RouterId host,
+                double responsiveness = 1.0) {
+    net_.add_announced({pfx(prefix), origin, host, {}, responsiveness});
+  }
+
+  topo::Internet& net() { return net_; }
+
+ private:
+  topo::Internet net_;
+  std::uint32_t pop_;
+  std::uint32_t next_org_ = 1;
+};
+
+// Builds an ObservedTrace from a list of (address-string, kind) pairs.
+// nullptr address means a '*' hop.
+struct HopSpec {
+  const char* addr;  // nullptr for no reply
+  probe::ReplyKind kind = probe::ReplyKind::kTimeExceeded;
+};
+
+inline core::ObservedTrace make_trace(AsId target, const char* dst,
+                                      std::vector<HopSpec> hops,
+                                      bool reached = false) {
+  core::ObservedTrace t;
+  t.target_as = target;
+  t.dst = ip(dst);
+  t.reached_dst = reached;
+  for (const auto& h : hops) {
+    if (h.addr == nullptr) {
+      t.hops.push_back({Ipv4Addr{}, probe::ReplyKind::kNone});
+    } else {
+      t.hops.push_back({ip(h.addr), h.kind});
+    }
+  }
+  return t;
+}
+
+// Bundles the §5.2 inputs with owned storage for heuristic unit tests.
+struct InputBundle {
+  asdata::OriginTable origins;
+  asdata::RelationshipStore rels;
+  asdata::IxpDirectory ixps;
+  asdata::RirDelegations rir;
+  asdata::SiblingTable siblings;
+  std::vector<AsId> vp_ases;
+
+  core::InferenceInputs inputs() const {
+    core::InferenceInputs in;
+    in.origins = &origins;
+    in.rels = &rels;
+    in.ixps = &ixps;
+    in.rir = &rir;
+    in.siblings = &siblings;
+    in.vp_ases = vp_ases;
+    return in;
+  }
+};
+
+}  // namespace bdrmap::test

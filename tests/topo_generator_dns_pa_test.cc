@@ -1,0 +1,117 @@
+// Generator pathologies in detail: PA space, unrouted-infra splitting,
+// IXP record noise, and behaviour mixtures.
+#include <gtest/gtest.h>
+
+#include "topo/generator.h"
+
+namespace bdrmap::topo {
+namespace {
+
+class PathologyFixture : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  PathologyFixture() {
+    GeneratorConfig config;
+    config.seed = GetParam();
+    config.num_transit = 16;
+    config.num_enterprise = 150;
+    config.p_pa_infra = 0.2;       // force plenty of PA customers
+    config.p_unrouted_infra = 0.2; // and unrouted infrastructure
+    gen_ = std::make_unique<GeneratedInternet>(generate(config));
+  }
+  std::unique_ptr<GeneratedInternet> gen_;
+};
+
+TEST_P(PathologyFixture, PaCustomersUseProviderSpaceInternally) {
+  const auto& net = gen_->net;
+  // Find enterprises whose internal link subnets live outside their own
+  // announced space (the Figure 12 setup).
+  std::size_t pa_found = 0;
+  for (const auto& link : net.links()) {
+    if (link.kind != LinkKind::kInternal) continue;
+    const auto& r0 = net.router(net.iface(link.ifaces[0]).router);
+    if (net.as_info(r0.owner).kind != AsKind::kEnterprise) continue;
+    if (link.addr_space_owner != r0.owner) {
+      ++pa_found;
+      // The supplying AS must be a provider of the enterprise.
+      EXPECT_EQ(net.truth_relationships().rel(r0.owner,
+                                              link.addr_space_owner),
+                asdata::Relationship::kProvider);
+    }
+  }
+  EXPECT_GT(pa_found, 3u);
+}
+
+TEST_P(PathologyFixture, UnroutedInfraIsPartialForBigNetworks) {
+  const auto& net = gen_->net;
+  std::size_t big_unrouted = 0;
+  for (const auto& info : net.ases()) {
+    for (const auto& block : info.unrouted_infra) {
+      // The unannounced block must really be absent from BGP truth...
+      EXPECT_FALSE(net.truth_origins().origins(block.first()) != nullptr &&
+                   net.truth_origins().origin(block.first()) == info.id);
+      if (info.kind != AsKind::kEnterprise) {
+        ++big_unrouted;
+        // ...while the other half of the infra range stays announced, so
+        // the §5.4.1 RIR extension has an anchor.
+        net::Ipv4Addr lower(block.first().value() -
+                            static_cast<std::uint32_t>(block.size()));
+        EXPECT_TRUE(net.truth_origins().origins(lower) != nullptr)
+            << info.name;
+      }
+    }
+  }
+  EXPECT_GT(big_unrouted, 0u);
+}
+
+TEST_P(PathologyFixture, DnsNoiseRatesAreReasonable) {
+  const auto& net = gen_->net;
+  std::size_t named = 0, with_as = 0, wrong_as = 0;
+  for (const auto& iface : net.ifaces()) {
+    auto name = net.reverse_dns().lookup(iface.addr);
+    if (!name) continue;
+    ++named;
+    auto hints = asdata::parse_hostname(*name);
+    if (!hints.as_hint) continue;
+    ++with_as;
+    wrong_as += *hints.as_hint != net.router(iface.router).owner;
+  }
+  // Many interfaces are named; a visible minority carries no AS number.
+  EXPECT_GT(named, net.ifaces().size() / 2);
+  EXPECT_LT(with_as, named);
+  EXPECT_EQ(wrong_as, 0u);
+}
+
+TEST_P(PathologyFixture, IxpMembershipRecordsMostlyMatchFabric) {
+  const auto& net = gen_->net;
+  std::size_t records = 0, resolvable = 0;
+  for (const auto& m : net.ixp_directory().memberships()) {
+    ++records;
+    auto iface = net.iface_at(m.address);
+    if (!iface) continue;  // stale record: address not on the fabric
+    if (net.router(net.iface(*iface).router).owner == m.member) {
+      ++resolvable;
+    }
+  }
+  ASSERT_GT(records, 5u);
+  // ~3% stale by construction; the bulk must check out.
+  EXPECT_GT(static_cast<double>(resolvable) / records, 0.85);
+}
+
+TEST_P(PathologyFixture, BehaviorMixtureRoughlyMatchesConfig) {
+  const auto& net = gen_->net;
+  std::size_t shared = 0, total = 0, udp = 0;
+  for (const auto& router : net.routers()) {
+    ++total;
+    shared += router.behavior.ipid == IpidKind::kSharedCounter;
+    udp += router.behavior.responds_udp;
+  }
+  ASSERT_GT(total, 200u);
+  EXPECT_NEAR(static_cast<double>(shared) / total, 0.5, 0.12);
+  EXPECT_NEAR(static_cast<double>(udp) / total, 0.6, 0.12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PathologyFixture,
+                         ::testing::Values(11, 29, 83));
+
+}  // namespace
+}  // namespace bdrmap::topo

@@ -1,0 +1,190 @@
+// Generator invariants, parameterized across seeds: the synthetic Internet
+// must be structurally sound for any seed, and the featured (§6) networks
+// must exhibit the marquee properties the benches rely on.
+#include "topo/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace bdrmap::topo {
+namespace {
+
+class GeneratorProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  GeneratorProperty() {
+    GeneratorConfig config;
+    config.seed = GetParam();
+    // Smaller population keeps the sweep fast while covering all code paths.
+    config.num_transit = 20;
+    config.num_enterprise = 120;
+    gen_ = std::make_unique<GeneratedInternet>(generate(config));
+  }
+  std::unique_ptr<GeneratedInternet> gen_;
+};
+
+TEST_P(GeneratorProperty, EveryNonIxpAsHasRouters) {
+  for (const auto& info : gen_->net.ases()) {
+    if (info.kind == AsKind::kIxpOperator) continue;
+    EXPECT_FALSE(info.routers.empty()) << info.name;
+  }
+}
+
+TEST_P(GeneratorProperty, InterdomainLinksConnectTheRecordedAses) {
+  for (const auto& il : gen_->net.interdomain_links()) {
+    EXPECT_EQ(gen_->net.router(il.router_a).owner, il.as_a);
+    EXPECT_EQ(gen_->net.router(il.router_b).owner, il.as_b);
+    EXPECT_TRUE(gen_->net.truth_relationships().are_neighbors(il.as_a,
+                                                              il.as_b));
+  }
+}
+
+TEST_P(GeneratorProperty, ProviderSuppliesC2pLinkAddresses) {
+  const auto& net = gen_->net;
+  for (const auto& il : net.interdomain_links()) {
+    if (il.via_ixp) continue;
+    auto rel = net.truth_relationships().rel(il.as_a, il.as_b);
+    const auto& link = net.link(il.link);
+    if (rel == asdata::Relationship::kCustomer) {
+      // b is a's customer: a supplies the subnet (§4 challenge 1).
+      EXPECT_EQ(link.addr_space_owner, il.as_a);
+    } else if (rel == asdata::Relationship::kProvider) {
+      EXPECT_EQ(link.addr_space_owner, il.as_b);
+    } else {
+      EXPECT_TRUE(link.addr_space_owner == il.as_a ||
+                  link.addr_space_owner == il.as_b);
+    }
+  }
+}
+
+TEST_P(GeneratorProperty, P2pSubnetsAreSlash30Or31) {
+  for (const auto& link : gen_->net.links()) {
+    if (link.kind != LinkKind::kInterdomain) continue;
+    EXPECT_TRUE(link.subnet.length() == 30 || link.subnet.length() == 31);
+    EXPECT_EQ(link.ifaces.size(), 2u);
+    for (auto i : link.ifaces) {
+      EXPECT_TRUE(link.subnet.contains(gen_->net.iface(i).addr));
+    }
+  }
+}
+
+TEST_P(GeneratorProperty, InterfaceAddressesAreUnique) {
+  std::set<std::uint32_t> seen;
+  for (const auto& iface : gen_->net.ifaces()) {
+    EXPECT_TRUE(seen.insert(iface.addr.value()).second)
+        << iface.addr.str();
+  }
+}
+
+TEST_P(GeneratorProperty, AnnouncedPrefixesHostedByOriginRouters) {
+  for (const auto& ap : gen_->net.announced()) {
+    const auto& host = gen_->net.router(ap.host_router);
+    // IXP LANs are announced by the IXP AS but hosted on a member router.
+    if (gen_->net.as_info(ap.origin).kind == AsKind::kIxpOperator) continue;
+    EXPECT_EQ(host.owner, ap.origin);
+  }
+}
+
+TEST_P(GeneratorProperty, VpAttachRoutersRespond) {
+  for (const auto& vp : gen_->vps) {
+    const auto& b = gen_->net.router(vp.attach_router).behavior;
+    EXPECT_TRUE(b.sends_ttl_expired);
+    EXPECT_EQ(gen_->net.router(vp.attach_router).owner, vp.as);
+  }
+}
+
+TEST_P(GeneratorProperty, FeaturedAccessHas19VpsAnd45Tier1Links) {
+  const auto& net = gen_->net;
+  net::AsId access, tier1;
+  for (const auto& info : net.ases()) {
+    if (info.kind == AsKind::kAccess && !access.valid()) access = info.id;
+    if (info.kind == AsKind::kTier1 && !tier1.valid()) tier1 = info.id;
+  }
+  std::size_t vps = 0;
+  for (const auto& vp : gen_->vps) vps += vp.as == access;
+  EXPECT_EQ(vps, 19u);
+  std::size_t links = 0;
+  for (const auto& il : net.interdomain_links()) {
+    if ((il.as_a == access && il.as_b == tier1) ||
+        (il.as_b == access && il.as_a == tier1)) {
+      ++links;
+    }
+  }
+  // "45 router-level links with one of the ISP's Tier-1 peers" (§6).
+  EXPECT_EQ(links, 45u);
+}
+
+TEST_P(GeneratorProperty, AkamaiLikePinsPrefixesToFeaturedLinks) {
+  const auto& net = gen_->net;
+  net::AsId akamai;
+  for (const auto& info : net.ases()) {
+    if (info.kind == AsKind::kContent) {
+      akamai = info.id;
+      break;
+    }
+  }
+  net::AsId access;
+  for (const auto& info : net.ases()) {
+    if (info.kind == AsKind::kAccess) {
+      access = info.id;
+      break;
+    }
+  }
+  std::size_t pinned = 0;
+  std::set<std::uint32_t> access_pins;
+  for (const auto& ap : net.announced()) {
+    if (ap.origin != akamai) continue;
+    if (ap.only_via_links.empty()) continue;
+    ++pinned;
+    // The first pinned entry is the single access-network interconnect;
+    // the rest are the CDN's transit links (global reachability).
+    const auto& first = net.link(ap.only_via_links.front());
+    bool touches_access = false;
+    for (auto i : first.ifaces) {
+      touches_access |= net.router(net.iface(i).router).owner == access;
+    }
+    EXPECT_TRUE(touches_access);
+    access_pins.insert(ap.only_via_links.front().value);
+  }
+  EXPECT_GE(pinned, 8u);
+  EXPECT_GE(access_pins.size(), 8u);  // every access link carries prefixes
+}
+
+TEST_P(GeneratorProperty, IxpLansRecordedInDirectory) {
+  const auto& net = gen_->net;
+  for (const auto& link : net.links()) {
+    if (link.kind != LinkKind::kIxpLan) continue;
+    EXPECT_TRUE(net.ixp_directory().is_ixp_address(
+        net.iface(link.ifaces.front()).addr));
+  }
+}
+
+TEST_P(GeneratorProperty, RirCoversEveryAsBlock) {
+  const auto& net = gen_->net;
+  // Every announced (non-IXP) prefix falls in some RIR-delegated block.
+  for (const auto& ap : net.announced()) {
+    if (net.as_info(ap.origin).kind == AsKind::kIxpOperator) continue;
+    EXPECT_TRUE(net.rir().lookup(ap.prefix.first()).has_value())
+        << ap.prefix.str();
+  }
+}
+
+TEST_P(GeneratorProperty, DeterministicForSameSeed) {
+  GeneratorConfig config;
+  config.seed = GetParam();
+  config.num_transit = 20;
+  config.num_enterprise = 120;
+  auto again = generate(config);
+  ASSERT_EQ(again.net.routers().size(), gen_->net.routers().size());
+  ASSERT_EQ(again.net.ifaces().size(), gen_->net.ifaces().size());
+  for (std::size_t i = 0; i < again.net.ifaces().size(); ++i) {
+    EXPECT_EQ(again.net.ifaces()[i].addr, gen_->net.ifaces()[i].addr);
+  }
+  ASSERT_EQ(again.vps.size(), gen_->vps.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorProperty,
+                         ::testing::Values(1, 7, 42, 1234, 99991));
+
+}  // namespace
+}  // namespace bdrmap::topo

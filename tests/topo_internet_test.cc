@@ -1,0 +1,125 @@
+#include "topo/internet.h"
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace bdrmap::topo {
+namespace {
+
+using test::ip;
+using test::pfx;
+
+TEST(Internet, AsNumbersAreDenseFromOne) {
+  Internet net;
+  EXPECT_EQ(net.add_as(AsKind::kTier1, net::OrgId(1), "a"), net::AsId(1));
+  EXPECT_EQ(net.add_as(AsKind::kTransit, net::OrgId(2), "b"), net::AsId(2));
+  EXPECT_TRUE(net.has_as(net::AsId(1)));
+  EXPECT_FALSE(net.has_as(net::AsId(3)));
+  EXPECT_EQ(net.as_info(net::AsId(2)).name, "b");
+}
+
+TEST(Internet, SiblingTablePopulatedFromOrgs) {
+  Internet net;
+  net.add_as(AsKind::kTransit, net::OrgId(5), "a");
+  net.add_as(AsKind::kTransit, net::OrgId(5), "b");
+  EXPECT_TRUE(net.sibling_table().are_siblings(net::AsId(1), net::AsId(2)));
+}
+
+TEST(Internet, LinkCreatesInterfacesAndBorderFlags) {
+  test::MiniNet m;
+  auto as1 = m.add_as();
+  auto as2 = m.add_as();
+  auto r1 = m.add_router(as1);
+  auto r2 = m.add_router(as2);
+  m.link(LinkKind::kInterdomain, as1, r1, ip("10.0.0.1"), r2, ip("10.0.0.2"));
+  const auto& net = m.net();
+  EXPECT_TRUE(net.router(r1).is_border);
+  EXPECT_TRUE(net.router(r2).is_border);
+  ASSERT_TRUE(net.iface_at(ip("10.0.0.1")).has_value());
+  EXPECT_EQ(net.router_at(ip("10.0.0.2")), r2);
+  EXPECT_EQ(net.interdomain_links().size(), 1u);
+}
+
+TEST(Internet, InternalLinkDoesNotMarkBorder) {
+  test::MiniNet m;
+  auto as1 = m.add_as();
+  auto r1 = m.add_router(as1);
+  auto r2 = m.add_router(as1);
+  m.link(LinkKind::kInternal, as1, r1, ip("10.0.0.1"), r2, ip("10.0.0.2"));
+  EXPECT_FALSE(m.net().router(r1).is_border);
+}
+
+TEST(Internet, DuplicateAddressThrows) {
+  test::MiniNet m;
+  auto as1 = m.add_as();
+  auto r1 = m.add_router(as1);
+  auto r2 = m.add_router(as1);
+  m.link(LinkKind::kInternal, as1, r1, ip("10.0.0.1"), r2, ip("10.0.0.2"));
+  EXPECT_THROW(
+      m.link(LinkKind::kInternal, as1, r1, ip("10.0.0.1"), r2,
+             ip("10.0.0.6")),
+      std::logic_error);
+}
+
+TEST(Internet, CanonicalAddrIsLowest) {
+  test::MiniNet m;
+  auto as1 = m.add_as();
+  auto r1 = m.add_router(as1);
+  auto r2 = m.add_router(as1);
+  m.link(LinkKind::kInternal, as1, r1, ip("10.0.0.9"), r2, ip("10.0.0.10"));
+  m.link(LinkKind::kInternal, as1, r1, ip("10.0.0.5"), r2, ip("10.0.0.6"));
+  EXPECT_EQ(m.net().canonical_addr(r1), ip("10.0.0.5"));
+}
+
+TEST(Internet, P2pOtherEnd) {
+  test::MiniNet m;
+  auto as1 = m.add_as();
+  auto r1 = m.add_router(as1);
+  auto r2 = m.add_router(as1);
+  m.link(LinkKind::kInternal, as1, r1, ip("10.0.0.1"), r2, ip("10.0.0.2"));
+  auto i1 = *m.net().iface_at(ip("10.0.0.1"));
+  auto other = m.net().p2p_other_end(i1);
+  EXPECT_EQ(m.net().iface(other).addr, ip("10.0.0.2"));
+}
+
+TEST(Internet, AnnouncedMatchUsesLongestPrefix) {
+  test::MiniNet m;
+  auto as1 = m.add_as();
+  auto r1 = m.add_router(as1);
+  m.announce("10.0.0.0/8", as1, r1);
+  m.announce("10.1.0.0/16", as1, r1);
+  const auto* ap = m.net().announced_match(ip("10.1.2.3"));
+  ASSERT_NE(ap, nullptr);
+  EXPECT_EQ(ap->prefix, pfx("10.1.0.0/16"));
+  EXPECT_EQ(m.net().announced_match(ip("11.0.0.1")), nullptr);
+  // Truth origins were registered too.
+  EXPECT_EQ(m.net().truth_origins().origin(ip("10.1.2.3")), as1);
+}
+
+TEST(Internet, InterdomainLinksOfFiltersByAs) {
+  test::MiniNet m;
+  auto a = m.add_as();
+  auto b = m.add_as();
+  auto c = m.add_as();
+  auto ra = m.add_router(a);
+  auto rb = m.add_router(b);
+  auto rc = m.add_router(c);
+  m.link(LinkKind::kInterdomain, a, ra, ip("10.0.0.1"), rb, ip("10.0.0.2"));
+  m.link(LinkKind::kInterdomain, b, rb, ip("10.0.1.1"), rc, ip("10.0.1.2"));
+  EXPECT_EQ(m.net().interdomain_links_of(a).size(), 1u);
+  EXPECT_EQ(m.net().interdomain_links_of(b).size(), 2u);
+}
+
+TEST(RouterBehavior, SilentHelper) {
+  RouterBehavior b;
+  EXPECT_FALSE(b.silent());
+  b.make_silent();
+  EXPECT_TRUE(b.silent());
+  EXPECT_FALSE(b.sends_ttl_expired);
+  EXPECT_FALSE(b.responds_echo);
+  EXPECT_FALSE(b.responds_udp);
+}
+
+}  // namespace
+}  // namespace bdrmap::topo

@@ -1,0 +1,44 @@
+#include "warts/dot.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/scenario.h"
+
+namespace bdrmap::warts {
+namespace {
+
+TEST(Dot, ExportsWellFormedGraph) {
+  eval::Scenario s(eval::small_access_config(3));
+  net::AsId vp_as = s.first_of(topo::AsKind::kAccess);
+  auto result = s.run_bdrmap(s.vps_in(vp_as).front());
+  auto dot = result_to_dot(result);
+
+  EXPECT_EQ(dot.rfind("digraph borders {", 0), 0u);
+  EXPECT_EQ(dot.back(), '\n');
+  EXPECT_NE(dot.find("cluster_vp"), std::string::npos);
+  // Balanced braces.
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+  // One edge per inferred link.
+  std::size_t edges = 0;
+  for (std::size_t at = dot.find(" -> "); at != std::string::npos;
+       at = dot.find(" -> ", at + 1)) {
+    ++edges;
+  }
+  EXPECT_EQ(edges, result.links.size());
+  // Every neighbor AS label appears.
+  for (const auto& [as, links] : result.links_by_as) {
+    EXPECT_NE(dot.find(as.str()), std::string::npos) << as.str();
+  }
+}
+
+TEST(Dot, EmptyResultStillValid) {
+  core::BdrmapResult empty{core::RouterGraph({}, {}), {}, {}, {}};
+  auto dot = result_to_dot(empty);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+}
+
+}  // namespace
+}  // namespace bdrmap::warts

@@ -1,0 +1,220 @@
+// bdrmap_sim — command-line front end for the full pipeline.
+//
+// Mirrors how the released sc_bdrmap is driven: pick a network to host the
+// VP in, run the measurement + inference, and export the border map. The
+// "Internet" is the synthetic substrate, selected by scenario name + seed.
+//
+// Usage:
+//   bdrmap_sim [--scenario ren|access|tier1|small] [--seed N] [--vp K]
+//              [--json FILE] [--warts FILE] [--dump-traces] [--table1]
+//              [--validate] [--quiet]
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "core/offline.h"
+#include "eval/ground_truth.h"
+#include "eval/scenario.h"
+#include "eval/table1.h"
+#include "warts/dot.h"
+#include "warts/json.h"
+#include "warts/warts.h"
+
+using namespace bdrmap;
+
+namespace {
+
+struct Options {
+  std::string scenario = "ren";
+  std::uint64_t seed = 42;
+  std::size_t vp_index = 0;
+  std::string json_path;
+  std::string warts_path;
+  std::string dot_path;
+  std::string replay_path;  // offline re-analysis of an archived run
+  bool dump_traces = false;
+  bool table1 = false;
+  bool validate = false;
+  bool quiet = false;
+};
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--scenario ren|access|tier1|small] [--seed N] [--vp K]\n"
+      "          [--json FILE] [--warts FILE] [--dot FILE] [--replay FILE]\n"
+      "          [--dump-traces] [--table1] [--validate] [--quiet]\n",
+      argv0);
+}
+
+bool parse_args(int argc, char** argv, Options* opts) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (arg == "--scenario") {
+      const char* v = next();
+      if (!v) return false;
+      opts->scenario = v;
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (!v) return false;
+      opts->seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--vp") {
+      const char* v = next();
+      if (!v) return false;
+      opts->vp_index = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--json") {
+      const char* v = next();
+      if (!v) return false;
+      opts->json_path = v;
+    } else if (arg == "--warts") {
+      const char* v = next();
+      if (!v) return false;
+      opts->warts_path = v;
+    } else if (arg == "--dot") {
+      const char* v = next();
+      if (!v) return false;
+      opts->dot_path = v;
+    } else if (arg == "--replay") {
+      const char* v = next();
+      if (!v) return false;
+      opts->replay_path = v;
+    } else if (arg == "--dump-traces") {
+      opts->dump_traces = true;
+    } else if (arg == "--table1") {
+      opts->table1 = true;
+    } else if (arg == "--validate") {
+      opts->validate = true;
+    } else if (arg == "--quiet") {
+      opts->quiet = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!parse_args(argc, argv, &opts)) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  topo::GeneratorConfig config;
+  topo::AsKind vp_kind;
+  if (opts.scenario == "ren") {
+    config = eval::research_education_config(opts.seed);
+    vp_kind = topo::AsKind::kResearchEdu;
+  } else if (opts.scenario == "access") {
+    config = eval::large_access_config(opts.seed);
+    vp_kind = topo::AsKind::kAccess;
+  } else if (opts.scenario == "tier1") {
+    config = eval::tier1_config(opts.seed);
+    vp_kind = topo::AsKind::kTier1;
+  } else if (opts.scenario == "small") {
+    config = eval::small_access_config(opts.seed);
+    vp_kind = topo::AsKind::kAccess;
+  } else {
+    std::fprintf(stderr, "unknown scenario: %s\n", opts.scenario.c_str());
+    usage(argv[0]);
+    return 2;
+  }
+
+  eval::Scenario scenario(config);
+  net::AsId vp_as = scenario.first_of(vp_kind);
+  auto vps = scenario.vps_in(vp_as);
+  if (vps.empty()) {
+    std::fprintf(stderr, "no VP available in %s\n", vp_as.str().c_str());
+    return 1;
+  }
+  if (opts.vp_index >= vps.size()) {
+    std::fprintf(stderr, "vp index %zu out of range (%zu VPs)\n",
+                 opts.vp_index, vps.size());
+    return 1;
+  }
+  const topo::Vp& vp = vps[opts.vp_index];
+  if (!opts.quiet) {
+    std::printf("scenario=%s seed=%llu VP %zu/%zu: %s at %s\n",
+                opts.scenario.c_str(),
+                static_cast<unsigned long long>(opts.seed), opts.vp_index + 1,
+                vps.size(), vp.as.str().c_str(),
+                scenario.net().pops()[vp.pop].city.c_str());
+  }
+
+  core::BdrmapResult result =
+      opts.replay_path.empty()
+          ? scenario.run_bdrmap(vp, {}, opts.seed ^ 0x515)
+          : core::analyze_offline(warts::load_traces(opts.replay_path),
+                                  scenario.inputs_for(vp_as));
+  if (!opts.replay_path.empty() && !opts.quiet) {
+    std::printf("offline re-analysis of %s (analytic aliases only)\n",
+                opts.replay_path.c_str());
+  }
+
+  if (!opts.quiet) {
+    std::printf("%zu blocks, %llu probes, %zu traces -> %zu routers, "
+                "%zu links across %zu neighbor ASes\n",
+                result.stats.blocks,
+                static_cast<unsigned long long>(result.stats.probes_sent),
+                result.stats.traces, result.stats.routers,
+                result.links.size(), result.links_by_as.size());
+  }
+
+  if (opts.table1) {
+    auto inputs = scenario.inputs_for(vp_as);
+    auto table = eval::build_table1(result, *inputs.rels, inputs.vp_ases);
+    std::fputs(eval::render_table1(table, "heuristic attribution").c_str(),
+               stdout);
+  }
+
+  if (opts.validate) {
+    eval::GroundTruth truth(scenario.net(), vp_as);
+    auto summary = truth.validate(result);
+    std::printf("validation: %zu/%zu links correct (%.1f%%), "
+                "%zu/%zu routers correct (%.1f%%)\n",
+                summary.links_correct, summary.links_total,
+                100.0 * summary.link_accuracy(), summary.routers_correct,
+                summary.routers_total, 100.0 * summary.router_accuracy());
+  }
+
+  if (opts.dump_traces) {
+    std::fputs(warts::dump_text(result.graph.traces()).c_str(), stdout);
+  }
+  if (!opts.warts_path.empty()) {
+    warts::save_traces(opts.warts_path, result.graph.traces());
+    if (!opts.quiet) {
+      std::printf("wrote %zu traces to %s\n", result.graph.traces().size(),
+                  opts.warts_path.c_str());
+    }
+  }
+  if (!opts.dot_path.empty()) {
+    std::ofstream out(opts.dot_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", opts.dot_path.c_str());
+      return 1;
+    }
+    out << warts::result_to_dot(result);
+    if (!opts.quiet) {
+      std::printf("wrote graphviz map to %s\n", opts.dot_path.c_str());
+    }
+  }
+  if (!opts.json_path.empty()) {
+    std::ofstream out(opts.json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", opts.json_path.c_str());
+      return 1;
+    }
+    out << warts::result_to_json(result) << "\n";
+    if (!opts.quiet) {
+      std::printf("wrote border map to %s\n", opts.json_path.c_str());
+    }
+  }
+  return 0;
+}
