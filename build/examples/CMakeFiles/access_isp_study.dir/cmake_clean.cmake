@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/access_isp_study.dir/access_isp_study.cpp.o"
+  "CMakeFiles/access_isp_study.dir/access_isp_study.cpp.o.d"
+  "access_isp_study"
+  "access_isp_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/access_isp_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congestion_monitor.dir/congestion_monitor.cpp.o"
+  "CMakeFiles/congestion_monitor.dir/congestion_monitor.cpp.o.d"
+  "congestion_monitor"
+  "congestion_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congestion_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congestion_targets.dir/congestion_targets.cpp.o"
+  "CMakeFiles/congestion_targets.dir/congestion_targets.cpp.o.d"
+  "congestion_targets"
+  "congestion_targets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congestion_targets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_internet.dir/custom_internet.cpp.o"
+  "CMakeFiles/custom_internet.dir/custom_internet.cpp.o.d"
+  "custom_internet"
+  "custom_internet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_internet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

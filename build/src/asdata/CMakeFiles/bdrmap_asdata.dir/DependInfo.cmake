@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asdata/as_relationships.cc" "src/asdata/CMakeFiles/bdrmap_asdata.dir/as_relationships.cc.o" "gcc" "src/asdata/CMakeFiles/bdrmap_asdata.dir/as_relationships.cc.o.d"
+  "/root/repo/src/asdata/bgp_origins.cc" "src/asdata/CMakeFiles/bdrmap_asdata.dir/bgp_origins.cc.o" "gcc" "src/asdata/CMakeFiles/bdrmap_asdata.dir/bgp_origins.cc.o.d"
+  "/root/repo/src/asdata/dns.cc" "src/asdata/CMakeFiles/bdrmap_asdata.dir/dns.cc.o" "gcc" "src/asdata/CMakeFiles/bdrmap_asdata.dir/dns.cc.o.d"
+  "/root/repo/src/asdata/ixp.cc" "src/asdata/CMakeFiles/bdrmap_asdata.dir/ixp.cc.o" "gcc" "src/asdata/CMakeFiles/bdrmap_asdata.dir/ixp.cc.o.d"
+  "/root/repo/src/asdata/relationship_inference.cc" "src/asdata/CMakeFiles/bdrmap_asdata.dir/relationship_inference.cc.o" "gcc" "src/asdata/CMakeFiles/bdrmap_asdata.dir/relationship_inference.cc.o.d"
+  "/root/repo/src/asdata/rir.cc" "src/asdata/CMakeFiles/bdrmap_asdata.dir/rir.cc.o" "gcc" "src/asdata/CMakeFiles/bdrmap_asdata.dir/rir.cc.o.d"
+  "/root/repo/src/asdata/siblings.cc" "src/asdata/CMakeFiles/bdrmap_asdata.dir/siblings.cc.o" "gcc" "src/asdata/CMakeFiles/bdrmap_asdata.dir/siblings.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netbase/CMakeFiles/bdrmap_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdrmap_asdata.dir/as_relationships.cc.o"
+  "CMakeFiles/bdrmap_asdata.dir/as_relationships.cc.o.d"
+  "CMakeFiles/bdrmap_asdata.dir/bgp_origins.cc.o"
+  "CMakeFiles/bdrmap_asdata.dir/bgp_origins.cc.o.d"
+  "CMakeFiles/bdrmap_asdata.dir/dns.cc.o"
+  "CMakeFiles/bdrmap_asdata.dir/dns.cc.o.d"
+  "CMakeFiles/bdrmap_asdata.dir/ixp.cc.o"
+  "CMakeFiles/bdrmap_asdata.dir/ixp.cc.o.d"
+  "CMakeFiles/bdrmap_asdata.dir/relationship_inference.cc.o"
+  "CMakeFiles/bdrmap_asdata.dir/relationship_inference.cc.o.d"
+  "CMakeFiles/bdrmap_asdata.dir/rir.cc.o"
+  "CMakeFiles/bdrmap_asdata.dir/rir.cc.o.d"
+  "CMakeFiles/bdrmap_asdata.dir/siblings.cc.o"
+  "CMakeFiles/bdrmap_asdata.dir/siblings.cc.o.d"
+  "libbdrmap_asdata.a"
+  "libbdrmap_asdata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdrmap_asdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdrmap_congestion.dir/model.cc.o"
+  "CMakeFiles/bdrmap_congestion.dir/model.cc.o.d"
+  "CMakeFiles/bdrmap_congestion.dir/tslp.cc.o"
+  "CMakeFiles/bdrmap_congestion.dir/tslp.cc.o.d"
+  "libbdrmap_congestion.a"
+  "libbdrmap_congestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdrmap_congestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/alias_resolution.cc" "src/core/CMakeFiles/bdrmap_core.dir/alias_resolution.cc.o" "gcc" "src/core/CMakeFiles/bdrmap_core.dir/alias_resolution.cc.o.d"
+  "/root/repo/src/core/apar.cc" "src/core/CMakeFiles/bdrmap_core.dir/apar.cc.o" "gcc" "src/core/CMakeFiles/bdrmap_core.dir/apar.cc.o.d"
+  "/root/repo/src/core/baseline.cc" "src/core/CMakeFiles/bdrmap_core.dir/baseline.cc.o" "gcc" "src/core/CMakeFiles/bdrmap_core.dir/baseline.cc.o.d"
+  "/root/repo/src/core/bdrmap.cc" "src/core/CMakeFiles/bdrmap_core.dir/bdrmap.cc.o" "gcc" "src/core/CMakeFiles/bdrmap_core.dir/bdrmap.cc.o.d"
+  "/root/repo/src/core/blocks.cc" "src/core/CMakeFiles/bdrmap_core.dir/blocks.cc.o" "gcc" "src/core/CMakeFiles/bdrmap_core.dir/blocks.cc.o.d"
+  "/root/repo/src/core/heuristics.cc" "src/core/CMakeFiles/bdrmap_core.dir/heuristics.cc.o" "gcc" "src/core/CMakeFiles/bdrmap_core.dir/heuristics.cc.o.d"
+  "/root/repo/src/core/mapit.cc" "src/core/CMakeFiles/bdrmap_core.dir/mapit.cc.o" "gcc" "src/core/CMakeFiles/bdrmap_core.dir/mapit.cc.o.d"
+  "/root/repo/src/core/merge.cc" "src/core/CMakeFiles/bdrmap_core.dir/merge.cc.o" "gcc" "src/core/CMakeFiles/bdrmap_core.dir/merge.cc.o.d"
+  "/root/repo/src/core/midar.cc" "src/core/CMakeFiles/bdrmap_core.dir/midar.cc.o" "gcc" "src/core/CMakeFiles/bdrmap_core.dir/midar.cc.o.d"
+  "/root/repo/src/core/offline.cc" "src/core/CMakeFiles/bdrmap_core.dir/offline.cc.o" "gcc" "src/core/CMakeFiles/bdrmap_core.dir/offline.cc.o.d"
+  "/root/repo/src/core/router_graph.cc" "src/core/CMakeFiles/bdrmap_core.dir/router_graph.cc.o" "gcc" "src/core/CMakeFiles/bdrmap_core.dir/router_graph.cc.o.d"
+  "/root/repo/src/core/schedule.cc" "src/core/CMakeFiles/bdrmap_core.dir/schedule.cc.o" "gcc" "src/core/CMakeFiles/bdrmap_core.dir/schedule.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asdata/CMakeFiles/bdrmap_asdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/bdrmap_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/probe/CMakeFiles/bdrmap_probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/bdrmap_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/bdrmap_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdrmap_core.dir/alias_resolution.cc.o"
+  "CMakeFiles/bdrmap_core.dir/alias_resolution.cc.o.d"
+  "CMakeFiles/bdrmap_core.dir/apar.cc.o"
+  "CMakeFiles/bdrmap_core.dir/apar.cc.o.d"
+  "CMakeFiles/bdrmap_core.dir/baseline.cc.o"
+  "CMakeFiles/bdrmap_core.dir/baseline.cc.o.d"
+  "CMakeFiles/bdrmap_core.dir/bdrmap.cc.o"
+  "CMakeFiles/bdrmap_core.dir/bdrmap.cc.o.d"
+  "CMakeFiles/bdrmap_core.dir/blocks.cc.o"
+  "CMakeFiles/bdrmap_core.dir/blocks.cc.o.d"
+  "CMakeFiles/bdrmap_core.dir/heuristics.cc.o"
+  "CMakeFiles/bdrmap_core.dir/heuristics.cc.o.d"
+  "CMakeFiles/bdrmap_core.dir/mapit.cc.o"
+  "CMakeFiles/bdrmap_core.dir/mapit.cc.o.d"
+  "CMakeFiles/bdrmap_core.dir/merge.cc.o"
+  "CMakeFiles/bdrmap_core.dir/merge.cc.o.d"
+  "CMakeFiles/bdrmap_core.dir/midar.cc.o"
+  "CMakeFiles/bdrmap_core.dir/midar.cc.o.d"
+  "CMakeFiles/bdrmap_core.dir/offline.cc.o"
+  "CMakeFiles/bdrmap_core.dir/offline.cc.o.d"
+  "CMakeFiles/bdrmap_core.dir/router_graph.cc.o"
+  "CMakeFiles/bdrmap_core.dir/router_graph.cc.o.d"
+  "CMakeFiles/bdrmap_core.dir/schedule.cc.o"
+  "CMakeFiles/bdrmap_core.dir/schedule.cc.o.d"
+  "libbdrmap_core.a"
+  "libbdrmap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdrmap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/analysis.cc" "src/eval/CMakeFiles/bdrmap_eval.dir/analysis.cc.o" "gcc" "src/eval/CMakeFiles/bdrmap_eval.dir/analysis.cc.o.d"
+  "/root/repo/src/eval/geo.cc" "src/eval/CMakeFiles/bdrmap_eval.dir/geo.cc.o" "gcc" "src/eval/CMakeFiles/bdrmap_eval.dir/geo.cc.o.d"
+  "/root/repo/src/eval/ground_truth.cc" "src/eval/CMakeFiles/bdrmap_eval.dir/ground_truth.cc.o" "gcc" "src/eval/CMakeFiles/bdrmap_eval.dir/ground_truth.cc.o.d"
+  "/root/repo/src/eval/report.cc" "src/eval/CMakeFiles/bdrmap_eval.dir/report.cc.o" "gcc" "src/eval/CMakeFiles/bdrmap_eval.dir/report.cc.o.d"
+  "/root/repo/src/eval/robustness.cc" "src/eval/CMakeFiles/bdrmap_eval.dir/robustness.cc.o" "gcc" "src/eval/CMakeFiles/bdrmap_eval.dir/robustness.cc.o.d"
+  "/root/repo/src/eval/scenario.cc" "src/eval/CMakeFiles/bdrmap_eval.dir/scenario.cc.o" "gcc" "src/eval/CMakeFiles/bdrmap_eval.dir/scenario.cc.o.d"
+  "/root/repo/src/eval/table1.cc" "src/eval/CMakeFiles/bdrmap_eval.dir/table1.cc.o" "gcc" "src/eval/CMakeFiles/bdrmap_eval.dir/table1.cc.o.d"
+  "/root/repo/src/eval/vp_selection.cc" "src/eval/CMakeFiles/bdrmap_eval.dir/vp_selection.cc.o" "gcc" "src/eval/CMakeFiles/bdrmap_eval.dir/vp_selection.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bdrmap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/bdrmap_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/bdrmap_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/probe/CMakeFiles/bdrmap_probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/asdata/CMakeFiles/bdrmap_asdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/bdrmap_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

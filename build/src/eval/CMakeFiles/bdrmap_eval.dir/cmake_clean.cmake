@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdrmap_eval.dir/analysis.cc.o"
+  "CMakeFiles/bdrmap_eval.dir/analysis.cc.o.d"
+  "CMakeFiles/bdrmap_eval.dir/geo.cc.o"
+  "CMakeFiles/bdrmap_eval.dir/geo.cc.o.d"
+  "CMakeFiles/bdrmap_eval.dir/ground_truth.cc.o"
+  "CMakeFiles/bdrmap_eval.dir/ground_truth.cc.o.d"
+  "CMakeFiles/bdrmap_eval.dir/report.cc.o"
+  "CMakeFiles/bdrmap_eval.dir/report.cc.o.d"
+  "CMakeFiles/bdrmap_eval.dir/robustness.cc.o"
+  "CMakeFiles/bdrmap_eval.dir/robustness.cc.o.d"
+  "CMakeFiles/bdrmap_eval.dir/scenario.cc.o"
+  "CMakeFiles/bdrmap_eval.dir/scenario.cc.o.d"
+  "CMakeFiles/bdrmap_eval.dir/table1.cc.o"
+  "CMakeFiles/bdrmap_eval.dir/table1.cc.o.d"
+  "CMakeFiles/bdrmap_eval.dir/vp_selection.cc.o"
+  "CMakeFiles/bdrmap_eval.dir/vp_selection.cc.o.d"
+  "libbdrmap_eval.a"
+  "libbdrmap_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdrmap_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

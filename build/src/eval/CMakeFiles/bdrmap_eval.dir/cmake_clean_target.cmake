@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbdrmap_eval.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdrmap_netbase.dir/ipv4.cc.o"
+  "CMakeFiles/bdrmap_netbase.dir/ipv4.cc.o.d"
+  "CMakeFiles/bdrmap_netbase.dir/prefix.cc.o"
+  "CMakeFiles/bdrmap_netbase.dir/prefix.cc.o.d"
+  "libbdrmap_netbase.a"
+  "libbdrmap_netbase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdrmap_netbase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

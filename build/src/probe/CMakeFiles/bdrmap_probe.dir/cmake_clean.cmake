@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdrmap_probe.dir/alias.cc.o"
+  "CMakeFiles/bdrmap_probe.dir/alias.cc.o.d"
+  "CMakeFiles/bdrmap_probe.dir/tracer.cc.o"
+  "CMakeFiles/bdrmap_probe.dir/tracer.cc.o.d"
+  "libbdrmap_probe.a"
+  "libbdrmap_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdrmap_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

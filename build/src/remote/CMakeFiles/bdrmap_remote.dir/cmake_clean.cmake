@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdrmap_remote.dir/protocol.cc.o"
+  "CMakeFiles/bdrmap_remote.dir/protocol.cc.o.d"
+  "CMakeFiles/bdrmap_remote.dir/split.cc.o"
+  "CMakeFiles/bdrmap_remote.dir/split.cc.o.d"
+  "libbdrmap_remote.a"
+  "libbdrmap_remote.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdrmap_remote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

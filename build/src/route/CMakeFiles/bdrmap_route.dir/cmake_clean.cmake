@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdrmap_route.dir/bgp_sim.cc.o"
+  "CMakeFiles/bdrmap_route.dir/bgp_sim.cc.o.d"
+  "CMakeFiles/bdrmap_route.dir/collectors.cc.o"
+  "CMakeFiles/bdrmap_route.dir/collectors.cc.o.d"
+  "CMakeFiles/bdrmap_route.dir/fib.cc.o"
+  "CMakeFiles/bdrmap_route.dir/fib.cc.o.d"
+  "libbdrmap_route.a"
+  "libbdrmap_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdrmap_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/generator.cc" "src/topo/CMakeFiles/bdrmap_topo.dir/generator.cc.o" "gcc" "src/topo/CMakeFiles/bdrmap_topo.dir/generator.cc.o.d"
+  "/root/repo/src/topo/internet.cc" "src/topo/CMakeFiles/bdrmap_topo.dir/internet.cc.o" "gcc" "src/topo/CMakeFiles/bdrmap_topo.dir/internet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netbase/CMakeFiles/bdrmap_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/asdata/CMakeFiles/bdrmap_asdata.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdrmap_topo.dir/generator.cc.o"
+  "CMakeFiles/bdrmap_topo.dir/generator.cc.o.d"
+  "CMakeFiles/bdrmap_topo.dir/internet.cc.o"
+  "CMakeFiles/bdrmap_topo.dir/internet.cc.o.d"
+  "libbdrmap_topo.a"
+  "libbdrmap_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdrmap_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

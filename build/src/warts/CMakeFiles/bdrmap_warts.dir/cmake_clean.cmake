@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdrmap_warts.dir/dot.cc.o"
+  "CMakeFiles/bdrmap_warts.dir/dot.cc.o.d"
+  "CMakeFiles/bdrmap_warts.dir/json.cc.o"
+  "CMakeFiles/bdrmap_warts.dir/json.cc.o.d"
+  "CMakeFiles/bdrmap_warts.dir/warts.cc.o"
+  "CMakeFiles/bdrmap_warts.dir/warts.cc.o.d"
+  "libbdrmap_warts.a"
+  "libbdrmap_warts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdrmap_warts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

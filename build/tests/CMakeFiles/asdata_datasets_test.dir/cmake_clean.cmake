@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asdata_datasets_test.dir/asdata_datasets_test.cc.o"
+  "CMakeFiles/asdata_datasets_test.dir/asdata_datasets_test.cc.o.d"
+  "asdata_datasets_test"
+  "asdata_datasets_test.pdb"
+  "asdata_datasets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asdata_datasets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

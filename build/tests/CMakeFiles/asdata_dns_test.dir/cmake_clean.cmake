@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asdata_dns_test.dir/asdata_dns_test.cc.o"
+  "CMakeFiles/asdata_dns_test.dir/asdata_dns_test.cc.o.d"
+  "asdata_dns_test"
+  "asdata_dns_test.pdb"
+  "asdata_dns_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asdata_dns_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asdata_origins_test.dir/asdata_origins_test.cc.o"
+  "CMakeFiles/asdata_origins_test.dir/asdata_origins_test.cc.o.d"
+  "asdata_origins_test"
+  "asdata_origins_test.pdb"
+  "asdata_origins_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asdata_origins_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asdata_relationship_inference_test.dir/asdata_relationship_inference_test.cc.o"
+  "CMakeFiles/asdata_relationship_inference_test.dir/asdata_relationship_inference_test.cc.o.d"
+  "asdata_relationship_inference_test"
+  "asdata_relationship_inference_test.pdb"
+  "asdata_relationship_inference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asdata_relationship_inference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

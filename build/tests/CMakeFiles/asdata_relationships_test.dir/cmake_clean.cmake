@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asdata_relationships_test.dir/asdata_relationships_test.cc.o"
+  "CMakeFiles/asdata_relationships_test.dir/asdata_relationships_test.cc.o.d"
+  "asdata_relationships_test"
+  "asdata_relationships_test.pdb"
+  "asdata_relationships_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asdata_relationships_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

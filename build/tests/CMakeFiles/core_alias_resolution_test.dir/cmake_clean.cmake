@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_alias_resolution_test.dir/core_alias_resolution_test.cc.o"
+  "CMakeFiles/core_alias_resolution_test.dir/core_alias_resolution_test.cc.o.d"
+  "core_alias_resolution_test"
+  "core_alias_resolution_test.pdb"
+  "core_alias_resolution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_alias_resolution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

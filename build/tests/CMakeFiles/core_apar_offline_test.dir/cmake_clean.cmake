@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_apar_offline_test.dir/core_apar_offline_test.cc.o"
+  "CMakeFiles/core_apar_offline_test.dir/core_apar_offline_test.cc.o.d"
+  "core_apar_offline_test"
+  "core_apar_offline_test.pdb"
+  "core_apar_offline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_apar_offline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_blocks_test.dir/core_blocks_test.cc.o"
+  "CMakeFiles/core_blocks_test.dir/core_blocks_test.cc.o.d"
+  "core_blocks_test"
+  "core_blocks_test.pdb"
+  "core_blocks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_blocks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

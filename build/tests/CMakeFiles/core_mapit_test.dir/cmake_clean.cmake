@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_mapit_test.dir/core_mapit_test.cc.o"
+  "CMakeFiles/core_mapit_test.dir/core_mapit_test.cc.o.d"
+  "core_mapit_test"
+  "core_mapit_test.pdb"
+  "core_mapit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_mapit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

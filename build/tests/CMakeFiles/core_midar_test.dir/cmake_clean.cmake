@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_midar_test.dir/core_midar_test.cc.o"
+  "CMakeFiles/core_midar_test.dir/core_midar_test.cc.o.d"
+  "core_midar_test"
+  "core_midar_test.pdb"
+  "core_midar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_midar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_stopset_test.dir/core_stopset_test.cc.o"
+  "CMakeFiles/core_stopset_test.dir/core_stopset_test.cc.o.d"
+  "core_stopset_test"
+  "core_stopset_test.pdb"
+  "core_stopset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_stopset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_geo_test.dir/eval_geo_test.cc.o"
+  "CMakeFiles/eval_geo_test.dir/eval_geo_test.cc.o.d"
+  "eval_geo_test"
+  "eval_geo_test.pdb"
+  "eval_geo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_geo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_robustness_test.dir/eval_robustness_test.cc.o"
+  "CMakeFiles/eval_robustness_test.dir/eval_robustness_test.cc.o.d"
+  "eval_robustness_test"
+  "eval_robustness_test.pdb"
+  "eval_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

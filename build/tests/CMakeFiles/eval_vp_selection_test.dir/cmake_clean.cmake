@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_vp_selection_test.dir/eval_vp_selection_test.cc.o"
+  "CMakeFiles/eval_vp_selection_test.dir/eval_vp_selection_test.cc.o.d"
+  "eval_vp_selection_test"
+  "eval_vp_selection_test.pdb"
+  "eval_vp_selection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_vp_selection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_full_deployment_test.dir/integration_full_deployment_test.cc.o"
+  "CMakeFiles/integration_full_deployment_test.dir/integration_full_deployment_test.cc.o.d"
+  "integration_full_deployment_test"
+  "integration_full_deployment_test.pdb"
+  "integration_full_deployment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_full_deployment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

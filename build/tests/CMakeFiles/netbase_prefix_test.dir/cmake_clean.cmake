@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netbase_prefix_test.dir/netbase_prefix_test.cc.o"
+  "CMakeFiles/netbase_prefix_test.dir/netbase_prefix_test.cc.o.d"
+  "netbase_prefix_test"
+  "netbase_prefix_test.pdb"
+  "netbase_prefix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netbase_prefix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

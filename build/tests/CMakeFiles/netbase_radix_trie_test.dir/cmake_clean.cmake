@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netbase_radix_trie_test.dir/netbase_radix_trie_test.cc.o"
+  "CMakeFiles/netbase_radix_trie_test.dir/netbase_radix_trie_test.cc.o.d"
+  "netbase_radix_trie_test"
+  "netbase_radix_trie_test.pdb"
+  "netbase_radix_trie_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netbase_radix_trie_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probe_alias_test.dir/probe_alias_test.cc.o"
+  "CMakeFiles/probe_alias_test.dir/probe_alias_test.cc.o.d"
+  "probe_alias_test"
+  "probe_alias_test.pdb"
+  "probe_alias_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe_alias_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probe_timestamp_test.dir/probe_timestamp_test.cc.o"
+  "CMakeFiles/probe_timestamp_test.dir/probe_timestamp_test.cc.o.d"
+  "probe_timestamp_test"
+  "probe_timestamp_test.pdb"
+  "probe_timestamp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe_timestamp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probe_tracer_test.dir/probe_tracer_test.cc.o"
+  "CMakeFiles/probe_tracer_test.dir/probe_tracer_test.cc.o.d"
+  "probe_tracer_test"
+  "probe_tracer_test.pdb"
+  "probe_tracer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe_tracer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

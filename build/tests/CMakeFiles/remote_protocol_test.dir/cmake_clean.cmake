@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_protocol_test.dir/remote_protocol_test.cc.o"
+  "CMakeFiles/remote_protocol_test.dir/remote_protocol_test.cc.o.d"
+  "remote_protocol_test"
+  "remote_protocol_test.pdb"
+  "remote_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

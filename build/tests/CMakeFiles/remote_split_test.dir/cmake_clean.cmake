@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_split_test.dir/remote_split_test.cc.o"
+  "CMakeFiles/remote_split_test.dir/remote_split_test.cc.o.d"
+  "remote_split_test"
+  "remote_split_test.pdb"
+  "remote_split_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_split_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

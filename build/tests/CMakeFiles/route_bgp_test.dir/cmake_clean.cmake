@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_bgp_test.dir/route_bgp_test.cc.o"
+  "CMakeFiles/route_bgp_test.dir/route_bgp_test.cc.o.d"
+  "route_bgp_test"
+  "route_bgp_test.pdb"
+  "route_bgp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_bgp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_collectors_test.dir/route_collectors_test.cc.o"
+  "CMakeFiles/route_collectors_test.dir/route_collectors_test.cc.o.d"
+  "route_collectors_test"
+  "route_collectors_test.pdb"
+  "route_collectors_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_collectors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_fib_test.dir/route_fib_test.cc.o"
+  "CMakeFiles/route_fib_test.dir/route_fib_test.cc.o.d"
+  "route_fib_test"
+  "route_fib_test.pdb"
+  "route_fib_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_fib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_internet_test.dir/topo_internet_test.cc.o"
+  "CMakeFiles/topo_internet_test.dir/topo_internet_test.cc.o.d"
+  "topo_internet_test"
+  "topo_internet_test.pdb"
+  "topo_internet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_internet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

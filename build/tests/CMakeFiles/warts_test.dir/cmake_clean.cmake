@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warts_test.dir/warts_test.cc.o"
+  "CMakeFiles/warts_test.dir/warts_test.cc.o.d"
+  "warts_test"
+  "warts_test.pdb"
+  "warts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

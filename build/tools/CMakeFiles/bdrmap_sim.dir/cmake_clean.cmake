@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdrmap_sim.dir/bdrmap_sim.cc.o"
+  "CMakeFiles/bdrmap_sim.dir/bdrmap_sim.cc.o.d"
+  "bdrmap_sim"
+  "bdrmap_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdrmap_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_dump.dir/topo_dump.cc.o"
+  "CMakeFiles/topo_dump.dir/topo_dump.cc.o.d"
+  "topo_dump"
+  "topo_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
