@@ -226,9 +226,12 @@ bench/CMakeFiles/bench_remote.dir/bench_remote.cc.o: \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/core/observations.h /root/repo/src/core/stopset.h \
- /root/repo/src/eval/report.h /root/repo/src/eval/scenario.h \
- /root/repo/src/probe/alias.h /root/repo/src/netbase/rng.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/eval/degradation.h /root/repo/src/eval/ground_truth.h \
+ /root/repo/src/topo/internet.h /root/repo/src/asdata/dns.h \
+ /root/repo/src/topo/behavior.h /root/repo/src/eval/report.h \
+ /root/repo/src/eval/scenario.h /root/repo/src/probe/alias.h \
+ /root/repo/src/netbase/rng.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
@@ -258,9 +261,8 @@ bench/CMakeFiles/bench_remote.dir/bench_remote.cc.o: \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/probe/tracer.h /root/repo/src/route/fib.h \
- /root/repo/src/route/bgp_sim.h /root/repo/src/topo/internet.h \
- /root/repo/src/asdata/dns.h /root/repo/src/topo/behavior.h \
- /root/repo/src/topo/generator.h /root/repo/src/route/collectors.h \
+ /root/repo/src/route/bgp_sim.h /root/repo/src/topo/generator.h \
+ /root/repo/src/route/collectors.h \
  /root/repo/src/asdata/relationship_inference.h \
- /usr/include/c++/12/cstddef /root/repo/src/remote/split.h \
- /root/repo/src/remote/protocol.h
+ /usr/include/c++/12/cstddef /root/repo/src/remote/channel.h \
+ /root/repo/src/remote/protocol.h /root/repo/src/remote/split.h

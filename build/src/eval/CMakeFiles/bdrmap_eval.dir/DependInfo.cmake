@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/eval/analysis.cc" "src/eval/CMakeFiles/bdrmap_eval.dir/analysis.cc.o" "gcc" "src/eval/CMakeFiles/bdrmap_eval.dir/analysis.cc.o.d"
+  "/root/repo/src/eval/degradation.cc" "src/eval/CMakeFiles/bdrmap_eval.dir/degradation.cc.o" "gcc" "src/eval/CMakeFiles/bdrmap_eval.dir/degradation.cc.o.d"
   "/root/repo/src/eval/geo.cc" "src/eval/CMakeFiles/bdrmap_eval.dir/geo.cc.o" "gcc" "src/eval/CMakeFiles/bdrmap_eval.dir/geo.cc.o.d"
   "/root/repo/src/eval/ground_truth.cc" "src/eval/CMakeFiles/bdrmap_eval.dir/ground_truth.cc.o" "gcc" "src/eval/CMakeFiles/bdrmap_eval.dir/ground_truth.cc.o.d"
   "/root/repo/src/eval/report.cc" "src/eval/CMakeFiles/bdrmap_eval.dir/report.cc.o" "gcc" "src/eval/CMakeFiles/bdrmap_eval.dir/report.cc.o.d"

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/bdrmap_eval.dir/analysis.cc.o"
   "CMakeFiles/bdrmap_eval.dir/analysis.cc.o.d"
+  "CMakeFiles/bdrmap_eval.dir/degradation.cc.o"
+  "CMakeFiles/bdrmap_eval.dir/degradation.cc.o.d"
   "CMakeFiles/bdrmap_eval.dir/geo.cc.o"
   "CMakeFiles/bdrmap_eval.dir/geo.cc.o.d"
   "CMakeFiles/bdrmap_eval.dir/ground_truth.cc.o"

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/remote/channel.cc" "src/remote/CMakeFiles/bdrmap_remote.dir/channel.cc.o" "gcc" "src/remote/CMakeFiles/bdrmap_remote.dir/channel.cc.o.d"
   "/root/repo/src/remote/protocol.cc" "src/remote/CMakeFiles/bdrmap_remote.dir/protocol.cc.o" "gcc" "src/remote/CMakeFiles/bdrmap_remote.dir/protocol.cc.o.d"
   "/root/repo/src/remote/split.cc" "src/remote/CMakeFiles/bdrmap_remote.dir/split.cc.o" "gcc" "src/remote/CMakeFiles/bdrmap_remote.dir/split.cc.o.d"
   )

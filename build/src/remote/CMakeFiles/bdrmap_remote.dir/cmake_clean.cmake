@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/bdrmap_remote.dir/channel.cc.o"
+  "CMakeFiles/bdrmap_remote.dir/channel.cc.o.d"
   "CMakeFiles/bdrmap_remote.dir/protocol.cc.o"
   "CMakeFiles/bdrmap_remote.dir/protocol.cc.o.d"
   "CMakeFiles/bdrmap_remote.dir/split.cc.o"

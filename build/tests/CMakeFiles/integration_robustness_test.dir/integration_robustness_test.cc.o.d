@@ -342,5 +342,5 @@ tests/CMakeFiles/integration_robustness_test.dir/integration_robustness_test.cc.
  /root/repo/src/route/bgp_sim.h /root/repo/src/topo/generator.h \
  /root/repo/src/route/collectors.h \
  /root/repo/src/asdata/relationship_inference.h \
- /root/repo/src/remote/split.h /root/repo/src/remote/protocol.h \
- /root/repo/tests/test_support.h
+ /root/repo/src/remote/split.h /root/repo/src/remote/channel.h \
+ /root/repo/src/remote/protocol.h /root/repo/tests/test_support.h

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_channel_test.dir/remote_channel_test.cc.o"
+  "CMakeFiles/remote_channel_test.dir/remote_channel_test.cc.o.d"
+  "remote_channel_test"
+  "remote_channel_test.pdb"
+  "remote_channel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_channel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/remote_degraded_test.cc" "tests/CMakeFiles/remote_degraded_test.dir/remote_degraded_test.cc.o" "gcc" "tests/CMakeFiles/remote_degraded_test.dir/remote_degraded_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/bdrmap_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/warts/CMakeFiles/bdrmap_warts.dir/DependInfo.cmake"
+  "/root/repo/build/src/congestion/CMakeFiles/bdrmap_congestion.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bdrmap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/remote/CMakeFiles/bdrmap_remote.dir/DependInfo.cmake"
+  "/root/repo/build/src/probe/CMakeFiles/bdrmap_probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/bdrmap_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/bdrmap_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/asdata/CMakeFiles/bdrmap_asdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/bdrmap_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

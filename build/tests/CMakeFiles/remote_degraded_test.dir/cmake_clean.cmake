@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_degraded_test.dir/remote_degraded_test.cc.o"
+  "CMakeFiles/remote_degraded_test.dir/remote_degraded_test.cc.o.d"
+  "remote_degraded_test"
+  "remote_degraded_test.pdb"
+  "remote_degraded_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_degraded_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -295,15 +295,8 @@ tests/CMakeFiles/remote_protocol_test.dir/remote_protocol_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/tests/test_support.h /root/repo/src/asdata/bgp_origins.h \
- /root/repo/src/netbase/prefix.h /root/repo/src/netbase/radix_trie.h \
- /root/repo/src/core/heuristics.h /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h \
- /root/repo/src/asdata/as_relationships.h /root/repo/src/asdata/ixp.h \
- /root/repo/src/asdata/rir.h /root/repo/src/asdata/siblings.h \
- /root/repo/src/core/router_graph.h /root/repo/src/core/observations.h \
- /root/repo/src/probe/alias.h /root/repo/src/netbase/rng.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/netbase/rng.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
@@ -332,7 +325,14 @@ tests/CMakeFiles/remote_protocol_test.dir/remote_protocol_test.cc.o: \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/probe/tracer.h /root/repo/src/route/fib.h \
- /root/repo/src/route/bgp_sim.h /root/repo/src/topo/internet.h \
- /root/repo/src/asdata/dns.h /root/repo/src/topo/behavior.h \
- /root/repo/src/topo/generator.h
+ /root/repo/tests/test_support.h /root/repo/src/asdata/bgp_origins.h \
+ /root/repo/src/netbase/prefix.h /root/repo/src/netbase/radix_trie.h \
+ /root/repo/src/core/heuristics.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
+ /root/repo/src/asdata/as_relationships.h /root/repo/src/asdata/ixp.h \
+ /root/repo/src/asdata/rir.h /root/repo/src/asdata/siblings.h \
+ /root/repo/src/core/router_graph.h /root/repo/src/core/observations.h \
+ /root/repo/src/probe/alias.h /root/repo/src/probe/tracer.h \
+ /root/repo/src/route/fib.h /root/repo/src/route/bgp_sim.h \
+ /root/repo/src/topo/internet.h /root/repo/src/asdata/dns.h \
+ /root/repo/src/topo/behavior.h /root/repo/src/topo/generator.h

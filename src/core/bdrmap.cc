@@ -51,6 +51,14 @@ std::vector<ObservedTrace> Bdrmap::collect_traces() {
         stop = [&](Ipv4Addr a) { return stopset_.contains(block.target_as, a); };
       }
       probe::TraceResult raw = services_.trace(dst, stop);
+      if (raw.failed) {
+        // The channel abandoned this probe. Record the unmeasured target
+        // and fall through to the next address of the block (§5.3's retry
+        // discipline) instead of aborting the run.
+        ++stats_.probe_failures;
+        failures_.push_back({dst, block.target_as});
+        continue;
+      }
       ObservedTrace trace = observe(raw, block.target_as);
       if (trace.stopped_by_stopset) ++stats_.stopset_hits;
 
@@ -190,7 +198,7 @@ std::unordered_set<Ipv4Addr> Bdrmap::confirm_inbound(
 BdrmapResult infer_borders(RouterGraph graph, const InferenceInputs& inputs,
                            const HeuristicsConfig& config,
                            BdrmapStats stats) {
-  BdrmapResult result{std::move(graph), {}, {}, {}};
+  BdrmapResult result{std::move(graph), {}, {}, {}, {}};
   Heuristics heuristics(result.graph, inputs, config);
   auto uncooperative = heuristics.run();
   const InferenceInputs& inputs_ = inputs;  // keep the body below uniform
@@ -274,8 +282,10 @@ BdrmapResult Bdrmap::run() {
     heuristics_config.confirmed_inbound = &confirmed;
   }
   stats_.probes_sent = services_.probes_sent();
-  return infer_borders(RouterGraph(std::move(traces), groups), inputs_,
-                       heuristics_config, stats_);
+  BdrmapResult result = infer_borders(RouterGraph(std::move(traces), groups),
+                                      inputs_, heuristics_config, stats_);
+  result.failed_targets = std::move(failures_);
+  return result;
 }
 
 }  // namespace bdrmap::core

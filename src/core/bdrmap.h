@@ -64,6 +64,8 @@ struct BdrmapStats {
   std::size_t vp_routers = 0;
   std::size_t neighbor_routers = 0;
   std::size_t stopset_hits = 0;
+  // Probes the measurement channel abandoned (§5.8 degraded deployment).
+  std::size_t probe_failures = 0;
 };
 
 struct BdrmapResult {
@@ -71,6 +73,9 @@ struct BdrmapResult {
   std::vector<InferredLink> links;
   std::map<AsId, std::vector<std::size_t>> links_by_as;  // indices into links
   BdrmapStats stats;
+  // Targets whose probes ultimately failed: the run completed with partial
+  // visibility, and these are the blocks it could not observe.
+  std::vector<ProbeFailure> failed_targets;
 
   // Distinct neighbor ASes with at least one inferred link.
   std::vector<AsId> neighbor_ases() const;
@@ -102,6 +107,7 @@ class Bdrmap {
   BdrmapConfig config_;
   StopSet stopset_;
   BdrmapStats stats_;
+  std::vector<ProbeFailure> failures_;
 };
 
 }  // namespace bdrmap::core

@@ -30,6 +30,14 @@ struct ObservedTrace {
   bool stopped_by_stopset = false;
 };
 
+// A probe the measurement channel abandoned (§5.8 degraded deployment):
+// the pipeline records the target instead of silently omitting it, so the
+// final report can flag which blocks went unmeasured.
+struct ProbeFailure {
+  Ipv4Addr dst;
+  AsId target_as;
+};
+
 // Strips the ground-truth annotations from an engine-level trace.
 inline ObservedTrace observe(const probe::TraceResult& t, AsId target_as) {
   ObservedTrace out;

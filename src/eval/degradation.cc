@@ -1,0 +1,77 @@
+#include "eval/degradation.h"
+
+#include "eval/report.h"
+#include "eval/table1.h"
+
+namespace bdrmap::eval {
+
+DegradationRow score_degraded_run(double fault_rate,
+                                  const core::BdrmapResult& result,
+                                  const GroundTruth& truth,
+                                  const asdata::RelationshipStore& rels,
+                                  const std::vector<AsId>& vp_ases) {
+  DegradationRow row;
+  row.fault_rate = fault_rate;
+  row.links = result.links.size();
+  row.neighbor_ases = result.links_by_as.size();
+  row.probe_failures = result.stats.probe_failures;
+
+  Table1 table = build_table1(result, rels, vp_ases);
+  row.bgp_coverage = table.bgp_coverage();
+
+  ValidationSummary summary = truth.validate(result);
+  row.router_ppv = summary.router_accuracy();
+  row.link_ppv = summary.link_accuracy();
+  return row;
+}
+
+bool same_border_map(const core::BdrmapResult& a,
+                     const core::BdrmapResult& b) {
+  if (a.links.size() != b.links.size()) return false;
+  for (std::size_t i = 0; i < a.links.size(); ++i) {
+    const auto& la = a.links[i];
+    const auto& lb = b.links[i];
+    if (la.vp_router != lb.vp_router ||
+        la.neighbor_router != lb.neighbor_router ||
+        la.neighbor_as != lb.neighbor_as || la.how != lb.how) {
+      return false;
+    }
+  }
+  if (a.links_by_as != b.links_by_as) return false;
+  // probes_sent is deliberately NOT compared: the split deployment spends
+  // extra device probes past the controller-side stop-set truncation (the
+  // §5.8 trade), without changing the inferred map.
+  const core::BdrmapStats& sa = a.stats;
+  const core::BdrmapStats& sb = b.stats;
+  return sa.traces == sb.traces && sa.routers == sb.routers &&
+         sa.stopset_hits == sb.stopset_hits &&
+         sa.alias_pair_tests == sb.alias_pair_tests &&
+         sa.probe_failures == sb.probe_failures;
+}
+
+std::string render_degradation(const std::vector<DegradationRow>& rows) {
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(rows.size());
+  for (const DegradationRow& row : rows) {
+    cells.push_back({
+        format_double(row.fault_rate * 100.0, 1) + "%",
+        std::to_string(row.links),
+        std::to_string(row.neighbor_ases),
+        format_double(row.bgp_coverage * 100.0, 1) + "%",
+        format_double(row.router_ppv * 100.0, 1) + "%",
+        format_double(row.link_ppv * 100.0, 1) + "%",
+        std::to_string(row.probe_failures),
+        std::to_string(row.retransmits),
+        std::to_string(row.timeouts),
+        std::to_string(row.corrupt_frames_detected),
+        std::to_string(row.device_restarts),
+        row.identical_to_baseline ? "yes" : "no",
+    });
+  }
+  return render_table({"fault rate", "links", "nbr ASes", "coverage",
+                       "router PPV", "link PPV", "failed", "rexmit",
+                       "timeout", "corrupt", "restarts", "identical"},
+                      cells);
+}
+
+}  // namespace bdrmap::eval

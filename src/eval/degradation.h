@@ -1,0 +1,58 @@
+// Graceful-degradation scoring for the §5.8 split deployment over a faulty
+// measurement channel.
+//
+// The paper's prober runs on home-router-class devices behind real access
+// links; a production controller must keep inferring borders when probes
+// and control messages fail. This module quantifies what that costs: for
+// each injected fault rate it reports how much of the border map survives
+// (Table-1-style BGP-neighbor coverage) and how much of what was inferred
+// is still correct (ground-truth PPV over neighbor routers and links),
+// alongside the targets the run had to abandon.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "asdata/as_relationships.h"
+#include "core/bdrmap.h"
+#include "eval/ground_truth.h"
+
+namespace bdrmap::eval {
+
+// One row of the accuracy-vs-fault-rate sweep.
+struct DegradationRow {
+  double fault_rate = 0.0;      // injected per-frame loss probability
+  std::size_t links = 0;        // inferred interdomain links
+  std::size_t neighbor_ases = 0;
+  std::size_t probe_failures = 0;  // targets abandoned by the channel
+  double bgp_coverage = 0.0;    // Table-1 coverage of BGP-observed neighbors
+  double router_ppv = 0.0;      // correct / inferred neighbor routers
+  double link_ppv = 0.0;        // correct / inferred links
+  // Channel counters, filled in by the caller from remote::ChannelStats.
+  std::uint64_t retransmits = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t corrupt_frames_detected = 0;
+  std::uint64_t device_restarts = 0;
+  bool identical_to_baseline = false;  // bit-identical to the 0%-fault run
+};
+
+// Scores one degraded run: Table-1 coverage plus ground-truth PPV. `rels`
+// and `vp_ases` must be the inputs the run consumed; channel counters are
+// the caller's to fill.
+DegradationRow score_degraded_run(double fault_rate,
+                                  const core::BdrmapResult& result,
+                                  const GroundTruth& truth,
+                                  const asdata::RelationshipStore& rels,
+                                  const std::vector<AsId>& vp_ases);
+
+// True when two runs produced the identical border map: the same links (in
+// order, field by field), per-AS index, and probing stats. This is the
+// 0%-fault determinism guard — a lossless FaultyChannel run must be
+// bit-identical to the local deployment.
+bool same_border_map(const core::BdrmapResult& a, const core::BdrmapResult& b);
+
+// Renders the sweep as an aligned table (one row per fault rate).
+std::string render_degradation(const std::vector<DegradationRow>& rows);
+
+}  // namespace bdrmap::eval

@@ -34,6 +34,10 @@ struct TraceResult {
   std::vector<TraceHop> hops;
   bool reached_dst = false;     // destination itself replied
   bool stopped_by_stopset = false;  // doubletree stop set halted the trace
+  // The probe could not be executed at all (§5.8 degraded channel: the
+  // controller abandoned it after its retry budget). No observation was
+  // made — distinct from a trace whose hops were all silent.
+  bool failed = false;
 };
 
 // Predicate the driver passes in: "stop probing past this address" —

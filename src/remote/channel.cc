@@ -1,0 +1,131 @@
+#include "remote/channel.h"
+
+#include <algorithm>
+
+#include "remote/split.h"
+
+namespace bdrmap::remote {
+
+namespace {
+
+void account_to_device(ChannelStats& stats, std::size_t bytes) {
+  ++stats.messages;
+  stats.bytes_to_device += bytes;
+  stats.peak_message_bytes = std::max(stats.peak_message_bytes, bytes);
+}
+
+void account_from_device(ChannelStats& stats, std::size_t bytes) {
+  ++stats.messages;
+  stats.bytes_from_device += bytes;
+  stats.peak_message_bytes = std::max(stats.peak_message_bytes, bytes);
+}
+
+}  // namespace
+
+std::optional<std::vector<std::uint8_t>> DirectChannel::roundtrip(
+    const std::vector<std::uint8_t>& wire, double /*deadline_s*/) {
+  account_to_device(stats_, wire.size());
+  std::vector<std::uint8_t> response = device_.handle_frame(wire);
+  account_from_device(stats_, response.size());
+  return response;
+}
+
+void FaultyChannel::damage(std::vector<std::uint8_t>& frame) {
+  if (!frame.empty() && rng_.chance(config_.corrupt_rate)) {
+    std::size_t pos =
+        rng_.uniform(0, static_cast<std::uint32_t>(frame.size() - 1));
+    frame[pos] ^= static_cast<std::uint8_t>(rng_.uniform(1, 255));
+    ++stats_.corruptions_injected;
+  }
+  if (frame.size() > 1 && rng_.chance(config_.truncate_rate)) {
+    frame.resize(rng_.uniform(1, static_cast<std::uint32_t>(frame.size() - 1)));
+    ++stats_.corruptions_injected;
+  }
+}
+
+double FaultyChannel::sample_latency() {
+  double l = config_.latency_base_s;
+  if (config_.latency_jitter_s > 0.0) {
+    l += rng_.uniform_real(0.0, config_.latency_jitter_s);
+  }
+  if (rng_.chance(config_.latency_spike_rate)) l += config_.latency_spike_s;
+  return l;
+}
+
+std::optional<std::vector<std::uint8_t>> FaultyChannel::roundtrip(
+    const std::vector<std::uint8_t>& wire, double deadline_s) {
+  account_to_device(stats_, wire.size());
+  double elapsed = sample_latency();  // request leg
+
+  // Device power-cycle, before the request would be handled.
+  ++requests_delivered_;
+  bool scheduled_crash = config_.crash_at_message != 0 &&
+                         requests_delivered_ == config_.crash_at_message;
+  if (scheduled_crash || rng_.chance(config_.crash_rate)) {
+    device_.crash();
+    ++stats_.crashes_injected;
+  }
+
+  // Request leg loss: the device never sees it.
+  if (rng_.chance(config_.drop_rate)) {
+    ++stats_.drops_injected;
+    clock_.advance(deadline_s);
+    return std::nullopt;
+  }
+
+  std::vector<std::uint8_t> req = wire;
+  damage(req);
+
+  std::vector<std::uint8_t> response = device_.handle_frame(req);
+  if (rng_.chance(config_.duplicate_rate)) {
+    // A second copy of the request arrives back-to-back; the device's
+    // replay cache answers it idempotently without re-probing.
+    ++stats_.duplicates_injected;
+    response = device_.handle_frame(req);
+  }
+  account_from_device(stats_, response.size());
+  elapsed += sample_latency();  // response leg
+
+  // Response leg loss: the device did the work but the controller never
+  // hears back (the retransmit will be served from the replay cache).
+  if (rng_.chance(config_.drop_rate)) {
+    ++stats_.drops_injected;
+    clock_.advance(deadline_s);
+    return std::nullopt;
+  }
+
+  damage(response);
+
+  // Reordering: hold this response back. Whatever the network was already
+  // holding arrives instead; if nothing was, the controller hears silence
+  // this exchange and the held frame races a later one.
+  if (rng_.chance(config_.reorder_rate)) {
+    ++stats_.reorders_injected;
+    std::optional<std::vector<std::uint8_t>> earlier = std::move(delayed_);
+    delayed_ = std::move(response);
+    if (!earlier) {
+      clock_.advance(deadline_s);
+      return std::nullopt;
+    }
+    clock_.advance(std::min(elapsed, deadline_s));
+    return earlier;
+  }
+  if (delayed_) {
+    // The held-back frame wins the race; the fresh response is overtaken
+    // and evaporates in flight.
+    std::vector<std::uint8_t> out = std::move(*delayed_);
+    delayed_.reset();
+    clock_.advance(std::min(elapsed, deadline_s));
+    return out;
+  }
+
+  if (elapsed > deadline_s) {
+    // The reply exists but arrives after the controller gave up.
+    clock_.advance(deadline_s);
+    return std::nullopt;
+  }
+  clock_.advance(elapsed);
+  return response;
+}
+
+}  // namespace bdrmap::remote

@@ -1,0 +1,156 @@
+// Measurement-channel abstraction between the controller and the prober
+// device, with deterministic fault injection.
+//
+// The seed repo modelled the §5.8 split deployment as a perfect in-process
+// function call. Real deployments run the prober on home-router-class
+// hardware behind lossy access links: messages are dropped, duplicated,
+// reordered, corrupted and delayed, and the device itself reboots. Channel
+// is the seam where those behaviours live; FaultyChannel injects each fault
+// class from a seeded RNG so every degraded run is exactly reproducible.
+//
+// Time is virtual: the channel advances a VirtualClock by sampled latency
+// and the controller advances it while backing off, so timeout and
+// circuit-breaker logic is deterministic and benches run at full speed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "netbase/rng.h"
+#include "remote/protocol.h"
+
+namespace bdrmap::remote {
+
+class ProberDevice;
+
+// Deterministic simulated wall clock, in seconds.
+struct VirtualClock {
+  double now = 0.0;
+  void advance(double seconds) {
+    if (seconds > 0.0) now += seconds;
+  }
+};
+
+// Accounting shared by the channel (wire-level + injected faults) and the
+// controller-side resilience layer (recovery actions).
+struct ChannelStats {
+  // Wire level.
+  std::uint64_t messages = 0;
+  std::uint64_t bytes_to_device = 0;
+  std::uint64_t bytes_from_device = 0;
+  std::size_t peak_message_bytes = 0;  // proxy for device buffer footprint
+
+  // Faults injected by the channel.
+  std::uint64_t drops_injected = 0;
+  std::uint64_t duplicates_injected = 0;
+  std::uint64_t reorders_injected = 0;
+  std::uint64_t corruptions_injected = 0;
+  std::uint64_t crashes_injected = 0;
+
+  // Recovery actions taken by the controller.
+  std::uint64_t retransmits = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t corrupt_frames_detected = 0;
+  std::uint64_t stale_frames_discarded = 0;
+  std::uint64_t device_restarts = 0;   // sessions re-established
+  std::uint64_t breaker_fast_fails = 0;
+  std::uint64_t probe_failures = 0;    // requests abandoned after retries
+};
+
+// One request/response exchange with the device. The transport may lose
+// either direction (nullopt), or hand back bytes that are corrupted, stale
+// or an error frame — callers must open and verify the frame themselves.
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  // Sends `wire` and waits up to `deadline_s` virtual seconds for a reply.
+  virtual std::optional<std::vector<std::uint8_t>> roundtrip(
+      const std::vector<std::uint8_t>& wire, double deadline_s) = 0;
+
+  virtual ProberDevice& device() = 0;
+  virtual VirtualClock& clock() = 0;
+  virtual ChannelStats& stats() = 0;
+  const ChannelStats& stats() const {
+    return const_cast<Channel*>(this)->stats();
+  }
+};
+
+// Perfect in-process channel: zero latency, no loss — the seed behaviour.
+class DirectChannel final : public Channel {
+ public:
+  explicit DirectChannel(ProberDevice& device) : device_(device) {}
+
+  std::optional<std::vector<std::uint8_t>> roundtrip(
+      const std::vector<std::uint8_t>& wire, double deadline_s) override;
+  ProberDevice& device() override { return device_; }
+  VirtualClock& clock() override { return clock_; }
+  ChannelStats& stats() override { return stats_; }
+
+ private:
+  ProberDevice& device_;
+  VirtualClock clock_;
+  ChannelStats stats_;
+};
+
+// Fault model for one simulated channel. All probabilities are evaluated
+// independently from the channel's seeded RNG; identical (seed, traffic)
+// pairs replay the identical fault sequence.
+struct FaultConfig {
+  double drop_rate = 0.0;       // each direction, per frame
+  double duplicate_rate = 0.0;  // request delivered twice back-to-back
+  double reorder_rate = 0.0;    // response delayed behind the next exchange
+  double corrupt_rate = 0.0;    // one byte flipped, each direction
+  double truncate_rate = 0.0;   // frame loses a random-length tail
+  double crash_rate = 0.0;      // device reboots before handling a request
+
+  // Deterministic reboot when the Nth request is delivered (1-based;
+  // 0 = disabled). Used for reproducible mid-run restart scenarios on top
+  // of the random crash_rate.
+  std::uint64_t crash_at_message = 0;
+
+  // Latency model: base + uniform jitter, with occasional long spikes that
+  // overrun the controller's request timeout.
+  double latency_base_s = 0.005;
+  double latency_jitter_s = 0.01;
+  double latency_spike_rate = 0.0;
+  double latency_spike_s = 2.0;
+
+  std::uint64_t seed = 1;
+};
+
+// Applies FaultConfig to every exchange with the wrapped device.
+class FaultyChannel final : public Channel {
+ public:
+  FaultyChannel(ProberDevice& device, FaultConfig config)
+      : device_(device), config_(config), rng_(config.seed) {}
+
+  std::optional<std::vector<std::uint8_t>> roundtrip(
+      const std::vector<std::uint8_t>& wire, double deadline_s) override;
+  ProberDevice& device() override { return device_; }
+  VirtualClock& clock() override { return clock_; }
+  ChannelStats& stats() override { return stats_; }
+
+  // Mutable so tests can heal/degrade the link mid-run (e.g. to exercise
+  // the circuit breaker's half-open recovery).
+  FaultConfig& config() { return config_; }
+
+ private:
+  // Applies per-direction damage (corruption / truncation) in place.
+  void damage(std::vector<std::uint8_t>& frame);
+  double sample_latency();
+
+  ProberDevice& device_;
+  FaultConfig config_;
+  net::Rng rng_;
+  VirtualClock clock_;
+  ChannelStats stats_;
+  std::uint64_t requests_delivered_ = 0;
+  // A response the network is holding back; delivered in place of the next
+  // exchange's response (the delayed frame wins the race, the fresh one is
+  // dropped as still-in-flight).
+  std::optional<std::vector<std::uint8_t>> delayed_;
+};
+
+}  // namespace bdrmap::remote

@@ -4,50 +4,231 @@
 
 namespace bdrmap::remote {
 
+// --- ProberDevice ---
+
+std::vector<std::uint8_t> ProberDevice::handle_frame(
+    const std::vector<std::uint8_t>& wire) {
+  Frame f;
+  try {
+    f = open_frame(wire);
+  } catch (const ProtocolError&) {
+    // The session/seq of a damaged frame cannot be trusted; NACK with seq 0
+    // and let the controller retransmit.
+    return seal_frame(session_, 0, encode_error(ErrCode::kMalformedRequest));
+  }
+  MsgType type;
+  try {
+    type = f.type();
+  } catch (const ProtocolError&) {
+    return seal_frame(session_, f.seq,
+                      encode_error(ErrCode::kMalformedRequest));
+  }
+  if (type == MsgType::kHelloReq) {
+    session_ = next_session_++;
+    cache_valid_ = false;
+    cached_response_.clear();
+    return seal_frame(session_, f.seq, encode_hello_resp(session_));
+  }
+  if (session_ == 0 || f.session != session_) {
+    return seal_frame(session_, f.seq, encode_error(ErrCode::kBadSession));
+  }
+  if (cache_valid_ && f.seq == cached_seq_) {
+    // Retransmit of the request we just answered: replay the cached frame
+    // without re-probing (idempotency).
+    return cached_response_;
+  }
+  if (cache_valid_ && f.seq < cached_seq_) {
+    return seal_frame(session_, f.seq, encode_error(ErrCode::kStaleSeq));
+  }
+  cached_response_ = seal_frame(session_, f.seq, handle(f.payload));
+  cached_seq_ = f.seq;
+  cache_valid_ = true;
+  return cached_response_;
+}
+
 std::vector<std::uint8_t> ProberDevice::handle(
     const std::vector<std::uint8_t>& request) {
-  Reader r(request);
-  switch (static_cast<MsgType>(r.u8())) {
-    case MsgType::kTraceReq: {
-      net::Ipv4Addr dst = r.addr();
-      // The device runs the plain trace; stop-set state lives with the
-      // controller, which truncates the result.
-      probe::TraceResult t = services_.trace(dst, nullptr);
-      return encode_trace_resp(t);
+  try {
+    Reader r(request);
+    switch (static_cast<MsgType>(r.u8())) {
+      case MsgType::kTraceReq: {
+        net::Ipv4Addr dst = r.addr();
+        r.expect_done();
+        // The device runs the plain trace; stop-set state lives with the
+        // controller, which truncates the result.
+        probe::TraceResult t = services_.trace(dst, nullptr);
+        return encode_trace_resp(t);
+      }
+      case MsgType::kUdpReq: {
+        net::Ipv4Addr a = r.addr();
+        r.expect_done();
+        return encode_udp_resp(services_.udp_probe(a));
+      }
+      case MsgType::kIpidReq: {
+        net::Ipv4Addr a = r.addr();
+        double t = r.f64();
+        r.expect_done();
+        return encode_ipid_resp(services_.ipid_sample(a, t));
+      }
+      case MsgType::kTsReq: {
+        net::Ipv4Addr path_dst = r.addr();
+        net::Ipv4Addr candidate = r.addr();
+        r.expect_done();
+        return encode_ts_resp(services_.timestamp_probe(path_dst, candidate));
+      }
+      default:
+        return encode_error(ErrCode::kUnknownRequest);
     }
-    case MsgType::kUdpReq:
-      return encode_udp_resp(services_.udp_probe(r.addr()));
-    case MsgType::kIpidReq: {
-      net::Ipv4Addr a = r.addr();
-      double t = r.f64();
-      return encode_ipid_resp(services_.ipid_sample(a, t));
-    }
-    case MsgType::kTsReq: {
-      net::Ipv4Addr path_dst = r.addr();
-      net::Ipv4Addr candidate = r.addr();
-      return encode_ts_resp(services_.timestamp_probe(path_dst, candidate));
-    }
-    default:
-      throw std::runtime_error("unknown request");
+  } catch (const ProtocolError&) {
+    return encode_error(ErrCode::kMalformedRequest);
   }
 }
 
-std::vector<std::uint8_t> RemoteProbeServices::roundtrip(
-    std::vector<std::uint8_t> request) {
-  stats_.messages += 2;
-  stats_.bytes_to_device += request.size();
-  stats_.peak_message_bytes =
-      std::max(stats_.peak_message_bytes, request.size());
-  std::vector<std::uint8_t> response = device_.handle(request);
-  stats_.bytes_from_device += response.size();
-  stats_.peak_message_bytes =
-      std::max(stats_.peak_message_bytes, response.size());
-  return response;
+void ProberDevice::crash() {
+  session_ = 0;
+  cache_valid_ = false;
+  cached_response_.clear();
+  ++restarts_;
+}
+
+// --- RemoteProbeServices ---
+
+RemoteProbeServices::RemoteProbeServices(ProberDevice& device)
+    : owned_(std::make_unique<DirectChannel>(device)),
+      channel_(owned_.get()),
+      rng_(cfg_.seed) {}
+
+RemoteProbeServices::RemoteProbeServices(Channel& channel,
+                                         ResilienceConfig config)
+    : channel_(&channel), cfg_(config), rng_(config.seed) {}
+
+void RemoteProbeServices::backoff(int attempt) {
+  double base =
+      cfg_.backoff_base_s *
+      static_cast<double>(1ull << std::min(attempt - 1, 16));
+  base = std::min(base, cfg_.backoff_max_s);
+  double jitter = base * cfg_.backoff_jitter;
+  channel_->clock().advance(base + rng_.uniform_real(-jitter, jitter));
+}
+
+bool RemoteProbeServices::handshake() {
+  ChannelStats& st = channel_->stats();
+  std::uint32_t seq = next_seq_++;
+  auto hello = encode_hello_req();
+  for (int attempt = 0; attempt < cfg_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++st.retransmits;
+      backoff(attempt);
+    }
+    auto raw = channel_->roundtrip(seal_frame(0, seq, hello),
+                                   cfg_.request_timeout_s);
+    if (!raw) {
+      ++st.timeouts;
+      continue;
+    }
+    try {
+      Frame f = open_frame(*raw);
+      if (f.seq != seq || f.type() != MsgType::kHelloResp) {
+        ++st.stale_frames_discarded;
+        continue;
+      }
+      session_ = decode_hello_resp(f.payload);
+    } catch (const ProtocolError&) {
+      ++st.corrupt_frames_detected;
+      continue;
+    }
+    if (had_session_) ++st.device_restarts;
+    had_session_ = true;
+    return true;
+  }
+  return false;
+}
+
+std::optional<std::vector<std::uint8_t>> RemoteProbeServices::request(
+    const std::vector<std::uint8_t>& payload) {
+  ChannelStats& st = channel_->stats();
+  VirtualClock& clock = channel_->clock();
+  if (breaker_open_ && clock.now < breaker_open_until_) {
+    ++st.breaker_fast_fails;
+    ++st.probe_failures;
+    return std::nullopt;
+  }
+  // Either closed or half-open (cooldown elapsed): attempt the request.
+  std::uint32_t seq = next_seq_++;
+  for (int attempt = 0; attempt < cfg_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++st.retransmits;
+      backoff(attempt);
+    }
+    if (session_ == 0 && !handshake()) continue;
+    auto raw = channel_->roundtrip(seal_frame(session_, seq, payload),
+                                   cfg_.request_timeout_s);
+    if (!raw) {
+      ++st.timeouts;
+      continue;
+    }
+    Frame f;
+    MsgType type;
+    try {
+      f = open_frame(*raw);
+      type = f.type();
+    } catch (const ProtocolError&) {
+      ++st.corrupt_frames_detected;
+      continue;
+    }
+    if (type == MsgType::kError) {
+      ErrCode code;
+      try {
+        code = decode_error(f.payload);
+      } catch (const ProtocolError&) {
+        ++st.corrupt_frames_detected;
+        continue;
+      }
+      if (code == ErrCode::kBadSession) {
+        // Device restarted and lost the session; re-handshake on the next
+        // attempt and replay the request under the new session.
+        session_ = 0;
+      } else if (code == ErrCode::kMalformedRequest) {
+        // Our request was damaged in flight; the device detected it.
+        ++st.corrupt_frames_detected;
+      }
+      continue;
+    }
+    if (f.session != session_ || f.seq != seq) {
+      // Reordered/stale frame from an earlier exchange.
+      ++st.stale_frames_discarded;
+      continue;
+    }
+    consecutive_failures_ = 0;
+    breaker_open_ = false;
+    return std::move(f.payload);
+  }
+  ++st.probe_failures;
+  if (++consecutive_failures_ >= cfg_.breaker_threshold) {
+    breaker_open_ = true;
+    breaker_open_until_ = clock.now + cfg_.breaker_cooldown_s;
+  }
+  return std::nullopt;
 }
 
 probe::TraceResult RemoteProbeServices::trace(net::Ipv4Addr dst,
                                               const probe::StopFn& stop) {
-  probe::TraceResult t = decode_trace_resp(roundtrip(encode_trace_req(dst)));
+  probe::TraceResult t;
+  auto payload = request(encode_trace_req(dst));
+  bool decoded = false;
+  if (payload) {
+    try {
+      t = decode_trace_resp(*payload);
+      decoded = true;
+    } catch (const ProtocolError&) {
+      ++channel_->stats().corrupt_frames_detected;
+    }
+  }
+  if (!decoded) {
+    t.dst = dst;
+    t.failed = true;
+    return t;
+  }
   if (!stop) return t;
   // Controller-side doubletree: truncate at the first hop the stop set
   // covers, as the monolithic prober would have stopped there.
@@ -64,17 +245,38 @@ probe::TraceResult RemoteProbeServices::trace(net::Ipv4Addr dst,
 
 std::optional<net::Ipv4Addr> RemoteProbeServices::udp_probe(
     net::Ipv4Addr addr) {
-  return decode_udp_resp(roundtrip(encode_udp_req(addr)));
+  auto payload = request(encode_udp_req(addr));
+  if (!payload) return std::nullopt;
+  try {
+    return decode_udp_resp(*payload);
+  } catch (const ProtocolError&) {
+    ++channel_->stats().corrupt_frames_detected;
+    return std::nullopt;
+  }
 }
 
 std::optional<std::uint16_t> RemoteProbeServices::ipid_sample(
     net::Ipv4Addr addr, double t) {
-  return decode_ipid_resp(roundtrip(encode_ipid_req(addr, t)));
+  auto payload = request(encode_ipid_req(addr, t));
+  if (!payload) return std::nullopt;
+  try {
+    return decode_ipid_resp(*payload);
+  } catch (const ProtocolError&) {
+    ++channel_->stats().corrupt_frames_detected;
+    return std::nullopt;
+  }
 }
 
 std::optional<bool> RemoteProbeServices::timestamp_probe(
     net::Ipv4Addr path_dst, net::Ipv4Addr candidate) {
-  return decode_ts_resp(roundtrip(encode_ts_req(path_dst, candidate)));
+  auto payload = request(encode_ts_req(path_dst, candidate));
+  if (!payload) return std::nullopt;
+  try {
+    return decode_ts_resp(*payload);
+  } catch (const ProtocolError&) {
+    ++channel_->stats().corrupt_frames_detected;
+    return std::nullopt;
+  }
 }
 
 }  // namespace bdrmap::remote

@@ -1,51 +1,103 @@
 // Split prober/controller deployment (§5.8).
 //
 // ProberDevice is what runs on the resource-limited box: it executes one
-// measurement command at a time and holds no bdrmap state (the paper's
-// scamper used 3.5MB of RAM on BISmark devices vs ~150MB for full bdrmap).
+// measurement command at a time and holds almost no bdrmap state (the
+// paper's scamper used 3.5MB of RAM on BISmark devices vs ~150MB for full
+// bdrmap). The only state it keeps is per-session: the current session id
+// and a one-deep replay cache keyed by sequence number, so a retransmitted
+// request is answered idempotently without re-probing. A crash (power
+// cycle) loses exactly that state; the controller re-establishes the
+// session with a hello handshake.
+//
 // RemoteProbeServices is the controller-side adapter: it implements
-// probe::ProbeServices by marshalling each command over the channel, so the
-// unmodified core::Bdrmap pipeline drives a remote device. The doubletree
-// stop set stays controller-side: the device traces, the controller
-// truncates — trading some extra device probes for near-zero device state,
-// the same trade the paper makes.
+// probe::ProbeServices by marshalling each command over a Channel, so the
+// unmodified core::Bdrmap pipeline drives a remote device. Because the
+// channel may be lossy (remote::FaultyChannel), the controller is
+// resilient: per-request timeouts, bounded retries with exponential
+// backoff + jitter on a virtual clock, CRC/sequence verification of every
+// frame, session re-establishment after a device restart, and a circuit
+// breaker that fails probes fast while the device is unreachable. A probe
+// that still fails after all of that surfaces as TraceResult::failed /
+// nullopt — core::Bdrmap degrades gracefully instead of aborting.
+//
+// The doubletree stop set stays controller-side: the device traces, the
+// controller truncates — trading some extra device probes for near-zero
+// device state, the same trade the paper makes.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "netbase/rng.h"
 #include "probe/alias.h"
 #include "probe/types.h"
+#include "remote/channel.h"
 #include "remote/protocol.h"
 
 namespace bdrmap::remote {
 
-struct ChannelStats {
-  std::uint64_t messages = 0;
-  std::uint64_t bytes_to_device = 0;
-  std::uint64_t bytes_from_device = 0;
-  std::size_t peak_message_bytes = 0;  // proxy for device buffer footprint
-};
-
-// The measurement device: wraps the actual prober and answers one encoded
-// command per call. Stateless between commands by design.
+// The measurement device: wraps the actual prober and answers one framed
+// command per call. Nothing a peer sends may crash it — malformed input
+// yields a kError frame, never an exception across the "wire".
 class ProberDevice {
  public:
   explicit ProberDevice(probe::LocalProbeServices& services)
       : services_(services) {}
 
+  // Framed endpoint: verifies CRC, session and sequence number, answers
+  // retransmits from the replay cache, and dispatches fresh requests.
+  std::vector<std::uint8_t> handle_frame(
+      const std::vector<std::uint8_t>& wire);
+
+  // Payload-level dispatch (no session handling). Malformed or unknown
+  // requests return an encoded kError message.
   std::vector<std::uint8_t> handle(const std::vector<std::uint8_t>& request);
 
+  // Simulated power cycle: the session id and replay cache are lost and
+  // every in-flight session is invalidated; the probe engines themselves
+  // (the "scamper process") come back up unchanged.
+  void crash();
+
   std::uint64_t probes_sent() const { return services_.probes_sent(); }
+  std::uint32_t restarts() const { return restarts_; }
+  std::uint32_t session() const { return session_; }  // 0 = none
 
  private:
   probe::LocalProbeServices& services_;
+  std::uint32_t session_ = 0;
+  std::uint32_t next_session_ = 1;
+  std::uint32_t restarts_ = 0;
+  // One-deep idempotent replay cache: last handled sequence number and the
+  // full response frame that answered it.
+  bool cache_valid_ = false;
+  std::uint32_t cached_seq_ = 0;
+  std::vector<std::uint8_t> cached_response_;
 };
 
-// Controller-side ProbeServices speaking the wire protocol.
+// Controller-side retry/timeout/breaker policy. All time is virtual
+// (VirtualClock), so degraded runs stay deterministic and fast.
+struct ResilienceConfig {
+  double request_timeout_s = 0.25;  // per attempt
+  int max_attempts = 6;             // per request (1 initial + retries)
+  double backoff_base_s = 0.05;     // doubles per retry ...
+  double backoff_max_s = 2.0;       // ... up to this cap
+  double backoff_jitter = 0.25;     // +/- fraction of the backoff, seeded
+  // Circuit breaker: after this many *consecutive* abandoned requests the
+  // device is declared dead and probes fail fast until the cooldown
+  // elapses; the next request then half-opens the breaker with a trial.
+  int breaker_threshold = 8;
+  double breaker_cooldown_s = 30.0;
+  std::uint64_t seed = 0x51C2;  // backoff jitter stream
+};
+
+// Controller-side ProbeServices speaking the wire protocol over a Channel.
 class RemoteProbeServices final : public probe::ProbeServices {
  public:
-  explicit RemoteProbeServices(ProberDevice& device) : device_(device) {}
+  // Perfect in-process channel (the seed behaviour).
+  explicit RemoteProbeServices(ProberDevice& device);
+  // Caller-supplied channel, e.g. a FaultyChannel.
+  explicit RemoteProbeServices(Channel& channel, ResilienceConfig config = {});
 
   probe::TraceResult trace(net::Ipv4Addr dst,
                            const probe::StopFn& stop) override;
@@ -54,15 +106,31 @@ class RemoteProbeServices final : public probe::ProbeServices {
                                            double t) override;
   std::optional<bool> timestamp_probe(net::Ipv4Addr path_dst,
                                       net::Ipv4Addr candidate) override;
-  std::uint64_t probes_sent() const override { return device_.probes_sent(); }
+  std::uint64_t probes_sent() const override {
+    return channel_->device().probes_sent();
+  }
 
-  const ChannelStats& channel_stats() const { return stats_; }
+  const ChannelStats& channel_stats() const { return channel_->stats(); }
+  bool breaker_open() const { return breaker_open_; }
 
  private:
-  std::vector<std::uint8_t> roundtrip(std::vector<std::uint8_t> request);
+  // One reliable request: frame, send, verify, retry. nullopt when the
+  // request was abandoned (timeout budget exhausted or breaker open).
+  std::optional<std::vector<std::uint8_t>> request(
+      const std::vector<std::uint8_t>& payload);
+  bool handshake();
+  void backoff(int attempt);
 
-  ProberDevice& device_;
-  ChannelStats stats_;
+  std::unique_ptr<DirectChannel> owned_;  // when constructed from a device
+  Channel* channel_;
+  ResilienceConfig cfg_;
+  net::Rng rng_;
+  std::uint32_t session_ = 0;
+  bool had_session_ = false;
+  std::uint32_t next_seq_ = 1;
+  int consecutive_failures_ = 0;
+  bool breaker_open_ = false;
+  double breaker_open_until_ = 0.0;
 };
 
 }  // namespace bdrmap::remote

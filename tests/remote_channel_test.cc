@@ -1,0 +1,196 @@
+// FaultyChannel fault injection + controller-side resilience: retries,
+// idempotent replay, session re-establishment after a device crash, and
+// the circuit breaker.
+#include "remote/channel.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/scenario.h"
+#include "remote/split.h"
+
+namespace bdrmap::remote {
+namespace {
+
+class ChannelFixture : public ::testing::Test {
+ protected:
+  ChannelFixture() : scenario_(eval::small_access_config(11)) {
+    vp_as_ = scenario_.first_of(topo::AsKind::kAccess);
+    vp_ = scenario_.vps_in(vp_as_).front();
+    for (const auto& ann : scenario_.net().announced()) {
+      targets_.push_back(net::Ipv4Addr(ann.prefix.first().value() + 1));
+      if (targets_.size() >= 40) break;
+    }
+  }
+
+  // The reference outcome of probing `targets_` over a perfect channel.
+  std::vector<std::optional<net::Ipv4Addr>> clean_udp_results() {
+    auto backend = scenario_.services_for(vp_, 7);
+    ProberDevice device(*backend);
+    RemoteProbeServices services(device);
+    std::vector<std::optional<net::Ipv4Addr>> out;
+    for (net::Ipv4Addr a : targets_) out.push_back(services.udp_probe(a));
+    return out;
+  }
+
+  eval::Scenario scenario_;
+  net::AsId vp_as_;
+  topo::Vp vp_;
+  std::vector<net::Ipv4Addr> targets_;
+};
+
+TEST_F(ChannelFixture, ZeroFaultChannelMatchesDirectChannel) {
+  auto expected = clean_udp_results();
+
+  auto backend = scenario_.services_for(vp_, 7);
+  ProberDevice device(*backend);
+  FaultyChannel channel(device, FaultConfig{});
+  RemoteProbeServices services(channel);
+  for (std::size_t i = 0; i < targets_.size(); ++i) {
+    EXPECT_EQ(services.udp_probe(targets_[i]), expected[i]) << i;
+  }
+  const ChannelStats& stats = channel.stats();
+  EXPECT_EQ(stats.retransmits, 0u);
+  EXPECT_EQ(stats.timeouts, 0u);
+  EXPECT_EQ(stats.drops_injected, 0u);
+}
+
+TEST_F(ChannelFixture, FaultSequenceIsDeterministicPerSeed) {
+  auto run = [&](std::uint64_t seed) {
+    auto backend = scenario_.services_for(vp_, 7);
+    ProberDevice device(*backend);
+    FaultConfig faults;
+    faults.drop_rate = 0.2;
+    faults.corrupt_rate = 0.1;
+    faults.seed = seed;
+    FaultyChannel channel(device, faults);
+    RemoteProbeServices services(channel);
+    for (net::Ipv4Addr a : targets_) services.udp_probe(a);
+    return channel.stats();
+  };
+  ChannelStats a = run(77);
+  ChannelStats b = run(77);
+  EXPECT_EQ(a.drops_injected, b.drops_injected);
+  EXPECT_EQ(a.corruptions_injected, b.corruptions_injected);
+  EXPECT_EQ(a.retransmits, b.retransmits);
+  EXPECT_EQ(a.timeouts, b.timeouts);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_GT(a.drops_injected, 0u);
+}
+
+TEST_F(ChannelFixture, RetriesRecoverTheExactCleanResults) {
+  auto expected = clean_udp_results();
+
+  auto backend = scenario_.services_for(vp_, 7);
+  ProberDevice device(*backend);
+  FaultConfig faults;
+  faults.drop_rate = 0.25;
+  faults.corrupt_rate = 0.1;
+  faults.duplicate_rate = 0.1;
+  faults.reorder_rate = 0.05;
+  faults.truncate_rate = 0.05;
+  faults.seed = 0xD15EA5E;
+  FaultyChannel channel(device, faults);
+  ResilienceConfig rcfg;
+  rcfg.max_attempts = 10;  // loss is heavy; keep abandonment negligible
+  RemoteProbeServices services(channel, rcfg);
+  // Every probe must come back with the value the lossless deployment
+  // produced: request drops never reached the device, response drops are
+  // answered from the replay cache, so the device's RNG stream stays in
+  // lockstep with the clean run.
+  for (std::size_t i = 0; i < targets_.size(); ++i) {
+    EXPECT_EQ(services.udp_probe(targets_[i]), expected[i]) << i;
+  }
+  const ChannelStats& stats = channel.stats();
+  EXPECT_GT(stats.retransmits, 0u);
+  EXPECT_GT(stats.timeouts, 0u);
+  EXPECT_GT(stats.corrupt_frames_detected, 0u);
+  EXPECT_EQ(stats.probe_failures, 0u);
+}
+
+TEST_F(ChannelFixture, DuplicatedRequestsAreAnsweredFromReplayCache) {
+  auto backend_clean = scenario_.services_for(vp_, 7);
+  ProberDevice clean_device(*backend_clean);
+  RemoteProbeServices clean(clean_device);
+  for (net::Ipv4Addr a : targets_) clean.udp_probe(a);
+  std::uint64_t clean_probes = clean_device.probes_sent();
+
+  auto backend = scenario_.services_for(vp_, 7);
+  ProberDevice device(*backend);
+  FaultConfig faults;
+  faults.duplicate_rate = 1.0;  // every request delivered twice
+  FaultyChannel channel(device, faults);
+  RemoteProbeServices services(channel);
+  for (net::Ipv4Addr a : targets_) services.udp_probe(a);
+
+  // The duplicate deliveries were replayed from the cache: the device
+  // probed exactly as often as the duplicate-free run.
+  EXPECT_EQ(device.probes_sent(), clean_probes);
+  EXPECT_GT(channel.stats().duplicates_injected, 0u);
+}
+
+TEST_F(ChannelFixture, DeviceCrashIsSurvivedViaRehandshake) {
+  auto expected = clean_udp_results();
+
+  auto backend = scenario_.services_for(vp_, 7);
+  ProberDevice device(*backend);
+  FaultConfig faults;
+  faults.crash_at_message = 10;
+  FaultyChannel channel(device, faults);
+  RemoteProbeServices services(channel);
+  for (std::size_t i = 0; i < targets_.size(); ++i) {
+    EXPECT_EQ(services.udp_probe(targets_[i]), expected[i]) << i;
+  }
+  EXPECT_EQ(device.restarts(), 1u);
+  EXPECT_EQ(channel.stats().device_restarts, 1u);
+  EXPECT_EQ(channel.stats().crashes_injected, 1u);
+  EXPECT_EQ(channel.stats().probe_failures, 0u);
+}
+
+TEST_F(ChannelFixture, LatencySpikesTimeOut) {
+  auto backend = scenario_.services_for(vp_, 7);
+  ProberDevice device(*backend);
+  FaultConfig faults;
+  faults.latency_spike_rate = 1.0;
+  faults.latency_spike_s = 5.0;  // far beyond the 0.25s request timeout
+  FaultyChannel channel(device, faults);
+  RemoteProbeServices services(channel);
+  auto t = services.trace(targets_.front(), nullptr);
+  EXPECT_TRUE(t.failed);
+  EXPECT_TRUE(t.hops.empty());
+  EXPECT_GT(channel.stats().timeouts, 0u);
+  EXPECT_GT(channel.stats().probe_failures, 0u);
+}
+
+TEST_F(ChannelFixture, CircuitBreakerOpensFailsFastAndRecovers) {
+  auto backend = scenario_.services_for(vp_, 7);
+  ProberDevice device(*backend);
+  FaultConfig faults;
+  faults.drop_rate = 1.0;  // device unreachable
+  FaultyChannel channel(device, faults);
+  ResilienceConfig rcfg;
+  rcfg.max_attempts = 3;
+  rcfg.breaker_threshold = 4;
+  RemoteProbeServices services(channel, rcfg);
+
+  for (int i = 0; i < rcfg.breaker_threshold; ++i) {
+    EXPECT_FALSE(services.udp_probe(targets_.front()).has_value());
+  }
+  EXPECT_TRUE(services.breaker_open());
+
+  // While open, probes fail fast without touching the wire.
+  std::uint64_t messages_at_open = channel.stats().messages;
+  EXPECT_FALSE(services.udp_probe(targets_.front()).has_value());
+  EXPECT_EQ(channel.stats().messages, messages_at_open);
+  EXPECT_GT(channel.stats().breaker_fast_fails, 0u);
+
+  // The link heals and the cooldown elapses: the next request half-opens
+  // the breaker, succeeds, and closes it.
+  channel.config().drop_rate = 0.0;
+  channel.clock().advance(rcfg.breaker_cooldown_s + 1.0);
+  EXPECT_EQ(services.udp_probe(targets_.front()),
+            clean_udp_results().front());
+  EXPECT_FALSE(services.breaker_open());
+}
+
+}  // namespace
+}  // namespace bdrmap::remote

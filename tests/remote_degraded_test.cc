@@ -1,0 +1,127 @@
+// End-to-end degraded deployment: core::Bdrmap over a FaultyChannel.
+//
+// The determinism guard pins the fault-injection layer at 0% to the exact
+// behaviour of the local deployment; the degraded runs check that the
+// pipeline completes with partial data (never aborts), survives a mid-run
+// device power-cycle, and records abandoned targets as ProbeFailure
+// instead of silently omitting them.
+#include <gtest/gtest.h>
+
+#include "core/bdrmap.h"
+#include "eval/degradation.h"
+#include "eval/scenario.h"
+#include "remote/channel.h"
+#include "remote/split.h"
+
+namespace bdrmap::remote {
+namespace {
+
+topo::GeneratorConfig deterministic_config() {
+  // Eliminate the per-probe randomness (rate limiting, lossy destinations)
+  // so the local and remote paths consume identical RNG streams: the
+  // comparison then isolates the deployment and the channel itself.
+  auto c = eval::small_access_config(11);
+  c.rate_limit_max = 0.0;
+  c.p_silent = 0.0;
+  c.p_echo_only = 0.0;
+  c.dest_responsiveness_enterprise = 1.0;
+  c.dest_responsiveness_default = 1.0;
+  return c;
+}
+
+class DegradedFixture : public ::testing::Test {
+ protected:
+  DegradedFixture()
+      : scenario_(deterministic_config()),
+        vp_as_(scenario_.first_of(topo::AsKind::kAccess)),
+        vp_(scenario_.vps_in(vp_as_).front()),
+        inputs_(scenario_.inputs_for(vp_as_)) {}
+
+  core::BdrmapResult run_local() {
+    auto services = scenario_.services_for(vp_, 123);
+    core::Bdrmap bdrmap(*services, inputs_);
+    return bdrmap.run();
+  }
+
+  struct DegradedRun {
+    core::BdrmapResult result;
+    ChannelStats stats;
+  };
+
+  DegradedRun run_degraded(const FaultConfig& faults,
+                           ResilienceConfig rcfg = {}) {
+    auto backend = scenario_.services_for(vp_, 123);
+    ProberDevice device(*backend);
+    FaultyChannel channel(device, faults);
+    RemoteProbeServices services(channel, rcfg);
+    core::Bdrmap bdrmap(services, inputs_);
+    DegradedRun run{bdrmap.run(), channel.stats()};
+    return run;
+  }
+
+  eval::Scenario scenario_;
+  net::AsId vp_as_;
+  topo::Vp vp_;
+  core::InferenceInputs inputs_;
+};
+
+TEST_F(DegradedFixture, ZeroFaultRateIsBitIdenticalToLocalDeployment) {
+  core::BdrmapResult local = run_local();
+  DegradedRun faulty = run_degraded(FaultConfig{});
+
+  EXPECT_TRUE(eval::same_border_map(faulty.result, local));
+  EXPECT_EQ(faulty.result.stats.probe_failures, 0u);
+  EXPECT_TRUE(faulty.result.failed_targets.empty());
+  EXPECT_EQ(faulty.stats.retransmits, 0u);
+  EXPECT_EQ(faulty.stats.timeouts, 0u);
+}
+
+TEST_F(DegradedFixture, FivePercentLossAndMidRunRestartCompletes) {
+  core::BdrmapResult local = run_local();
+
+  FaultConfig faults;
+  faults.drop_rate = 0.05;
+  faults.corrupt_rate = 0.02;
+  faults.duplicate_rate = 0.02;
+  faults.crash_at_message = 800;  // power-cycle mid-run
+  faults.seed = 0xBEEF;
+  DegradedRun run = run_degraded(faults);
+
+  // The run completed, recovered the session, and the recovery machinery
+  // visibly worked.
+  EXPECT_GT(run.stats.retransmits, 0u);
+  EXPECT_GT(run.stats.timeouts, 0u);
+  EXPECT_EQ(run.stats.device_restarts, 1u);
+  EXPECT_GT(run.result.links.size(), 0u);
+  EXPECT_GT(run.result.links_by_as.size(), 0u);
+
+  // At 5% loss the retry budget absorbs nearly everything: the inferred
+  // border map stays close to the lossless one (within 10% on links).
+  double ratio = static_cast<double>(run.result.links.size()) /
+                 static_cast<double>(local.links.size());
+  EXPECT_GT(ratio, 0.9);
+}
+
+TEST_F(DegradedFixture, HeavyLossDegradesGracefullyAndRecordsFailures) {
+  FaultConfig faults;
+  faults.drop_rate = 0.85;
+  faults.seed = 0x7E57;
+  ResilienceConfig rcfg;
+  rcfg.max_attempts = 3;
+  rcfg.breaker_threshold = 5;
+  DegradedRun run = run_degraded(faults, rcfg);
+
+  // The pipeline finished despite the channel being mostly dead, and the
+  // targets it could not measure are flagged, not dropped on the floor.
+  EXPECT_GT(run.result.stats.probe_failures, 0u);
+  EXPECT_EQ(run.result.failed_targets.size(),
+            run.result.stats.probe_failures);
+  for (const core::ProbeFailure& failure : run.result.failed_targets) {
+    EXPECT_FALSE(failure.dst.is_zero());
+    EXPECT_TRUE(failure.target_as.valid());
+  }
+  EXPECT_GT(run.stats.probe_failures, 0u);
+}
+
+}  // namespace
+}  // namespace bdrmap::remote

@@ -102,10 +102,57 @@ TEST_F(SplitFixture, ControllerAppliesStopSetTruncation) {
   EXPECT_EQ(truncated.hops.back().addr, first);
 }
 
-TEST_F(SplitFixture, DeviceRejectsGarbage) {
+TEST_F(SplitFixture, DeviceAnswersGarbageWithErrorFrameNotException) {
   auto device_services = scenario_.services_for(vp_, 9);
   ProberDevice device(*device_services);
-  EXPECT_THROW(device.handle({0xFF, 0x01}), std::runtime_error);
+
+  // Frame-level garbage: a kError frame comes back, nothing is thrown
+  // across the "wire".
+  auto nack = device.handle_frame({0xFF, 0x01, 0x02});
+  Frame frame = open_frame(nack);
+  EXPECT_EQ(frame.type(), MsgType::kError);
+  EXPECT_EQ(decode_error(frame.payload), ErrCode::kMalformedRequest);
+
+  // Payload-level garbage: unknown request type.
+  EXPECT_EQ(decode_error(device.handle({0xFF, 0x01})),
+            ErrCode::kUnknownRequest);
+  // Truncated payload for a known type.
+  EXPECT_EQ(decode_error(device.handle({0x01, 0x0A})),
+            ErrCode::kMalformedRequest);
+  // Empty payload.
+  EXPECT_EQ(decode_error(device.handle({})), ErrCode::kMalformedRequest);
+}
+
+TEST_F(SplitFixture, DeviceRequiresSessionAndServesReplayCache) {
+  auto device_services = scenario_.services_for(vp_, 9);
+  ProberDevice device(*device_services);
+
+  // No session yet: a well-formed command frame is refused.
+  auto probe_payload = encode_udp_req(
+      net::Ipv4Addr(
+          scenario_.net().announced().front().prefix.first().value() + 1));
+  auto refused = open_frame(device.handle_frame(seal_frame(5, 1, probe_payload)));
+  EXPECT_EQ(refused.type(), MsgType::kError);
+  EXPECT_EQ(decode_error(refused.payload), ErrCode::kBadSession);
+
+  // Handshake, then a command, then its retransmit: the replay cache must
+  // answer byte-identically without re-probing.
+  auto hello = open_frame(device.handle_frame(seal_frame(0, 1, encode_hello_req())));
+  std::uint32_t session = decode_hello_resp(hello.payload);
+  EXPECT_NE(session, 0u);
+
+  auto first = device.handle_frame(seal_frame(session, 2, probe_payload));
+  std::uint64_t probes_after_first = device.probes_sent();
+  auto replay = device.handle_frame(seal_frame(session, 2, probe_payload));
+  EXPECT_EQ(first, replay);
+  EXPECT_EQ(device.probes_sent(), probes_after_first);
+
+  // A crash drops the session; the same frame is now refused again.
+  device.crash();
+  auto after_crash = open_frame(device.handle_frame(seal_frame(session, 3, probe_payload)));
+  EXPECT_EQ(after_crash.type(), MsgType::kError);
+  EXPECT_EQ(decode_error(after_crash.payload), ErrCode::kBadSession);
+  EXPECT_EQ(device.restarts(), 1u);
 }
 
 }  // namespace

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Build + test gate: the plain preset runs the full suite; the asan-ubsan
+# preset re-runs the protocol/channel/split tests (the code paths that parse
+# attacker-shaped bytes) under AddressSanitizer + UBSan.
+#
+# Usage: tools/check.sh [--fast]
+#   --fast   skip the sanitizer pass
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS=$(nproc 2>/dev/null || echo 4)
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+echo "== default preset: configure + build + full ctest =="
+cmake --preset default
+cmake --build --preset default -j "$JOBS"
+ctest --preset default -j "$JOBS"
+
+if [[ "$FAST" == "1" ]]; then
+  echo "== --fast: skipping sanitizer pass =="
+  exit 0
+fi
+
+echo "== asan-ubsan preset: configure + build + remote/protocol tests =="
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j "$JOBS" --target \
+  remote_protocol_test remote_channel_test remote_split_test \
+  remote_degraded_test
+ctest --test-dir build-asan -j "$JOBS" --output-on-failure \
+  -R 'Protocol|Frame|ChannelFixture|SplitFixture|DegradedFixture|RemoteTimestamp'
+echo "== all checks passed =="
