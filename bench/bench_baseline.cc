@@ -52,7 +52,7 @@ Row compare(const char* name, const topo::GeneratorConfig& config,
     ++total;
     correct += truth.same_org(as, owner);
   }
-  row.baseline_acc = total ? 100.0 * correct / total : 0.0;
+  row.baseline_acc = eval::pct(correct, total);
 
   // MAP-IT-style multipass interface relabeling on the same traces.
   auto mapit = core::run_mapit(result.graph.traces(), *inputs.origins,
@@ -66,11 +66,9 @@ Row compare(const char* name, const topo::GeneratorConfig& config,
     ++mtotal;
     mcorrect += as.valid() && truth.same_org(as, owner);
   }
-  row.mapit_acc = mtotal ? 100.0 * mcorrect / mtotal : 0.0;
+  row.mapit_acc = eval::pct(mcorrect, mtotal);
   row.mapit_terminal_share =
-      mapit.owners.empty()
-          ? 0.0
-          : 100.0 * mapit.terminal_interfaces / mapit.owners.size();
+      eval::pct(mapit.terminal_interfaces, mapit.owners.size());
 
   // Baseline "interdomain links" naming an AS that is not actually the
   // operator on the far side (third-party / provider-addressing errors).

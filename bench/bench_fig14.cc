@@ -105,16 +105,18 @@ int main() {
               router_counts.size(), distant_total);
   std::printf("same border router from every VP: %5.1f%% all, %5.1f%% "
               "distant   (paper: <2%%)\n",
-              100.0 * single_router / total,
-              100.0 * distant_single / distant);
+              100.0 * static_cast<double>(single_router) / total,
+              100.0 * static_cast<double>(distant_single) / distant);
   std::printf("5-15 distinct border routers:     %5.1f%% all, %5.1f%% "
               "distant   (paper: 73%%)\n",
-              100.0 * mid_range / total, 100.0 * distant_mid / distant);
+              100.0 * static_cast<double>(mid_range) / total,
+              100.0 * static_cast<double>(distant_mid) / distant);
   std::printf(">15 distinct border routers:      %5.1f%% all, %5.1f%% "
               "distant   (paper: 13%%)\n",
-              100.0 * high_range / total, 100.0 * distant_high / distant);
+              100.0 * static_cast<double>(high_range) / total,
+              100.0 * static_cast<double>(distant_high) / distant);
   std::printf("same next-hop AS from every VP:   %5.1f%%   (paper: 67%%)\n\n",
-              100.0 * same_nextas / total);
+              100.0 * static_cast<double>(same_nextas) / total);
 
   std::printf("CDF: number of distinct border routers per prefix\n");
   for (const auto& [value, fraction] : eval::cdf(router_counts)) {

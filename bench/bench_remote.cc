@@ -89,7 +89,7 @@ int main() {
   };
   std::fputs(eval::render_table({"metric", "value"}, cells).c_str(), stdout);
 
-  double ratio = controller_bytes /
+  double ratio = static_cast<double>(controller_bytes) /
                  std::max<double>(1.0, static_cast<double>(
                                            ch.peak_message_bytes));
   std::printf("\ncontroller holds ~%.0fx more state than the device ever "

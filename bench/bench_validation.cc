@@ -65,18 +65,18 @@ int main() {
     total_correct += r.links_correct;
     cells.push_back(
         {r.network, std::to_string(r.links),
-         eval::format_double(100.0 * r.links_correct / std::max<std::size_t>(
-                                                           r.links, 1)) + "%",
+         eval::format_double(eval::pct(r.links_correct,
+                                       std::max<std::size_t>(r.links, 1))) +
+             "%",
          std::to_string(r.routers),
-         eval::format_double(
-             100.0 * r.routers_correct /
-             std::max<std::size_t>(r.routers, 1)) + "%"});
+         eval::format_double(eval::pct(
+             r.routers_correct, std::max<std::size_t>(r.routers, 1))) + "%"});
   }
-  cells.push_back({"TOTAL", std::to_string(total_links),
-                   eval::format_double(100.0 * total_correct /
-                                       std::max<std::size_t>(total_links, 1)) +
-                       "%",
-                   "", ""});
+  cells.push_back(
+      {"TOTAL", std::to_string(total_links),
+       eval::format_double(eval::pct(
+           total_correct, std::max<std::size_t>(total_links, 1))) + "%",
+       "", ""});
   std::fputs(eval::render_table({"network", "links", "link acc",
                                  "neighbor routers", "router acc"},
                                 cells)

@@ -103,9 +103,9 @@ int main() {
                 core::heuristic_name(r.how), r.vp_side ? "  [VP side]" : "");
   }
   std::printf("\ninferred interdomain links:\n");
-  for (const auto& link : result.links) {
-    std::printf("  -> %s via %s\n", link.neighbor_as.str().c_str(),
-                core::heuristic_name(link.how));
+  for (const auto& inferred : result.links) {
+    std::printf("  -> %s via %s\n", inferred.neighbor_as.str().c_str(),
+                core::heuristic_name(inferred.how));
   }
   std::printf("\nexpected: X's two routers VP-side; A's router by IP-AS; "
               "B's router inferred\nbehind its X-supplied address; D (a "

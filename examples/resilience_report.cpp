@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "eval/analysis.h"
+#include "eval/report.h"
 #include "eval/robustness.h"
 #include "eval/scenario.h"
 
@@ -27,8 +28,8 @@ int main() {
               report.prefixes_measured, vps.size());
   std::printf("prefixes with a single observed egress: %zu (%.1f%%)\n",
               report.single_homed_prefixes,
-              100.0 * report.single_homed_prefixes /
-                  std::max<std::size_t>(report.prefixes_measured, 1));
+              eval::pct(report.single_homed_prefixes,
+                        std::max<std::size_t>(report.prefixes_measured, 1)));
   std::printf("worst single-router blast radius: %.1f%% of prefixes\n\n",
               100.0 * report.worst_blast_radius);
 

@@ -23,6 +23,25 @@ void RelationshipStore::add_p2p(AsId a, AsId b) {
   adj_[b].peers.push_back(a);
 }
 
+void RelationshipStore::add_raw(AsId a, AsId b, Relationship rel_of_b_from_a) {
+  if (rel_of_b_from_a == Relationship::kNone) return;
+  auto [it, inserted] = edges_.try_emplace(key(a, b), rel_of_b_from_a);
+  if (!inserted) return;
+  switch (rel_of_b_from_a) {
+    case Relationship::kProvider:
+      adj_[a].providers.push_back(b);
+      break;
+    case Relationship::kCustomer:
+      adj_[a].customers.push_back(b);
+      break;
+    case Relationship::kPeer:
+      adj_[a].peers.push_back(b);
+      break;
+    case Relationship::kNone:
+      break;
+  }
+}
+
 Relationship RelationshipStore::rel(AsId a, AsId b) const {
   auto it = edges_.find(key(a, b));
   return it == edges_.end() ? Relationship::kNone : it->second;

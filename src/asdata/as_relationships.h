@@ -47,6 +47,14 @@ class RelationshipStore {
   // Records a settlement-free peering between a and b.
   void add_p2p(AsId a, AsId b);
 
+  // Records ONE direction exactly as an external dump states it:
+  // rel(a, b) becomes `rel_of_b_from_a` without synthesizing the inverse
+  // direction. Real relationship files are routinely inconsistent, so a
+  // loader built on this can ingest them verbatim — and the
+  // check::pass_id::kAsGraphSymmetry invariant pass exists to flag the
+  // asymmetries afterwards. kNone is ignored.
+  void add_raw(AsId a, AsId b, Relationship rel_of_b_from_a);
+
   // The relationship of `b` from `a`'s point of view.
   Relationship rel(AsId a, AsId b) const;
 

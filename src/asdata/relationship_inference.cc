@@ -99,7 +99,7 @@ RelationshipStore RelationshipInferrer::infer() const {
       std::size_t da = transit_degree(a), db = transit_degree(b);
       bool comparable =
           (clique.count(a) && clique.count(b)) ||
-          (std::min(da, db) >=
+          (static_cast<double>(std::min(da, db)) >=
            config_.peer_degree_ratio * static_cast<double>(std::max(da, db)));
       bool spans_top = (i == top) || (i + 1 == top);
       if (spans_top && comparable && i + 1 >= top) {
@@ -176,11 +176,11 @@ RelationshipStore RelationshipInferrer::infer() const {
     std::size_t dc = transit_degree(customer), dp = transit_degree(provider);
     bool comparable =
         dc > 0 &&
-        std::min(dc, dp) >=
+        static_cast<double>(std::min(dc, dp)) >=
             config_.peer_rescue_ratio * static_cast<double>(std::max(dc, dp));
     if (!comparable && all_degree(customer) >= 3) {
       std::size_t ac = all_degree(customer), ap = all_degree(provider);
-      comparable = std::min(ac, ap) >=
+      comparable = static_cast<double>(std::min(ac, ap)) >=
                    config_.peer_rescue_ratio *
                        static_cast<double>(std::max(ac, ap));
     }

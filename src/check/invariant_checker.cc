@@ -1,0 +1,149 @@
+#include "check/check.h"
+
+#include <algorithm>
+
+#include "check/passes.h"
+#include "netbase/contract.h"
+
+namespace bdrmap::check {
+
+const char* severity_name(Severity s) {
+  return s == Severity::kError ? "error" : "warning";
+}
+
+// ---------------------------------------------------------------------------
+// ViolationSink
+// ---------------------------------------------------------------------------
+
+ViolationSink::ViolationSink(std::string pass_id, std::vector<Violation>& out,
+                             std::size_t cap)
+    : pass_id_(std::move(pass_id)), out_(out), cap_(cap) {
+  BDRMAP_EXPECTS(!pass_id_.empty(), "violations must be attributable");
+}
+
+void ViolationSink::emit(Severity sev, std::string entity,
+                         std::string detail) {
+  ++seen_;
+  if (seen_ == cap_ + 1) {
+    out_.push_back({pass_id_, Severity::kWarning, "(sink)",
+                    "further violations from this pass suppressed (cap " +
+                        std::to_string(cap_) + ")"});
+    return;
+  }
+  if (seen_ > cap_) return;
+  out_.push_back({pass_id_, sev, std::move(entity), std::move(detail)});
+}
+
+// ---------------------------------------------------------------------------
+// CheckReport
+// ---------------------------------------------------------------------------
+
+std::size_t CheckReport::error_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(violations.begin(), violations.end(), [](const auto& v) {
+        return v.severity == Severity::kError;
+      }));
+}
+
+std::size_t CheckReport::count(std::string_view pass_id) const {
+  return static_cast<std::size_t>(
+      std::count_if(violations.begin(), violations.end(),
+                    [&](const auto& v) { return v.pass_id == pass_id; }));
+}
+
+std::vector<const Violation*> CheckReport::of_pass(
+    std::string_view pass_id) const {
+  std::vector<const Violation*> out;
+  for (const auto& v : violations) {
+    if (v.pass_id == pass_id) out.push_back(&v);
+  }
+  return out;
+}
+
+std::string CheckReport::summary() const {
+  std::string out;
+  out += "invariant audit: " + std::to_string(passes_run.size()) +
+         " passes run, " + std::to_string(passes_skipped.size()) +
+         " skipped, " + std::to_string(violations.size()) + " violations\n";
+  for (const auto& v : violations) {
+    out += "  [" + std::string(severity_name(v.severity)) + "] " + v.pass_id +
+           ": " + v.entity + ": " + v.detail + "\n";
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// InvariantChecker
+// ---------------------------------------------------------------------------
+
+InvariantChecker::InvariantChecker() {
+  detail::register_as_graph_passes(*this);
+  detail::register_route_passes(*this);
+  detail::register_inference_passes(*this);
+}
+
+void InvariantChecker::register_pass(Pass pass) {
+  BDRMAP_EXPECTS(!pass.id.empty() && pass.applicable != nullptr &&
+                     pass.run != nullptr,
+                 "a pass needs an id, a gate and a body");
+  for (auto& existing : passes_) {
+    if (existing.id == pass.id) {
+      existing = std::move(pass);
+      return;
+    }
+  }
+  passes_.push_back(std::move(pass));
+}
+
+const InvariantChecker::Pass* InvariantChecker::find(
+    std::string_view id) const {
+  for (const auto& pass : passes_) {
+    if (pass.id == id) return &pass;
+  }
+  return nullptr;
+}
+
+CheckReport InvariantChecker::run(const CheckContext& ctx,
+                                  const std::vector<std::string>& ids) const {
+  CheckReport report;
+  auto selected = [&](const Pass& pass) {
+    if (ids.empty()) return true;
+    return std::find(ids.begin(), ids.end(), pass.id) != ids.end();
+  };
+  for (const auto& pass : passes_) {
+    if (!selected(pass)) continue;
+    if (!pass.applicable(ctx)) {
+      report.passes_skipped.push_back(pass.id);
+      continue;
+    }
+    ViolationSink sink(pass.id, report.violations);
+    pass.run(ctx, sink);
+    report.passes_run.push_back(pass.id);
+  }
+  for (const auto& id : ids) {
+    if (find(id) == nullptr) report.passes_skipped.push_back(id);
+  }
+  return report;
+}
+
+CheckContext substrate_context(const topo::Internet& net,
+                               const route::BgpSimulator& bgp,
+                               const route::Fib& fib) {
+  CheckContext ctx;
+  ctx.net = &net;
+  ctx.rels = &net.truth_relationships();
+  ctx.bgp = &bgp;
+  ctx.fib = &fib;
+  return ctx;
+}
+
+CheckContext inference_context(const core::BdrmapResult& result,
+                               const core::InferenceInputs& inputs) {
+  CheckContext ctx;
+  ctx.result = &result;
+  ctx.inputs = &inputs;
+  ctx.rels = inputs.rels;
+  return ctx;
+}
+
+}  // namespace bdrmap::check

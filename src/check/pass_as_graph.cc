@@ -1,0 +1,157 @@
+// AS-graph invariant passes: relationship symmetry and Gao-Rexford
+// consistency. Relationship inputs come from external dumps (or from our own
+// inferrer), both of which can be inconsistent; every §5.4.5 heuristic
+// silently trusts them, so these passes audit the store itself.
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "check/passes.h"
+
+namespace bdrmap::check::detail {
+
+namespace {
+
+using asdata::Relationship;
+using asdata::RelationshipStore;
+using net::AsId;
+
+std::string pair_name(AsId a, AsId b) { return a.str() + "<->" + b.str(); }
+
+const char* rel_name(Relationship r) {
+  switch (r) {
+    case Relationship::kCustomer:
+      return "customer";
+    case Relationship::kProvider:
+      return "provider";
+    case Relationship::kPeer:
+      return "peer";
+    case Relationship::kNone:
+      break;
+  }
+  return "none";
+}
+
+// Checks that rel(a,b) matches what a's adjacency list claims and that the
+// reverse direction carries the inverted label.
+void check_direction(const RelationshipStore& rels, AsId a, AsId b,
+                     Relationship expected_ab, ViolationSink& sink) {
+  Relationship ab = rels.rel(a, b);
+  if (ab != expected_ab) {
+    sink.error(pair_name(a, b),
+               std::string("adjacency list says ") + rel_name(expected_ab) +
+                   " but edge map says " + rel_name(ab));
+    return;
+  }
+  Relationship ba = rels.rel(b, a);
+  if (ba != invert(ab)) {
+    sink.error(pair_name(a, b),
+               std::string("asymmetric edge: rel(a,b)=") + rel_name(ab) +
+                   " but rel(b,a)=" + rel_name(ba) + " (expected " +
+                   rel_name(invert(ab)) + ")");
+  }
+}
+
+void run_symmetry(const CheckContext& ctx, ViolationSink& sink) {
+  const RelationshipStore& rels = *ctx.rels;
+  for (AsId a : rels.all_ases()) {
+    if (rels.rel(a, a) != Relationship::kNone) {
+      sink.error(a.str(), "self-relationship recorded");
+    }
+    std::unordered_set<AsId> seen;
+    auto note_duplicate = [&](AsId b) {
+      if (!seen.insert(b).second) {
+        sink.error(pair_name(a, b),
+                   "neighbor appears in more than one adjacency list of the "
+                   "same AS (conflicting labels)");
+      }
+    };
+    for (AsId b : rels.providers(a)) {
+      note_duplicate(b);
+      check_direction(rels, a, b, Relationship::kProvider, sink);
+    }
+    for (AsId b : rels.customers(a)) {
+      note_duplicate(b);
+      check_direction(rels, a, b, Relationship::kCustomer, sink);
+    }
+    for (AsId b : rels.peers(a)) {
+      note_duplicate(b);
+      check_direction(rels, a, b, Relationship::kPeer, sink);
+    }
+    if (ctx.net != nullptr && !ctx.net->has_as(a)) {
+      sink.warn(a.str(), "relationship edge references an AS that does not "
+                         "exist in the topology");
+    }
+  }
+}
+
+void run_gao_rexford(const CheckContext& ctx, ViolationSink& sink) {
+  const RelationshipStore& rels = *ctx.rels;
+  std::vector<AsId> ases = rels.all_ases();
+
+  // Provider->customer reachability must be acyclic: an AS inside its own
+  // transitive customer cone makes Gao-Rexford routing divergent (§3).
+  // Iterative DFS with tri-colour marking over customer edges.
+  std::unordered_set<AsId> done;
+  for (AsId root : ases) {
+    if (done.count(root) != 0) continue;
+    std::unordered_set<AsId> on_path;
+    // Stack of (node, next-child-index) frames.
+    std::vector<std::pair<AsId, std::size_t>> stack{{root, 0}};
+    on_path.insert(root);
+    while (!stack.empty()) {
+      auto& [cur, child] = stack.back();
+      const auto& kids = rels.customers(cur);
+      if (child >= kids.size()) {
+        on_path.erase(cur);
+        done.insert(cur);
+        stack.pop_back();
+        continue;
+      }
+      AsId next = kids[child++];
+      if (on_path.count(next) != 0) {
+        sink.error(next.str(),
+                   "customer-provider cycle: AS is inside its own customer "
+                   "cone");
+        continue;
+      }
+      if (done.count(next) != 0) continue;
+      on_path.insert(next);
+      stack.push_back({next, 0});
+    }
+  }
+
+  // Every ground-truth interdomain interconnection should carry some
+  // relationship; a link with none is invisible to the §5.4.5 heuristics.
+  // Only meaningful when the store under audit is the substrate's own
+  // (ground-truth) store: an *inferred* store is partial by nature — a VP
+  // cannot observe relationships for links its traces never crossed — so
+  // inference audits (ctx.result set) skip this completeness check.
+  if (ctx.net != nullptr && ctx.result == nullptr) {
+    for (const auto& info : ctx.net->interdomain_links()) {
+      if (info.as_a == info.as_b) continue;
+      if (rels.rel(info.as_a, info.as_b) == Relationship::kNone) {
+        sink.warn(pair_name(info.as_a, info.as_b),
+                  "interdomain link with no recorded relationship");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void register_as_graph_passes(InvariantChecker& checker) {
+  checker.register_pass(
+      {std::string(pass_id::kAsGraphSymmetry),
+       "relationship edges are symmetric, self-free and label-consistent",
+       [](const CheckContext& ctx) { return ctx.rels != nullptr; },
+       run_symmetry});
+  checker.register_pass(
+      {std::string(pass_id::kAsGraphGaoRexford),
+       "customer-provider hierarchy is acyclic; interdomain links have "
+       "relationships",
+       [](const CheckContext& ctx) { return ctx.rels != nullptr; },
+       run_gao_rexford});
+}
+
+}  // namespace bdrmap::check::detail

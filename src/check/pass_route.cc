@@ -1,0 +1,237 @@
+// Routing-substrate invariant passes: valley-free RIB paths and FIB/RIB
+// agreement. The BGP simulator and the router-level FIB are independent
+// implementations of the same policy; these passes cross-examine them (and
+// the relationship store they are supposed to obey) on deterministic samples.
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "check/passes.h"
+#include "netbase/rng.h"
+
+namespace bdrmap::check::detail {
+
+namespace {
+
+using asdata::Relationship;
+using net::AsId;
+using net::Ipv4Addr;
+using net::RouterId;
+
+std::string path_str(const std::vector<AsId>& path) {
+  std::string out;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (i != 0) out += " ";
+    out += path[i].str();
+  }
+  return out;
+}
+
+// Valley-free phase machine over one AS-level transition. Phase 0: still
+// climbing (provider edges allowed); phase 1: crossed the single peer edge;
+// phase 2: descending (customer edges only). Returns false on violation.
+bool valley_step(const asdata::RelationshipStore& rels, AsId from, AsId to,
+                 int& phase, std::string& why) {
+  switch (rels.rel(from, to)) {
+    case Relationship::kProvider:  // from's provider: climbing
+      if (phase != 0) {
+        why = "provider edge " + from.str() + "->" + to.str() +
+              " after the path already went flat or down (valley)";
+        return false;
+      }
+      return true;
+    case Relationship::kPeer:
+      if (phase != 0) {
+        why = "second peer edge " + from.str() + "->" + to.str() +
+              " on one path";
+        return false;
+      }
+      phase = 1;
+      return true;
+    case Relationship::kCustomer:  // descending
+      phase = 2;
+      return true;
+    case Relationship::kNone:
+      break;
+  }
+  why = "consecutive path hops " + from.str() + "->" + to.str() +
+        " have no relationship";
+  return false;
+}
+
+void run_valley_free(const CheckContext& ctx, ViolationSink& sink) {
+  const auto& ases = ctx.net->ases();
+  if (ases.size() < 2) return;
+  net::Rng rng(ctx.sample_seed);
+  for (std::size_t n = 0; n < ctx.max_route_pairs; ++n) {
+    AsId src = ases[rng.uniform(0, static_cast<std::uint32_t>(ases.size() - 1))].id;
+    AsId dst = ases[rng.uniform(0, static_cast<std::uint32_t>(ases.size() - 1))].id;
+    if (src == dst) continue;
+    std::vector<AsId> path = ctx.bgp->as_path(src, dst);
+    if (path.empty()) continue;  // unreachable is a legal outcome
+    std::string ent = src.str() + "->" + dst.str();
+    if (path.front() != src || path.back() != dst) {
+      sink.error(ent, "as_path endpoints do not match the query: " +
+                          path_str(path));
+      continue;
+    }
+    std::unordered_set<AsId> seen(path.begin(), path.end());
+    if (seen.size() != path.size()) {
+      sink.error(ent, "AS-level loop in path: " + path_str(path));
+      continue;
+    }
+    int phase = 0;
+    std::string why;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      if (!valley_step(*ctx.rels, path[i], path[i + 1], phase, why)) {
+        sink.error(ent, why + " (path: " + path_str(path) + ")");
+        break;
+      }
+    }
+  }
+}
+
+// Follows the FIB hop by hop toward `dst`, auditing each step against the
+// topology and the AS-level RIB. Returns true when the packet was delivered.
+void audit_walk(const CheckContext& ctx, RouterId start, Ipv4Addr dst,
+                ViolationSink& sink) {
+  const topo::Internet& net = *ctx.net;
+  const topo::AnnouncedPrefix* ap = net.announced_match(dst);
+  if (ap == nullptr) return;
+  AsId dst_as = ap->origin;
+  AsId src_as = net.router(start).owner;
+  bool expect_delivery = src_as == dst_as ||
+                         ctx.bgp->reachable(src_as, dst_as);
+  // Selective announcement (only_via_links) deliberately decouples the FIB
+  // from RIB preference: when the pinned filter removes an AS's preferred
+  // egress sessions, forwarding falls through to a lower tier and may cross
+  // a second peer or provider edge. That detour is the §5.4.8 phenomenon
+  // itself, not a defect, so valley-freeness is not enforced toward pinned
+  // prefixes (loop, boundary and topology checks still are).
+  bool pinned_dst = !ap->only_via_links.empty();
+  // When dst is an interface address, the last hop delivers across the
+  // destination subnet to whichever router physically holds it. On an
+  // interdomain link that router belongs to the *far* AS — the address-space
+  // phenomenon bdrmap is built around (§5.1) — so that single delivery edge
+  // is exempt from the relationship audit.
+  RouterId dst_router{};
+  if (auto di = net.iface_at(dst)) dst_router = net.iface(*di).router;
+  std::string ent = start.str() + "->" + dst.str();
+
+  RouterId r = start;
+  AsId cur_as = src_as;
+  int phase = 0;
+  std::unordered_set<std::uint32_t> visited{r.value};
+  for (std::size_t hop = 0;; ++hop) {
+    if (hop >= ctx.max_walk_hops) {
+      sink.error(ent, "forwarding walk exceeded " +
+                          std::to_string(ctx.max_walk_hops) +
+                          " hops without delivery");
+      return;
+    }
+    auto next = ctx.fib->next_hop(r, dst);
+    if (!next.has_value()) {
+      if (ctx.fib->delivered_at(r, dst)) return;  // clean delivery
+      if (!expect_delivery) return;  // consistently unreachable
+      // Selectively-announced prefixes may be legitimately unreachable from
+      // ASes that cannot reach the chosen interconnects.
+      if (!ap->only_via_links.empty()) {
+        sink.warn(ent, "walk dead-ended on a selectively-announced prefix");
+      } else {
+        sink.error(ent, "RIB says " + src_as.str() + " can reach " +
+                            dst_as.str() +
+                            " but the FIB walk dead-ended at " + r.str());
+      }
+      return;
+    }
+    const auto& step = *next;
+    const topo::Interface& in_iface = net.iface(step.ingress);
+    if (in_iface.router != step.router) {
+      sink.error(ent, "hop ingress interface does not belong to the hop "
+                      "router (iface router " +
+                          in_iface.router.str() + ", hop " +
+                          step.router.str() + ")");
+      return;
+    }
+    if (in_iface.link != step.link) {
+      sink.error(ent, "hop ingress interface is not on the hop link");
+      return;
+    }
+    const topo::Link& link = net.link(step.link);
+    AsId next_as = net.router(step.router).owner;
+    if (next_as != cur_as) {
+      if (link.kind == topo::LinkKind::kInternal) {
+        sink.error(ent, "packet crossed the AS boundary " + cur_as.str() +
+                            "->" + next_as.str() +
+                            " over an internal link (FIB/RIB mismatch)");
+        return;
+      }
+      bool delivery_edge =
+          dst_router.valid() && step.router == dst_router;
+      if (ctx.rels != nullptr && !pinned_dst && !delivery_edge) {
+        std::string why;
+        if (!valley_step(*ctx.rels, cur_as, next_as, phase, why)) {
+          sink.error(ent, "forwarding path not valley-free: " + why);
+          return;
+        }
+      }
+      cur_as = next_as;
+    } else if (link.kind != topo::LinkKind::kInternal &&
+               !step.crossed_interdomain) {
+      // Crossing an interdomain link without changing AS is fine (parallel
+      // links between the same pair are interdomain too), but the FIB must
+      // label the crossing consistently.
+      sink.warn(ent, "interdomain link crossed without the "
+                     "crossed_interdomain flag");
+    }
+    if (!visited.insert(step.router.value).second) {
+      sink.error(ent, "forwarding loop: " + step.router.str() +
+                          " visited twice on the way to " + dst.str());
+      return;
+    }
+    r = step.router;
+  }
+}
+
+void run_fib_rib(const CheckContext& ctx, ViolationSink& sink) {
+  const auto& routers = ctx.net->routers();
+  const auto& announced = ctx.net->announced();
+  if (routers.empty() || announced.empty()) return;
+  net::Rng rng(ctx.sample_seed + 1);
+  for (std::size_t n = 0; n < ctx.max_fib_walks; ++n) {
+    const auto& router =
+        routers[rng.uniform(0, static_cast<std::uint32_t>(routers.size() - 1))];
+    const auto& ap =
+        announced[rng.uniform(0,
+                              static_cast<std::uint32_t>(announced.size() - 1))];
+    // Probe an address inside the block, as bdrmap's tracer would.
+    Ipv4Addr dst(ap.prefix.network().value() + 1);
+    if (!ap.prefix.contains(dst)) dst = ap.prefix.network();
+    audit_walk(ctx, router.id, dst, sink);
+  }
+}
+
+}  // namespace
+
+void register_route_passes(InvariantChecker& checker) {
+  checker.register_pass(
+      {std::string(pass_id::kRibValleyFree),
+       "sampled RIB paths are loop-free, relationship-connected and "
+       "valley-free",
+       [](const CheckContext& ctx) {
+         return ctx.net != nullptr && ctx.bgp != nullptr &&
+                ctx.rels != nullptr;
+       },
+       run_valley_free});
+  checker.register_pass(
+      {std::string(pass_id::kFibRibAgreement),
+       "sampled FIB walks terminate, stay loop-free and agree with the "
+       "AS-level RIB",
+       [](const CheckContext& ctx) {
+         return ctx.net != nullptr && ctx.bgp != nullptr &&
+                ctx.fib != nullptr;
+       },
+       run_fib_rib});
+}
+
+}  // namespace bdrmap::check::detail

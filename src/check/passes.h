@@ -1,0 +1,13 @@
+// Internal registration hooks for the built-in invariant passes.
+#pragma once
+
+#include "check/check.h"
+
+namespace bdrmap::check::detail {
+
+// Each translation unit registers its passes on the given checker.
+void register_as_graph_passes(InvariantChecker& checker);
+void register_route_passes(InvariantChecker& checker);
+void register_inference_passes(InvariantChecker& checker);
+
+}  // namespace bdrmap::check::detail

@@ -64,12 +64,14 @@ struct TslpScore {
 
   double precision() const {
     return detected == 0 ? 0.0
-                         : static_cast<double>(true_positive) / detected;
+                         : static_cast<double>(true_positive) /
+                               static_cast<double>(detected);
   }
   double recall() const {
     return truth_congested == 0
                ? 0.0
-               : static_cast<double>(true_positive) / truth_congested;
+               : static_cast<double>(true_positive) /
+                     static_cast<double>(truth_congested);
   }
 };
 

@@ -119,6 +119,16 @@ AliasVerdict AliasResolver::verdict_of(Ipv4Addr a, Ipv4Addr b) const {
   return it == cache_.end() ? AliasVerdict::kUnknown : it->second;
 }
 
+std::vector<AliasResolver::PairVerdict> AliasResolver::all_verdicts() const {
+  std::vector<PairVerdict> out;
+  out.reserve(cache_.size());
+  for (const auto& [k, v] : cache_) {
+    out.push_back({Ipv4Addr(static_cast<std::uint32_t>(k >> 32)),
+                   Ipv4Addr(static_cast<std::uint32_t>(k)), v});
+  }
+  return out;
+}
+
 std::vector<std::vector<Ipv4Addr>> AliasResolver::groups(
     const std::vector<Ipv4Addr>& addrs) const {
   // Union-find over positive verdicts with negative-pair veto.

@@ -61,6 +61,14 @@ class AliasResolver {
   // Cached verdict for a pair (kUnknown when untested). Never probes.
   AliasVerdict verdict_of(Ipv4Addr a, Ipv4Addr b) const;
 
+  // Every recorded pair verdict, for the alias-consistency invariant pass
+  // (check::pass_id::kAliasConsistency). Order is unspecified.
+  struct PairVerdict {
+    Ipv4Addr a, b;
+    AliasVerdict verdict;
+  };
+  std::vector<PairVerdict> all_verdicts() const;
+
   // Partitions `addrs` into alias groups: transitive closure over positive
   // pairs, refusing any union between components that contain a negative
   // pair (§5.3 "only used pairs where none of the measurements suggested a

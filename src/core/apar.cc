@@ -3,6 +3,8 @@
 #include <map>
 #include <set>
 
+#include "netbase/contract.h"
+
 namespace bdrmap::core {
 
 AparStats run_apar(const std::vector<ObservedTrace>& traces,
@@ -75,6 +77,10 @@ AparStats run_apar(const std::vector<ObservedTrace>& traces,
       break;  // one subnet hypothesis per (x, y)
     }
   }
+  // Every accepted or vetoed hypothesis started as an observed mate.
+  BDRMAP_ENSURES(stats.accepted + stats.vetoed_adjacent +
+                     stats.vetoed_same_trace <=
+                 stats.mates_observed);
   return stats;
 }
 

@@ -39,8 +39,9 @@ std::vector<ObservedTrace> Bdrmap::collect_traces() {
   };
 
   for (const ProbeBlock& block : blocks) {
-    int attempts = std::min<std::uint64_t>(config_.max_addrs_per_block,
-                                           block.prefix.size());
+    int attempts = static_cast<int>(std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(config_.max_addrs_per_block),
+        block.prefix.size()));
     Ipv4Addr dst = block.prefix.size() >= 4
                        ? Ipv4Addr(block.prefix.first().value() + 1)
                        : block.prefix.first();

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "netbase/contract.h"
+
 namespace bdrmap::core {
 
 std::optional<std::size_t> MergedMap::router_of(Ipv4Addr addr) const {
@@ -35,6 +37,9 @@ class Partition {
 }  // namespace
 
 MergedMap merge_results(const std::vector<const BdrmapResult*>& runs) {
+  for (const BdrmapResult* run : runs) {
+    BDRMAP_EXPECTS(run != nullptr, "merge_results takes non-null runs");
+  }
   MergedMap merged;
 
   // Flatten per-run routers into a global index space.
@@ -151,6 +156,11 @@ MergedMap merge_results(const std::vector<const BdrmapResult*>& runs) {
   for (std::size_t i = 0; i < merged.links.size(); ++i) {
     merged.links_by_as[merged.links[i].neighbor_as].push_back(i);
   }
+  // The cumulative curve is monotone and ends at the final link count —
+  // Fig. 14's convergence plot is read straight off this vector.
+  BDRMAP_ENSURES(runs.empty() ||
+                     merged.cumulative_links.back() == merged.links.size(),
+                 "cumulative link curve must end at the merged total");
   return merged;
 }
 

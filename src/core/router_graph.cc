@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "netbase/contract.h"
+
 namespace bdrmap::core {
 
 const char* heuristic_name(Heuristic h) {
@@ -137,7 +139,10 @@ std::vector<std::size_t> RouterGraph::by_hop_distance() const {
 }
 
 void RouterGraph::merge(std::size_t into, std::size_t from) {
+  BDRMAP_EXPECTS(into < routers_.size() && from < routers_.size());
   if (into == from) return;
+  BDRMAP_EXPECTS(!merged_away(into), "merge target is a tombstone");
+  BDRMAP_EXPECTS(!merged_away(from), "merge source is a tombstone");
   GraphRouter& dst = routers_[into];
   GraphRouter& src = routers_[from];
   for (Ipv4Addr a : src.addrs) {
@@ -175,6 +180,7 @@ void RouterGraph::merge(std::size_t into, std::size_t from) {
   dst.next.erase(into);
 
   src = GraphRouter{};  // tombstone (addrs empty == merged away)
+  BDRMAP_ENSURES(merged_away(from) && !merged_away(into));
 }
 
 std::size_t RouterGraph::live_router_count() const {

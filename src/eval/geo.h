@@ -34,7 +34,8 @@ struct DnsSanity {
   double agreement() const {
     return routers_checked == 0
                ? 0.0
-               : static_cast<double>(agree) / routers_checked;
+               : static_cast<double>(agree) /
+                     static_cast<double>(routers_checked);
   }
 };
 

@@ -56,11 +56,14 @@ struct ValidationSummary {
   double router_accuracy() const {
     return routers_total == 0
                ? 0.0
-               : static_cast<double>(routers_correct) / routers_total;
+               : static_cast<double>(routers_correct) /
+                     static_cast<double>(routers_total);
   }
   double link_accuracy() const {
-    return links_total == 0 ? 0.0
-                            : static_cast<double>(links_correct) / links_total;
+    return links_total == 0
+               ? 0.0
+               : static_cast<double>(links_correct) /
+                     static_cast<double>(links_total);
   }
 };
 

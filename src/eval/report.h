@@ -3,10 +3,22 @@
 // and curves the paper's tables and figures report.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
 namespace bdrmap::eval {
+
+// Safe ratio/percentage over the unsigned counters the evaluation code
+// accumulates: explicit widening (keeps -Wconversion quiet) and a zero
+// denominator maps to 0 instead of a NaN in a report cell.
+constexpr double ratio(std::size_t num, std::size_t den) {
+  return den == 0 ? 0.0
+                  : static_cast<double>(num) / static_cast<double>(den);
+}
+constexpr double pct(std::size_t num, std::size_t den) {
+  return 100.0 * ratio(num, den);
+}
 
 // Renders rows of columns with left-aligned first column and right-aligned
 // numeric columns.

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <set>
 
+#include "eval/report.h"
+
 namespace bdrmap::eval {
 
 namespace {
@@ -90,7 +92,7 @@ std::string render_table1(const Table1& table, const std::string& title) {
         } else {
           char cell[32];
           std::snprintf(cell, sizeof(cell), "%9.1f%%",
-                        denom[c] ? 100.0 * v[c] / denom[c] : 0.0);
+                        pct(v[c], denom[c]));
           cells += cell;
         }
       }

@@ -44,7 +44,9 @@ struct Table1 {
       seen += observed_in_bdrmap[c];
       total += observed_in_bgp[c];
     }
-    return total == 0 ? 0.0 : static_cast<double>(seen) / total;
+    return total == 0
+               ? 0.0
+               : static_cast<double>(seen) / static_cast<double>(total);
   }
 };
 

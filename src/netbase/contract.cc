@@ -1,0 +1,48 @@
+#include "netbase/contract.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace bdrmap::net {
+
+namespace {
+std::atomic<ContractMode> g_mode{ContractMode::kAbort};
+std::atomic<std::uint64_t> g_log_count{0};
+}  // namespace
+
+ContractMode contract_mode() { return g_mode.load(std::memory_order_relaxed); }
+
+void set_contract_mode(ContractMode mode) {
+  g_mode.store(mode, std::memory_order_relaxed);
+}
+
+std::uint64_t contract_violation_count() {
+  return g_log_count.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void contract_fail(const char* kind, const char* expr, const char* note,
+                   const char* file, int line, const char* func) {
+  std::string msg = std::string(kind) + " failed: " + expr;
+  if (note != nullptr) msg += std::string(" (") + note + ")";
+  msg += std::string(" at ") + file + ":" + std::to_string(line) + " in " +
+         func;
+  switch (contract_mode()) {
+    case ContractMode::kThrow:
+      throw ContractViolation(msg);
+    case ContractMode::kLog:
+      g_log_count.fetch_add(1, std::memory_order_relaxed);
+      std::fprintf(stderr, "bdrmap contract (logged): %s\n", msg.c_str());
+      return;
+    case ContractMode::kAbort:
+      break;
+  }
+  std::fprintf(stderr, "bdrmap contract: %s\n", msg.c_str());
+  std::abort();
+}
+
+}  // namespace detail
+
+}  // namespace bdrmap::net

@@ -1,0 +1,91 @@
+// Contract macros: machine-checked pre/postconditions and invariants.
+//
+// bdrmap's inference correctness rests on structural invariants (valley-free
+// routing, alias-set consistency, heuristic precondition discipline) that
+// used to live in comments. These macros make them executable. Three forms:
+//
+//   BDRMAP_EXPECTS(cond)  — precondition at a function boundary
+//   BDRMAP_ENSURES(cond)  — postcondition / result invariant
+//   BDRMAP_ASSERT(cond)   — internal consistency mid-algorithm
+//
+// Each form takes an optional second argument with a human-readable note:
+//   BDRMAP_EXPECTS(r.valid(), "router id must be generator-assigned");
+//
+// What happens on violation is a process-wide policy (ContractMode):
+//   kAbort — print diagnostics to stderr and std::abort() (default: a broken
+//            invariant means every downstream inference is suspect)
+//   kThrow — throw ContractViolation (tests; recoverable embedders)
+//   kLog   — print diagnostics and continue (production telemetry mode)
+//
+// Raw assert() is banned in src/ by tools/lint.py in favour of these.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace bdrmap::net {
+
+enum class ContractMode : std::uint8_t { kAbort, kThrow, kLog };
+
+// Thrown under ContractMode::kThrow.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what)
+      : std::logic_error(what) {}
+};
+
+// Process-wide failure policy. Not thread-safe to change concurrently with
+// checks; set it once at startup (or per test fixture).
+ContractMode contract_mode();
+void set_contract_mode(ContractMode mode);
+
+// RAII guard for tests: switches the mode and restores it on scope exit.
+class ScopedContractMode {
+ public:
+  explicit ScopedContractMode(ContractMode mode)
+      : saved_(contract_mode()) {
+    set_contract_mode(mode);
+  }
+  ~ScopedContractMode() { set_contract_mode(saved_); }
+  ScopedContractMode(const ScopedContractMode&) = delete;
+  ScopedContractMode& operator=(const ScopedContractMode&) = delete;
+
+ private:
+  ContractMode saved_;
+};
+
+// Number of violations seen under kLog mode since process start (telemetry).
+std::uint64_t contract_violation_count();
+
+namespace detail {
+// Reports a failed contract according to the current mode. `note` may be
+// null. Returns only under kLog.
+void contract_fail(const char* kind, const char* expr, const char* note,
+                   const char* file, int line, const char* func);
+}  // namespace detail
+
+}  // namespace bdrmap::net
+
+// Macro plumbing: each check accepts (cond) or (cond, "note").
+#define BDRMAP_CONTRACT_CHECK_(kind, cond, note)                         \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::bdrmap::net::detail::contract_fail(kind, #cond, note, __FILE__,  \
+                                           __LINE__, __func__);          \
+    }                                                                    \
+  } while (0)
+
+#define BDRMAP_CONTRACT_SELECT_(_1, _2, name, ...) name
+#define BDRMAP_CONTRACT_1_(kind, cond) BDRMAP_CONTRACT_CHECK_(kind, cond, nullptr)
+#define BDRMAP_CONTRACT_2_(kind, cond, note) BDRMAP_CONTRACT_CHECK_(kind, cond, note)
+
+#define BDRMAP_EXPECTS(...)                                             \
+  BDRMAP_CONTRACT_SELECT_(__VA_ARGS__, BDRMAP_CONTRACT_2_,              \
+                          BDRMAP_CONTRACT_1_)("precondition", __VA_ARGS__)
+#define BDRMAP_ENSURES(...)                                             \
+  BDRMAP_CONTRACT_SELECT_(__VA_ARGS__, BDRMAP_CONTRACT_2_,              \
+                          BDRMAP_CONTRACT_1_)("postcondition", __VA_ARGS__)
+#define BDRMAP_ASSERT(...)                                              \
+  BDRMAP_CONTRACT_SELECT_(__VA_ARGS__, BDRMAP_CONTRACT_2_,              \
+                          BDRMAP_CONTRACT_1_)("assertion", __VA_ARGS__)

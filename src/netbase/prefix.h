@@ -6,7 +6,6 @@
 // header provides.
 #pragma once
 
-#include <cassert>
 #include <compare>
 #include <cstdint>
 #include <functional>

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "netbase/contract.h"
 #include "remote/split.h"
 
 namespace bdrmap::remote {
@@ -24,6 +25,7 @@ void account_from_device(ChannelStats& stats, std::size_t bytes) {
 
 std::optional<std::vector<std::uint8_t>> DirectChannel::roundtrip(
     const std::vector<std::uint8_t>& wire, double /*deadline_s*/) {
+  BDRMAP_EXPECTS(!wire.empty(), "cannot send an empty frame");
   account_to_device(stats_, wire.size());
   std::vector<std::uint8_t> response = device_.handle_frame(wire);
   account_from_device(stats_, response.size());
@@ -54,6 +56,8 @@ double FaultyChannel::sample_latency() {
 
 std::optional<std::vector<std::uint8_t>> FaultyChannel::roundtrip(
     const std::vector<std::uint8_t>& wire, double deadline_s) {
+  BDRMAP_EXPECTS(!wire.empty(), "cannot send an empty frame");
+  BDRMAP_EXPECTS(deadline_s > 0.0, "roundtrip needs a positive deadline");
   account_to_device(stats_, wire.size());
   double elapsed = sample_latency();  // request leg
 

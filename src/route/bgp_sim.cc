@@ -4,6 +4,8 @@
 #include <deque>
 #include <queue>
 
+#include "netbase/contract.h"
+
 namespace bdrmap::route {
 
 BgpSimulator::BgpSimulator(const topo::Internet& net) : net_(net) {
@@ -80,6 +82,8 @@ const BgpSimulator::PerDst& BgpSimulator::table(AsId dst) const {
     }
   }
 
+  BDRMAP_ENSURES(t->cust[index(dst)] == 0,
+                 "destination must sit at distance zero in its own cone");
   const PerDst& ref = *t;
   cache_.emplace(dst, std::move(t));
   return ref;
@@ -185,6 +189,8 @@ std::vector<AsId> BgpSimulator::as_path(AsId src, AsId dst) const {
     cur = next;
   }
   if (cur != dst) return {};
+  BDRMAP_ENSURES(path.front() == src && path.back() == dst,
+                 "as_path endpoints must match the query");
   return path;
 }
 

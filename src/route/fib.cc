@@ -4,6 +4,8 @@
 #include <limits>
 #include <queue>
 
+#include "netbase/contract.h"
+
 namespace bdrmap::route {
 
 const std::vector<Session> Fib::kNoSessions;
@@ -77,6 +79,8 @@ Fib::Fib(const topo::Internet& net, const BgpSimulator& bgp)
     };
     IfaceId ia = iface_of(info.router_a);
     IfaceId ib = iface_of(info.router_b);
+    BDRMAP_EXPECTS(ia.valid() && ib.valid(),
+                   "interdomain link must terminate on both end routers");
     sessions_[info.as_a].push_back({info.link, info.router_a, info.router_b,
                                     ia, ib, info.as_a, info.as_b,
                                     info.via_ixp});
@@ -280,6 +284,8 @@ std::optional<Fib::Hop> Fib::next_hop(RouterId r, Ipv4Addr dst,
   // Interdomain: pick an egress session by preference tier + hot potato.
   const Session* egress = choose_egress(r, x, res.dst_as, dst, res.pinned);
   if (!egress) return std::nullopt;
+  BDRMAP_ASSERT(egress->near_as == x,
+                "chosen egress session must belong to the forwarding AS");
   if (egress->near_router == r) {
     return Hop{egress->far_router, egress->far_iface, egress->link, true};
   }

@@ -1,7 +1,6 @@
 #include "topo/generator.h"
 
 #include <algorithm>
-#include <cassert>
 #include <map>
 #include <set>
 #include <stdexcept>

@@ -105,7 +105,8 @@ TEST(Offline, ReanalysisFromWartsMatchesShape) {
     shared += online.links_by_as.count(as) > 0;
   }
   ASSERT_GT(offline.links_by_as.size(), 10u);
-  EXPECT_GT(static_cast<double>(shared) / offline.links_by_as.size(), 0.85);
+  EXPECT_GT(static_cast<double>(shared) /
+                static_cast<double>(offline.links_by_as.size()), 0.85);
 
   // And the offline map still validates well against ground truth.
   eval::GroundTruth truth(s.net(), vp_as);

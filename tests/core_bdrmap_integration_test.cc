@@ -49,7 +49,7 @@ TEST_P(Pipeline, FindsMostTrueNeighbors) {
   ASSERT_GT(neighbors.size(), 10u);
   // The paper observes 92-97% of BGP neighbors; silent/unlucky neighbors
   // cost a little more in the simulation.
-  EXPECT_GT(static_cast<double>(found) / neighbors.size(), 0.7)
+  EXPECT_GT(static_cast<double>(found) / static_cast<double>(neighbors.size()), 0.7)
       << found << "/" << neighbors.size();
 }
 
@@ -73,9 +73,11 @@ TEST_P(Pipeline, BeatsNaiveBaselineOnRouterOwnership) {
     base_correct += truth.same_org(as, truth_owner);
   }
   ASSERT_GT(base_total, 50u);
-  double base_acc = static_cast<double>(base_correct) / base_total;
+  double base_acc =
+      static_cast<double>(base_correct) / static_cast<double>(base_total);
   double bdrmap_acc =
-      static_cast<double>(summary.routers_correct) / summary.routers_total;
+      static_cast<double>(summary.routers_correct) /
+      static_cast<double>(summary.routers_total);
   EXPECT_GT(bdrmap_acc, base_acc);
 }
 

@@ -91,7 +91,8 @@ TEST(MapItPipeline, UnderperformsBdrmapOnFirewalledCustomers) {
   }
   auto summary = truth.validate(result);
   ASSERT_GT(total, 50u);
-  double mapit_acc = static_cast<double>(mapit_correct) / total;
+  double mapit_acc =
+      static_cast<double>(mapit_correct) / static_cast<double>(total);
   EXPECT_GT(summary.router_accuracy(), mapit_acc);
   // And the terminal-interface population is substantial, as §3 observes.
   EXPECT_GT(mapit.terminal_interfaces * 4, mapit.owners.size());

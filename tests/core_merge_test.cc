@@ -18,7 +18,7 @@ using test::make_trace;
 // Builds a BdrmapResult directly from traces + manual annotations.
 BdrmapResult fake_result(std::vector<ObservedTrace> traces,
                          std::vector<std::vector<net::Ipv4Addr>> groups) {
-  return BdrmapResult{RouterGraph(std::move(traces), groups), {}, {}, {}};
+  return BdrmapResult{RouterGraph(std::move(traces), groups), {}, {}, {}, {}};
 }
 
 TEST(Merge, SharedAddressesUnifyRouters) {
@@ -118,7 +118,7 @@ TEST(Merge, MergedOwnersRemainMostlyCorrect) {
     correct += truth.same_org(*owner, router.owner);
   }
   ASSERT_GT(total, 50u);
-  EXPECT_GT(static_cast<double>(correct) / total, 0.85);
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(total), 0.85);
 }
 
 }  // namespace

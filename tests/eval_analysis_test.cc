@@ -69,7 +69,7 @@ TEST_F(AnalysisFixture, NextAsMostlyMatchesBgpCandidates) {
   next_exit:;
   }
   ASSERT_GT(checked, 100u);
-  EXPECT_GT(static_cast<double>(consistent) / checked, 0.7);
+  EXPECT_GT(static_cast<double>(consistent) / static_cast<double>(checked), 0.7);
 }
 
 TEST_F(AnalysisFixture, DiscoveredLinksAreRealInterconnects) {

@@ -53,7 +53,7 @@ TEST(Geo, RdnsLongitudeResolvesCityCodes) {
   }
   ASSERT_GT(resolved, 50u);
   // Stale city codes (3%) put a few routers in the wrong place.
-  EXPECT_GT(static_cast<double>(close) / resolved, 0.85);
+  EXPECT_GT(static_cast<double>(close) / static_cast<double>(resolved), 0.85);
 }
 
 TEST(Geo, DnsSanityCheckAgreesWithGoodInference) {

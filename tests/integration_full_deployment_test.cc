@@ -63,7 +63,7 @@ TEST_F(FullDeployment, NineteenVpsMergeIntoOneMap) {
     }
   }
   ASSERT_GT(neighbors.size(), 50u);
-  EXPECT_GT(static_cast<double>(found) / neighbors.size(), 0.9)
+  EXPECT_GT(static_cast<double>(found) / static_cast<double>(neighbors.size()), 0.9)
       << found << "/" << neighbors.size();
 
   // The Tier-1 peer is the densest neighbor in the merged view.

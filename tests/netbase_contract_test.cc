@@ -1,0 +1,93 @@
+// Contract macro layer (netbase/contract.h): mode policy, note plumbing,
+// RAII mode switching, and the kLog telemetry counter. kAbort is exercised
+// via death tests.
+#include "netbase/contract.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/router_graph.h"
+
+namespace bdrmap::net {
+namespace {
+
+int checked_passthrough(int v) {
+  BDRMAP_EXPECTS(v >= 0);
+  BDRMAP_ENSURES(v < 100, "result must stay in range");
+  return v;
+}
+
+TEST(Contract, PassingConditionsAreSilent) {
+  ScopedContractMode guard(ContractMode::kThrow);
+  EXPECT_EQ(checked_passthrough(7), 7);
+  BDRMAP_ASSERT(true);
+  BDRMAP_ASSERT(1 + 1 == 2, "arithmetic still works");
+}
+
+TEST(Contract, ThrowModeRaisesContractViolation) {
+  ScopedContractMode guard(ContractMode::kThrow);
+  EXPECT_THROW(checked_passthrough(-1), ContractViolation);
+  EXPECT_THROW(checked_passthrough(100), ContractViolation);
+}
+
+TEST(Contract, ViolationMessageCarriesKindExpressionAndNote) {
+  ScopedContractMode guard(ContractMode::kThrow);
+  try {
+    checked_passthrough(200);
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("postcondition"), std::string::npos) << what;
+    EXPECT_NE(what.find("v < 100"), std::string::npos) << what;
+    EXPECT_NE(what.find("result must stay in range"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("checked_passthrough"), std::string::npos) << what;
+  }
+}
+
+TEST(Contract, LogModeContinuesAndCounts) {
+  ScopedContractMode guard(ContractMode::kLog);
+  std::uint64_t before = contract_violation_count();
+  EXPECT_EQ(checked_passthrough(-5), -5);  // violation logged, not fatal
+  EXPECT_EQ(contract_violation_count(), before + 1);
+  BDRMAP_ASSERT(false, "deliberate");
+  EXPECT_EQ(contract_violation_count(), before + 2);
+}
+
+TEST(Contract, ScopedModeRestoresOnExit) {
+  ContractMode outer = contract_mode();
+  {
+    ScopedContractMode guard(ContractMode::kLog);
+    EXPECT_EQ(contract_mode(), ContractMode::kLog);
+    {
+      ScopedContractMode inner(ContractMode::kThrow);
+      EXPECT_EQ(contract_mode(), ContractMode::kThrow);
+    }
+    EXPECT_EQ(contract_mode(), ContractMode::kLog);
+  }
+  EXPECT_EQ(contract_mode(), outer);
+}
+
+TEST(ContractDeathTest, AbortModeAborts) {
+  ScopedContractMode guard(ContractMode::kAbort);
+  EXPECT_DEATH(BDRMAP_ASSERT(false, "fatal by policy"), "fatal by policy");
+}
+
+// The macros are threaded through the inference hot paths; spot-check one:
+// RouterGraph::merge rejects out-of-range and tombstone arguments.
+TEST(Contract, RouterGraphMergeEnforcesPreconditions) {
+  ScopedContractMode guard(ContractMode::kThrow);
+  std::vector<std::vector<Ipv4Addr>> groups = {
+      {*Ipv4Addr::parse("10.0.0.1")},
+      {*Ipv4Addr::parse("10.0.0.2")},
+      {*Ipv4Addr::parse("10.0.0.3")},
+  };
+  core::RouterGraph graph({}, groups);
+  EXPECT_THROW(graph.merge(0, 99), ContractViolation);
+  graph.merge(0, 1);  // fine
+  EXPECT_THROW(graph.merge(2, 1), ContractViolation);  // 1 is a tombstone
+}
+
+}  // namespace
+}  // namespace bdrmap::net

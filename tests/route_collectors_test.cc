@@ -103,7 +103,7 @@ TEST_F(CollectorFixture, InferredRelationshipsMostlyMatchTruth) {
   ASSERT_GT(checked, 50u);
   // CAIDA's algorithm validates >90%; our simplified version should get
   // the vast majority right on a clean hierarchy.
-  EXPECT_GT(static_cast<double>(agree) / checked, 0.8);
+  EXPECT_GT(static_cast<double>(agree) / static_cast<double>(checked), 0.8);
 }
 
 TEST_F(CollectorFixture, PathsEndAtOrigins) {

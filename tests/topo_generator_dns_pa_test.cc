@@ -94,7 +94,7 @@ TEST_P(PathologyFixture, IxpMembershipRecordsMostlyMatchFabric) {
   }
   ASSERT_GT(records, 5u);
   // ~3% stale by construction; the bulk must check out.
-  EXPECT_GT(static_cast<double>(resolvable) / records, 0.85);
+  EXPECT_GT(static_cast<double>(resolvable) / static_cast<double>(records), 0.85);
 }
 
 TEST_P(PathologyFixture, BehaviorMixtureRoughlyMatchesConfig) {
@@ -106,8 +106,8 @@ TEST_P(PathologyFixture, BehaviorMixtureRoughlyMatchesConfig) {
     udp += router.behavior.responds_udp;
   }
   ASSERT_GT(total, 200u);
-  EXPECT_NEAR(static_cast<double>(shared) / total, 0.5, 0.12);
-  EXPECT_NEAR(static_cast<double>(udp) / total, 0.6, 0.12);
+  EXPECT_NEAR(static_cast<double>(shared) / static_cast<double>(total), 0.5, 0.12);
+  EXPECT_NEAR(static_cast<double>(udp) / static_cast<double>(total), 0.6, 0.12);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PathologyFixture,

@@ -7,12 +7,13 @@
 // Usage:
 //   bdrmap_sim [--scenario ren|access|tier1|small] [--seed N] [--vp K]
 //              [--json FILE] [--warts FILE] [--dump-traces] [--table1]
-//              [--validate] [--quiet]
+//              [--validate] [--audit] [--quiet]
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
 
+#include "check/check.h"
 #include "core/offline.h"
 #include "eval/ground_truth.h"
 #include "eval/scenario.h"
@@ -36,6 +37,7 @@ struct Options {
   bool dump_traces = false;
   bool table1 = false;
   bool validate = false;
+  bool audit = false;  // invariant-check the run (src/check/)
   bool quiet = false;
 };
 
@@ -44,7 +46,8 @@ void usage(const char* argv0) {
       stderr,
       "usage: %s [--scenario ren|access|tier1|small] [--seed N] [--vp K]\n"
       "          [--json FILE] [--warts FILE] [--dot FILE] [--replay FILE]\n"
-      "          [--dump-traces] [--table1] [--validate] [--quiet]\n",
+      "          [--dump-traces] [--table1] [--validate] [--audit] "
+      "[--quiet]\n",
       argv0);
 }
 
@@ -88,6 +91,8 @@ bool parse_args(int argc, char** argv, Options* opts) {
       opts->table1 = true;
     } else if (arg == "--validate") {
       opts->validate = true;
+    } else if (arg == "--audit") {
+      opts->audit = true;
     } else if (arg == "--quiet") {
       opts->quiet = true;
     } else {
@@ -182,6 +187,20 @@ int main(int argc, char** argv) {
                 summary.links_correct, summary.links_total,
                 100.0 * summary.link_accuracy(), summary.routers_correct,
                 summary.routers_total, 100.0 * summary.router_accuracy());
+  }
+
+  if (opts.audit) {
+    // Invariant-check the inference products against the inputs the run
+    // consumed (and the substrate, for the owner universe).
+    auto inputs = scenario.inputs_for(vp_as);
+    check::CheckContext ctx = check::inference_context(result, inputs);
+    ctx.net = &scenario.net();
+    check::CheckReport report = check::InvariantChecker().run(ctx);
+    if (!report.clean()) std::fputs(report.summary().c_str(), stdout);
+    std::printf("audit: %zu passes, %zu violations (%zu errors)\n",
+                report.passes_run.size(), report.violations.size(),
+                report.error_count());
+    if (report.error_count() > 0) return 1;
   }
 
   if (opts.dump_traces) {

@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""Repository lint gate: include hygiene and banned patterns.
+
+Checks every C++ source under src/, tools/, bench/, examples/ and tests/:
+
+  * include hygiene — project headers use quoted project-relative paths
+    ("core/bdrmap.h"), never "../" traversal; a .cc includes its own header
+    first; no include of a build directory artifact
+  * banned patterns —
+      - raw assert( outside tests/ (use BDRMAP_EXPECTS / BDRMAP_ENSURES /
+        BDRMAP_ASSERT from netbase/contract.h)
+      - `using namespace` at file scope in headers
+      - non-explicit single-argument constructors in headers (conversion
+        traps; annotate intentional ones with /*implicit*/)
+      - std::endl (flushes; use '\n')
+      - NULL literal (use nullptr)
+
+Exit status: 0 clean, 1 findings, 2 usage error. Used by tools/check.sh
+--lint and CI. Pass file paths to lint a subset (e.g. changed files only).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC_DIRS = ["src", "tools", "bench", "examples", "tests"]
+CPP_SUFFIXES = {".cc", ".cpp", ".h", ".hpp"}
+
+# Matches `explicit`-less constructor-looking declarations is too fragile in
+# pure regex; instead we flag single-argument constructors in headers that
+# are neither explicit, copy/move, nor marked /*implicit*/.
+CTOR_RE = re.compile(
+    r"^\s*(?:constexpr\s+)?([A-Z]\w+)\s*\(\s*((?:const\s+)?[\w:<>,\s&*]+?)\s*"
+    r"(?:\bconst\b\s*)?\)\s*(?::|{|;)"
+)
+
+ASSERT_RE = re.compile(r"(?<!\w)assert\s*\(")
+STATIC_ASSERT_RE = re.compile(r"static_assert\s*\(")
+
+
+def is_header(path: Path) -> bool:
+    return path.suffix in {".h", ".hpp"}
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Crude single-line scrub of string literals and // comments."""
+    line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+    line = re.sub(r"'(?:[^'\\]|\\.)*'", "''", line)
+    return line.split("//", 1)[0]
+
+
+def ctor_finding(path: Path, line: str) -> bool:
+    """True when `line` declares a non-explicit single-arg constructor."""
+    m = CTOR_RE.match(line)
+    if m is None:
+        return False
+    name, args = m.group(1), m.group(2)
+    if "explicit" in line or "/*implicit*/" in line or "= delete" in line:
+        return False
+    if args in ("", "void"):
+        return False
+    if "," in args:  # multi-argument (default args still convert, but rare)
+        return False
+    # Copy/move constructors are implicitly fine.
+    if re.search(rf"\b{re.escape(name)}\s*(?:&&?|&)", args):
+        return False
+    # Heuristic: the declaring class must match the ctor name; cheap check —
+    # the file must contain "class <name>" or "struct <name>".
+    text = path.read_text(errors="replace")
+    if not re.search(rf"\b(?:class|struct)\s+{re.escape(name)}\b", text):
+        return False
+    return True
+
+
+def lint_file(path: Path) -> list[str]:
+    findings: list[str] = []
+    try:
+        rel = path.relative_to(REPO)
+    except ValueError:
+        rel = path
+    in_tests = "tests" in rel.parts
+    try:
+        lines = path.read_text(errors="replace").splitlines()
+    except OSError as e:
+        return [f"{rel}: unreadable: {e}"]
+
+    own_header = None
+    if path.suffix in (".cc", ".cpp"):
+        candidate = path.with_suffix(".h")
+        if candidate.exists():
+            own_header = candidate.name
+
+    first_include = None
+    in_block_comment = False
+    for n, raw in enumerate(lines, start=1):
+        line = raw
+        if in_block_comment:
+            if "*/" in line:
+                line = line.split("*/", 1)[1]
+                in_block_comment = False
+            else:
+                continue
+        if "/*" in line and "*/" not in line:
+            in_block_comment = True
+            line = line.split("/*", 1)[0]
+        code = strip_comments_and_strings(line)
+
+        # Parse includes from the unstripped line: the path is itself a
+        # string literal.
+        inc = re.match(r'\s*#\s*include\s+"([^"]+)"', line)
+        if inc:
+            target = inc.group(1)
+            if first_include is None:
+                first_include = target
+            if target.startswith(("..", "./")):
+                findings.append(
+                    f"{rel}:{n}: relative include \"{target}\" — use a "
+                    "project-root path"
+                )
+            if target.startswith(("build/", "build-")):
+                findings.append(
+                    f"{rel}:{n}: include of a build artifact \"{target}\""
+                )
+
+        if ASSERT_RE.search(code) and not STATIC_ASSERT_RE.search(code):
+            if not in_tests:
+                findings.append(
+                    f"{rel}:{n}: raw assert() — use BDRMAP_EXPECTS/"
+                    "BDRMAP_ENSURES/BDRMAP_ASSERT (netbase/contract.h)"
+                )
+
+        if is_header(path) and re.match(r"\s*using\s+namespace\s+\w", code):
+            indent = len(raw) - len(raw.lstrip())
+            if indent == 0:
+                findings.append(
+                    f"{rel}:{n}: file-scope `using namespace` in a header"
+                )
+
+        if "std::endl" in code:
+            findings.append(f"{rel}:{n}: std::endl — use '\\n'")
+
+        if re.search(r"(?<!\w)NULL(?!\w)", code):
+            findings.append(f"{rel}:{n}: NULL literal — use nullptr")
+
+        if is_header(path) and not in_tests and ctor_finding(path, code):
+            findings.append(
+                f"{rel}:{n}: single-argument constructor without `explicit` "
+                "(mark /*implicit*/ if conversion is intended)"
+            )
+
+    if own_header is not None and first_include is not None:
+        if Path(first_include).name != own_header:
+            findings.append(
+                f"{rel}: first include should be its own header "
+                f"\"{own_header}\" (got \"{first_include}\")"
+            )
+
+    return findings
+
+
+def gather(args: list[str]) -> list[Path]:
+    if args:
+        out = []
+        for a in args:
+            p = Path(a)
+            if not p.is_absolute():
+                p = REPO / p
+            if p.suffix in CPP_SUFFIXES and p.exists():
+                out.append(p.resolve())
+        return out
+    files = []
+    for d in SRC_DIRS:
+        root = REPO / d
+        if not root.is_dir():
+            continue
+        for p in sorted(root.rglob("*")):
+            if p.suffix in CPP_SUFFIXES and "build" not in p.parts:
+                files.append(p)
+    return files
+
+
+def main(argv: list[str]) -> int:
+    files = gather(argv[1:])
+    if not files:
+        print("lint.py: nothing to lint", file=sys.stderr)
+        return 0
+    findings: list[str] = []
+    for path in files:
+        findings.extend(lint_file(path))
+    for f in findings:
+        print(f)
+    print(
+        f"lint.py: {len(files)} files checked, {len(findings)} findings",
+        file=sys.stderr,
+    )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
