@@ -20,6 +20,8 @@
 #include "eval/scenario.h"
 #include "remote/channel.h"
 #include "remote/split.h"
+#include "runtime/flags.h"
+#include "runtime/parallel_for.h"
 
 using namespace bdrmap;
 
@@ -38,7 +40,9 @@ remote::FaultConfig faults_at(double rate) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned threads = runtime::threads_flag(argc, argv);
+  auto pool = runtime::make_pool(threads);
   eval::Scenario scenario(eval::small_access_config(42));
   net::AsId vp_as = scenario.first_of(topo::AsKind::kAccess);
   auto vp = scenario.vps_in(vp_as).front();
@@ -99,32 +103,40 @@ int main() {
   // --- fault-rate sweep: graceful inference degradation ---
 
   std::printf("\nFault sweep: inference accuracy vs injected channel "
-              "faults\n(drop rate shown; corruption/duplication at rate/2, "
-              "reorder/truncation at rate/4;\nthe 10%% row also power-cycles "
-              "the device mid-run)\n\n");
+              "faults (%u threads)\n(drop rate shown; corruption/duplication "
+              "at rate/2, reorder/truncation at rate/4;\nthe 10%% row also "
+              "power-cycles the device mid-run)\n\n",
+              threads);
 
-  const double rates[] = {0.0, 0.02, 0.05, 0.10};
-  std::vector<eval::DegradationRow> rows;
-  for (double rate : rates) {
-    auto backend = scenario.services_for(vp, 99);
-    remote::ProberDevice dev(*backend);
-    remote::FaultConfig faults = faults_at(rate);
-    if (rate >= 0.10) faults.crash_at_message = 2000;
-    remote::FaultyChannel channel(dev, faults);
-    remote::RemoteProbeServices services(channel);
-    core::Bdrmap run(services, inputs);
-    auto result = run.run();
-    const remote::ChannelStats& stats = services.channel_stats();
+  // Each sweep point is an independent full pipeline (its own device,
+  // channel and Bdrmap instance over the shared read-only scenario), so
+  // the points run concurrently; the rendered table stays in rate order
+  // because parallel_map returns results by index.
+  const std::vector<double> rates = {0.0, 0.02, 0.05, 0.10};
+  std::vector<eval::DegradationRow> rows =
+      runtime::parallel_map<eval::DegradationRow>(
+          pool.get(), rates.size(), [&](std::size_t i) {
+            const double rate = rates[i];
+            auto backend = scenario.services_for(vp, 99);
+            remote::ProberDevice dev(*backend);
+            remote::FaultConfig faults = faults_at(rate);
+            if (rate >= 0.10) faults.crash_at_message = 2000;
+            remote::FaultyChannel channel(dev, faults);
+            remote::RemoteProbeServices services(channel);
+            core::Bdrmap run(services, inputs);
+            auto result = run.run();
+            const remote::ChannelStats& stats = services.channel_stats();
 
-    eval::DegradationRow row = eval::score_degraded_run(
-        rate, result, truth, *inputs.rels, inputs.vp_ases);
-    row.retransmits = stats.retransmits;
-    row.timeouts = stats.timeouts;
-    row.corrupt_frames_detected = stats.corrupt_frames_detected;
-    row.device_restarts = stats.device_restarts;
-    row.identical_to_baseline = eval::same_border_map(result, remote_result);
-    rows.push_back(row);
-  }
+            eval::DegradationRow row = eval::score_degraded_run(
+                rate, result, truth, *inputs.rels, inputs.vp_ases);
+            row.retransmits = stats.retransmits;
+            row.timeouts = stats.timeouts;
+            row.corrupt_frames_detected = stats.corrupt_frames_detected;
+            row.device_restarts = stats.device_restarts;
+            row.identical_to_baseline =
+                eval::same_border_map(result, remote_result);
+            return row;
+          });
   std::fputs(eval::render_degradation(rows).c_str(), stdout);
 
   eval::DegradationRow baseline = eval::score_degraded_run(

@@ -5,44 +5,69 @@
 // heuristic dominates customer inferences; onenet dominates peers and
 // providers; a "trace" column of neighbors invisible in BGP.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "eval/scenario.h"
 #include "eval/table1.h"
+#include "runtime/flags.h"
+#include "runtime/parallel_for.h"
 
 using namespace bdrmap;
 
 namespace {
 
-void run_network(const char* title, const topo::GeneratorConfig& config,
-                 topo::AsKind vp_kind) {
+// Renders one network's table; returns text so the three networks can run
+// concurrently (each builds a private Scenario) and still print in the
+// paper's fixed order.
+std::string run_network(const char* title, const topo::GeneratorConfig& config,
+                        topo::AsKind vp_kind) {
   eval::Scenario scenario(config);
   net::AsId vp_as = scenario.first_of(vp_kind);
   auto vps = scenario.vps_in(vp_as);
   if (vps.empty()) {
-    std::printf("no VP in %s\n", title);
-    return;
+    return std::string("no VP in ") + title + "\n";
   }
   auto result = scenario.run_bdrmap(vps.front());
   auto inputs = scenario.inputs_for(vp_as);
   eval::Table1 table =
       eval::build_table1(result, *inputs.rels, inputs.vp_ases);
-  std::fputs(eval::render_table1(table, title).c_str(), stdout);
-  std::printf("probes: %llu   traces: %zu   routers: %zu\n\n",
-              static_cast<unsigned long long>(result.stats.probes_sent),
-              result.stats.traces, result.stats.routers);
+  std::string out = eval::render_table1(table, title);
+  char line[128];
+  std::snprintf(line, sizeof(line),
+                "probes: %llu   traces: %zu   routers: %zu\n\n",
+                static_cast<unsigned long long>(result.stats.probes_sent),
+                result.stats.traces, result.stats.routers);
+  return out + line;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned threads = runtime::threads_flag(argc, argv);
+  auto pool = runtime::make_pool(threads);
   std::printf("Table 1: evaluation of bdrmap heuristics against BGP "
               "observations\n(columns: inferred relationship of the "
               "neighbor; rows: heuristic that fired)\n\n");
-  run_network("R&E network (VP: research-and-education AS)",
-              eval::research_education_config(42), topo::AsKind::kResearchEdu);
-  run_network("Large access network (VP: 19-PoP US access AS)",
-              eval::large_access_config(42), topo::AsKind::kAccess);
-  run_network("Tier-1 network (VP: transit-free clique member)",
-              eval::tier1_config(42), topo::AsKind::kTier1);
+
+  struct Network {
+    const char* title;
+    topo::GeneratorConfig config;
+    topo::AsKind vp_kind;
+  };
+  const std::vector<Network> networks = {
+      {"R&E network (VP: research-and-education AS)",
+       eval::research_education_config(42), topo::AsKind::kResearchEdu},
+      {"Large access network (VP: 19-PoP US access AS)",
+       eval::large_access_config(42), topo::AsKind::kAccess},
+      {"Tier-1 network (VP: transit-free clique member)",
+       eval::tier1_config(42), topo::AsKind::kTier1},
+  };
+  std::vector<std::string> tables = runtime::parallel_map<std::string>(
+      pool.get(), networks.size(), [&networks](std::size_t i) {
+        const Network& n = networks[i];
+        return run_network(n.title, n.config, n.vp_kind);
+      });
+  for (const std::string& t : tables) std::fputs(t.c_str(), stdout);
   return 0;
 }

@@ -1,10 +1,11 @@
 #include "core/bdrmap.h"
 
 #include <algorithm>
-
-#include "core/midar.h"
 #include <unordered_map>
 #include <unordered_set>
+
+#include "core/midar.h"
+#include "netbase/contract.h"
 
 namespace bdrmap::core {
 
@@ -274,6 +275,20 @@ BdrmapResult infer_borders(RouterGraph graph, const InferenceInputs& inputs,
 }
 
 BdrmapResult Bdrmap::run() {
+  // Each instance is single-threaded INTERNALLY: the stop set, stats and
+  // failure log mutate without locks, and services_ is stateful (RNG,
+  // probe counters). Multi-VP parallelism (runtime::MultiVpExecutor) gives
+  // every VP its own instance + services; a second thread entering the
+  // same instance is a bug we fail loudly on rather than corrupt silently.
+  const bool reentered = running_.exchange(true, std::memory_order_acq_rel);
+  BDRMAP_EXPECTS(!reentered,
+                 "core::Bdrmap is single-threaded per instance; run() "
+                 "re-entered concurrently");
+  struct RunGuard {
+    std::atomic<bool>& flag;
+    ~RunGuard() { flag.store(false, std::memory_order_release); }
+  } guard{running_};
+
   std::vector<ObservedTrace> traces = collect_traces();
   auto groups = resolve_aliases(traces);
   auto confirmed = confirm_inbound(traces);

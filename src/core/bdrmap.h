@@ -7,8 +7,17 @@
 //
 // The class is written against probe::ProbeServices, so the identical
 // inference runs on a local prober or on the §5.8 split deployment.
+//
+// Threading model: one Bdrmap instance == one VP == one thread. The
+// instance mutates its stop set, stats, failure log and (through
+// services_) the probe RNG without any locks, and run() contracts against
+// concurrent re-entry. Cross-VP parallelism happens one level up:
+// runtime::MultiVpExecutor constructs an instance + ProbeServices per VP
+// and only shares the read-only InferenceInputs, which must stay
+// unmutated (and alive) for the duration of every run that references it.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -105,9 +114,10 @@ class Bdrmap {
   probe::ProbeServices& services_;
   const InferenceInputs& inputs_;
   BdrmapConfig config_;
-  StopSet stopset_;
+  StopSet stopset_;  // per-instance, never shared across VPs
   BdrmapStats stats_;
   std::vector<ProbeFailure> failures_;
+  std::atomic<bool> running_{false};  // concurrent re-entry tripwire
 };
 
 }  // namespace bdrmap::core

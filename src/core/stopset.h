@@ -5,6 +5,13 @@
 // stop when they reach an address already in the set, so probing does not
 // repeatedly cross the same interdomain link. Keyed per target AS because
 // the same near-border address can lead to different far networks.
+//
+// NOT thread-safe, by design: a stop set belongs to exactly one Bdrmap
+// instance (one VP). The paper keys stopping on what THIS vantage point
+// has already seen — sharing a set across concurrently-running VPs would
+// both race and change inference results (a VP would stop on another
+// VP's observations). runtime::MultiVpExecutor therefore never shares
+// one; Bdrmap::run() additionally contracts against re-entry.
 #pragma once
 
 #include <unordered_map>

@@ -53,6 +53,27 @@ core::BdrmapResult Scenario::run_bdrmap(const topo::Vp& vp,
   return bdrmap.run();
 }
 
+runtime::MultiVpResult Scenario::run_bdrmap_parallel(
+    const std::vector<topo::Vp>& vps, core::BdrmapConfig config,
+    std::uint64_t base_seed, runtime::ThreadPool* pool,
+    probe::TracerConfig tracer) const {
+  std::vector<runtime::VpJob> jobs;
+  jobs.reserve(vps.size());
+  for (std::size_t i = 0; i < vps.size(); ++i) {
+    runtime::VpJob job;
+    const topo::Vp vp = vps[i];
+    const std::uint64_t seed = base_seed + i;
+    job.make_services = [this, vp, seed,
+                         tracer]() -> std::unique_ptr<probe::ProbeServices> {
+      return services_for(vp, seed, tracer);
+    };
+    job.inputs = inputs_for(vp.as);
+    job.config = config;
+    jobs.push_back(std::move(job));
+  }
+  return runtime::MultiVpExecutor(pool).run(jobs);
+}
+
 net::AsId Scenario::first_of(topo::AsKind kind, std::size_t index) const {
   std::size_t seen = 0;
   for (const auto& info : gen_.net.ases()) {

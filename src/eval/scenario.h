@@ -15,6 +15,7 @@
 #include "probe/alias.h"
 #include "route/collectors.h"
 #include "route/fib.h"
+#include "runtime/multi_vp.h"
 #include "topo/generator.h"
 
 namespace bdrmap::eval {
@@ -54,6 +55,17 @@ class Scenario {
                                 core::BdrmapConfig config = {},
                                 std::uint64_t seed = 0x515,
                                 probe::TracerConfig tracer = {}) const;
+
+  // Runs bdrmap for many VPs on the pool (sequentially when pool is
+  // null). VP i is seeded base_seed + i, exactly as the sequential bench
+  // loops did, so per-VP results are bit-identical to run_bdrmap(vps[i],
+  // config, base_seed + i) at any worker count; the merged reduction is
+  // in VP order. Safe because each VP gets a private probe stack and the
+  // shared substrate (FIB / BGP route caches) is internally locked.
+  runtime::MultiVpResult run_bdrmap_parallel(
+      const std::vector<topo::Vp>& vps, core::BdrmapConfig config = {},
+      std::uint64_t base_seed = 0x515, runtime::ThreadPool* pool = nullptr,
+      probe::TracerConfig tracer = {}) const;
 
   // Featured networks (see DESIGN.md).
   net::AsId featured_access() const;   // the §6 large access network

@@ -35,8 +35,13 @@ class ContractViolation : public std::logic_error {
       : std::logic_error(what) {}
 };
 
-// Process-wide failure policy. Not thread-safe to change concurrently with
-// checks; set it once at startup (or per test fixture).
+// Process-wide failure policy. Thread-safe: the mode lives in a
+// std::atomic, so contracts firing on runtime worker threads (multi-VP
+// runs) race neither with each other nor with a concurrent setter — a
+// check sees either the old or the new mode, never a torn value. Policy
+// CHANGES are still best made while no checks are in flight (a check that
+// already read kThrow will throw even if the mode just became kLog);
+// ScopedContractMode in tests therefore brackets single-threaded phases.
 ContractMode contract_mode();
 void set_contract_mode(ContractMode mode);
 
@@ -55,7 +60,9 @@ class ScopedContractMode {
   ContractMode saved_;
 };
 
-// Number of violations seen under kLog mode since process start (telemetry).
+// Number of violations seen under kLog mode since process start
+// (telemetry). Atomic: worker threads increment it concurrently and every
+// increment is counted exactly once.
 std::uint64_t contract_violation_count();
 
 namespace detail {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <mutex>
 #include <queue>
 
 #include "netbase/contract.h"
@@ -16,8 +17,11 @@ BgpSimulator::BgpSimulator(const topo::Internet& net) : net_(net) {
 }
 
 const BgpSimulator::PerDst& BgpSimulator::table(AsId dst) const {
-  auto it = cache_.find(dst);
-  if (it != cache_.end()) return *it->second;
+  {
+    std::shared_lock<std::shared_mutex> lk(cache_mu_);
+    auto it = cache_.find(dst);
+    if (it != cache_.end()) return *it->second;
+  }
 
   const auto& rels = net_.truth_relationships();
   auto t = std::make_unique<PerDst>();
@@ -84,9 +88,13 @@ const BgpSimulator::PerDst& BgpSimulator::table(AsId dst) const {
 
   BDRMAP_ENSURES(t->cust[index(dst)] == 0,
                  "destination must sit at distance zero in its own cone");
-  const PerDst& ref = *t;
-  cache_.emplace(dst, std::move(t));
-  return ref;
+  // The computation above is pure, so two threads racing to fill the same
+  // destination produced identical tables: first writer wins, the loser's
+  // copy is discarded. References stay valid across rehashes because the
+  // table lives behind a unique_ptr.
+  std::unique_lock<std::shared_mutex> lk(cache_mu_);
+  auto it = cache_.emplace(dst, std::move(t)).first;
+  return *it->second;
 }
 
 RouteInfo BgpSimulator::route(AsId src, AsId dst) const {

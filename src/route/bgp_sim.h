@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -77,7 +78,12 @@ class BgpSimulator {
   std::unordered_map<AsId, std::size_t> as_index_;
   std::vector<AsId> as_ids_;
   // Lazily computed per-destination tables (most workloads touch every
-  // destination exactly once, so we cache forever).
+  // destination exactly once, so we cache forever). Guarded by cache_mu_:
+  // concurrent multi-VP runs share one simulator, and the fill is
+  // value-deterministic (a pure function of the immutable truth graph),
+  // so first-writer-wins insertion keeps results independent of thread
+  // interleaving.
+  mutable std::shared_mutex cache_mu_;
   mutable std::unordered_map<AsId, std::unique_ptr<PerDst>> cache_;
 };
 

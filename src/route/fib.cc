@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <mutex>
 #include <queue>
 
 #include "netbase/contract.h"
@@ -96,8 +97,11 @@ const std::vector<Session>& Fib::sessions_of(AsId as) const {
 }
 
 const Fib::AsRouting& Fib::routing_for(AsId as) const {
-  auto it = routing_.find(as);
-  if (it != routing_.end()) return *it->second;
+  {
+    std::shared_lock<std::shared_mutex> lk(routing_mu_);
+    auto it = routing_.find(as);
+    if (it != routing_.end()) return *it->second;
+  }
 
   auto r = std::make_unique<AsRouting>();
   r->routers = net_.as_info(as).routers;
@@ -161,9 +165,12 @@ const Fib::AsRouting& Fib::routing_for(AsId as) const {
     }
   }
 
-  const AsRouting& ref = *r;
-  routing_.emplace(as, std::move(r));
-  return ref;
+  // Pure computation: racing fills for the same AS produced identical
+  // tables, so first writer wins and the duplicate is discarded. The
+  // returned reference survives rehashes (unique_ptr indirection).
+  std::unique_lock<std::shared_mutex> lk(routing_mu_);
+  auto it = routing_.emplace(as, std::move(r)).first;
+  return *it->second;
 }
 
 double Fib::igp_distance(RouterId a, RouterId b) const {

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -107,6 +108,11 @@ class Fib {
   const topo::Internet& net_;
   const BgpSimulator& bgp_;
   std::unordered_map<AsId, std::vector<Session>> sessions_;
+  // Lazily computed per-AS IGP tables, guarded by routing_mu_: one Fib is
+  // shared by every concurrent VP run, and the Dijkstra fill is a pure
+  // function of the immutable topology, so first-writer-wins insertion is
+  // value-deterministic regardless of thread interleaving.
+  mutable std::shared_mutex routing_mu_;
   mutable std::unordered_map<AsId, std::unique_ptr<AsRouting>> routing_;
   static const std::vector<Session> kNoSessions;
 };

@@ -1,0 +1,31 @@
+// Shared "--threads N" handling for the bench harnesses and tools.
+//
+// Every multi-VP consumer takes the same flag with the same default
+// (hardware_concurrency), so the parsing lives here once. threads_flag
+// scans argv non-destructively; callers that do their own argument
+// parsing just recognise "--threads" and call make_pool themselves.
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "runtime/thread_pool.h"
+
+namespace bdrmap::runtime {
+
+// The worker count requested on the command line: "--threads N", default
+// hardware_concurrency (min 1) when absent or malformed.
+inline unsigned threads_flag(int argc, char** argv) {
+  unsigned threads = std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      long v = std::strtol(argv[i + 1], nullptr, 10);
+      if (v >= 1) threads = static_cast<unsigned>(v);
+    }
+  }
+  return threads;
+}
+
+}  // namespace bdrmap::runtime

@@ -1,0 +1,59 @@
+#include "runtime/multi_vp.h"
+
+#include <chrono>
+
+#include "netbase/contract.h"
+#include "runtime/parallel_for.h"
+
+namespace bdrmap::runtime {
+
+namespace {
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+}  // namespace
+
+MultiVpResult MultiVpExecutor::run(const std::vector<VpJob>& jobs) const {
+  MultiVpResult out;
+  auto t0 = std::chrono::steady_clock::now();
+  // One chunk per VP: a bdrmap run is far coarser than any scheduling
+  // overhead, and per-VP granularity gives thieves the most slack.
+  out.per_vp = parallel_map<core::BdrmapResult>(
+      pool_, jobs.size(),
+      [&jobs](std::size_t i) {
+        const VpJob& job = jobs[i];
+        BDRMAP_EXPECTS(static_cast<bool>(job.make_services),
+                       "VpJob needs a probe-services factory");
+        auto services = job.make_services();
+        core::Bdrmap pipeline(*services, job.inputs, job.config);
+        return pipeline.run();
+      },
+      /*chunk=*/1);
+  out.times.run_seconds = seconds_since(t0);
+
+  // Ordered reduction, VP by VP on this thread: output is a pure function
+  // of the per-VP results, independent of which worker finished first.
+  auto r0 = std::chrono::steady_clock::now();
+  for (std::size_t vp = 0; vp < out.per_vp.size(); ++vp) {
+    const core::BdrmapResult& r = out.per_vp[vp];
+    for (const core::InferredLink& link : r.links) {
+      out.merged_links_by_as[link.neighbor_as].push_back(
+          out.merged_links.size());
+      out.merged_links.emplace_back(vp, link);
+    }
+    out.total.probes_sent += r.stats.probes_sent;
+    out.total.blocks += r.stats.blocks;
+    out.total.traces += r.stats.traces;
+    out.total.alias_pair_tests += r.stats.alias_pair_tests;
+    out.total.routers += r.stats.routers;
+    out.total.vp_routers += r.stats.vp_routers;
+    out.total.neighbor_routers += r.stats.neighbor_routers;
+    out.total.stopset_hits += r.stats.stopset_hits;
+    out.total.probe_failures += r.stats.probe_failures;
+  }
+  out.times.reduce_seconds = seconds_since(r0);
+  return out;
+}
+
+}  // namespace bdrmap::runtime

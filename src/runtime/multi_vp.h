@@ -1,0 +1,72 @@
+// Multi-VP execution: N independent bdrmap runs, one deterministic answer.
+//
+// The paper's evaluation is embarrassingly parallel — bdrmap runs per
+// vantage point (§5.6 validates 10 VPs across 4 networks; Figures 14-16
+// sweep VP counts) and no state flows between VPs. MultiVpExecutor
+// exploits exactly that: each VP job carries its OWN ProbeServices (its
+// own traceroute engine and RNG, seeded from the scenario seed and the VP
+// index by the caller), runs a private core::Bdrmap on a pool worker, and
+// the per-VP results land in VP order.
+//
+// Determinism strategy (DESIGN.md §8): parallelism never reorders any
+// observable. Per-VP runs are bit-identical to their sequential
+// counterparts because nothing a run mutates is shared (the substrate's
+// lazy route caches are value-deterministic and internally locked), and
+// the reduction — concatenating InferredLinks, rebuilding the per-AS
+// index, summing stats — walks VPs in index order on the joining thread
+// after every run has finished. Byte-identical output at 1 or 64 workers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/bdrmap.h"
+#include "probe/types.h"
+#include "runtime/thread_pool.h"
+
+namespace bdrmap::runtime {
+
+// One vantage point's run: a factory for its private probe stack (invoked
+// on the executing worker), the shared read-only inference inputs, and
+// the pipeline configuration.
+struct VpJob {
+  std::function<std::unique_ptr<probe::ProbeServices>()> make_services;
+  core::InferenceInputs inputs;
+  core::BdrmapConfig config;
+};
+
+// Wall-clock of the two stages, for the runtime's telemetry contract.
+struct MultiVpTimes {
+  double run_seconds = 0.0;     // fork/join over the per-VP pipelines
+  double reduce_seconds = 0.0;  // ordered merge on the joining thread
+};
+
+struct MultiVpResult {
+  // Per-VP results, in job order (index i == job i).
+  std::vector<core::BdrmapResult> per_vp;
+  // Ordered reduction: every inferred link tagged with its VP index,
+  // concatenated in VP order, plus the rebuilt per-AS index into it and
+  // the summed stats.
+  std::vector<std::pair<std::size_t, core::InferredLink>> merged_links;
+  std::map<net::AsId, std::vector<std::size_t>> merged_links_by_as;
+  core::BdrmapStats total;
+  MultiVpTimes times;
+};
+
+class MultiVpExecutor {
+ public:
+  // pool may be null: run every VP sequentially on the calling thread
+  // (the determinism baseline). The pool must outlive the executor.
+  explicit MultiVpExecutor(ThreadPool* pool) : pool_(pool) {}
+
+  MultiVpResult run(const std::vector<VpJob>& jobs) const;
+
+ private:
+  ThreadPool* pool_;
+};
+
+}  // namespace bdrmap::runtime

@@ -1,0 +1,73 @@
+// Chunked data-parallel loops over [0, n) with deterministic results.
+//
+// parallel_for(pool, n, fn)       — fn(i) for every i, any order
+// parallel_map<R>(pool, n, fn)    — returns {fn(0), ..., fn(n-1)} IN INDEX
+//                                   ORDER regardless of execution order:
+//                                   each task writes its own slot of a
+//                                   pre-sized vector, so the reduction a
+//                                   caller performs over the result is
+//                                   identical at any thread count.
+//
+// Scheduling: indices are split into contiguous chunks (default: enough
+// chunks for ~4 per worker, a balance between stealable slack and
+// per-task overhead) and spawned on a TaskGroup; the calling thread helps
+// until the group drains. Exceptions propagate per TaskGroup semantics —
+// first one rethrown, remaining chunks cancelled.
+//
+// A null pool means sequential: plain loop, zero scheduling overhead —
+// this is the "--threads 1" path everywhere, and the baseline the
+// determinism tests compare against.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "runtime/task_group.h"
+#include "runtime/thread_pool.h"
+
+namespace bdrmap::runtime {
+
+// Number of indices per chunk for n items on this pool (>= 1).
+inline std::size_t default_chunk(const ThreadPool* pool, std::size_t n) {
+  if (pool == nullptr || n == 0) return n > 0 ? n : 1;
+  std::size_t target_chunks = static_cast<std::size_t>(pool->size()) * 4;
+  std::size_t chunk = (n + target_chunks - 1) / target_chunks;
+  return chunk > 0 ? chunk : 1;
+}
+
+template <typename Fn>
+void parallel_for(ThreadPool* pool, std::size_t n, Fn&& fn,
+                  std::size_t chunk = 0) {
+  if (n == 0) return;
+  if (pool == nullptr || pool->size() <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  if (chunk == 0) chunk = default_chunk(pool, n);
+  TaskGroup group(pool);
+  for (std::size_t begin = 0; begin < n; begin += chunk) {
+    const std::size_t end = (n - begin > chunk) ? begin + chunk : n;
+    group.spawn([&fn, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    });
+  }
+  group.wait();
+}
+
+template <typename R, typename Fn>
+std::vector<R> parallel_map(ThreadPool* pool, std::size_t n, Fn&& fn,
+                            std::size_t chunk = 0) {
+  // Buffer through optionals so R need not be default-constructible
+  // (core::BdrmapResult is not); each slot is emplaced exactly once.
+  std::vector<std::optional<R>> slots(n);
+  parallel_for(
+      pool, n, [&slots, &fn](std::size_t i) { slots[i].emplace(fn(i)); },
+      chunk);
+  std::vector<R> out;
+  out.reserve(n);
+  for (std::optional<R>& slot : slots) out.push_back(std::move(*slot));
+  return out;
+}
+
+}  // namespace bdrmap::runtime

@@ -1,0 +1,77 @@
+#include "runtime/task_group.h"
+
+#include <chrono>
+#include <utility>
+
+#include "netbase/contract.h"
+
+namespace bdrmap::runtime {
+
+TaskGroup::~TaskGroup() {
+  BDRMAP_EXPECTS(unfinished_.load(std::memory_order_acquire) == 0,
+                 "TaskGroup destroyed with unjoined tasks; call wait()");
+}
+
+void TaskGroup::record_exception() noexcept {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!eptr_) eptr_ = std::current_exception();
+  }
+  cancel();  // no point running the siblings of a failed task
+}
+
+void TaskGroup::finish_one() noexcept {
+  if (unfinished_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Notify while HOLDING mu_. wait() re-acquires mu_ on its exit path,
+    // so the group cannot be destroyed until this critical section ends;
+    // notifying after unlocking would let a helping joiner observe
+    // unfinished_ == 0, return, and destroy cv_ under our feet.
+    std::lock_guard<std::mutex> lk(mu_);
+    cv_.notify_all();
+  }
+}
+
+void TaskGroup::spawn(std::function<void()> fn) {
+  BDRMAP_EXPECTS(static_cast<bool>(fn), "spawned task must be callable");
+  unfinished_.fetch_add(1, std::memory_order_acq_rel);
+  auto body = [this, fn = std::move(fn)]() {
+    if (!cancelled()) {
+      try {
+        fn();
+      } catch (...) {
+        record_exception();
+      }
+    }
+    finish_one();
+  };
+  if (pool_ == nullptr) {
+    body();
+  } else {
+    pool_->submit(std::move(body));
+  }
+}
+
+void TaskGroup::wait() {
+  while (unfinished_.load(std::memory_order_acquire) > 0) {
+    // Help: run pending pool tasks (our own children first — workers pop
+    // their deque LIFO) instead of blocking a thread the children need.
+    if (pool_ != nullptr && pool_->try_run_one()) continue;
+    std::unique_lock<std::mutex> lk(mu_);
+    // Re-check under the lock, then sleep briefly rather than forever:
+    // our remaining children may be RUNNING on workers that are
+    // themselves parked in a nested wait, in which case new helpable
+    // tasks can appear without any completion signal on cv_.
+    if (unfinished_.load(std::memory_order_acquire) == 0) break;
+    cv_.wait_for(lk, std::chrono::milliseconds(1), [this] {
+      return unfinished_.load(std::memory_order_acquire) == 0;
+    });
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  if (eptr_) {
+    std::exception_ptr e = eptr_;
+    eptr_ = nullptr;  // rethrow once; later wait() calls return clean
+    std::rethrow_exception(e);
+  }
+}
+
+}  // namespace bdrmap::runtime

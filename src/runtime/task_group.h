@@ -1,0 +1,76 @@
+// Structured fork/join on top of ThreadPool.
+//
+// A TaskGroup owns a set of spawned tasks and joins them all in wait().
+// Three guarantees the raw pool does not give:
+//
+//   exception propagation — the FIRST exception thrown by any task is
+//     captured and rethrown from wait() on the joining thread; later
+//     exceptions are swallowed (there is only one joiner to tell). An
+//     exception also cancels the group, so queued-but-unstarted siblings
+//     are skipped rather than run to no purpose.
+//
+//   cancellation — cancel() marks the group; tasks that have not started
+//     are skipped (they still count as joined), and running tasks can
+//     poll cancelled() at their own safe points.
+//
+//   deadlock-free nesting — wait() HELPS: while the group is unfinished
+//     the joining thread executes pending pool tasks (its own children
+//     first, since workers pop LIFO). A task may therefore create and
+//     wait on a nested TaskGroup even when every pool worker is blocked
+//     in a wait of its own — someone always makes progress, including on
+//     a one-worker pool.
+//
+// With a null pool the group degenerates to sequential: spawn() runs the
+// task inline (same exception/cancellation semantics), wait() just
+// rethrows. Groups must be joined: the destructor contracts that wait()
+// was called after the last spawn.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+
+#include "runtime/thread_pool.h"
+
+namespace bdrmap::runtime {
+
+class TaskGroup {
+ public:
+  // pool may be null (sequential mode) and must outlive the group.
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  // Schedules `fn` (or runs it inline without a pool). Must not race with
+  // wait(): spawn from the owning thread or from inside a member task.
+  void spawn(std::function<void()> fn);
+
+  // Requests cancellation: unstarted tasks are skipped, running tasks see
+  // cancelled() == true. Idempotent; safe from any thread.
+  void cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const { return cancelled_.load(std::memory_order_acquire); }
+
+  // Joins every spawned task, helping the pool while it waits, then
+  // rethrows the first captured exception (if any). May be called more
+  // than once; later calls only rethrow.
+  void wait();
+
+ private:
+  void record_exception() noexcept;
+  void finish_one() noexcept;
+
+  ThreadPool* pool_;
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::size_t> unfinished_{0};
+
+  std::mutex mu_;                 // guards eptr_ and pairs with cv_
+  std::condition_variable cv_;    // signalled when unfinished_ hits zero
+  std::exception_ptr eptr_;
+};
+
+}  // namespace bdrmap::runtime

@@ -1,0 +1,137 @@
+#include "runtime/thread_pool.h"
+
+#include "netbase/contract.h"
+
+namespace bdrmap::runtime {
+
+namespace {
+// Worker identity for the calling thread: which pool it belongs to and its
+// deque index. External threads have pool == nullptr.
+thread_local ThreadPool* t_pool = nullptr;
+thread_local std::size_t t_index = 0;
+}  // namespace
+
+ThreadPool* ThreadPool::current() { return t_pool; }
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(park_mu_);
+    stopping_ = true;
+  }
+  park_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> fn) {
+  BDRMAP_EXPECTS(static_cast<bool>(fn), "submitted task must be callable");
+  std::size_t slot;
+  if (t_pool == this) {
+    slot = t_index;  // worker: own deque, LIFO end
+  } else {
+    slot = static_cast<std::size_t>(
+               next_slot_.fetch_add(1, std::memory_order_relaxed)) %
+           workers_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lk(workers_[slot]->mu);
+    workers_[slot]->tasks.push_back(std::move(fn));
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  queued_.fetch_add(1, std::memory_order_release);
+  // Bridge the park mutex so a worker between its predicate check and its
+  // sleep cannot miss this submission (classic lost-wakeup window: the
+  // queue counter is not updated under park_mu_).
+  { std::lock_guard<std::mutex> lk(park_mu_); }
+  park_cv_.notify_one();
+}
+
+bool ThreadPool::pop_task(std::size_t self, std::function<void()>& out,
+                          bool* stolen) {
+  const std::size_t n = workers_.size();
+  // Own deque first, from the back: depth-first on nested fork/join.
+  if (self < n) {
+    Worker& w = *workers_[self];
+    std::lock_guard<std::mutex> lk(w.mu);
+    if (!w.tasks.empty()) {
+      out = std::move(w.tasks.back());
+      w.tasks.pop_back();
+      queued_.fetch_sub(1, std::memory_order_release);
+      *stolen = false;
+      return true;
+    }
+  }
+  // Steal from the front of the other deques, scanning from the slot after
+  // ours so thieves spread out instead of hammering worker 0.
+  for (std::size_t k = 1; k <= n; ++k) {
+    std::size_t victim = (self + k) % n;
+    if (victim == self) continue;
+    Worker& w = *workers_[victim];
+    std::lock_guard<std::mutex> lk(w.mu);
+    if (!w.tasks.empty()) {
+      out = std::move(w.tasks.front());
+      w.tasks.pop_front();
+      queued_.fetch_sub(1, std::memory_order_release);
+      *stolen = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ThreadPool::try_run_one() {
+  std::function<void()> task;
+  bool stolen = false;
+  std::size_t self = (t_pool == this) ? t_index : workers_.size();
+  if (!pop_task(self, task, &stolen)) return false;
+  if (stolen) steals_.fetch_add(1, std::memory_order_relaxed);
+  task();
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  t_pool = this;
+  t_index = index;
+  for (;;) {
+    if (try_run_one()) continue;
+    std::unique_lock<std::mutex> lk(park_mu_);
+    if (stopping_) return;
+    if (queued_.load(std::memory_order_acquire) > 0) continue;  // recheck
+    parks_.fetch_add(1, std::memory_order_relaxed);
+    park_cv_.wait(lk, [this] {
+      return stopping_ || queued_.load(std::memory_order_acquire) > 0;
+    });
+    unparks_.fetch_add(1, std::memory_order_relaxed);
+    if (stopping_) return;
+  }
+}
+
+RuntimeStats ThreadPool::stats() const {
+  RuntimeStats s;
+  s.tasks_submitted = submitted_.load(std::memory_order_relaxed);
+  s.tasks_executed = executed_.load(std::memory_order_relaxed);
+  s.steals = steals_.load(std::memory_order_relaxed);
+  s.parks = parks_.load(std::memory_order_relaxed);
+  s.unparks = unparks_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::unique_ptr<ThreadPool> make_pool(unsigned threads) {
+  if (threads <= 1) return nullptr;
+  return std::make_unique<ThreadPool>(threads);
+}
+
+}  // namespace bdrmap::runtime

@@ -1,0 +1,102 @@
+// Work-stealing thread pool: the execution substrate for multi-VP inference
+// and evaluation sweeps (DESIGN.md §8).
+//
+// Layout: one deque per worker. A worker pushes and pops its own deque at
+// the back (LIFO — newest task first, keeps working sets hot and nested
+// fork/join depth-first); idle workers steal from other deques at the
+// front (FIFO — oldest task first, which hands thieves the largest
+// remaining subtrees). External threads submit round-robin across the
+// deques. Workers with nothing to run or steal park on a condition
+// variable; every submission unparks one.
+//
+// Determinism contract: the pool schedules, it never sequences. Tasks must
+// be independent (no ordering between tasks in flight) and every ordered
+// reduction happens outside the pool, in submission order — parallel_map
+// writes slot i of a pre-sized vector and MultiVpExecutor merges in VP
+// order, so results are bit-identical at any worker count.
+//
+// Counters (RuntimeStats) are exposed so speedups and scheduling behavior
+// are measurable rather than anecdotal (bench_runtime, docs/parallelism.md).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bdrmap::runtime {
+
+// Scheduling telemetry, cumulative since pool construction.
+struct RuntimeStats {
+  std::uint64_t tasks_submitted = 0;
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t steals = 0;    // tasks taken from another worker's deque
+  std::uint64_t parks = 0;     // times a worker went to sleep
+  std::uint64_t unparks = 0;   // times a sleeping worker was woken
+};
+
+class ThreadPool {
+ public:
+  // threads == 0 picks std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  // Enqueues one task. Safe from any thread, including pool workers
+  // (a worker submits to its own deque; others round-robin).
+  void submit(std::function<void()> fn);
+
+  // Runs one pending task on the calling thread if any is available.
+  // Returns false when every deque is empty. This is the "help" primitive:
+  // TaskGroup::wait() and parallel_for use it so a thread blocked on a
+  // join keeps executing work instead of idling (required for nested
+  // fork/join to make progress even on a single worker).
+  bool try_run_one();
+
+  RuntimeStats stats() const;
+
+  // The pool the calling thread is a worker of, or nullptr.
+  static ThreadPool* current();
+
+ private:
+  struct Worker {
+    std::deque<std::function<void()>> tasks;
+    std::mutex mu;
+  };
+
+  void worker_loop(std::size_t index);
+  // Pops a task for the thread at `self` (self == size() means an external
+  // thread: steal only). Sets *stolen when it came from a foreign deque.
+  bool pop_task(std::size_t self, std::function<void()>& out, bool* stolen);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex park_mu_;
+  std::condition_variable park_cv_;
+  bool stopping_ = false;
+
+  std::atomic<std::uint64_t> next_slot_{0};  // external round-robin cursor
+  std::atomic<std::uint64_t> queued_{0};     // tasks enqueued, not yet popped
+
+  mutable std::atomic<std::uint64_t> submitted_{0};
+  mutable std::atomic<std::uint64_t> executed_{0};
+  mutable std::atomic<std::uint64_t> steals_{0};
+  mutable std::atomic<std::uint64_t> parks_{0};
+  mutable std::atomic<std::uint64_t> unparks_{0};
+};
+
+// Builds a pool for `threads` workers, or nullptr when threads <= 1 —
+// the convention every consumer follows for "run sequentially, no pool".
+std::unique_ptr<ThreadPool> make_pool(unsigned threads);
+
+}  // namespace bdrmap::runtime

@@ -1,0 +1,219 @@
+// Tests for the work-stealing runtime: scheduling stress, structured
+// fork/join, exception propagation, cancellation, and the deterministic
+// parallel_map layer. The multi-VP determinism test lives in
+// runtime_multi_vp_test.cc.
+#include "runtime/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "netbase/contract.h"
+#include "runtime/parallel_for.h"
+#include "runtime/task_group.h"
+
+namespace bdrmap {
+namespace {
+
+TEST(ThreadPool, RunsEveryTaskOnce) {
+  runtime::ThreadPool pool(4);
+  std::atomic<int> count{0};
+  runtime::TaskGroup group(&pool);
+  for (int i = 0; i < 100; ++i) {
+    group.spawn([&count] { count.fetch_add(1); });
+  }
+  group.wait();
+  EXPECT_EQ(count.load(), 100);
+  runtime::RuntimeStats stats = pool.stats();
+  EXPECT_EQ(stats.tasks_submitted, 100u);
+  // The joiner helps, so the pool-side executed counter can undercount
+  // total work but submitted tasks never run twice.
+  EXPECT_LE(stats.tasks_executed, 100u);
+}
+
+TEST(ThreadPool, StressTenThousandTinyTasks) {
+  runtime::ThreadPool pool(8);
+  std::atomic<std::uint64_t> sum{0};
+  runtime::TaskGroup group(&pool);
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    group.spawn([&sum, i] { sum.fetch_add(i + 1); });
+  }
+  group.wait();
+  EXPECT_EQ(sum.load(), 10000ull * 10001ull / 2);
+}
+
+TEST(ThreadPool, NestedTaskGroupsMakeProgress) {
+  // Every worker can be blocked joining an inner group; helping in wait()
+  // must keep the tree moving. Depth 3, fanout 4 — 85 groups total.
+  runtime::ThreadPool pool(2);
+  std::atomic<int> leaves{0};
+  std::function<void(int)> tree = [&](int depth) {
+    if (depth == 0) {
+      leaves.fetch_add(1);
+      return;
+    }
+    runtime::TaskGroup inner(&pool);
+    for (int i = 0; i < 4; ++i) {
+      inner.spawn([&tree, depth] { tree(depth - 1); });
+    }
+    inner.wait();
+  };
+  runtime::TaskGroup outer(&pool);
+  outer.spawn([&tree] { tree(3); });
+  outer.wait();
+  EXPECT_EQ(leaves.load(), 64);
+}
+
+TEST(ThreadPool, NestedGroupsOnSingleWorker) {
+  runtime::ThreadPool pool(1);  // worst case: nobody else to help
+  std::atomic<int> leaves{0};
+  runtime::TaskGroup outer(&pool);
+  outer.spawn([&pool, &leaves] {
+    runtime::TaskGroup inner(&pool);
+    for (int i = 0; i < 8; ++i) {
+      inner.spawn([&leaves] { leaves.fetch_add(1); });
+    }
+    inner.wait();
+  });
+  outer.wait();
+  EXPECT_EQ(leaves.load(), 8);
+}
+
+TEST(TaskGroup, PropagatesFirstException) {
+  runtime::ThreadPool pool(4);
+  runtime::TaskGroup group(&pool);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 50; ++i) {
+    group.spawn([&ran, i] {
+      if (i == 7) throw std::runtime_error("task 7 failed");
+      ran.fetch_add(1);
+    });
+  }
+  EXPECT_THROW(group.wait(), std::runtime_error);
+  // The throw cancelled the group: unstarted siblings were skipped, and a
+  // second wait() does not rethrow (the exception was delivered).
+  EXPECT_TRUE(group.cancelled());
+  group.wait();
+}
+
+TEST(TaskGroup, SequentialModeMatchesPoolSemantics) {
+  runtime::TaskGroup group(nullptr);  // no pool: spawn runs inline
+  int ran = 0;
+  group.spawn([&ran] { ++ran; });
+  group.spawn([] { throw std::runtime_error("inline failure"); });
+  group.spawn([&ran] { ++ran; });  // skipped: group is cancelled
+  EXPECT_THROW(group.wait(), std::runtime_error);
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(TaskGroup, CancellationSkipsUnstartedTasks) {
+  // Deterministic skip: park the only worker inside a gate task, queue
+  // 100 more tasks behind it, cancel, then open the gate. Nothing but
+  // the gate task can have started, so every counter task is skipped.
+  runtime::ThreadPool pool(1);
+  runtime::TaskGroup group(&pool);
+  std::atomic<bool> gate_entered{false};
+  std::atomic<bool> gate_open{false};
+  std::atomic<int> ran{0};
+  group.spawn([&gate_entered, &gate_open] {
+    gate_entered.store(true);
+    while (!gate_open.load()) std::this_thread::yield();
+  });
+  while (!gate_entered.load()) std::this_thread::yield();
+  for (int i = 0; i < 100; ++i) {
+    group.spawn([&ran] { ran.fetch_add(1); });
+  }
+  group.cancel();
+  gate_open.store(true);
+  group.wait();
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  runtime::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  runtime::parallel_for(&pool, hits.size(),
+                        [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, NullPoolRunsSequentially) {
+  std::vector<int> order;
+  runtime::parallel_for(nullptr, 5,
+                        [&order](std::size_t i) {
+                          order.push_back(static_cast<int>(i));
+                        });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelMap, ResultsInIndexOrderAtAnyThreadCount) {
+  auto square = [](std::size_t i) { return i * i; };
+  std::vector<std::size_t> seq =
+      runtime::parallel_map<std::size_t>(nullptr, 200, square);
+  for (unsigned threads : {2u, 8u}) {
+    runtime::ThreadPool pool(threads);
+    EXPECT_EQ(runtime::parallel_map<std::size_t>(&pool, 200, square), seq);
+  }
+}
+
+TEST(ParallelMap, WorksForMoveOnlyFriendlyTypes) {
+  runtime::ThreadPool pool(2);
+  auto out = runtime::parallel_map<std::vector<int>>(
+      &pool, 10, [](std::size_t i) {
+        return std::vector<int>(i, static_cast<int>(i));
+      });
+  ASSERT_EQ(out.size(), 10u);
+  EXPECT_EQ(out[3], (std::vector<int>{3, 3, 3}));
+}
+
+TEST(ParallelFor, ExceptionCancelsAndPropagates) {
+  runtime::ThreadPool pool(4);
+  EXPECT_THROW(runtime::parallel_for(&pool, 1000,
+                                     [](std::size_t i) {
+                                       if (i == 500) {
+                                         throw std::runtime_error("mid");
+                                       }
+                                     },
+                                     /*chunk=*/1),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, CountersAreConsistent) {
+  runtime::ThreadPool pool(4);
+  runtime::TaskGroup group(&pool);
+  for (int i = 0; i < 500; ++i) group.spawn([] {});
+  group.wait();
+  runtime::RuntimeStats s = pool.stats();
+  EXPECT_EQ(s.tasks_submitted, 500u);
+  EXPECT_LE(s.tasks_executed, s.tasks_submitted);
+  EXPECT_LE(s.steals, s.tasks_executed);
+  EXPECT_GE(s.unparks, 0u);
+}
+
+TEST(ThreadPool, MakePoolConvention) {
+  EXPECT_EQ(runtime::make_pool(0), nullptr);
+  EXPECT_EQ(runtime::make_pool(1), nullptr);
+  auto pool = runtime::make_pool(3);
+  ASSERT_NE(pool, nullptr);
+  EXPECT_EQ(pool->size(), 3u);
+}
+
+// Satellite: contracts fire from worker threads now — the kLog violation
+// counter must not lose increments under concurrency.
+TEST(Contract, ViolationCounterIsAtomicAcrossWorkers) {
+  net::ScopedContractMode scoped(net::ContractMode::kLog);
+  std::uint64_t before = net::contract_violation_count();
+  runtime::ThreadPool pool(8);
+  runtime::TaskGroup group(&pool);
+  for (int i = 0; i < 64; ++i) {
+    group.spawn([] { BDRMAP_ASSERT(false, "concurrent logged violation"); });
+  }
+  group.wait();
+  EXPECT_EQ(net::contract_violation_count() - before, 64u);
+}
+
+}  // namespace
+}  // namespace bdrmap

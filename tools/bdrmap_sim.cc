@@ -6,18 +6,22 @@
 //
 // Usage:
 //   bdrmap_sim [--scenario ren|access|tier1|small] [--seed N] [--vp K]
+//              [--all-vps] [--threads N]
 //              [--json FILE] [--warts FILE] [--dump-traces] [--table1]
 //              [--validate] [--audit] [--quiet]
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
 
 #include "check/check.h"
 #include "core/offline.h"
 #include "eval/ground_truth.h"
 #include "eval/scenario.h"
 #include "eval/table1.h"
+#include "runtime/multi_vp.h"
+#include "runtime/thread_pool.h"
 #include "warts/dot.h"
 #include "warts/json.h"
 #include "warts/warts.h"
@@ -30,6 +34,8 @@ struct Options {
   std::string scenario = "ren";
   std::uint64_t seed = 42;
   std::size_t vp_index = 0;
+  bool all_vps = false;  // run every VP of the network, in parallel
+  unsigned threads = std::thread::hardware_concurrency();
   std::string json_path;
   std::string warts_path;
   std::string dot_path;
@@ -45,6 +51,7 @@ void usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--scenario ren|access|tier1|small] [--seed N] [--vp K]\n"
+      "          [--all-vps] [--threads N]\n"
       "          [--json FILE] [--warts FILE] [--dot FILE] [--replay FILE]\n"
       "          [--dump-traces] [--table1] [--validate] [--audit] "
       "[--quiet]\n",
@@ -69,6 +76,13 @@ bool parse_args(int argc, char** argv, Options* opts) {
       const char* v = next();
       if (!v) return false;
       opts->vp_index = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--all-vps") {
+      opts->all_vps = true;
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (!v) return false;
+      opts->threads =
+          static_cast<unsigned>(std::strtoul(v, nullptr, 10));
     } else if (arg == "--json") {
       const char* v = next();
       if (!v) return false;
@@ -139,6 +153,75 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "no VP available in %s\n", vp_as.str().c_str());
     return 1;
   }
+  if (opts.all_vps) {
+    if (!opts.replay_path.empty() || opts.dump_traces || opts.table1 ||
+        opts.audit || !opts.json_path.empty() || !opts.warts_path.empty() ||
+        !opts.dot_path.empty()) {
+      std::fprintf(stderr,
+                   "--all-vps combines only with --validate/--threads/"
+                   "--quiet; export and replay flags are per-VP\n");
+      return 2;
+    }
+    auto pool = runtime::make_pool(opts.threads);
+    if (!opts.quiet) {
+      std::printf("scenario=%s seed=%llu: %zu VPs in %s on %u thread(s)\n",
+                  opts.scenario.c_str(),
+                  static_cast<unsigned long long>(opts.seed), vps.size(),
+                  vp_as.str().c_str(), opts.threads);
+    }
+    // VP i probes with seed (seed ^ 0x515) + i, so VP 0 reproduces the
+    // single-VP run bit for bit.
+    runtime::MultiVpResult runs =
+        scenario.run_bdrmap_parallel(vps, {}, opts.seed ^ 0x515, pool.get());
+
+    for (std::size_t i = 0; i < runs.per_vp.size(); ++i) {
+      const core::BdrmapResult& r = runs.per_vp[i];
+      std::printf("VP %2zu %-14s %zu traces -> %zu routers, %zu links, "
+                  "%zu neighbor ASes\n",
+                  i, scenario.net().pops()[vps[i].pop].city.c_str(),
+                  r.stats.traces, r.stats.routers, r.links.size(),
+                  r.links_by_as.size());
+    }
+    std::printf("merged: %zu links (%zu distinct neighbor ASes), "
+                "%llu probes, %zu traces total\n",
+                runs.merged_links.size(), runs.merged_links_by_as.size(),
+                static_cast<unsigned long long>(runs.total.probes_sent),
+                runs.total.traces);
+
+    if (opts.validate) {
+      eval::GroundTruth truth(scenario.net(), vp_as);
+      std::size_t links_total = 0, links_correct = 0;
+      for (const auto& r : runs.per_vp) {
+        auto summary = truth.validate(r);
+        links_total += summary.links_total;
+        links_correct += summary.links_correct;
+      }
+      std::printf("validation: %zu/%zu links correct (%.1f%%) across "
+                  "%zu VPs\n",
+                  links_correct, links_total,
+                  100.0 * static_cast<double>(links_correct) /
+                      static_cast<double>(std::max<std::size_t>(
+                          links_total, 1)),
+                  runs.per_vp.size());
+    }
+
+    if (!opts.quiet) {
+      std::printf("stages: run %.3fs, reduce %.3fs\n",
+                  runs.times.run_seconds, runs.times.reduce_seconds);
+      if (pool) {
+        runtime::RuntimeStats s = pool->stats();
+        std::printf("pool: %llu tasks submitted, %llu executed, "
+                    "%llu steals, %llu parks, %llu unparks\n",
+                    static_cast<unsigned long long>(s.tasks_submitted),
+                    static_cast<unsigned long long>(s.tasks_executed),
+                    static_cast<unsigned long long>(s.steals),
+                    static_cast<unsigned long long>(s.parks),
+                    static_cast<unsigned long long>(s.unparks));
+      }
+    }
+    return 0;
+  }
+
   if (opts.vp_index >= vps.size()) {
     std::fprintf(stderr, "vp index %zu out of range (%zu VPs)\n",
                  opts.vp_index, vps.size());

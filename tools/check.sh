@@ -6,6 +6,8 @@
 #                  test suite
 #   --fast         skip the sanitizer pass
 #   --lint         run only the static-analysis stage (lint.py + clang-tidy)
+#   --tsan         run only the thread-sanitizer pass over the concurrency
+#                  suites (runtime pool/executor + contract tests)
 #
 # clang-tidy is optional: when the binary is absent the tidy stage is
 # skipped with a notice (the .clang-tidy profile still gates CI runners
@@ -16,12 +18,23 @@ cd "$(dirname "$0")/.."
 JOBS=$(nproc 2>/dev/null || echo 4)
 FAST=0
 LINT_ONLY=0
+TSAN_ONLY=0
 case "${1:-}" in
   --fast) FAST=1 ;;
   --lint) LINT_ONLY=1 ;;
+  --tsan) TSAN_ONLY=1 ;;
   "") ;;
-  *) echo "usage: tools/check.sh [--fast|--lint]" >&2; exit 2 ;;
+  *) echo "usage: tools/check.sh [--fast|--lint|--tsan]" >&2; exit 2 ;;
 esac
+
+run_tsan() {
+  echo "== tsan preset: configure + build + concurrency suites =="
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$JOBS" --target \
+    runtime_thread_pool_test runtime_multi_vp_test netbase_contract_test
+  ctest --test-dir build-tsan -j "$JOBS" --output-on-failure \
+    -R 'ThreadPool|TaskGroup|ParallelFor|ParallelMap|MultiVp|Contract'
+}
 
 run_lint() {
   echo "== lint: tools/lint.py =="
@@ -46,6 +59,12 @@ if [[ "$LINT_ONLY" == "1" ]]; then
   exit 0
 fi
 
+if [[ "$TSAN_ONLY" == "1" ]]; then
+  run_tsan
+  echo "== tsan passed =="
+  exit 0
+fi
+
 echo "== default preset: configure + build (-Werror) + full ctest =="
 cmake --preset default -DBDRMAP_WERROR=ON
 cmake --build --preset default -j "$JOBS"
@@ -63,4 +82,6 @@ echo "== asan-ubsan preset: configure + build + FULL test suite =="
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "$JOBS"
 ctest --test-dir build-asan -j "$JOBS" --output-on-failure
+
+run_tsan
 echo "== all checks passed =="
