@@ -1,0 +1,262 @@
+// Forwarding fast-path benchmark: what the route caches actually buy.
+//
+// Two measurements, written to BENCH_hotpath.json (and stdout):
+//
+//  1. next_hop throughput — full FIB walks (resolve-once RouteQuery,
+//     memoized egress/tier caches, dense IGP indexing) vs the same walks
+//     on a cache-disabled Fib over the same topology, which recomputes
+//     the resolution and tier scan on every hop exactly as the
+//     pre-fast-path code did. Reported in million next_hop calls/second.
+//  2. end-to-end multi-VP — the full bdrmap pipeline for every VP of the
+//     small access network on a worker pool, cached vs cache-disabled
+//     scenario built from the same seed.
+//
+// Identity is a hard gate: every hop of every sampled walk and every
+// per-VP border map must be bit-identical between the cached and
+// uncached planes, otherwise the exit code is 1 and the throughput
+// numbers are meaningless. The speedup targets (>=3x next_hop, >=1.5x
+// end-to-end) only warn unless --strict is given, so CI smoke runs on
+// noisy shared hosts do not flake on load spikes.
+//
+// Usage: bench_hotpath [--out FILE] [--repeat N] [--threads N] [--strict]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "eval/degradation.h"
+#include "eval/scenario.h"
+#include "netbase/rng.h"
+#include "route/fib.h"
+#include "runtime/thread_pool.h"
+
+using namespace bdrmap;
+
+namespace {
+
+constexpr std::size_t kMaxWalkHops = 256;
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+template <typename Fn>
+double best_of(int repeat, Fn&& fn) {
+  double best = 0.0;
+  for (int r = 0; r < repeat; ++r) {
+    double t0 = now_seconds();
+    fn();
+    double dt = now_seconds() - t0;
+    if (r == 0 || dt < best) best = dt;
+  }
+  return best;
+}
+
+std::string json_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+struct Probe {
+  net::RouterId start;
+  net::Ipv4Addr dst;
+  std::uint32_t salt = 0;
+};
+
+// A deterministic mixed workload: every router origin paired with
+// announced-prefix interiors (including the selectively-announced ones),
+// interface addresses, and a few ECMP salts — the address classes the
+// tracer actually probes.
+std::vector<Probe> build_workload(const topo::Internet& net,
+                                  std::uint64_t seed) {
+  std::vector<Probe> work;
+  net::Rng rng(seed);
+  const auto& routers = net.routers();
+  const auto& announced = net.announced();
+  const auto& ifaces = net.ifaces();
+  auto any_router = [&] {
+    return routers[rng.uniform(0, static_cast<std::uint32_t>(routers.size() -
+                                                             1))]
+        .id;
+  };
+  for (const auto& ap : announced) {
+    net::Ipv4Addr in_block(ap.prefix.network().value() + 1);
+    if (!ap.prefix.contains(in_block)) in_block = ap.prefix.network();
+    work.push_back({any_router(), in_block, 0});
+    work.push_back({any_router(), in_block, rng.uniform(1, 3)});
+  }
+  for (std::size_t i = 0; i < ifaces.size(); i += 7) {
+    work.push_back({any_router(), ifaces[i].addr, 0});
+  }
+  return work;
+}
+
+// One full FIB walk; appends an encoding of every hop to `trail` (for the
+// identity audit) and returns the number of next_hop calls made.
+std::size_t walk(const route::Fib& fib, const Probe& p,
+                 std::vector<std::uint64_t>* trail) {
+  const route::Fib::RouteQuery q = fib.query(p.dst);
+  net::RouterId r = p.start;
+  std::size_t calls = 0;
+  for (std::size_t hop = 0; hop < kMaxWalkHops; ++hop) {
+    auto next = fib.next_hop(r, q, p.salt);
+    ++calls;
+    if (!next.has_value()) {
+      if (trail) {
+        trail->push_back(fib.delivered_at(r, q) ? 0xD0D0D0D0ull
+                                                : 0xDEADull);
+      }
+      return calls;
+    }
+    if (trail) {
+      trail->push_back((std::uint64_t{next->router.value} << 32) |
+                       next->link.value);
+      trail->push_back((std::uint64_t{next->ingress.value} << 33) |
+                       (std::uint64_t{next->egress.value} << 1) |
+                       (next->crossed_interdomain ? 1 : 0));
+    }
+    r = next->router;
+  }
+  return calls;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_hotpath.json";
+  int repeat = 5;
+  unsigned threads = 8;
+  bool strict = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+      repeat = std::atoi(argv[++i]);
+      if (repeat < 1) repeat = 1;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<unsigned>(std::atoi(argv[++i]));
+      if (threads < 1) threads = 1;
+    } else if (std::strcmp(argv[i], "--strict") == 0) {
+      strict = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--out FILE] [--repeat N] [--threads N] "
+                   "[--strict]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  route::FibOptions no_cache;
+  no_cache.enable_caches = false;
+
+  // Two scenarios from the same seed: identical topologies, one with the
+  // fast path on and one recomputing every hop.
+  eval::Scenario cached(eval::small_access_config(42));
+  eval::Scenario uncached(eval::small_access_config(42), {}, no_cache);
+  std::printf("bench_hotpath: hardware_concurrency=%u, best of %d\n\n", hw,
+              repeat);
+
+  // --- 1. next_hop throughput over full walks ---
+  std::vector<Probe> work = build_workload(cached.net(), 0xb0d);
+  std::vector<std::uint64_t> trail_cached, trail_uncached;
+  std::size_t calls = 0;
+  for (const Probe& p : work) calls += walk(cached.fib(), p, &trail_cached);
+  for (const Probe& p : work) walk(uncached.fib(), p, &trail_uncached);
+  bool walks_identical = trail_cached == trail_uncached;
+
+  double t_cached = best_of(repeat, [&] {
+    for (const Probe& p : work) walk(cached.fib(), p, nullptr);
+  });
+  double t_uncached = best_of(repeat, [&] {
+    for (const Probe& p : work) walk(uncached.fib(), p, nullptr);
+  });
+  double mps_cached = static_cast<double>(calls) / t_cached / 1e6;
+  double mps_uncached = static_cast<double>(calls) / t_uncached / 1e6;
+  double hop_speedup = t_uncached / t_cached;
+  std::printf("next_hop: %zu walks, %zu calls\n", work.size(), calls);
+  std::printf("  cached   %.3f Mcalls/s (%.4fs)\n", mps_cached, t_cached);
+  std::printf("  uncached %.3f Mcalls/s (%.4fs)\n", mps_uncached, t_uncached);
+  std::printf("  speedup %.2fx, identical: %s\n\n", hop_speedup,
+              walks_identical ? "yes" : "NO");
+
+  // --- 2. end-to-end multi-VP pipeline ---
+  std::vector<topo::Vp> vps = cached.vps_in(cached.featured_access());
+  runtime::ThreadPool pool(threads);
+  runtime::MultiVpResult res_cached =
+      cached.run_bdrmap_parallel(vps, {}, 0x515, &pool);
+  runtime::MultiVpResult res_uncached =
+      uncached.run_bdrmap_parallel(vps, {}, 0x515, &pool);
+  bool e2e_identical = res_cached.per_vp.size() == res_uncached.per_vp.size();
+  for (std::size_t i = 0; e2e_identical && i < res_cached.per_vp.size(); ++i) {
+    e2e_identical =
+        eval::same_border_map(res_cached.per_vp[i], res_uncached.per_vp[i]);
+  }
+  double e2e_cached = best_of(repeat, [&] {
+    auto r = cached.run_bdrmap_parallel(vps, {}, 0x515, &pool);
+    (void)r;
+  });
+  double e2e_uncached = best_of(repeat, [&] {
+    auto r = uncached.run_bdrmap_parallel(vps, {}, 0x515, &pool);
+    (void)r;
+  });
+  double e2e_speedup = e2e_uncached / e2e_cached;
+  std::printf("end-to-end (%zu VPs, %u threads):\n", vps.size(), threads);
+  std::printf("  cached   %.3fs\n", e2e_cached);
+  std::printf("  uncached %.3fs\n", e2e_uncached);
+  std::printf("  speedup %.2fx, identical: %s\n\n", e2e_speedup,
+              e2e_identical ? "yes" : "NO");
+
+  // --- 3. emit JSON ---
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  out << "{\n";
+  out << "  \"bench\": \"hotpath\",\n";
+  out << "  \"scenario\": \"small_access\",\n";
+  out << "  \"hardware_concurrency\": " << hw << ",\n";
+  out << "  \"repeat\": " << repeat << ",\n";
+  out << "  \"next_hop\": {\n";
+  out << "    \"walks\": " << work.size() << ",\n";
+  out << "    \"calls\": " << calls << ",\n";
+  out << "    \"cached_mcalls_per_sec\": " << json_double(mps_cached) << ",\n";
+  out << "    \"uncached_mcalls_per_sec\": " << json_double(mps_uncached)
+      << ",\n";
+  out << "    \"speedup\": " << json_double(hop_speedup) << ",\n";
+  out << "    \"identical\": " << (walks_identical ? "true" : "false")
+      << "\n  },\n";
+  out << "  \"end_to_end\": {\n";
+  out << "    \"vps\": " << vps.size() << ",\n";
+  out << "    \"threads\": " << threads << ",\n";
+  out << "    \"cached_seconds\": " << json_double(e2e_cached) << ",\n";
+  out << "    \"uncached_seconds\": " << json_double(e2e_uncached) << ",\n";
+  out << "    \"speedup\": " << json_double(e2e_speedup) << ",\n";
+  out << "    \"identical\": " << (e2e_identical ? "true" : "false")
+      << "\n  }\n}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+
+  // Identity is non-negotiable; throughput targets gate only under
+  // --strict so shared-host noise cannot fail a smoke run.
+  if (!walks_identical || !e2e_identical) {
+    std::printf("FAIL: cached plane is not bit-identical to the baseline\n");
+    return 1;
+  }
+  bool fast_enough = hop_speedup >= 3.0 && e2e_speedup >= 1.5;
+  if (!fast_enough) {
+    std::printf("%s: speedup below target (next_hop %.2fx < 3.0x or "
+                "e2e %.2fx < 1.5x)\n",
+                strict ? "FAIL" : "WARN", hop_speedup, e2e_speedup);
+    if (strict) return 1;
+  }
+  return 0;
+}

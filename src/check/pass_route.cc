@@ -118,6 +118,9 @@ void audit_walk(const CheckContext& ctx, RouterId start, Ipv4Addr dst,
   if (auto di = net.iface_at(dst)) dst_router = net.iface(*di).router;
   std::string ent = start.str() + "->" + dst.str();
 
+  // One resolution for the whole audited walk (the same resolve-once
+  // discipline the tracer uses on the fast path).
+  const route::Fib::RouteQuery query = ctx.fib->query(dst);
   RouterId r = start;
   AsId cur_as = src_as;
   int phase = 0;
@@ -129,9 +132,9 @@ void audit_walk(const CheckContext& ctx, RouterId start, Ipv4Addr dst,
                           " hops without delivery");
       return;
     }
-    auto next = ctx.fib->next_hop(r, dst);
+    auto next = ctx.fib->next_hop(r, query);
     if (!next.has_value()) {
-      if (ctx.fib->delivered_at(r, dst)) return;  // clean delivery
+      if (ctx.fib->delivered_at(r, query)) return;  // clean delivery
       if (!expect_delivery) return;  // consistently unreachable
       // Selectively-announced prefixes may be legitimately unreachable from
       // ASes that cannot reach the chosen interconnects.

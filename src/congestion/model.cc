@@ -37,22 +37,22 @@ double CongestionModel::queue_delay_ms(topo::LinkId link, double hour) const {
 std::optional<double> CongestionModel::rtt_ms(const topo::Vp& vp,
                                               net::Ipv4Addr addr,
                                               double hour) {
-  // Forward-path walk (same rules as the tracer's reachability check).
+  // Forward-path walk (same rules as the tracer's reachability check);
+  // the destination is resolved once for the whole walk.
+  const route::Fib::RouteQuery q = fib_.query(addr);
   net::RouterId cur = vp.attach_router;
   double one_way = 0.0;
   bool entered_interdomain = false;
   for (int i = 0; i < 64; ++i) {
-    if (fib_.delivered_at(cur, addr)) {
+    if (fib_.delivered_at(cur, q)) {
       double noise = rng_.uniform_real(0.0, config_.noise_ms);
       return 2.0 * one_way + noise;
     }
     if (entered_interdomain &&
         net_.router(cur).behavior.firewall_edge) {
-      auto iface = net_.iface_at(addr);
-      bool own = iface && net_.iface(*iface).router == cur;
-      if (!own) return std::nullopt;
+      if (!fib_.addr_owned_by(cur, q)) return std::nullopt;
     }
-    auto hop = fib_.next_hop(cur, addr);
+    auto hop = fib_.next_hop(cur, q);
     if (!hop) return std::nullopt;
     one_way += config_.base_hop_ms;
     if (hop->crossed_interdomain) {

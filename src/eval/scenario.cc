@@ -3,10 +3,11 @@
 namespace bdrmap::eval {
 
 Scenario::Scenario(const topo::GeneratorConfig& config,
-                   const route::CollectorConfig& collector_config)
+                   const route::CollectorConfig& collector_config,
+                   const route::FibOptions& fib_options)
     : gen_(topo::generate(config)) {
   bgp_ = std::make_unique<route::BgpSimulator>(gen_.net);
-  fib_ = std::make_unique<route::Fib>(gen_.net, *bgp_);
+  fib_ = std::make_unique<route::Fib>(gen_.net, *bgp_, fib_options);
   collectors_ =
       std::make_unique<route::CollectorView>(gen_.net, *bgp_, collector_config);
   asdata::RelationshipInferenceConfig ric;

@@ -22,8 +22,12 @@ namespace bdrmap::eval {
 
 class Scenario {
  public:
+  // fib_options lets benchmarks and the golden bit-identity suite build a
+  // scenario whose forwarding plane recomputes every hop
+  // (enable_caches = false) as the fast-path baseline.
   explicit Scenario(const topo::GeneratorConfig& config,
-                    const route::CollectorConfig& collector_config = {});
+                    const route::CollectorConfig& collector_config = {},
+                    const route::FibOptions& fib_options = {});
 
   Scenario(const Scenario&) = delete;
   Scenario& operator=(const Scenario&) = delete;

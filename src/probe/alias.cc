@@ -13,7 +13,8 @@ std::optional<Ipv4Addr> AliasProber::udp_probe(Ipv4Addr addr) {
   if (rng_.chance(router.behavior.rate_limit_drop)) return std::nullopt;
   // The reply is transmitted from the interface toward the prober; if the
   // router cannot resolve a route back, it uses its canonical address.
-  if (auto out = fib_.egress_iface(owner, tracer_.vp().addr)) {
+  // The tracer memoizes this per-router lookup (the VP address is fixed).
+  if (auto out = tracer_.egress_iface_to_vp(owner)) {
     return net_.iface(*out).addr;
   }
   return net_.canonical_addr(owner);

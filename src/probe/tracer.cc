@@ -8,16 +8,30 @@ using net::RouterId;
 TracerouteEngine::TracerouteEngine(const topo::Internet& net,
                                    const route::Fib& fib, topo::Vp vp,
                                    std::uint64_t seed, TracerConfig config)
-    : net_(net), fib_(fib), vp_(vp), rng_(seed), config_(config) {}
+    : net_(net), fib_(fib), vp_(vp), rng_(seed), config_(config),
+      vp_query_(fib.query(vp.addr)) {}
 
-Ipv4Addr TracerouteEngine::reply_source(RouterId router, IfaceId ingress,
-                                        Ipv4Addr dst) const {
+std::optional<IfaceId> TracerouteEngine::egress_iface_to_vp(
+    RouterId router) const {
+  auto it = vp_egress_cache_.find(router.value);
+  if (it == vp_egress_cache_.end()) {
+    auto out = fib_.egress_iface(router, vp_query_);
+    it = vp_egress_cache_.emplace(router.value, out.value_or(IfaceId{}))
+             .first;
+  }
+  if (!it->second.valid()) return std::nullopt;
+  return it->second;
+}
+
+Ipv4Addr TracerouteEngine::reply_source(
+    RouterId router, IfaceId ingress,
+    const route::Fib::RouteQuery& dst_query) const {
   const auto& behavior = net_.router(router).behavior;
   switch (behavior.reply_addr) {
     case topo::ReplyAddrPolicy::kEgressToSrc: {
       // IETF-advised: source the reply from the interface transmitting it —
       // the origin of third-party addresses (§4 challenge 2).
-      if (auto out = fib_.egress_iface(router, vp_.addr)) {
+      if (auto out = egress_iface_to_vp(router)) {
         return net_.iface(*out).addr;
       }
       break;
@@ -25,7 +39,7 @@ Ipv4Addr TracerouteEngine::reply_source(RouterId router, IfaceId ingress,
     case topo::ReplyAddrPolicy::kVirtualRouter: {
       // The virtual router that would have forwarded the probe replies
       // with its own interface (§4 challenge 4).
-      if (auto out = fib_.egress_iface(router, dst)) {
+      if (auto out = fib_.egress_iface(router, dst_query)) {
         return net_.iface(*out).addr;
       }
       break;
@@ -55,6 +69,10 @@ TraceResult TracerouteEngine::trace(Ipv4Addr dst, const StopFn& stop) {
   TraceResult result;
   result.dst = dst;
 
+  // Resolve the destination once for the whole trace (DESIGN.md §9);
+  // every per-hop decision below reuses it.
+  const route::Fib::RouteQuery q = fib_.query(dst);
+
   // Walk the forward path once (Paris traceroute: one path per flow).
   struct PathNode {
     RouterId router;
@@ -72,10 +90,9 @@ TraceResult TracerouteEngine::trace(Ipv4Addr dst, const StopFn& stop) {
     bool entered_interdomain = false;
     for (int i = 0; i < limit; ++i) {
       PathNode node{cur, ingress, false, false, false};
-      node.is_delivery = fib_.delivered_at(cur, dst);
+      node.is_delivery = fib_.delivered_at(cur, q);
       if (node.is_delivery) {
-        auto iface = net_.iface_at(dst);
-        node.dst_is_own_addr = iface && net_.iface(*iface).router == cur;
+        node.dst_is_own_addr = fib_.addr_owned_by(cur, q);
       }
       // Enterprise edge filtering: the border answers for itself but drops
       // probes transiting into the network — including to hosts behind it —
@@ -85,7 +102,7 @@ TraceResult TracerouteEngine::trace(Ipv4Addr dst, const StopFn& stop) {
                         !node.dst_is_own_addr;
       out.push_back(node);
       if (node.is_delivery || node.firewalled) break;
-      auto hop = fib_.next_hop(cur, dst, flow_salt);
+      auto hop = fib_.next_hop(cur, q, flow_salt);
       if (!hop) break;  // no route
       entered_interdomain = hop->crossed_interdomain;
       cur = hop->router;
@@ -144,7 +161,7 @@ TraceResult TracerouteEngine::trace(Ipv4Addr dst, const StopFn& stop) {
       // reaches the end host, which may answer.
       if (router.behavior.sends_ttl_expired &&
           !rng_.chance(router.behavior.rate_limit_drop)) {
-        hop.addr = reply_source(node.router, node.ingress, dst);
+        hop.addr = reply_source(node.router, node.ingress, q);
         hop.kind = ReplyKind::kTimeExceeded;
       }
       ++probes_sent_;  // the extra host-directed probe
@@ -168,7 +185,7 @@ TraceResult TracerouteEngine::trace(Ipv4Addr dst, const StopFn& stop) {
     // Intermediate hop: ICMP time exceeded, maybe.
     if (router.behavior.sends_ttl_expired &&
         !rng_.chance(router.behavior.rate_limit_drop)) {
-      hop.addr = reply_source(node.router, node.ingress, dst);
+      hop.addr = reply_source(node.router, node.ingress, q);
       hop.kind = ReplyKind::kTimeExceeded;
     }
     result.hops.push_back(hop);
@@ -189,15 +206,15 @@ TraceResult TracerouteEngine::trace(Ipv4Addr dst, const StopFn& stop) {
 bool TracerouteEngine::reaches(RouterId router, Ipv4Addr probe_dst) const {
   // Walks the forward path checking the probe is actually delivered to
   // `router` (firewalls and routing failures make addresses unreachable).
+  const route::Fib::RouteQuery q = fib_.query(probe_dst);
   RouterId cur = vp_.attach_router;
   bool entered_interdomain = false;
   for (int i = 0; i < config_.max_ttl; ++i) {
-    if (fib_.delivered_at(cur, probe_dst)) {
+    if (fib_.delivered_at(cur, q)) {
       if (cur != router) return false;
       // Edge filters still permit traffic to the router's own addresses,
       // but not to hosts behind it.
-      auto iface = net_.iface_at(probe_dst);
-      bool own_addr = iface && net_.iface(*iface).router == cur;
+      bool own_addr = fib_.addr_owned_by(cur, q);
       if (entered_interdomain && net_.router(cur).behavior.firewall_edge &&
           !own_addr) {
         return false;
@@ -207,7 +224,7 @@ bool TracerouteEngine::reaches(RouterId router, Ipv4Addr probe_dst) const {
     if (entered_interdomain && net_.router(cur).behavior.firewall_edge) {
       return false;
     }
-    auto hop = fib_.next_hop(cur, probe_dst);
+    auto hop = fib_.next_hop(cur, q);
     if (!hop) return false;
     entered_interdomain = hop->crossed_interdomain;
     cur = hop->router;
@@ -239,6 +256,7 @@ std::optional<bool> TracerouteEngine::timestamp_probe(Ipv4Addr path_dst,
   // Walk the forward path; the candidate stamps iff it is the ingress
   // interface of some hop (the semantics [26] exploits: a router stamps
   // with the address of the interface the packet arrived on).
+  const route::Fib::RouteQuery q = fib_.query(path_dst);
   RouterId cur = vp_.attach_router;
   IfaceId ingress;
   bool entered_interdomain = false;
@@ -248,14 +266,14 @@ std::optional<bool> TracerouteEngine::timestamp_probe(Ipv4Addr path_dst,
     if (ingress.valid() && net_.iface(ingress).addr == candidate) {
       stamped = true;
     }
-    if (fib_.delivered_at(cur, path_dst)) {
+    if (fib_.delivered_at(cur, q)) {
       delivered = true;
       break;
     }
     if (entered_interdomain && net_.router(cur).behavior.firewall_edge) {
       break;
     }
-    auto hop = fib_.next_hop(cur, path_dst);
+    auto hop = fib_.next_hop(cur, q);
     if (!hop) break;
     entered_interdomain = hop->crossed_interdomain;
     cur = hop->router;

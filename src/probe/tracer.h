@@ -57,13 +57,18 @@ class TracerouteEngine {
   // candidate's router ignores the option or the probe was lost).
   std::optional<bool> timestamp_probe(Ipv4Addr path_dst, Ipv4Addr candidate);
 
+  // The interface `router` transmits packets toward this VP from.
+  // Memoized: the kEgressToSrc reply policy and Mercator UDP probing ask
+  // this for the same routers over and over with a fixed VP address.
+  std::optional<net::IfaceId> egress_iface_to_vp(net::RouterId router) const;
+
   std::uint64_t probes_sent() const { return probes_sent_; }
   const topo::Vp& vp() const { return vp_; }
 
  private:
   // The reply source address a router uses for a time-exceeded message.
   Ipv4Addr reply_source(net::RouterId router, net::IfaceId ingress,
-                        Ipv4Addr dst) const;
+                        const route::Fib::RouteQuery& dst_query) const;
   bool reaches(net::RouterId router, Ipv4Addr probe_dst) const;
 
   const topo::Internet& net_;
@@ -72,7 +77,11 @@ class TracerouteEngine {
   net::Rng rng_;
   TracerConfig config_;
   std::uint64_t probes_sent_ = 0;
+  // The VP's own address resolved once for the engine's lifetime.
+  route::Fib::RouteQuery vp_query_;
   mutable std::unordered_map<std::uint32_t, bool> reach_cache_;
+  // router -> egress interface toward the VP (invalid == no egress).
+  mutable std::unordered_map<std::uint32_t, net::IfaceId> vp_egress_cache_;
 };
 
 }  // namespace bdrmap::probe

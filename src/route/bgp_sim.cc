@@ -9,6 +9,8 @@
 
 namespace bdrmap::route {
 
+const BgpSimulator::TierSet BgpSimulator::kNoTiers;
+
 BgpSimulator::BgpSimulator(const topo::Internet& net) : net_(net) {
   for (const auto& info : net.ases()) {
     as_index_.emplace(info.id, as_ids_.size());
@@ -110,9 +112,30 @@ RouteInfo BgpSimulator::route(AsId src, AsId dst) const {
 
 std::vector<std::vector<AsId>> BgpSimulator::candidate_tiers(AsId src,
                                                              AsId dst) const {
-  std::vector<std::vector<AsId>> tiers;
+  return compute_tiers(src, dst).tiers;
+}
+
+const BgpSimulator::TierSet& BgpSimulator::tiers(AsId src, AsId dst) const {
+  if (!as_index_.count(src) || !as_index_.count(dst)) return kNoTiers;
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(index(src)) << 32) |
+      static_cast<std::uint64_t>(index(dst));
+  {
+    std::shared_lock<std::shared_mutex> lk(tiers_mu_);
+    auto it = tiers_.find(key);
+    if (it != tiers_.end()) return *it->second;
+  }
+  auto t = std::make_unique<TierSet>(compute_tiers(src, dst));
+  std::unique_lock<std::shared_mutex> lk(tiers_mu_);
+  auto it = tiers_.emplace(key, std::move(t)).first;
+  return *it->second;
+}
+
+BgpSimulator::TierSet BgpSimulator::compute_tiers(AsId src, AsId dst) const {
+  TierSet set;
+  auto& tiers = set.tiers;
   if (!as_index_.count(src) || !as_index_.count(dst) || src == dst) {
-    return tiers;
+    return set;
   }
   const auto& rels = net_.truth_relationships();
   const PerDst& t = table(dst);
@@ -154,7 +177,7 @@ std::vector<std::vector<AsId>> BgpSimulator::candidate_tiers(AsId src,
     std::sort(tier.begin(), tier.end());
     if (!tier.empty()) tiers.push_back(std::move(tier));
   }
-  return tiers;
+  return set;
 }
 
 std::vector<AsId> BgpSimulator::as_path(AsId src, AsId dst) const {
@@ -186,9 +209,9 @@ std::vector<AsId> BgpSimulator::as_path(AsId src, AsId dst) const {
       }
       if (!found) return {};
     } else {
-      auto tiers = candidate_tiers(cur, dst);
-      if (tiers.empty()) return {};
-      next = tiers.front().front();
+      const auto& cand = tiers(cur, dst).tiers;
+      if (cand.empty()) return {};
+      next = cand.front().front();
       // Crossing into a peer or customer flips us to descend-only mode.
       auto rel = rels.rel(cur, next);
       if (rel != asdata::Relationship::kProvider) downhill = true;

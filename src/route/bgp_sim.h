@@ -49,7 +49,20 @@ class BgpSimulator {
   // length within that class), followed by the remaining classes in
   // preference order. Routers fall back to a later tier only when
   // per-prefix announcement filtering empties an earlier one.
+  //
+  // Computes fresh on every call (the pre-fast-path behaviour, kept as
+  // the cache-disabled baseline); hot paths use tiers() below.
   std::vector<std::vector<AsId>> candidate_tiers(AsId src, AsId dst) const;
+
+  // Memoized candidate tiers for one (src, dst) AS pair. Each tier is
+  // sorted ascending (membership checks can binary-search). The returned
+  // reference is stable for the simulator's lifetime; fills are pure
+  // functions of the immutable relationship graph, so first-writer-wins
+  // insertion under tiers_mu_ is value-deterministic at any thread count.
+  struct TierSet {
+    std::vector<std::vector<AsId>> tiers;
+  };
+  const TierSet& tiers(AsId src, AsId dst) const;
 
   // The deterministic best AS path from `src` to `dst` using lowest-AS
   // tie-breaking — what a route collector peering with `src` records.
@@ -72,6 +85,7 @@ class BgpSimulator {
   };
 
   const PerDst& table(AsId dst) const;
+  TierSet compute_tiers(AsId src, AsId dst) const;
   std::size_t index(AsId as) const { return as_index_.at(as); }
 
   const topo::Internet& net_;
@@ -85,6 +99,12 @@ class BgpSimulator {
   // interleaving.
   mutable std::shared_mutex cache_mu_;
   mutable std::unordered_map<AsId, std::unique_ptr<PerDst>> cache_;
+  // Candidate-tier cache keyed by packed dense (src, dst) indices. Same
+  // locking and purity discipline as cache_ above; referenced entries live
+  // behind unique_ptr so they survive rehashes.
+  mutable std::shared_mutex tiers_mu_;
+  mutable std::unordered_map<std::uint64_t, std::unique_ptr<TierSet>> tiers_;
+  static const TierSet kNoTiers;
 };
 
 }  // namespace bdrmap::route

@@ -15,61 +15,45 @@ namespace {
 
 constexpr double kInfDist = std::numeric_limits<double>::infinity();
 
-// How a destination address is delivered.
-struct Resolved {
-  bool ok = false;
-  AsId dst_as;                 // AS-level routing target
-  RouterId target;             // delivery router inside dst_as
-  RouterId final_router;       // router that ultimately owns the address
-  LinkId cross_link;           // link to cross from target to final_router
-  const topo::AnnouncedPrefix* ap = nullptr;
-  const std::vector<LinkId>* pinned = nullptr;
-};
-
-Resolved resolve(const topo::Internet& net, Ipv4Addr dst) {
-  Resolved r;
-  if (auto iface_id = net.iface_at(dst)) {
-    const auto& iface = net.iface(*iface_id);
-    const auto& link = net.link(iface.link);
-    RouterId t = iface.router;
-    AsId owner = net.router(t).owner;
-    r.ok = true;
-    r.final_router = t;
-    if (link.kind == topo::LinkKind::kInterdomain &&
-        link.addr_space_owner != owner) {
-      // Provider-assigned p2p address on the far side: packets route toward
-      // the supplier's AS, whose router on the subnet delivers across the
-      // link (this is why far-side link addresses are reachable at all).
-      for (net::IfaceId other : link.ifaces) {
-        const auto& oi = net.iface(other);
-        if (net.router(oi.router).owner == link.addr_space_owner) {
-          r.dst_as = link.addr_space_owner;
-          r.target = oi.router;
-          r.cross_link = link.id;
-          return r;
-        }
-      }
-    }
-    r.dst_as = owner;
-    r.target = t;
-    return r;
-  }
-  if (const auto* ap = net.announced_match(dst)) {
-    r.ok = true;
-    r.dst_as = ap->origin;
-    r.target = ap->host_router;
-    r.final_router = ap->host_router;
-    r.ap = ap;
-    if (!ap->only_via_links.empty()) r.pinned = &ap->only_via_links;
-    return r;
-  }
-  return r;
+// Flow-stable tie break for equal-cost egresses (per-destination ECMP).
+inline std::uint64_t flow_rank(Ipv4Addr dst, LinkId link) {
+  std::uint64_t x = (std::uint64_t{dst.value()} << 32) | link.value;
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 29;
+  return x;
 }
 
 }  // namespace
 
-Fib::Fib(const topo::Internet& net, const BgpSimulator& bgp)
-    : net_(net), bgp_(bgp) {
+std::size_t Fib::EgressKeyHash::operator()(const EgressKey& k) const noexcept {
+  std::uint64_t h = (std::uint64_t{k.router} << 32) ^ k.dst_as;
+  h ^= reinterpret_cast<std::uintptr_t>(k.pinned) * 0x9e3779b97f4a7c15ULL;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 29;
+  return static_cast<std::size_t>(h);
+}
+
+Fib::Fib(const topo::Internet& net, const BgpSimulator& bgp,
+         FibOptions options)
+    : net_(net), bgp_(bgp), options_(options) {
+  const auto& ases = net.ases();
+  as_dense_.reserve(ases.size());
+  router_as_dense_.assign(net.routers().size(), kNoIndex);
+  router_local_.assign(net.routers().size(), kNoIndex);
+  for (std::uint32_t d = 0; d < ases.size(); ++d) {
+    as_dense_.emplace(ases[d].id, d);
+    const auto& routers = ases[d].routers;
+    for (std::uint32_t i = 0; i < routers.size(); ++i) {
+      router_as_dense_[routers[i].value] = d;
+      router_local_[routers[i].value] = i;
+    }
+  }
+  routing_.resize(ases.size());
+  sessions_.resize(ases.size());
+  sessions_by_far_.resize(ases.size());
+
   for (const auto& info : net.interdomain_links()) {
     const auto& link = net.link(info.link);
     auto iface_of = [&](RouterId r) {
@@ -82,33 +66,96 @@ Fib::Fib(const topo::Internet& net, const BgpSimulator& bgp)
     IfaceId ib = iface_of(info.router_b);
     BDRMAP_EXPECTS(ia.valid() && ib.valid(),
                    "interdomain link must terminate on both end routers");
-    sessions_[info.as_a].push_back({info.link, info.router_a, info.router_b,
-                                    ia, ib, info.as_a, info.as_b,
-                                    info.via_ixp});
-    sessions_[info.as_b].push_back({info.link, info.router_b, info.router_a,
-                                    ib, ia, info.as_b, info.as_a,
-                                    info.via_ixp});
+    std::uint32_t da = as_dense_.at(info.as_a);
+    std::uint32_t db = as_dense_.at(info.as_b);
+    sessions_[da].push_back({info.link, info.router_a, info.router_b,
+                             ia, ib, info.as_a, info.as_b, info.via_ixp});
+    sessions_[db].push_back({info.link, info.router_b, info.router_a,
+                             ib, ia, info.as_b, info.as_a, info.via_ixp});
+  }
+  for (std::uint32_t d = 0; d < sessions_.size(); ++d) {
+    const auto& list = sessions_[d];
+    for (std::uint32_t i = 0; i < list.size(); ++i) {
+      sessions_by_far_[d][list[i].far_as].push_back(i);
+    }
   }
 }
 
 const std::vector<Session>& Fib::sessions_of(AsId as) const {
-  auto it = sessions_.find(as);
-  return it == sessions_.end() ? kNoSessions : it->second;
+  auto it = as_dense_.find(as);
+  return it == as_dense_.end() ? kNoSessions : sessions_[it->second];
 }
 
-const Fib::AsRouting& Fib::routing_for(AsId as) const {
+AsId Fib::owner_of(RouterId r) const {
+  if (r.value < router_as_dense_.size() &&
+      router_as_dense_[r.value] != kNoIndex) {
+    return net_.ases()[router_as_dense_[r.value]].id;
+  }
+  return net_.router(r).owner;
+}
+
+Fib::RouteQuery::Resolved Fib::resolve(Ipv4Addr dst) const {
+  RouteQuery::Resolved r;
+  if (auto iface_id = net_.iface_at(dst)) {
+    const auto& iface = net_.iface(*iface_id);
+    const auto& link = net_.link(iface.link);
+    RouterId t = iface.router;
+    AsId owner = owner_of(t);
+    r.ok = true;
+    r.is_iface_addr = true;
+    r.final_router = t;
+    if (link.kind == topo::LinkKind::kInterdomain &&
+        link.addr_space_owner != owner) {
+      // Provider-assigned p2p address on the far side: packets route toward
+      // the supplier's AS, whose router on the subnet delivers across the
+      // link (this is why far-side link addresses are reachable at all).
+      for (net::IfaceId other : link.ifaces) {
+        const auto& oi = net_.iface(other);
+        if (owner_of(oi.router) == link.addr_space_owner) {
+          r.dst_as = link.addr_space_owner;
+          r.target = oi.router;
+          r.cross_link = link.id;
+          r.cross_egress = other;
+          return r;
+        }
+      }
+    }
+    r.dst_as = owner;
+    r.target = t;
+    return r;
+  }
+  if (const auto* ap = net_.announced_match(dst)) {
+    r.ok = true;
+    r.dst_as = ap->origin;
+    r.target = ap->host_router;
+    r.final_router = ap->host_router;
+    r.ap = ap;
+    if (!ap->only_via_links.empty()) r.pinned = &ap->only_via_links;
+    return r;
+  }
+  return r;
+}
+
+Fib::RouteQuery Fib::query(Ipv4Addr dst) const {
+  RouteQuery q;
+  q.dst_ = dst;
+  if (options_.enable_caches) {
+    q.res_ = resolve(dst);
+    q.pre_resolved_ = true;
+  }
+  return q;
+}
+
+const Fib::AsRouting& Fib::routing_for(std::uint32_t as_dense) const {
   {
     std::shared_lock<std::shared_mutex> lk(routing_mu_);
-    auto it = routing_.find(as);
-    if (it != routing_.end()) return *it->second;
+    if (routing_[as_dense]) return *routing_[as_dense];
   }
 
+  const AsId as = net_.ases()[as_dense].id;
   auto r = std::make_unique<AsRouting>();
   r->routers = net_.as_info(as).routers;
   const std::size_t n = r->routers.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    r->router_index.emplace(r->routers[i].value, i);
-  }
   r->dist.assign(n * n, kInfDist);
   r->next_iface.assign(n * n, IfaceId{});
   r->alt_iface.assign(n * n, IfaceId{});
@@ -127,11 +174,14 @@ const Fib::AsRouting& Fib::routing_for(AsId as) const {
     }
     const auto& i0 = net_.iface(link.ifaces[0]);
     const auto& i1 = net_.iface(link.ifaces[1]);
-    auto a = r->router_index.find(i0.router.value);
-    auto b = r->router_index.find(i1.router.value);
-    if (a == r->router_index.end() || b == r->router_index.end()) continue;
-    adj[a->second].push_back({b->second, link.igp_cost, i0.id, i1.id});
-    adj[b->second].push_back({a->second, link.igp_cost, i1.id, i0.id});
+    if (router_as_dense_[i0.router.value] != as_dense ||
+        router_as_dense_[i1.router.value] != as_dense) {
+      continue;
+    }
+    std::uint32_t a = router_local_[i0.router.value];
+    std::uint32_t b = router_local_[i1.router.value];
+    adj[a].push_back({b, link.igp_cost, i0.id, i1.id});
+    adj[b].push_back({a, link.igp_cost, i1.id, i0.id});
   }
 
   // Dijkstra from every router (intra-AS topologies are small).
@@ -167,38 +217,40 @@ const Fib::AsRouting& Fib::routing_for(AsId as) const {
 
   // Pure computation: racing fills for the same AS produced identical
   // tables, so first writer wins and the duplicate is discarded. The
-  // returned reference survives rehashes (unique_ptr indirection).
+  // returned reference survives because the slot vector never resizes.
   std::unique_lock<std::shared_mutex> lk(routing_mu_);
-  auto it = routing_.emplace(as, std::move(r)).first;
-  return *it->second;
+  if (!routing_[as_dense]) routing_[as_dense] = std::move(r);
+  return *routing_[as_dense];
 }
 
 double Fib::igp_distance(RouterId a, RouterId b) const {
   if (a == b) return 0.0;
-  AsId as_a = net_.router(a).owner;
-  if (as_a != net_.router(b).owner) return kInfDist;
-  const AsRouting& r = routing_for(as_a);
-  auto ia = r.router_index.find(a.value);
-  auto ib = r.router_index.find(b.value);
-  if (ia == r.router_index.end() || ib == r.router_index.end()) {
+  if (a.value >= router_as_dense_.size() ||
+      b.value >= router_as_dense_.size()) {
     return kInfDist;
   }
-  return r.dist[ia->second * r.routers.size() + ib->second];
+  std::uint32_t da = router_as_dense_[a.value];
+  if (da == kNoIndex || da != router_as_dense_[b.value]) return kInfDist;
+  std::uint32_t ia = router_local_[a.value];
+  std::uint32_t ib = router_local_[b.value];
+  const AsRouting& rt = routing_for(da);
+  return rt.dist[ia * rt.routers.size() + ib];
 }
 
 std::optional<Fib::Hop> Fib::internal_step(RouterId r, RouterId target,
                                            Ipv4Addr dst,
                                            std::uint32_t flow_salt) const {
-  AsId as = net_.router(r).owner;
-  const AsRouting& rt = routing_for(as);
-  auto ir = rt.router_index.find(r.value);
-  auto it = rt.router_index.find(target.value);
-  if (ir == rt.router_index.end() || it == rt.router_index.end()) {
+  std::uint32_t as_dense = router_as_dense_[r.value];
+  if (as_dense == kNoIndex ||
+      router_as_dense_[target.value] != as_dense) {
     return std::nullopt;
   }
+  const AsRouting& rt = routing_for(as_dense);
+  std::uint32_t ir = router_local_[r.value];
+  std::uint32_t it = router_local_[target.value];
   std::size_t n = rt.routers.size();
-  IfaceId out = rt.next_iface[ir->second * n + it->second];
-  IfaceId alt = rt.alt_iface[ir->second * n + it->second];
+  IfaceId out = rt.next_iface[ir * n + it];
+  IfaceId alt = rt.alt_iface[ir * n + it];
   if (alt.valid()) {
     // ECMP: hash the flow (destination + salt). Salt 0 == Paris (stable
     // per destination); per-probe salts flap between the two paths.
@@ -213,29 +265,22 @@ std::optional<Fib::Hop> Fib::internal_step(RouterId r, RouterId target,
   const auto& iface = net_.iface(out);
   IfaceId in = net_.p2p_other_end(out);
   if (!in.valid()) return std::nullopt;
-  return Hop{net_.iface(in).router, in, iface.link, false};
+  return Hop{net_.iface(in).router, in, out, iface.link, false};
 }
 
-const Session* Fib::choose_egress(RouterId r, AsId as, AsId dst_as,
-                                  Ipv4Addr dst,
-                                  const std::vector<LinkId>* pinned) const {
+const Session* Fib::choose_egress_uncached(
+    RouterId r, AsId as, AsId dst_as, Ipv4Addr dst,
+    const std::vector<LinkId>* pinned) const {
   const auto& sessions = sessions_of(as);
   if (sessions.empty()) return nullptr;
-  // Flow-stable tie break for equal-cost egresses (per-destination ECMP).
-  auto flow_rank = [&](const Session& s) {
-    std::uint64_t x = (std::uint64_t{dst.value()} << 32) | s.link.value;
-    x ^= x >> 33;
-    x *= 0xff51afd7ed558ccdULL;
-    x ^= x >> 29;
-    return x;
-  };
   auto tiers = bgp_.candidate_tiers(as, dst_as);
   for (const auto& tier : tiers) {
     const Session* best = nullptr;
     double best_dist = kInfDist;
     std::uint64_t best_rank = 0;
     for (const Session& s : sessions) {
-      if (std::find(tier.begin(), tier.end(), s.far_as) == tier.end()) {
+      // Tiers come out of candidate_tiers sorted ascending.
+      if (!std::binary_search(tier.begin(), tier.end(), s.far_as)) {
         continue;
       }
       // Selective-announcement filter at sessions adjacent to the origin.
@@ -245,7 +290,7 @@ const Session* Fib::choose_egress(RouterId r, AsId as, AsId dst_as,
       }
       double d = igp_distance(r, s.near_router);
       if (d == kInfDist) continue;
-      std::uint64_t rank = flow_rank(s);
+      std::uint64_t rank = flow_rank(dst, s.link);
       if (!best || d < best_dist || (d == best_dist && rank < best_rank)) {
         best = &s;
         best_dist = d;
@@ -257,15 +302,69 @@ const Session* Fib::choose_egress(RouterId r, AsId as, AsId dst_as,
   return nullptr;
 }
 
-std::optional<Fib::Hop> Fib::next_hop(RouterId r, Ipv4Addr dst,
-                                      std::uint32_t flow_salt) const {
-  Resolved res = resolve(net_, dst);
+const Fib::EgressEntry& Fib::egress_entry(
+    RouterId r, AsId dst_as, const std::vector<LinkId>* pinned) const {
+  const EgressKey key{r.value, dst_as.value,
+                      static_cast<const void*>(pinned)};
+  {
+    std::shared_lock<std::shared_mutex> lk(egress_mu_);
+    auto it = egress_.find(key);
+    if (it != egress_.end()) return *it->second;
+  }
+
+  // Fill: first satisfiable tier, sessions tied at minimal IGP distance
+  // from r, in session order — the same winners the uncached scan finds,
+  // minus the per-destination rank that next_hop applies at lookup time.
+  auto entry = std::make_unique<EgressEntry>();
+  const AsId as = owner_of(r);
+  const std::uint32_t as_dense = as_dense_.at(as);
+  const auto& sessions = sessions_[as_dense];
+  const auto& by_far = sessions_by_far_[as_dense];
+  if (!sessions.empty()) {
+    std::vector<std::uint32_t> candidates;
+    for (const auto& tier : bgp_.tiers(as, dst_as).tiers) {
+      candidates.clear();
+      for (AsId far : tier) {
+        auto it = by_far.find(far);
+        if (it == by_far.end()) continue;
+        candidates.insert(candidates.end(), it->second.begin(),
+                          it->second.end());
+      }
+      std::sort(candidates.begin(), candidates.end());
+      double best_dist = kInfDist;
+      for (std::uint32_t idx : candidates) {
+        const Session& s = sessions[idx];
+        if (pinned && s.far_as == dst_as &&
+            std::find(pinned->begin(), pinned->end(), s.link) ==
+                pinned->end()) {
+          continue;
+        }
+        double d = igp_distance(r, s.near_router);
+        if (d == kInfDist) continue;
+        if (d < best_dist) {
+          best_dist = d;
+          entry->tied.clear();
+        }
+        if (d == best_dist) entry->tied.push_back(&s);
+      }
+      if (!entry->tied.empty()) break;  // tier satisfied
+    }
+  }
+
+  // Pure function of the immutable topology: first writer wins.
+  std::unique_lock<std::shared_mutex> lk(egress_mu_);
+  auto it = egress_.emplace(key, std::move(entry)).first;
+  return *it->second;
+}
+
+std::optional<Fib::Hop> Fib::next_hop_resolved(
+    RouterId r, const RouteQuery::Resolved& res, Ipv4Addr dst,
+    std::uint32_t flow_salt) const {
   if (!res.ok) return std::nullopt;
-  AsId x = net_.router(r).owner;
+  AsId x = owner_of(r);
 
   // Already inside the AS that ultimately owns the address.
-  if (res.final_router.valid() &&
-      net_.router(res.final_router).owner == x) {
+  if (res.final_router.valid() && owner_of(res.final_router) == x) {
     if (r == res.final_router) return std::nullopt;  // delivered
     return internal_step(r, res.final_router, dst, flow_salt);
   }
@@ -278,7 +377,7 @@ std::optional<Fib::Hop> Fib::next_hop(RouterId r, Ipv4Addr dst,
         for (IfaceId i : link.ifaces) {
           const auto& iface = net_.iface(i);
           if (iface.router == res.final_router) {
-            return Hop{iface.router, i, link.id, true};
+            return Hop{iface.router, i, res.cross_egress, link.id, true};
           }
         }
         return std::nullopt;
@@ -289,31 +388,80 @@ std::optional<Fib::Hop> Fib::next_hop(RouterId r, Ipv4Addr dst,
   }
 
   // Interdomain: pick an egress session by preference tier + hot potato.
-  const Session* egress = choose_egress(r, x, res.dst_as, dst, res.pinned);
+  const Session* egress = nullptr;
+  if (options_.enable_caches) {
+    const EgressEntry& e = egress_entry(r, res.dst_as, res.pinned);
+    if (!e.tied.empty()) {
+      egress = e.tied.front();
+      if (e.tied.size() > 1) {
+        std::uint64_t best_rank = flow_rank(dst, egress->link);
+        for (std::size_t i = 1; i < e.tied.size(); ++i) {
+          std::uint64_t rank = flow_rank(dst, e.tied[i]->link);
+          if (rank < best_rank) {
+            egress = e.tied[i];
+            best_rank = rank;
+          }
+        }
+      }
+    }
+  } else {
+    egress = choose_egress_uncached(r, x, res.dst_as, dst, res.pinned);
+  }
   if (!egress) return std::nullopt;
   BDRMAP_ASSERT(egress->near_as == x,
                 "chosen egress session must belong to the forwarding AS");
   if (egress->near_router == r) {
-    return Hop{egress->far_router, egress->far_iface, egress->link, true};
+    return Hop{egress->far_router, egress->far_iface, egress->near_iface,
+               egress->link, true};
   }
   return internal_step(r, egress->near_router, dst, flow_salt);
 }
 
-bool Fib::delivered_at(RouterId r, Ipv4Addr dst) const {
-  Resolved res = resolve(net_, dst);
+std::optional<Fib::Hop> Fib::next_hop(RouterId r, const RouteQuery& q,
+                                      std::uint32_t flow_salt) const {
+  if (q.pre_resolved_) {
+    return next_hop_resolved(r, q.res_, q.dst_, flow_salt);
+  }
+  return next_hop_resolved(r, resolve(q.dst_), q.dst_, flow_salt);
+}
+
+std::optional<Fib::Hop> Fib::next_hop(RouterId r, Ipv4Addr dst,
+                                      std::uint32_t flow_salt) const {
+  return next_hop_resolved(r, resolve(dst), dst, flow_salt);
+}
+
+bool Fib::delivered_at(RouterId r, const RouteQuery& q) const {
+  if (!q.pre_resolved_) return delivered_at(r, q.dst_);
+  const RouteQuery::Resolved& res = q.res_;
   if (!res.ok) return false;
-  if (net_.iface_at(dst)) return r == res.final_router;
+  if (res.is_iface_addr) return r == res.final_router;
+  return r == res.target && res.ap && res.ap->prefix.contains(q.dst_);
+}
+
+bool Fib::delivered_at(RouterId r, Ipv4Addr dst) const {
+  RouteQuery::Resolved res = resolve(dst);
+  if (!res.ok) return false;
+  if (res.is_iface_addr) return r == res.final_router;
   return r == res.target && res.ap && res.ap->prefix.contains(dst);
 }
 
-std::optional<IfaceId> Fib::egress_iface(RouterId r, Ipv4Addr dst) const {
-  auto hop = next_hop(r, dst);
-  if (!hop) return std::nullopt;
-  const auto& link = net_.link(hop->link);
-  for (IfaceId i : link.ifaces) {
-    if (net_.iface(i).router == r) return i;
+bool Fib::addr_owned_by(RouterId r, const RouteQuery& q) const {
+  if (q.pre_resolved_) {
+    return q.res_.is_iface_addr && q.res_.final_router == r;
   }
-  return std::nullopt;
+  auto iface = net_.iface_at(q.dst_);
+  return iface && net_.iface(*iface).router == r;
+}
+
+std::optional<IfaceId> Fib::egress_iface(RouterId r,
+                                         const RouteQuery& q) const {
+  auto hop = next_hop(r, q);
+  if (!hop || !hop->egress.valid()) return std::nullopt;
+  return hop->egress;
+}
+
+std::optional<IfaceId> Fib::egress_iface(RouterId r, Ipv4Addr dst) const {
+  return egress_iface(r, query(dst));
 }
 
 }  // namespace bdrmap::route

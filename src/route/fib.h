@@ -10,9 +10,26 @@
 // Per-prefix selective announcement (AnnouncedPrefix::only_via_links) is
 // honored at sessions adjacent to the origin AS, modelling the Akamai-style
 // policy of announcing certain prefixes only at specific interconnects.
+//
+// Fast path (DESIGN.md §9): next_hop is the system's inner loop — every
+// hop of every simulated probe goes through it. Three mechanisms keep it
+// cheap while staying bit-identical to the naive per-hop recomputation:
+//  * RouteQuery — the destination is resolved (interface lookup, announced
+//    prefix match, delivery target) once per trace, not once per hop;
+//  * memoized decision caches — per-(router, dst_as, pinned) egress
+//    session sets and per-(src, dst) candidate tiers (bgp_sim.h), filled
+//    lazily under shared_mutex with first-writer-wins discipline (fills
+//    are pure functions of the immutable topology, so results are
+//    independent of thread interleaving — the MultiVpExecutor contract);
+//  * dense indexing — routers and ASes are addressed by flat arrays
+//    instead of hash probes on the IGP path.
+// FibOptions::enable_caches turns all of it off, restoring the per-hop
+// recomputation as the measured baseline for bench_hotpath and the golden
+// bit-identity suite (tests/route_fastpath_test.cc).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <shared_mutex>
 #include <unordered_map>
@@ -43,16 +60,55 @@ struct Session {
   bool via_ixp = false;
 };
 
+// Fast-path tuning. enable_caches is the master switch for the memoized
+// decision caches and the resolve-once RouteQuery path; disabling it
+// restores hop-by-hop recomputation (the pre-fast-path behaviour) for
+// baseline measurement and bit-identity auditing.
+struct FibOptions {
+  bool enable_caches = true;
+};
+
 class Fib {
  public:
-  Fib(const topo::Internet& net, const BgpSimulator& bgp);
+  explicit Fib(const topo::Internet& net, const BgpSimulator& bgp,
+               FibOptions options = {});
 
   struct Hop {
     RouterId router;  // the next router the packet arrives at
     IfaceId ingress;  // the interface it arrives on
+    IfaceId egress;   // the interface the current router transmits from
     LinkId link;
     bool crossed_interdomain = false;
   };
+
+  // A destination resolved once per trace. Obtain one from query() and
+  // pass it to the per-hop calls below; with caches disabled it carries
+  // only the address and every call re-resolves (the measured baseline).
+  class RouteQuery {
+   public:
+    RouteQuery() = default;
+    Ipv4Addr dst() const { return dst_; }
+
+   private:
+    friend class Fib;
+    struct Resolved {
+      bool ok = false;
+      bool is_iface_addr = false;  // dst is some router's interface address
+      AsId dst_as;                 // AS-level routing target
+      RouterId target;             // delivery router inside dst_as
+      RouterId final_router;       // router that ultimately owns the address
+      LinkId cross_link;           // link to cross from target to final_router
+      IfaceId cross_egress;        // target's interface on cross_link
+      const topo::AnnouncedPrefix* ap = nullptr;
+      const std::vector<LinkId>* pinned = nullptr;
+    };
+    Ipv4Addr dst_;
+    bool pre_resolved_ = false;
+    Resolved res_;
+  };
+
+  // Resolves `dst` once (when caches are enabled) for reuse across a trace.
+  RouteQuery query(Ipv4Addr dst) const;
 
   // Where the packet at router `r` goes next on its way to `dst`.
   // nullopt means: either `r` is the delivery point for `dst` (use
@@ -63,15 +119,23 @@ class Fib {
   // salt 0) sees one stable path while classic traceroute (varying probe
   // headers) flaps between them — the [2] artifact the paper's collection
   // avoids.
+  std::optional<Hop> next_hop(RouterId r, const RouteQuery& q,
+                              std::uint32_t flow_salt = 0) const;
   std::optional<Hop> next_hop(RouterId r, Ipv4Addr dst,
                               std::uint32_t flow_salt = 0) const;
 
   // True iff a packet for `dst` terminates at router `r`: `dst` is one of
   // r's interface addresses, or r hosts the announced prefix covering dst.
+  bool delivered_at(RouterId r, const RouteQuery& q) const;
   bool delivered_at(RouterId r, Ipv4Addr dst) const;
+
+  // True iff the query's destination is one of r's own interface addresses
+  // (the firewall-exemption test the tracer and congestion model repeat).
+  bool addr_owned_by(RouterId r, const RouteQuery& q) const;
 
   // The interface router `r` would transmit a packet to `dst` from
   // (drives the kEgressToSrc / kVirtualRouter reply-address policies).
+  std::optional<IfaceId> egress_iface(RouterId r, const RouteQuery& q) const;
   std::optional<IfaceId> egress_iface(RouterId r, Ipv4Addr dst) const;
 
   // IGP distance between two routers of the same AS (infinity if
@@ -81,39 +145,92 @@ class Fib {
   // All sessions whose near side is in `as`.
   const std::vector<Session>& sessions_of(AsId as) const;
 
+  bool caches_enabled() const { return options_.enable_caches; }
+
  private:
   struct AsRouting {
-    std::vector<RouterId> routers;                    // of this AS
-    std::unordered_map<std::uint32_t, std::size_t> router_index;
+    std::vector<RouterId> routers;  // of this AS (== AsInfo::routers)
     // dist[i*n + j], next_iface[i*n + j]: first-hop interface from router i
     // on its shortest path to router j. alt_iface holds a second
     // equal-cost first hop where one exists (ECMP), invalid otherwise.
+    // Local indices come from the Fib-wide router_local_ table.
     std::vector<double> dist;
     std::vector<IfaceId> next_iface;
     std::vector<IfaceId> alt_iface;
   };
 
-  const AsRouting& routing_for(AsId as) const;
-  // Chooses the egress session for traffic from `r` (in `as`) toward the
-  // destination resolved as (dst_as, pinned links if any). Ties in IGP
-  // distance (parallel links at one PoP) are broken per destination, the
-  // ECMP-style load sharing that makes every parallel interconnect carry
-  // some traffic.
-  const Session* choose_egress(RouterId r, AsId as, AsId dst_as,
-                               Ipv4Addr dst,
-                               const std::vector<LinkId>* pinned) const;
+  // Egress decision memo: the sessions of the first satisfiable preference
+  // tier tied at minimal IGP distance from the router, in session order.
+  // The per-destination flow rank (a pure hash) picks among them, so the
+  // destination address itself need not be part of the key.
+  struct EgressEntry {
+    std::vector<const Session*> tied;
+  };
+  struct EgressKey {
+    std::uint32_t router;
+    std::uint32_t dst_as;
+    const void* pinned;  // identity of AnnouncedPrefix::only_via_links
+    bool operator==(const EgressKey&) const = default;
+  };
+  struct EgressKeyHash {
+    std::size_t operator()(const EgressKey& k) const noexcept;
+  };
+
+  static constexpr std::uint32_t kNoIndex = 0xffffffffu;
+
+  // Router ownership as of Fib construction. The dense tables snapshot the
+  // topology when the Fib is built; reading ownership from the same
+  // snapshot keeps every forwarding decision internally consistent even if
+  // ground truth is mutated afterwards (the invariant checker's corruption
+  // tests do exactly that — the FIB then consistently disagrees with the
+  // mutated truth instead of crashing halfway between two views).
+  AsId owner_of(RouterId r) const;
+  RouteQuery::Resolved resolve(Ipv4Addr dst) const;
+  std::optional<Hop> next_hop_resolved(RouterId r,
+                                       const RouteQuery::Resolved& res,
+                                       Ipv4Addr dst,
+                                       std::uint32_t flow_salt) const;
+  const AsRouting& routing_for(std::uint32_t as_dense) const;
+  // Cache-disabled egress selection: the original per-hop tier scan.
+  const Session* choose_egress_uncached(
+      RouterId r, AsId as, AsId dst_as, Ipv4Addr dst,
+      const std::vector<LinkId>* pinned) const;
+  const EgressEntry& egress_entry(RouterId r, AsId dst_as,
+                                  const std::vector<LinkId>* pinned) const;
   std::optional<Hop> internal_step(RouterId r, RouterId target, Ipv4Addr dst,
                                    std::uint32_t flow_salt) const;
 
   const topo::Internet& net_;
   const BgpSimulator& bgp_;
-  std::unordered_map<AsId, std::vector<Session>> sessions_;
+  FibOptions options_;
+
+  // Dense layouts, built once at construction: AS ids to dense indices,
+  // router id to its owner's dense AS index, router id to its position in
+  // the owner's router list. The IGP hot path does array loads only.
+  std::unordered_map<AsId, std::uint32_t> as_dense_;
+  std::vector<std::uint32_t> router_as_dense_;
+  std::vector<std::uint32_t> router_local_;
+
+  std::vector<std::vector<Session>> sessions_;  // by dense AS index
+  // Per-AS sessions grouped by far AS: turns the O(sessions × tier)
+  // membership scan in the egress fill into direct lookups.
+  std::vector<std::unordered_map<AsId, std::vector<std::uint32_t>>>
+      sessions_by_far_;
+
   // Lazily computed per-AS IGP tables, guarded by routing_mu_: one Fib is
   // shared by every concurrent VP run, and the Dijkstra fill is a pure
   // function of the immutable topology, so first-writer-wins insertion is
   // value-deterministic regardless of thread interleaving.
   mutable std::shared_mutex routing_mu_;
-  mutable std::unordered_map<AsId, std::unique_ptr<AsRouting>> routing_;
+  mutable std::vector<std::unique_ptr<AsRouting>> routing_;
+
+  // Egress decision cache, same locking and purity discipline. Entries
+  // live behind unique_ptr so references survive rehashes.
+  mutable std::shared_mutex egress_mu_;
+  mutable std::unordered_map<EgressKey, std::unique_ptr<EgressEntry>,
+                             EgressKeyHash>
+      egress_;
+
   static const std::vector<Session> kNoSessions;
 };
 

@@ -1,0 +1,212 @@
+// Golden bit-identity suite for the forwarding fast path (DESIGN.md §9).
+//
+// The cached plane (RouteQuery resolve-once, memoized egress/tier caches,
+// dense IGP indexing) must produce byte-identical hop sequences to a
+// cache-disabled Fib that recomputes everything per hop over the SAME
+// topology and BGP simulator. Covers randomized destinations, interface
+// addresses, selectively-announced (pinned) prefixes, nonzero ECMP salts,
+// and concurrent cache fills from many threads (the MultiVpExecutor
+// determinism contract). Suite name carries "FastPath" so check.sh's tsan
+// pass picks these tests up.
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "eval/scenario.h"
+#include "netbase/rng.h"
+#include "route/bgp_sim.h"
+#include "route/fib.h"
+#include "topo/generator.h"
+
+namespace bdrmap::route {
+namespace {
+
+using net::Ipv4Addr;
+using net::RouterId;
+
+constexpr std::size_t kMaxWalkHops = 256;
+
+struct Probe {
+  RouterId start;
+  Ipv4Addr dst;
+  std::uint32_t salt = 0;
+};
+
+// Encodes a full FIB walk (every hop's router, link, interfaces, crossing
+// flag, and the terminal delivery state) for exact comparison.
+std::vector<std::uint64_t> walk(const Fib& fib, const Probe& p) {
+  std::vector<std::uint64_t> trail;
+  const Fib::RouteQuery q = fib.query(p.dst);
+  RouterId r = p.start;
+  for (std::size_t hop = 0; hop < kMaxWalkHops; ++hop) {
+    auto next = fib.next_hop(r, q, p.salt);
+    if (!next.has_value()) {
+      trail.push_back(fib.delivered_at(r, q) ? 0xD0D0D0D0ull : 0xDEADull);
+      auto eg = fib.egress_iface(r, q);
+      trail.push_back(eg ? eg->value : 0xFFFFFFFFull);
+      return trail;
+    }
+    trail.push_back((std::uint64_t{next->router.value} << 32) |
+                    next->link.value);
+    trail.push_back((std::uint64_t{next->ingress.value} << 33) |
+                    (std::uint64_t{next->egress.value} << 1) |
+                    (next->crossed_interdomain ? 1 : 0));
+    r = next->router;
+  }
+  return trail;
+}
+
+// Deterministic mixed workload over a generated topology: announced-prefix
+// interiors (random offsets), interface addresses, ECMP salts 0-3.
+std::vector<Probe> build_workload(const topo::Internet& net,
+                                  std::uint64_t seed) {
+  std::vector<Probe> work;
+  net::Rng rng(seed);
+  const auto& routers = net.routers();
+  auto any_router = [&] {
+    return routers[rng.uniform(0, static_cast<std::uint32_t>(routers.size() -
+                                                             1))]
+        .id;
+  };
+  for (const auto& ap : net.announced()) {
+    for (std::uint32_t salt = 0; salt < 4; ++salt) {
+      std::uint32_t span = ~std::uint32_t{0} >> ap.prefix.length();
+      Ipv4Addr dst(ap.prefix.network().value() +
+                   (span > 0 ? rng.uniform(1, span) : 0));
+      if (!ap.prefix.contains(dst)) dst = ap.prefix.network();
+      work.push_back({any_router(), dst, salt});
+    }
+  }
+  const auto& ifaces = net.ifaces();
+  for (std::size_t i = 0; i < ifaces.size(); i += 5) {
+    work.push_back({any_router(), ifaces[i].addr, 0});
+    work.push_back({any_router(), ifaces[i].addr, 1});
+  }
+  return work;
+}
+
+// One topology, one BGP simulator, two forwarding planes.
+struct Planes {
+  explicit Planes(const topo::GeneratorConfig& config)
+      : gen(topo::generate(config)), bgp(gen.net) {
+    FibOptions off;
+    off.enable_caches = false;
+    cached = std::make_unique<Fib>(gen.net, bgp);
+    uncached = std::make_unique<Fib>(gen.net, bgp, off);
+  }
+  topo::GeneratedInternet gen;
+  BgpSimulator bgp;
+  std::unique_ptr<Fib> cached;
+  std::unique_ptr<Fib> uncached;
+};
+
+void expect_identical_walks(const Planes& p, const std::vector<Probe>& work) {
+  ASSERT_FALSE(work.empty());
+  std::size_t mismatches = 0;
+  for (const Probe& probe : work) {
+    auto a = walk(*p.cached, probe);
+    auto b = walk(*p.uncached, probe);
+    if (a != b) {
+      ++mismatches;
+      ADD_FAILURE() << "walk diverged: start=" << probe.start.str()
+                    << " dst=" << probe.dst.str() << " salt=" << probe.salt
+                    << " (cached " << a.size() << " words, uncached "
+                    << b.size() << ")";
+      if (mismatches >= 5) break;  // enough to diagnose
+    }
+  }
+  EXPECT_EQ(mismatches, 0u);
+}
+
+TEST(RouteFastPath, CachedMatchesUncachedSmallAccess) {
+  Planes p(eval::small_access_config(7));
+  expect_identical_walks(p, build_workload(p.gen.net, 0xA11CE));
+}
+
+TEST(RouteFastPath, CachedMatchesUncachedResearchEducation) {
+  Planes p(eval::research_education_config(11));
+  expect_identical_walks(p, build_workload(p.gen.net, 0xB0B));
+}
+
+TEST(RouteFastPath, PinnedPrefixWalksMatch) {
+  // Selective announcement decouples forwarding from plain tier order;
+  // the pinned-filter path through the egress cache must stay identical.
+  Planes p(eval::small_access_config(7));
+  std::vector<Probe> work;
+  net::Rng rng(0x9111);
+  const auto& routers = p.gen.net.routers();
+  for (const auto& ap : p.gen.net.announced()) {
+    if (ap.only_via_links.empty()) continue;
+    for (std::uint32_t salt = 0; salt < 4; ++salt) {
+      RouterId start =
+          routers[rng.uniform(0,
+                              static_cast<std::uint32_t>(routers.size() - 1))]
+              .id;
+      work.push_back({start, Ipv4Addr(ap.prefix.network().value() + 1), salt});
+    }
+  }
+  ASSERT_FALSE(work.empty())
+      << "generator produced no selectively-announced prefixes";
+  expect_identical_walks(p, work);
+}
+
+TEST(RouteFastPath, QueryAgreesWithAddressForms) {
+  // The RouteQuery overloads and the plain-address overloads must agree.
+  Planes p(eval::small_access_config(7));
+  std::vector<Probe> work = build_workload(p.gen.net, 0xF00);
+  for (const Probe& probe : work) {
+    const Fib::RouteQuery q = p.cached->query(probe.dst);
+    auto via_query = p.cached->next_hop(probe.start, q, probe.salt);
+    auto via_addr = p.cached->next_hop(probe.start, probe.dst, probe.salt);
+    ASSERT_EQ(via_query.has_value(), via_addr.has_value());
+    if (via_query) {
+      EXPECT_EQ(via_query->router, via_addr->router);
+      EXPECT_EQ(via_query->ingress, via_addr->ingress);
+      EXPECT_EQ(via_query->egress, via_addr->egress);
+      EXPECT_EQ(via_query->link, via_addr->link);
+      EXPECT_EQ(via_query->crossed_interdomain,
+                via_addr->crossed_interdomain);
+    }
+    EXPECT_EQ(p.cached->delivered_at(probe.start, q),
+              p.cached->delivered_at(probe.start, probe.dst));
+  }
+}
+
+TEST(RouteFastPath, ConcurrentFillIsDeterministic) {
+  // Eight threads hammer a cold Fib concurrently; every thread's walks
+  // must equal a single-threaded cold plane's. Cache fills are pure and
+  // first-writer-wins, so interleaving must not be observable.
+  topo::GeneratedInternet gen = topo::generate(eval::small_access_config(7));
+  BgpSimulator bgp(gen.net);
+  Fib reference(gen.net, bgp);
+  std::vector<Probe> work = build_workload(gen.net, 0xC0C0A);
+  std::vector<std::vector<std::uint64_t>> expected;
+  expected.reserve(work.size());
+  for (const Probe& probe : work) expected.push_back(walk(reference, probe));
+
+  BgpSimulator cold_bgp(gen.net);
+  Fib cold(gen.net, cold_bgp);
+  constexpr unsigned kThreads = 8;
+  std::vector<std::size_t> mismatches(kThreads, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Each thread starts at a different offset so fills race on
+      // different entries first.
+      for (std::size_t i = 0; i < work.size(); ++i) {
+        std::size_t j = (i + t * 13) % work.size();
+        if (walk(cold, work[j]) != expected[j]) ++mismatches[t];
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (unsigned t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(mismatches[t], 0u) << "thread " << t;
+  }
+}
+
+}  // namespace
+}  // namespace bdrmap::route

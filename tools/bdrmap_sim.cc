@@ -8,7 +8,7 @@
 //   bdrmap_sim [--scenario ren|access|tier1|small] [--seed N] [--vp K]
 //              [--all-vps] [--threads N]
 //              [--json FILE] [--warts FILE] [--dump-traces] [--table1]
-//              [--validate] [--audit] [--quiet]
+//              [--validate] [--audit] [--quiet] [--no-route-cache]
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -45,6 +45,10 @@ struct Options {
   bool validate = false;
   bool audit = false;  // invariant-check the run (src/check/)
   bool quiet = false;
+  // Disable the forwarding-plane fast-path caches (DESIGN.md §9); results
+  // are bit-identical, only slower — a production escape hatch and the
+  // baseline knob bench_hotpath uses.
+  bool no_route_cache = false;
 };
 
 void usage(const char* argv0) {
@@ -54,7 +58,8 @@ void usage(const char* argv0) {
       "          [--all-vps] [--threads N]\n"
       "          [--json FILE] [--warts FILE] [--dot FILE] [--replay FILE]\n"
       "          [--dump-traces] [--table1] [--validate] [--audit] "
-      "[--quiet]\n",
+      "[--quiet]\n"
+      "          [--no-route-cache]\n",
       argv0);
 }
 
@@ -109,6 +114,8 @@ bool parse_args(int argc, char** argv, Options* opts) {
       opts->audit = true;
     } else if (arg == "--quiet") {
       opts->quiet = true;
+    } else if (arg == "--no-route-cache") {
+      opts->no_route_cache = true;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return false;
@@ -146,7 +153,9 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  eval::Scenario scenario(config);
+  route::FibOptions fib_options;
+  fib_options.enable_caches = !opts.no_route_cache;
+  eval::Scenario scenario(config, {}, fib_options);
   net::AsId vp_as = scenario.first_of(vp_kind);
   auto vps = scenario.vps_in(vp_as);
   if (vps.empty()) {

@@ -7,7 +7,11 @@
 #   --fast         skip the sanitizer pass
 #   --lint         run only the static-analysis stage (lint.py + clang-tidy)
 #   --tsan         run only the thread-sanitizer pass over the concurrency
-#                  suites (runtime pool/executor + contract tests)
+#                  suites (runtime pool/executor + contract tests + the
+#                  fast-path concurrent cache-fill suite)
+#   --bench        build and run the forwarding fast-path benchmark
+#                  (bench_hotpath); the bit-identity gate is hard, the
+#                  throughput targets are informational here
 #
 # clang-tidy is optional: when the binary is absent the tidy stage is
 # skipped with a notice (the .clang-tidy profile still gates CI runners
@@ -19,21 +23,31 @@ JOBS=$(nproc 2>/dev/null || echo 4)
 FAST=0
 LINT_ONLY=0
 TSAN_ONLY=0
+BENCH_ONLY=0
 case "${1:-}" in
   --fast) FAST=1 ;;
   --lint) LINT_ONLY=1 ;;
   --tsan) TSAN_ONLY=1 ;;
+  --bench) BENCH_ONLY=1 ;;
   "") ;;
-  *) echo "usage: tools/check.sh [--fast|--lint|--tsan]" >&2; exit 2 ;;
+  *) echo "usage: tools/check.sh [--fast|--lint|--tsan|--bench]" >&2; exit 2 ;;
 esac
 
 run_tsan() {
   echo "== tsan preset: configure + build + concurrency suites =="
   cmake --preset tsan
   cmake --build --preset tsan -j "$JOBS" --target \
-    runtime_thread_pool_test runtime_multi_vp_test netbase_contract_test
+    runtime_thread_pool_test runtime_multi_vp_test netbase_contract_test \
+    route_fastpath_test
   ctest --test-dir build-tsan -j "$JOBS" --output-on-failure \
-    -R 'ThreadPool|TaskGroup|ParallelFor|ParallelMap|MultiVp|Contract'
+    -R 'ThreadPool|TaskGroup|ParallelFor|ParallelMap|MultiVp|Contract|FastPath'
+}
+
+run_bench() {
+  echo "== bench: forwarding fast path (bench_hotpath) =="
+  cmake --preset default >/dev/null
+  cmake --build --preset default -j "$JOBS" --target bench_hotpath
+  ./build/bench/bench_hotpath --out BENCH_hotpath.json
 }
 
 run_lint() {
@@ -62,6 +76,12 @@ fi
 if [[ "$TSAN_ONLY" == "1" ]]; then
   run_tsan
   echo "== tsan passed =="
+  exit 0
+fi
+
+if [[ "$BENCH_ONLY" == "1" ]]; then
+  run_bench
+  echo "== bench passed =="
   exit 0
 fi
 
