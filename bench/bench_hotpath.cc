@@ -19,6 +19,12 @@
 // noisy shared hosts do not flake on load spikes.
 //
 // Usage: bench_hotpath [--out FILE] [--repeat N] [--threads N] [--strict]
+//                      [--obs-json FILE]
+//
+// --obs-json runs ONE extra instrumented multi-VP pass after all the
+// measured sections finish, on its own scenario and pool, and exports its
+// metrics + spans. The measured numbers above are always from obs-off
+// runs; the flag cannot perturb them.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -31,6 +37,8 @@
 #include "eval/degradation.h"
 #include "eval/scenario.h"
 #include "netbase/rng.h"
+#include "obs/export.h"
+#include "obs/obs.h"
 #include "route/fib.h"
 #include "runtime/thread_pool.h"
 
@@ -131,12 +139,15 @@ std::size_t walk(const route::Fib& fib, const Probe& p,
 
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_hotpath.json";
+  std::string obs_json_path;
   int repeat = 5;
   unsigned threads = 8;
   bool strict = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--obs-json") == 0 && i + 1 < argc) {
+      obs_json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
       repeat = std::atoi(argv[++i]);
       if (repeat < 1) repeat = 1;
@@ -148,7 +159,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--out FILE] [--repeat N] [--threads N] "
-                   "[--strict]\n",
+                   "[--strict] [--obs-json FILE]\n",
                    argv[0]);
       return 2;
     }
@@ -244,6 +255,35 @@ int main(int argc, char** argv) {
   out << "    \"identical\": " << (e2e_identical ? "true" : "false")
       << "\n  }\n}\n";
   std::printf("wrote %s\n", out_path.c_str());
+
+  // --- 4. optional instrumented pass (unmeasured) ---
+  if (!obs_json_path.empty()) {
+    obs::ObsOptions obs_options;
+    obs_options.enabled = true;
+    obs_options.run_label = "hotpath";
+    obs::Observability obs(obs_options);
+    route::FibOptions instrumented_fib;
+    instrumented_fib.metrics = obs.registry();
+    eval::Scenario instrumented(eval::small_access_config(42), {},
+                                instrumented_fib);
+    runtime::ThreadPool obs_pool(threads, obs.registry());
+    core::BdrmapConfig obs_config;
+    obs_config.obs = &obs;
+    auto obs_run =
+        instrumented.run_bdrmap_parallel(vps, obs_config, 0x515, &obs_pool);
+    (void)obs_run;
+    obs::ExportInfo info;
+    info.tool = "bench_hotpath";
+    info.scenario = "small_access";
+    info.seed = 42;
+    info.vps = vps.size();
+    info.threads = threads;
+    if (!obs::write_json_file(obs_json_path, obs, info)) {
+      std::fprintf(stderr, "cannot write %s\n", obs_json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote observability export to %s\n", obs_json_path.c_str());
+  }
 
   // Identity is non-negotiable; throughput targets gate only under
   // --strict so shared-host noise cannot fail a smoke run.

@@ -26,6 +26,7 @@
 
 #include "eval/degradation.h"
 #include "eval/scenario.h"
+#include "obs/metrics.h"
 #include "runtime/multi_vp.h"
 #include "runtime/thread_pool.h"
 
@@ -129,7 +130,7 @@ int main(int argc, char** argv) {
     unsigned threads = 0;
     double seconds = 0.0;
     bool identical = false;
-    runtime::RuntimeStats stats;
+    obs::MetricsSnapshot stats;
   };
   std::vector<ScalePoint> points;
   for (unsigned t : thread_counts) {
@@ -147,14 +148,17 @@ int main(int argc, char** argv) {
       auto r = scenario.run_bdrmap_parallel(vps, {}, 0x1000, &pool);
       (void)r;
     });
-    p.stats = pool.stats();
+    p.stats = pool.metrics().snapshot();
     std::printf("  %u thread(s): %.3fs (%.2fx, identical: %s; "
                 "%llu tasks, %llu steals, %llu parks)\n",
                 t, p.seconds, sequential / p.seconds,
                 p.identical ? "yes" : "NO",
-                static_cast<unsigned long long>(p.stats.tasks_executed),
-                static_cast<unsigned long long>(p.stats.steals),
-                static_cast<unsigned long long>(p.stats.parks));
+                static_cast<unsigned long long>(
+                    p.stats.counter("runtime.tasks_executed")),
+                static_cast<unsigned long long>(
+                    p.stats.counter("runtime.steals")),
+                static_cast<unsigned long long>(
+                    p.stats.counter("runtime.parks")));
     points.push_back(p);
   }
 
@@ -185,9 +189,9 @@ int main(int argc, char** argv) {
         << ", \"seconds\": " << json_double(p.seconds)
         << ", \"speedup\": " << json_double(sequential / p.seconds)
         << ", \"identical\": " << (p.identical ? "true" : "false")
-        << ", \"tasks\": " << p.stats.tasks_executed
-        << ", \"steals\": " << p.stats.steals
-        << ", \"parks\": " << p.stats.parks << "}"
+        << ", \"tasks\": " << p.stats.counter("runtime.tasks_executed")
+        << ", \"steals\": " << p.stats.counter("runtime.steals")
+        << ", \"parks\": " << p.stats.counter("runtime.parks") << "}"
         << (i + 1 < points.size() ? "," : "") << "\n";
   }
   out << "    ]\n  }\n}\n";

@@ -5,11 +5,14 @@
 // heuristic dominates customer inferences; onenet dominates peers and
 // providers; a "trace" column of neighbors invisible in BGP.
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "eval/scenario.h"
 #include "eval/table1.h"
+#include "obs/export.h"
+#include "obs/obs.h"
 #include "runtime/flags.h"
 #include "runtime/parallel_for.h"
 
@@ -21,14 +24,18 @@ namespace {
 // concurrently (each builds a private Scenario) and still print in the
 // paper's fixed order.
 std::string run_network(const char* title, const topo::GeneratorConfig& config,
-                        topo::AsKind vp_kind) {
-  eval::Scenario scenario(config);
+                        topo::AsKind vp_kind, obs::Observability* obs) {
+  route::FibOptions fib_options;
+  if (obs) fib_options.metrics = obs->registry();
+  eval::Scenario scenario(config, {}, fib_options);
   net::AsId vp_as = scenario.first_of(vp_kind);
   auto vps = scenario.vps_in(vp_as);
   if (vps.empty()) {
     return std::string("no VP in ") + title + "\n";
   }
-  auto result = scenario.run_bdrmap(vps.front());
+  core::BdrmapConfig run_config;
+  run_config.obs = obs;
+  auto result = scenario.run_bdrmap(vps.front(), run_config);
   auto inputs = scenario.inputs_for(vp_as);
   eval::Table1 table =
       eval::build_table1(result, *inputs.rels, inputs.vp_ases);
@@ -45,7 +52,17 @@ std::string run_network(const char* title, const topo::GeneratorConfig& config,
 
 int main(int argc, char** argv) {
   const unsigned threads = runtime::threads_flag(argc, argv);
-  auto pool = runtime::make_pool(threads);
+  std::string obs_json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--obs-json") == 0 && i + 1 < argc) {
+      obs_json_path = argv[++i];
+    }
+  }
+  obs::ObsOptions obs_options;
+  obs_options.enabled = !obs_json_path.empty();
+  obs_options.run_label = "table1";
+  obs::Observability obs(obs_options);
+  auto pool = runtime::make_pool(threads, obs.registry());
   std::printf("Table 1: evaluation of bdrmap heuristics against BGP "
               "observations\n(columns: inferred relationship of the "
               "neighbor; rows: heuristic that fired)\n\n");
@@ -63,11 +80,25 @@ int main(int argc, char** argv) {
       {"Tier-1 network (VP: transit-free clique member)",
        eval::tier1_config(42), topo::AsKind::kTier1},
   };
+  obs::Observability* obs_ptr = obs.enabled() ? &obs : nullptr;
   std::vector<std::string> tables = runtime::parallel_map<std::string>(
-      pool.get(), networks.size(), [&networks](std::size_t i) {
+      pool.get(), networks.size(), [&networks, obs_ptr](std::size_t i) {
         const Network& n = networks[i];
-        return run_network(n.title, n.config, n.vp_kind);
+        return run_network(n.title, n.config, n.vp_kind, obs_ptr);
       });
   for (const std::string& t : tables) std::fputs(t.c_str(), stdout);
+  if (obs.enabled()) {
+    obs::ExportInfo info;
+    info.tool = "bench_table1";
+    info.scenario = "table1";
+    info.seed = 42;
+    info.vps = networks.size();
+    info.threads = threads;
+    if (!obs::write_json_file(obs_json_path, obs, info)) {
+      std::fprintf(stderr, "cannot write %s\n", obs_json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote observability export to %s\n", obs_json_path.c_str());
+  }
   return 0;
 }

@@ -1,6 +1,8 @@
 #include "core/bdrmap.h"
 
 #include <algorithm>
+#include <cctype>
+#include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -8,6 +10,60 @@
 #include "netbase/contract.h"
 
 namespace bdrmap::core {
+
+namespace {
+
+// "1. VP network" -> "1_vp_network": registry-safe counter suffixes that
+// stay recognisably the paper's rule names.
+std::string heuristic_slug(Heuristic h) {
+  std::string slug;
+  for (char c : std::string_view(heuristic_name(h))) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      slug.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c))));
+    } else if (!slug.empty() && slug.back() != '_') {
+      slug.push_back('_');
+    }
+  }
+  if (!slug.empty() && slug.back() == '_') slug.pop_back();
+  return slug;
+}
+
+// Publishes the finished run to the registry: pipeline stats plus one
+// core.heuristic.<slug> fire count per §5.4 rule that placed a router or a
+// link. Post-hoc over the result — the counters can never perturb it.
+void publish_result(const BdrmapResult& result,
+                    obs::MetricsRegistry* registry) {
+  if (!registry) return;
+  registry->counter("core.blocks").inc(result.stats.blocks);
+  registry->counter("core.traces").inc(result.stats.traces);
+  registry->counter("core.alias_pair_tests")
+      .inc(result.stats.alias_pair_tests);
+  registry->counter("core.routers").inc(result.stats.routers);
+  registry->counter("core.vp_routers").inc(result.stats.vp_routers);
+  registry->counter("core.neighbor_routers")
+      .inc(result.stats.neighbor_routers);
+  registry->counter("core.stopset_hits").inc(result.stats.stopset_hits);
+  registry->counter("core.probe_failures").inc(result.stats.probe_failures);
+  registry->counter("core.links").inc(result.links.size());
+
+  const auto& routers = result.graph.routers();
+  for (std::size_t n = 0; n < routers.size(); ++n) {
+    if (result.graph.merged_away(n)) continue;
+    const GraphRouter& router = routers[n];
+    if (router.vp_side || router.how == Heuristic::kNone) continue;
+    registry->counter("core.heuristic." + heuristic_slug(router.how)).inc();
+  }
+  // §5.4.8 placements have no router of their own — count them from the
+  // link they produced.
+  for (const InferredLink& link : result.links) {
+    if (link.neighbor_router == InferredLink::kNoRouter) {
+      registry->counter("core.heuristic." + heuristic_slug(link.how)).inc();
+    }
+  }
+}
+
+}  // namespace
 
 std::vector<AsId> BdrmapResult::neighbor_ases() const {
   std::vector<AsId> out;
@@ -22,8 +78,13 @@ Bdrmap::Bdrmap(probe::ProbeServices& services, const InferenceInputs& inputs,
 
 std::vector<ObservedTrace> Bdrmap::collect_traces() {
   std::vector<ObservedTrace> traces;
+  obs::Span schedule_span(tracer(), "stage.schedule");
   auto blocks = build_probe_blocks(*inputs_.origins, inputs_.vp_ases);
   stats_.blocks = blocks.size();
+  schedule_span.note("blocks", static_cast<std::int64_t>(blocks.size()));
+  schedule_span.close();
+
+  obs::Span trace_span(tracer(), "stage.trace");
 
   auto is_vp = [&](AsId as) {
     return std::find(inputs_.vp_ases.begin(), inputs_.vp_ases.end(), as) !=
@@ -89,11 +150,15 @@ std::vector<ObservedTrace> Bdrmap::collect_traces() {
     }
   }
   stats_.traces = traces.size();
+  trace_span.note("traces", static_cast<std::int64_t>(traces.size()));
+  trace_span.note("stopset_hits",
+                  static_cast<std::int64_t>(stats_.stopset_hits));
   return traces;
 }
 
 std::vector<std::vector<Ipv4Addr>> Bdrmap::resolve_aliases(
     const std::vector<ObservedTrace>& traces) {
+  obs::Span alias_span(tracer(), "stage.alias");
   // Every address observed in a time-exceeded reply participates.
   std::vector<Ipv4Addr> ttl_addrs;
   std::unordered_set<Ipv4Addr> seen;
@@ -160,11 +225,14 @@ std::vector<std::vector<Ipv4Addr>> Bdrmap::resolve_aliases(
   }
 
   if (config_.enable_midar_discovery) {
+    obs::Span midar_span(tracer(), "stage.midar");
     MidarResolver midar(services_, resolver);
     midar.resolve(ttl_addrs);
   }
 
   stats_.alias_pair_tests = resolver.pair_tests();
+  alias_span.note("pair_tests",
+                  static_cast<std::int64_t>(stats_.alias_pair_tests));
   return resolver.groups(ttl_addrs);
 }
 
@@ -289,6 +357,8 @@ BdrmapResult Bdrmap::run() {
     ~RunGuard() { flag.store(false, std::memory_order_release); }
   } guard{running_};
 
+  obs::Span run_span(tracer(), "bdrmap.run");
+
   std::vector<ObservedTrace> traces = collect_traces();
   auto groups = resolve_aliases(traces);
   auto confirmed = confirm_inbound(traces);
@@ -298,9 +368,21 @@ BdrmapResult Bdrmap::run() {
     heuristics_config.confirmed_inbound = &confirmed;
   }
   stats_.probes_sent = services_.probes_sent();
-  BdrmapResult result = infer_borders(RouterGraph(std::move(traces), groups),
-                                      inputs_, heuristics_config, stats_);
+
+  obs::Span merge_span(tracer(), "stage.merge");
+  RouterGraph graph(std::move(traces), groups);
+  merge_span.close();
+
+  obs::Span heuristics_span(tracer(), "stage.heuristics");
+  BdrmapResult result =
+      infer_borders(std::move(graph), inputs_, heuristics_config, stats_);
+  heuristics_span.note("links", static_cast<std::int64_t>(result.links.size()));
+  heuristics_span.close();
+
   result.failed_targets = std::move(failures_);
+  run_span.note("probes_sent",
+                static_cast<std::int64_t>(result.stats.probes_sent));
+  publish_result(result, registry());
   return result;
 }
 

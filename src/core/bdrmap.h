@@ -30,6 +30,7 @@
 #include "core/observations.h"
 #include "core/router_graph.h"
 #include "core/stopset.h"
+#include "obs/obs.h"
 #include "probe/types.h"
 
 namespace bdrmap::core {
@@ -53,6 +54,12 @@ struct BdrmapConfig {
   bool enable_midar_discovery = false;
   AliasConfig alias;
   HeuristicsConfig heuristics;
+  // Observability bundle (DESIGN.md §11). When set and enabled, run()
+  // emits one span per pipeline stage (schedule → trace → alias → merge →
+  // heuristics) and publishes stats + per-heuristic fire counts to the
+  // registry. Metrics never feed inference: the border map is
+  // bit-identical with obs on, off, or null.
+  obs::Observability* obs = nullptr;
 };
 
 // One inferred router-level interdomain link.
@@ -110,6 +117,14 @@ class Bdrmap {
   // [26]: timestamp-confirm the first externally-mapped hop of each trace.
   std::unordered_set<Ipv4Addr> confirm_inbound(
       const std::vector<ObservedTrace>& traces);
+
+  // nullptr when observability is off — Span/handle no-op convention.
+  obs::Tracer* tracer() const {
+    return config_.obs ? config_.obs->tracer() : nullptr;
+  }
+  obs::MetricsRegistry* registry() const {
+    return config_.obs ? config_.obs->registry() : nullptr;
+  }
 
   probe::ProbeServices& services_;
   const InferenceInputs& inputs_;

@@ -6,7 +6,9 @@ Scenario::Scenario(const topo::GeneratorConfig& config,
                    const route::CollectorConfig& collector_config,
                    const route::FibOptions& fib_options)
     : gen_(topo::generate(config)) {
-  bgp_ = std::make_unique<route::BgpSimulator>(gen_.net);
+  // One registry handle covers the whole routing substrate: the BGP
+  // simulator inherits whatever FibOptions carries.
+  bgp_ = std::make_unique<route::BgpSimulator>(gen_.net, fib_options.metrics);
   fib_ = std::make_unique<route::Fib>(gen_.net, *bgp_, fib_options);
   collectors_ =
       std::make_unique<route::CollectorView>(gen_.net, *bgp_, collector_config);
@@ -48,6 +50,9 @@ core::BdrmapResult Scenario::run_bdrmap(const topo::Vp& vp,
                                         core::BdrmapConfig config,
                                         std::uint64_t seed,
                                         probe::TracerConfig tracer) const {
+  // Obs runs get probe counters for free: wire the run's registry into the
+  // probe stack unless the caller supplied one explicitly.
+  if (!tracer.metrics && config.obs) tracer.metrics = config.obs->registry();
   auto services = services_for(vp, seed, tracer);
   core::InferenceInputs inputs = inputs_for(vp.as);
   core::Bdrmap bdrmap(*services, inputs, config);
@@ -58,6 +63,7 @@ runtime::MultiVpResult Scenario::run_bdrmap_parallel(
     const std::vector<topo::Vp>& vps, core::BdrmapConfig config,
     std::uint64_t base_seed, runtime::ThreadPool* pool,
     probe::TracerConfig tracer) const {
+  if (!tracer.metrics && config.obs) tracer.metrics = config.obs->registry();
   std::vector<runtime::VpJob> jobs;
   jobs.reserve(vps.size());
   for (std::size_t i = 0; i < vps.size(); ++i) {

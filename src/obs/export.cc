@@ -1,0 +1,131 @@
+#include "obs/export.h"
+
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+namespace bdrmap::obs {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_u64_array(std::string& out, const std::vector<std::uint64_t>& v) {
+  out.push_back('[');
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) out.push_back(',');
+    out += std::to_string(v[i]);
+  }
+  out.push_back(']');
+}
+
+}  // namespace
+
+std::string export_json(const Observability& obs, const ExportInfo& info) {
+  MetricsSnapshot metrics;
+  std::vector<SpanRecord> spans;
+  if (obs.registry()) metrics = obs.registry()->snapshot();
+  if (obs.tracer()) spans = obs.tracer()->snapshot();
+
+  std::string out;
+  out.reserve(4096);
+  out += "{\n  \"version\": 1,\n  \"run\": {\n    \"tool\": ";
+  append_escaped(out, info.tool);
+  out += ",\n    \"scenario\": ";
+  append_escaped(out, info.scenario);
+  out += ",\n    \"label\": ";
+  append_escaped(out, obs.options().run_label);
+  out += ",\n    \"enabled\": ";
+  out += obs.enabled() ? "true" : "false";
+  out += ",\n    \"seed\": " + std::to_string(info.seed);
+  out += ",\n    \"vps\": " + std::to_string(info.vps);
+  out += ",\n    \"threads\": " + std::to_string(info.threads);
+  out += "\n  },\n  \"metrics\": {\n    \"counters\": [";
+  for (std::size_t i = 0; i < metrics.counters.size(); ++i) {
+    out += i ? ",\n      " : "\n      ";
+    out += "{\"name\": ";
+    append_escaped(out, metrics.counters[i].name);
+    out += ", \"value\": " + std::to_string(metrics.counters[i].value) + "}";
+  }
+  out += metrics.counters.empty() ? "]" : "\n    ]";
+  out += ",\n    \"gauges\": [";
+  for (std::size_t i = 0; i < metrics.gauges.size(); ++i) {
+    out += i ? ",\n      " : "\n      ";
+    out += "{\"name\": ";
+    append_escaped(out, metrics.gauges[i].name);
+    out += ", \"value\": " + std::to_string(metrics.gauges[i].value) + "}";
+  }
+  out += metrics.gauges.empty() ? "]" : "\n    ]";
+  out += ",\n    \"histograms\": [";
+  for (std::size_t i = 0; i < metrics.histograms.size(); ++i) {
+    const HistogramSample& h = metrics.histograms[i];
+    out += i ? ",\n      " : "\n      ";
+    out += "{\"name\": ";
+    append_escaped(out, h.name);
+    out += ", \"bounds\": ";
+    append_u64_array(out, h.bounds);
+    out += ", \"buckets\": ";
+    append_u64_array(out, h.buckets);
+    out += ", \"count\": " + std::to_string(h.count);
+    out += ", \"sum\": " + std::to_string(h.sum) + "}";
+  }
+  out += metrics.histograms.empty() ? "]" : "\n    ]";
+  out += "\n  },\n  \"spans\": [";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& s = spans[i];
+    out += i ? ",\n    " : "\n    ";
+    out += "{\"id\": " + std::to_string(i);
+    out += ", \"name\": ";
+    append_escaped(out, s.name);
+    out += ", \"parent\": ";
+    out += s.parent == SpanRecord::kNoParent
+               ? std::string("-1")
+               : std::to_string(s.parent);
+    out += ", \"start_us\": " + std::to_string(s.start_us);
+    out += ", \"duration_us\": " + std::to_string(s.duration_us());
+    out += ", \"closed\": ";
+    out += s.closed ? "true" : "false";
+    out += ", \"notes\": {";
+    for (std::size_t k = 0; k < s.notes.size(); ++k) {
+      if (k) out += ", ";
+      append_escaped(out, s.notes[k].first);
+      out += ": ";
+      append_escaped(out, s.notes[k].second);
+    }
+    out += "}}";
+  }
+  out += spans.empty() ? "]" : "\n  ]";
+  out += "\n}\n";
+  return out;
+}
+
+bool write_json_file(const std::string& path, const Observability& obs,
+                     const ExportInfo& info) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << export_json(obs, info);
+  return static_cast<bool>(out);
+}
+
+}  // namespace bdrmap::obs

@@ -1,0 +1,35 @@
+// JSON exporter for one observability run (DESIGN.md §11).
+//
+// Renders a single stable document — run metadata, every metric sorted by
+// name, every span in id order — whose shape is pinned by
+// docs/obs_schema.json (validated by tests/obs_trace_test.cc and the
+// tools/check.sh --obs smoke gate via tools/check_obs.py). Numbers are
+// integers, escaping is RFC 8259, key order is fixed, so diffs between two
+// exports are semantic, not formatting noise.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/obs.h"
+
+namespace bdrmap::obs {
+
+// Run metadata echoed into the document's "run" object.
+struct ExportInfo {
+  std::string tool;      // producing binary, e.g. "bdrmap_sim"
+  std::string scenario;  // scenario name, e.g. "small"
+  std::uint64_t seed = 0;
+  std::uint64_t vps = 0;      // vantage points covered by the run
+  std::uint64_t threads = 1;  // worker threads
+};
+
+// Renders the registry + tracer contents. Works on a disabled bundle too
+// (empty metric arrays, no spans) so callers need not special-case.
+std::string export_json(const Observability& obs, const ExportInfo& info);
+
+// export_json to a file; returns false when the file cannot be written.
+bool write_json_file(const std::string& path, const Observability& obs,
+                     const ExportInfo& info);
+
+}  // namespace bdrmap::obs

@@ -1,0 +1,354 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+namespace bdrmap::obs::json {
+
+bool Value::is_integer() const {
+  return kind == Kind::kNumber && std::floor(number) == number &&
+         std::abs(number) <= 9007199254740992.0;  // 2^53
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  std::optional<Value> run() {
+    skip_ws();
+    Value v;
+    if (!parse_value(v)) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after document");
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  void fail(const char* what) {
+    if (error_ && error_->empty()) {
+      *error_ = std::string(what) + " at byte " + std::to_string(pos_);
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      fail("unexpected token");
+      return false;
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      fail("expected string");
+      return false;
+    }
+    ++pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            // \uXXXX: decode the code unit as UTF-8 (no surrogate pairing;
+            // exporter output never needs it).
+            if (pos_ + 4 > text_.size()) {
+              fail("truncated \\u escape");
+              return false;
+            }
+            unsigned cp = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              cp <<= 4;
+              if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+              else {
+                fail("bad \\u escape");
+                return false;
+              }
+            }
+            if (cp < 0x80) {
+              out.push_back(static_cast<char>(cp));
+            } else if (cp < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+              out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+            }
+            break;
+          }
+          default:
+            fail("bad escape");
+            return false;
+        }
+        continue;
+      }
+      out.push_back(c);
+    }
+    fail("unterminated string");
+    return false;
+  }
+
+  bool parse_number(Value& v) {
+    std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      fail("expected number");
+      return false;
+    }
+    std::string tok(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    v.kind = Value::Kind::kNumber;
+    v.number = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size()) {
+      fail("malformed number");
+      return false;
+    }
+    return true;
+  }
+
+  bool parse_value(Value& v) {
+    if (depth_ > 64) {
+      fail("nesting too deep");
+      return false;
+    }
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return false;
+    }
+    char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      ++depth_;
+      v.kind = Value::Kind::kObject;
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        --depth_;
+        return true;
+      }
+      for (;;) {
+        skip_ws();
+        std::string key;
+        if (!parse_string(key)) return false;
+        skip_ws();
+        if (pos_ >= text_.size() || text_[pos_] != ':') {
+          fail("expected ':'");
+          return false;
+        }
+        ++pos_;
+        Value member;
+        if (!parse_value(member)) return false;
+        v.members.emplace_back(std::move(key), std::move(member));
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+          ++pos_;
+          --depth_;
+          return true;
+        }
+        fail("expected ',' or '}'");
+        return false;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      ++depth_;
+      v.kind = Value::Kind::kArray;
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        --depth_;
+        return true;
+      }
+      for (;;) {
+        Value item;
+        if (!parse_value(item)) return false;
+        v.items.push_back(std::move(item));
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+          ++pos_;
+          --depth_;
+          return true;
+        }
+        fail("expected ',' or ']'");
+        return false;
+      }
+    }
+    if (c == '"') {
+      v.kind = Value::Kind::kString;
+      return parse_string(v.string);
+    }
+    if (c == 't') {
+      v.kind = Value::Kind::kBool;
+      v.boolean = true;
+      return literal("true");
+    }
+    if (c == 'f') {
+      v.kind = Value::Kind::kBool;
+      v.boolean = false;
+      return literal("false");
+    }
+    if (c == 'n') {
+      v.kind = Value::Kind::kNull;
+      return literal("null");
+    }
+    return parse_number(v);
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+bool type_matches(const std::string& type, const Value& doc) {
+  if (type == "object") return doc.is_object();
+  if (type == "array") return doc.is_array();
+  if (type == "string") return doc.is_string();
+  if (type == "number") return doc.is_number();
+  if (type == "integer") return doc.is_integer();
+  if (type == "boolean") return doc.kind == Value::Kind::kBool;
+  if (type == "null") return doc.kind == Value::Kind::kNull;
+  return false;  // unknown type name never matches (schema bug surfaces)
+}
+
+bool validate_at(const Value& schema, const Value& doc, const std::string& path,
+                 std::string* error) {
+  auto fail = [&](const std::string& what) {
+    if (error && error->empty()) {
+      *error = (path.empty() ? "/" : path) + ": " + what;
+    }
+    return false;
+  };
+  if (!schema.is_object()) return fail("schema node must be an object");
+
+  if (const Value* type = schema.find("type")) {
+    if (!type->is_string() || !type_matches(type->string, doc)) {
+      return fail("expected type '" +
+                  (type->is_string() ? type->string : "?") + "'");
+    }
+  }
+  if (const Value* en = schema.find("enum")) {
+    bool hit = false;
+    for (const Value& option : en->items) {
+      hit = hit || (option.kind == doc.kind && option.string == doc.string &&
+                    option.number == doc.number &&
+                    option.boolean == doc.boolean);
+    }
+    if (!hit) return fail("value not in enum");
+  }
+  if (const Value* minimum = schema.find("minimum")) {
+    if (doc.is_number() && doc.number < minimum->number) {
+      return fail("below minimum");
+    }
+  }
+  if (const Value* min_items = schema.find("minItems")) {
+    if (doc.is_array() &&
+        doc.items.size() < static_cast<std::size_t>(min_items->number)) {
+      return fail("fewer than minItems entries");
+    }
+  }
+  if (doc.is_object()) {
+    if (const Value* required = schema.find("required")) {
+      for (const Value& key : required->items) {
+        if (!doc.find(key.string)) {
+          return fail("missing required member '" + key.string + "'");
+        }
+      }
+    }
+    const Value* props = schema.find("properties");
+    if (props) {
+      for (const auto& [key, sub] : props->members) {
+        if (const Value* member = doc.find(key)) {
+          if (!validate_at(sub, *member, path + "/" + key, error)) return false;
+        }
+      }
+    }
+    const Value* extra = schema.find("additionalProperties");
+    if (extra && extra->kind == Value::Kind::kBool && !extra->boolean) {
+      for (const auto& [key, member] : doc.members) {
+        (void)member;
+        if (!props || !props->find(key)) {
+          return fail("unexpected member '" + key + "'");
+        }
+      }
+    }
+  }
+  if (doc.is_array()) {
+    if (const Value* items = schema.find("items")) {
+      for (std::size_t i = 0; i < doc.items.size(); ++i) {
+        if (!validate_at(*items, doc.items[i], path + "/" + std::to_string(i),
+                         error)) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<Value> parse(std::string_view text, std::string* error) {
+  if (error) error->clear();
+  return Parser(text, error).run();
+}
+
+bool validate(const Value& schema, const Value& doc, std::string* error) {
+  if (error) error->clear();
+  return validate_at(schema, doc, "", error);
+}
+
+}  // namespace bdrmap::obs::json

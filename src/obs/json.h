@@ -1,0 +1,62 @@
+// Minimal JSON document model, parser and subset-schema validator.
+//
+// The observability exporter writes JSON; the golden-schema tests and the
+// --obs smoke gate need to read it back and check its *shape* without
+// pulling in a dependency. This is a small, strict RFC-8259 parser (no
+// comments, no trailing commas) plus a validator for the subset of JSON
+// Schema the checked-in docs/obs_schema.json uses:
+//
+//   type (string), properties, required, items, enum (strings),
+//   minimum, minItems, additionalProperties (boolean form)
+//
+// tools/check_obs.py implements the same subset in Python so CI can
+// validate exporter output without building the test suite.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace bdrmap::obs::json {
+
+struct Value {
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> items;                              // kArray
+  std::vector<std::pair<std::string, Value>> members;    // kObject, ordered
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  // Integral number (within double's exact range; all exported values are).
+  bool is_integer() const;
+
+  // Object member by key; nullptr when absent or not an object.
+  const Value* find(std::string_view key) const;
+};
+
+// Parses one JSON document (rejects trailing garbage). On failure returns
+// nullopt and, when `error` is non-null, a message with the byte offset.
+std::optional<Value> parse(std::string_view text, std::string* error = nullptr);
+
+// Validates `doc` against the schema subset described above. On failure
+// returns false and, when `error` is non-null, the JSON-pointer-ish path
+// of the first violation.
+bool validate(const Value& schema, const Value& doc,
+              std::string* error = nullptr);
+
+}  // namespace bdrmap::obs::json

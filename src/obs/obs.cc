@@ -1,0 +1,15 @@
+#include "obs/obs.h"
+
+#include <utility>
+
+namespace bdrmap::obs {
+
+Observability::Observability(ObsOptions options)
+    : options_(std::move(options)) {
+  if (options_.enabled) {
+    registry_ = std::make_unique<MetricsRegistry>();
+    tracer_ = std::make_unique<Tracer>();
+  }
+}
+
+}  // namespace bdrmap::obs

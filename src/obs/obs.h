@@ -1,0 +1,44 @@
+// Observability bundle: one MetricsRegistry + one Tracer per run
+// (DESIGN.md §11).
+//
+// The bundle is the single handle the pipeline threads through its
+// subsystems. Disabled (the default — ObsOptions::enabled = false),
+// registry() and tracer() return nullptr and every instrument handle built
+// from them is a no-op: border maps and hop sequences are bit-identical to
+// an uninstrumented build, and the hot-path cost is one predictable branch
+// per would-be increment. Enabled, all instruments are live and
+// export_json (export.h) renders one stable document per run.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace bdrmap::obs {
+
+struct ObsOptions {
+  bool enabled = false;
+  std::string run_label;  // free-form tag echoed into the export
+};
+
+class Observability {
+ public:
+  explicit Observability(ObsOptions options = {});
+
+  bool enabled() const { return options_.enabled; }
+  const ObsOptions& options() const { return options_; }
+
+  // nullptr when disabled — the convention every consumer follows for
+  // "no instrumentation", mirroring runtime::make_pool's null contract.
+  MetricsRegistry* registry() const { return registry_.get(); }
+  Tracer* tracer() const { return tracer_.get(); }
+
+ private:
+  ObsOptions options_;
+  std::unique_ptr<MetricsRegistry> registry_;
+  std::unique_ptr<Tracer> tracer_;
+};
+
+}  // namespace bdrmap::obs

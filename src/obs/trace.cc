@@ -1,0 +1,114 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "netbase/contract.h"
+
+namespace bdrmap::obs {
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+std::uint64_t Tracer::now_us() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+std::size_t Tracer::begin_span(std::string_view name) {
+  const std::uint64_t t = now_us();
+  std::lock_guard<std::mutex> lk(mu_);
+  std::size_t id = spans_.size();
+  SpanRecord rec;
+  rec.name = std::string(name);
+  rec.start_us = t;
+  auto& stack = stacks_[std::this_thread::get_id()];
+  if (!stack.empty()) rec.parent = stack.back();
+  stack.push_back(id);
+  spans_.push_back(std::move(rec));
+  ++open_;
+  return id;
+}
+
+void Tracer::end_span(std::size_t id) {
+  const std::uint64_t t = now_us();
+  std::lock_guard<std::mutex> lk(mu_);
+  BDRMAP_EXPECTS(id < spans_.size(), "end_span: unknown span id");
+  if (id >= spans_.size()) return;
+  SpanRecord& rec = spans_[id];
+  if (rec.closed) return;  // idempotent (close() then destructor)
+  rec.end_us = t;
+  rec.closed = true;
+  --open_;
+  auto it = stacks_.find(std::this_thread::get_id());
+  if (it != stacks_.end()) {
+    auto& stack = it->second;
+    stack.erase(std::remove(stack.begin(), stack.end(), id), stack.end());
+    if (stack.empty()) stacks_.erase(it);
+  }
+}
+
+void Tracer::annotate(std::size_t id, std::string_view key,
+                      std::string_view value) {
+  std::lock_guard<std::mutex> lk(mu_);
+  BDRMAP_EXPECTS(id < spans_.size(), "annotate: unknown span id");
+  if (id >= spans_.size()) return;
+  spans_[id].notes.emplace_back(std::string(key), std::string(value));
+}
+
+void Tracer::annotate(std::size_t id, std::string_view key,
+                      std::int64_t value) {
+  annotate(id, key, std::to_string(value));
+}
+
+std::vector<SpanRecord> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return spans_;
+}
+
+std::size_t Tracer::span_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return spans_.size();
+}
+
+std::size_t Tracer::open_span_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return open_;
+}
+
+Span::Span(Tracer* tracer, std::string_view name) : tracer_(tracer) {
+  if (tracer_) id_ = tracer_->begin_span(name);
+}
+
+Span::Span(Span&& other) noexcept : tracer_(other.tracer_), id_(other.id_) {
+  other.tracer_ = nullptr;
+}
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    close();
+    tracer_ = other.tracer_;
+    id_ = other.id_;
+    other.tracer_ = nullptr;
+  }
+  return *this;
+}
+
+Span::~Span() { close(); }
+
+void Span::note(std::string_view key, std::string_view value) {
+  if (tracer_) tracer_->annotate(id_, key, value);
+}
+
+void Span::note(std::string_view key, std::int64_t value) {
+  if (tracer_) tracer_->annotate(id_, key, value);
+}
+
+void Span::close() {
+  if (tracer_) {
+    tracer_->end_span(id_);
+    tracer_ = nullptr;
+  }
+}
+
+}  // namespace bdrmap::obs

@@ -1,0 +1,99 @@
+// Tracer / Span: hierarchical timed spans with key-value annotations
+// (DESIGN.md §11).
+//
+// A span brackets one pipeline stage ("stage.trace", "vp.run", …); nesting
+// is tracked per thread, so a span opened on a pool worker parents under
+// whatever span that worker currently has open — each VP's stage spans
+// hang off its own "vp.run" even when eight VPs run concurrently.
+//
+// Span is RAII: construction opens, destruction closes, so stack
+// unwinding on an exception closes every span opened in the failed scope
+// in LIFO order and the exported tree never contains dangling opens for
+// completed scopes. A Span built from a null Tracer (observability off)
+// is a complete no-op.
+//
+// Times are steady-clock microseconds relative to the tracer's epoch —
+// wall-clock telemetry only. Nothing downstream of inference reads them,
+// which is how tracing preserves the bit-identity contract.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace bdrmap::obs {
+
+struct SpanRecord {
+  static constexpr std::size_t kNoParent = static_cast<std::size_t>(-1);
+
+  std::string name;
+  std::size_t parent = kNoParent;  // index of the parent span
+  std::uint64_t start_us = 0;
+  std::uint64_t end_us = 0;  // meaningful once closed
+  bool closed = false;
+  // Annotations in insertion order (duplicate keys keep every entry).
+  std::vector<std::pair<std::string, std::string>> notes;
+
+  std::uint64_t duration_us() const {
+    return closed && end_us >= start_us ? end_us - start_us : 0;
+  }
+};
+
+class Tracer {
+ public:
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Opens a span whose parent is the calling thread's innermost open span
+  // (kNoParent when the thread has none). Returns the span's id.
+  std::size_t begin_span(std::string_view name);
+  // Closes `id` and pops it from the calling thread's open stack. Closing
+  // out of LIFO order is tolerated (the span is removed wherever it sits).
+  void end_span(std::size_t id);
+  void annotate(std::size_t id, std::string_view key, std::string_view value);
+  void annotate(std::size_t id, std::string_view key, std::int64_t value);
+
+  // Point-in-time copy of every span recorded so far, in id order.
+  std::vector<SpanRecord> snapshot() const;
+  std::size_t span_count() const;
+  std::size_t open_span_count() const;
+
+ private:
+  std::uint64_t now_us() const;
+
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;
+  std::unordered_map<std::thread::id, std::vector<std::size_t>> stacks_;
+  std::size_t open_ = 0;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+// RAII handle over one Tracer span. Movable, not copyable.
+class Span {
+ public:
+  Span() = default;  // no-op span
+  Span(Tracer* tracer, std::string_view name);
+  Span(Span&& other) noexcept;
+  Span& operator=(Span&& other) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span();
+
+  void note(std::string_view key, std::string_view value);
+  void note(std::string_view key, std::int64_t value);
+  // Closes early (idempotent; the destructor then does nothing).
+  void close();
+
+ private:
+  Tracer* tracer_ = nullptr;
+  std::size_t id_ = 0;
+};
+
+}  // namespace bdrmap::obs

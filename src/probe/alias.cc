@@ -4,6 +4,7 @@ namespace bdrmap::probe {
 
 std::optional<Ipv4Addr> AliasProber::udp_probe(Ipv4Addr addr) {
   ++probes_sent_;
+  udp_probes_.inc();
   auto iface = net_.iface_at(addr);
   if (!iface) return std::nullopt;  // hosts don't emit port unreachables here
   net::RouterId owner = net_.iface(*iface).router;
@@ -57,6 +58,7 @@ std::uint16_t AliasProber::next_ipid(const topo::Router& router,
 std::optional<std::uint16_t> AliasProber::ipid_sample(Ipv4Addr addr,
                                                       double t) {
   ++probes_sent_;
+  ipid_samples_.inc();
   auto iface = net_.iface_at(addr);
   if (!iface) return std::nullopt;
   net::RouterId owner = net_.iface(*iface).router;

@@ -23,8 +23,14 @@ namespace bdrmap::probe {
 class AliasProber {
  public:
   AliasProber(const topo::Internet& net, const route::Fib& fib,
-              TracerouteEngine& tracer, std::uint64_t seed)
-      : net_(net), fib_(fib), tracer_(tracer), rng_(seed) {}
+              TracerouteEngine& tracer, std::uint64_t seed,
+              obs::MetricsRegistry* metrics = nullptr)
+      : net_(net), fib_(fib), tracer_(tracer), rng_(seed) {
+    if (metrics) {
+      udp_probes_ = metrics->counter("probe.udp_probes");
+      ipid_samples_ = metrics->counter("probe.ipid_samples");
+    }
+  }
 
   // Mercator: UDP probe to `addr`; returns the source address of the ICMP
   // port-unreachable reply (the interface the router transmits from), if
@@ -48,6 +54,9 @@ class AliasProber {
   // counters) — each reply consumes one IP-ID.
   std::unordered_map<std::uint64_t, std::uint32_t> reply_counts_;
   std::uint64_t probes_sent_ = 0;
+  // No-op handles unless a registry was supplied at construction.
+  obs::Counter udp_probes_;
+  obs::Counter ipid_samples_;
 };
 
 // Bundles the probe engines into the ProbeServices interface the inference
@@ -59,7 +68,7 @@ class LocalProbeServices final : public ProbeServices {
                      topo::Vp vp, std::uint64_t seed,
                      TracerConfig tracer_config = {})
       : tracer_(net, fib, vp, seed, tracer_config),
-        prober_(net, fib, tracer_, seed ^ 0x5a) {}
+        prober_(net, fib, tracer_, seed ^ 0x5a, tracer_config.metrics) {}
 
   TraceResult trace(Ipv4Addr dst, const StopFn& stop) override {
     return tracer_.trace(dst, stop);

@@ -9,7 +9,14 @@ TracerouteEngine::TracerouteEngine(const topo::Internet& net,
                                    const route::Fib& fib, topo::Vp vp,
                                    std::uint64_t seed, TracerConfig config)
     : net_(net), fib_(fib), vp_(vp), rng_(seed), config_(config),
-      vp_query_(fib.query(vp.addr)) {}
+      vp_query_(fib.query(vp.addr)) {
+  if (config_.metrics) {
+    traces_ = config_.metrics->counter("probe.traces");
+    trace_packets_ = config_.metrics->counter("probe.trace_packets");
+    pings_ = config_.metrics->counter("probe.pings");
+    timestamp_probes_ = config_.metrics->counter("probe.timestamp_probes");
+  }
+}
 
 std::optional<IfaceId> TracerouteEngine::egress_iface_to_vp(
     RouterId router) const {
@@ -66,6 +73,7 @@ Ipv4Addr TracerouteEngine::reply_source(
 }
 
 TraceResult TracerouteEngine::trace(Ipv4Addr dst, const StopFn& stop) {
+  traces_.inc();
   TraceResult result;
   result.dst = dst;
 
@@ -137,6 +145,7 @@ TraceResult TracerouteEngine::trace(Ipv4Addr dst, const StopFn& stop) {
   int gap = 0;
   for (const PathNode& node : path) {
     ++probes_sent_;
+    trace_packets_.inc();
     const auto& router = net_.router(node.router);
     TraceHop hop;
     hop.truth_router = node.router;
@@ -165,6 +174,7 @@ TraceResult TracerouteEngine::trace(Ipv4Addr dst, const StopFn& stop) {
         hop.kind = ReplyKind::kTimeExceeded;
       }
       ++probes_sent_;  // the extra host-directed probe
+      trace_packets_.inc();
       result.hops.push_back(hop);
       if (hop.kind != ReplyKind::kNone && stop && stop(hop.addr)) {
         result.stopped_by_stopset = true;
@@ -248,6 +258,7 @@ bool TracerouteEngine::reaches_addr(Ipv4Addr addr) const {
 std::optional<bool> TracerouteEngine::timestamp_probe(Ipv4Addr path_dst,
                                                       Ipv4Addr candidate) {
   ++probes_sent_;
+  timestamp_probes_.inc();
   auto cand_iface = net_.iface_at(candidate);
   if (!cand_iface) return std::nullopt;  // not a router interface at all
   const auto& cand_router = net_.router(net_.iface(*cand_iface).router);
@@ -287,6 +298,7 @@ std::optional<bool> TracerouteEngine::timestamp_probe(Ipv4Addr path_dst,
 
 std::optional<ReplyKind> TracerouteEngine::ping(Ipv4Addr addr) {
   ++probes_sent_;
+  pings_.inc();
   auto iface = net_.iface_at(addr);
   if (iface) {
     RouterId owner = net_.iface(*iface).router;

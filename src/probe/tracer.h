@@ -16,6 +16,7 @@
 #include <unordered_map>
 
 #include "netbase/rng.h"
+#include "obs/metrics.h"
 #include "probe/types.h"
 #include "route/fib.h"
 #include "topo/generator.h"
@@ -33,6 +34,10 @@ struct TracerConfig {
   // differently and equal-cost paths interleave, manufacturing false
   // adjacencies.
   bool paris = true;
+  // When set, per-type probe counters (probe.*) report here; nullptr
+  // (default) keeps them no-ops. Shared by every engine of a run — the
+  // counters are get-or-create, so per-VP engines aggregate.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class TracerouteEngine {
@@ -77,6 +82,11 @@ class TracerouteEngine {
   net::Rng rng_;
   TracerConfig config_;
   std::uint64_t probes_sent_ = 0;
+  // No-op handles unless TracerConfig::metrics was set.
+  obs::Counter traces_;
+  obs::Counter trace_packets_;
+  obs::Counter pings_;
+  obs::Counter timestamp_probes_;
   // The VP's own address resolved once for the engine's lifetime.
   route::Fib::RouteQuery vp_query_;
   mutable std::unordered_map<std::uint32_t, bool> reach_cache_;

@@ -100,7 +100,17 @@ RemoteProbeServices::RemoteProbeServices(ProberDevice& device)
 
 RemoteProbeServices::RemoteProbeServices(Channel& channel,
                                          ResilienceConfig config)
-    : channel_(&channel), cfg_(config), rng_(config.seed) {}
+    : channel_(&channel), cfg_(config), rng_(config.seed) {
+  if (cfg_.metrics) {
+    retransmits_ = cfg_.metrics->counter("remote.retransmits");
+    timeouts_ = cfg_.metrics->counter("remote.timeouts");
+    corrupt_frames_ = cfg_.metrics->counter("remote.corrupt_frames");
+    stale_frames_ = cfg_.metrics->counter("remote.stale_frames");
+    breaker_fast_fails_ = cfg_.metrics->counter("remote.breaker_fast_fails");
+    probe_failures_ = cfg_.metrics->counter("remote.probe_failures");
+    device_restarts_ = cfg_.metrics->counter("remote.device_restarts");
+  }
+}
 
 void RemoteProbeServices::backoff(int attempt) {
   double base =
@@ -118,26 +128,33 @@ bool RemoteProbeServices::handshake() {
   for (int attempt = 0; attempt < cfg_.max_attempts; ++attempt) {
     if (attempt > 0) {
       ++st.retransmits;
+      retransmits_.inc();
       backoff(attempt);
     }
     auto raw = channel_->roundtrip(seal_frame(0, seq, hello),
                                    cfg_.request_timeout_s);
     if (!raw) {
       ++st.timeouts;
+      timeouts_.inc();
       continue;
     }
     try {
       Frame f = open_frame(*raw);
       if (f.seq != seq || f.type() != MsgType::kHelloResp) {
         ++st.stale_frames_discarded;
+        stale_frames_.inc();
         continue;
       }
       session_ = decode_hello_resp(f.payload);
     } catch (const ProtocolError&) {
       ++st.corrupt_frames_detected;
+      corrupt_frames_.inc();
       continue;
     }
-    if (had_session_) ++st.device_restarts;
+    if (had_session_) {
+      ++st.device_restarts;
+      device_restarts_.inc();
+    }
     had_session_ = true;
     return true;
   }
@@ -150,7 +167,9 @@ std::optional<std::vector<std::uint8_t>> RemoteProbeServices::request(
   VirtualClock& clock = channel_->clock();
   if (breaker_open_ && clock.now < breaker_open_until_) {
     ++st.breaker_fast_fails;
+    breaker_fast_fails_.inc();
     ++st.probe_failures;
+    probe_failures_.inc();
     return std::nullopt;
   }
   // Either closed or half-open (cooldown elapsed): attempt the request.
@@ -158,6 +177,7 @@ std::optional<std::vector<std::uint8_t>> RemoteProbeServices::request(
   for (int attempt = 0; attempt < cfg_.max_attempts; ++attempt) {
     if (attempt > 0) {
       ++st.retransmits;
+      retransmits_.inc();
       backoff(attempt);
     }
     if (session_ == 0 && !handshake()) continue;
@@ -165,6 +185,7 @@ std::optional<std::vector<std::uint8_t>> RemoteProbeServices::request(
                                    cfg_.request_timeout_s);
     if (!raw) {
       ++st.timeouts;
+      timeouts_.inc();
       continue;
     }
     Frame f;
@@ -174,6 +195,7 @@ std::optional<std::vector<std::uint8_t>> RemoteProbeServices::request(
       type = f.type();
     } catch (const ProtocolError&) {
       ++st.corrupt_frames_detected;
+      corrupt_frames_.inc();
       continue;
     }
     if (type == MsgType::kError) {
@@ -182,6 +204,7 @@ std::optional<std::vector<std::uint8_t>> RemoteProbeServices::request(
         code = decode_error(f.payload);
       } catch (const ProtocolError&) {
         ++st.corrupt_frames_detected;
+        corrupt_frames_.inc();
         continue;
       }
       if (code == ErrCode::kBadSession) {
@@ -191,12 +214,14 @@ std::optional<std::vector<std::uint8_t>> RemoteProbeServices::request(
       } else if (code == ErrCode::kMalformedRequest) {
         // Our request was damaged in flight; the device detected it.
         ++st.corrupt_frames_detected;
+        corrupt_frames_.inc();
       }
       continue;
     }
     if (f.session != session_ || f.seq != seq) {
       // Reordered/stale frame from an earlier exchange.
       ++st.stale_frames_discarded;
+      stale_frames_.inc();
       continue;
     }
     consecutive_failures_ = 0;
@@ -204,6 +229,7 @@ std::optional<std::vector<std::uint8_t>> RemoteProbeServices::request(
     return std::move(f.payload);
   }
   ++st.probe_failures;
+  probe_failures_.inc();
   if (++consecutive_failures_ >= cfg_.breaker_threshold) {
     breaker_open_ = true;
     breaker_open_until_ = clock.now + cfg_.breaker_cooldown_s;
@@ -222,6 +248,8 @@ probe::TraceResult RemoteProbeServices::trace(net::Ipv4Addr dst,
       decoded = true;
     } catch (const ProtocolError&) {
       ++channel_->stats().corrupt_frames_detected;
+      corrupt_frames_.inc();
+    corrupt_frames_.inc();
     }
   }
   if (!decoded) {
@@ -251,6 +279,7 @@ std::optional<net::Ipv4Addr> RemoteProbeServices::udp_probe(
     return decode_udp_resp(*payload);
   } catch (const ProtocolError&) {
     ++channel_->stats().corrupt_frames_detected;
+    corrupt_frames_.inc();
     return std::nullopt;
   }
 }
@@ -263,6 +292,7 @@ std::optional<std::uint16_t> RemoteProbeServices::ipid_sample(
     return decode_ipid_resp(*payload);
   } catch (const ProtocolError&) {
     ++channel_->stats().corrupt_frames_detected;
+    corrupt_frames_.inc();
     return std::nullopt;
   }
 }
@@ -275,6 +305,7 @@ std::optional<bool> RemoteProbeServices::timestamp_probe(
     return decode_ts_resp(*payload);
   } catch (const ProtocolError&) {
     ++channel_->stats().corrupt_frames_detected;
+    corrupt_frames_.inc();
     return std::nullopt;
   }
 }

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "netbase/rng.h"
+#include "obs/metrics.h"
 #include "probe/alias.h"
 #include "probe/types.h"
 #include "remote/channel.h"
@@ -89,6 +90,10 @@ struct ResilienceConfig {
   int breaker_threshold = 8;
   double breaker_cooldown_s = 30.0;
   std::uint64_t seed = 0x51C2;  // backoff jitter stream
+  // When set, the controller mirrors its resilience counters (remote.*)
+  // into this registry alongside ChannelStats — the stats struct stays the
+  // protocol-test interface, the registry feeds the run-wide export.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 // Controller-side ProbeServices speaking the wire protocol over a Channel.
@@ -131,6 +136,15 @@ class RemoteProbeServices final : public probe::ProbeServices {
   int consecutive_failures_ = 0;
   bool breaker_open_ = false;
   double breaker_open_until_ = 0.0;
+  // Registry mirrors of the ChannelStats counters; no-ops unless
+  // ResilienceConfig::metrics was set.
+  obs::Counter retransmits_;
+  obs::Counter timeouts_;
+  obs::Counter corrupt_frames_;
+  obs::Counter stale_frames_;
+  obs::Counter breaker_fast_fails_;
+  obs::Counter probe_failures_;
+  obs::Counter device_restarts_;
 };
 
 }  // namespace bdrmap::remote

@@ -11,7 +11,14 @@ namespace bdrmap::route {
 
 const BgpSimulator::TierSet BgpSimulator::kNoTiers;
 
-BgpSimulator::BgpSimulator(const topo::Internet& net) : net_(net) {
+BgpSimulator::BgpSimulator(const topo::Internet& net,
+                           obs::MetricsRegistry* metrics)
+    : net_(net) {
+  if (metrics) {
+    table_fills_ = metrics->counter("route.bgp.table_fills");
+    tier_hits_ = metrics->counter("route.bgp.tier_cache_hits");
+    tier_fills_ = metrics->counter("route.bgp.tier_cache_fills");
+  }
   for (const auto& info : net.ases()) {
     as_index_.emplace(info.id, as_ids_.size());
     as_ids_.push_back(info.id);
@@ -24,6 +31,7 @@ const BgpSimulator::PerDst& BgpSimulator::table(AsId dst) const {
     auto it = cache_.find(dst);
     if (it != cache_.end()) return *it->second;
   }
+  table_fills_.inc();
 
   const auto& rels = net_.truth_relationships();
   auto t = std::make_unique<PerDst>();
@@ -123,8 +131,12 @@ const BgpSimulator::TierSet& BgpSimulator::tiers(AsId src, AsId dst) const {
   {
     std::shared_lock<std::shared_mutex> lk(tiers_mu_);
     auto it = tiers_.find(key);
-    if (it != tiers_.end()) return *it->second;
+    if (it != tiers_.end()) {
+      tier_hits_.inc();
+      return *it->second;
+    }
   }
+  tier_fills_.inc();
   auto t = std::make_unique<TierSet>(compute_tiers(src, dst));
   std::unique_lock<std::shared_mutex> lk(tiers_mu_);
   auto it = tiers_.emplace(key, std::move(t)).first;

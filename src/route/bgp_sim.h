@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "netbase/ids.h"
+#include "obs/metrics.h"
 #include "topo/internet.h"
 
 namespace bdrmap::route {
@@ -39,7 +40,10 @@ struct RouteInfo {
 
 class BgpSimulator {
  public:
-  explicit BgpSimulator(const topo::Internet& net);
+  // `metrics` (optional) receives the route.bgp.* cache counters; nullptr
+  // keeps every instrument a no-op.
+  explicit BgpSimulator(const topo::Internet& net,
+                        obs::MetricsRegistry* metrics = nullptr);
 
   // Best route class/length from `src` toward `dst` (an AS).
   RouteInfo route(AsId src, AsId dst) const;
@@ -91,6 +95,10 @@ class BgpSimulator {
   const topo::Internet& net_;
   std::unordered_map<AsId, std::size_t> as_index_;
   std::vector<AsId> as_ids_;
+  // No-op handles unless a registry was supplied at construction.
+  obs::Counter table_fills_;
+  obs::Counter tier_hits_;
+  obs::Counter tier_fills_;
   // Lazily computed per-destination tables (most workloads touch every
   // destination exactly once, so we cache forever). Guarded by cache_mu_:
   // concurrent multi-VP runs share one simulator, and the fill is

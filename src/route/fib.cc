@@ -38,6 +38,14 @@ std::size_t Fib::EgressKeyHash::operator()(const EgressKey& k) const noexcept {
 Fib::Fib(const topo::Internet& net, const BgpSimulator& bgp,
          FibOptions options)
     : net_(net), bgp_(bgp), options_(options) {
+  if (options_.metrics) {
+    egress_hits_ = options_.metrics->counter("route.fib.egress_cache_hits");
+    egress_misses_ =
+        options_.metrics->counter("route.fib.egress_cache_misses");
+    routing_fills_ = options_.metrics->counter("route.fib.routing_fills");
+    egress_tied_ = options_.metrics->histogram(
+        "route.fib.egress_tied_sessions", {0, 1, 2, 4, 8});
+  }
   const auto& ases = net.ases();
   as_dense_.reserve(ases.size());
   router_as_dense_.assign(net.routers().size(), kNoIndex);
@@ -151,6 +159,7 @@ const Fib::AsRouting& Fib::routing_for(std::uint32_t as_dense) const {
     std::shared_lock<std::shared_mutex> lk(routing_mu_);
     if (routing_[as_dense]) return *routing_[as_dense];
   }
+  routing_fills_.inc();
 
   const AsId as = net_.ases()[as_dense].id;
   auto r = std::make_unique<AsRouting>();
@@ -309,8 +318,12 @@ const Fib::EgressEntry& Fib::egress_entry(
   {
     std::shared_lock<std::shared_mutex> lk(egress_mu_);
     auto it = egress_.find(key);
-    if (it != egress_.end()) return *it->second;
+    if (it != egress_.end()) {
+      egress_hits_.inc();
+      return *it->second;
+    }
   }
+  egress_misses_.inc();
 
   // Fill: first satisfiable tier, sessions tied at minimal IGP distance
   // from r, in session order — the same winners the uncached scan finds,
@@ -350,6 +363,8 @@ const Fib::EgressEntry& Fib::egress_entry(
       if (!entry->tied.empty()) break;  // tier satisfied
     }
   }
+
+  egress_tied_.observe(entry->tied.size());
 
   // Pure function of the immutable topology: first writer wins.
   std::unique_lock<std::shared_mutex> lk(egress_mu_);

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "netbase/ids.h"
+#include "obs/metrics.h"
 #include "route/bgp_sim.h"
 #include "topo/internet.h"
 
@@ -66,6 +67,11 @@ struct Session {
 // baseline measurement and bit-identity auditing.
 struct FibOptions {
   bool enable_caches = true;
+  // When set, the FIB reports cache behaviour (route.fib.* counters and
+  // the egress tie-width histogram) to this registry. nullptr (default)
+  // leaves every handle a no-op — the zero-overhead path the hot-path
+  // bench measures.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class Fib {
@@ -203,6 +209,13 @@ class Fib {
   const topo::Internet& net_;
   const BgpSimulator& bgp_;
   FibOptions options_;
+
+  // No-op handles unless FibOptions::metrics was set. Get-or-create: the
+  // cached and uncached planes of one run share the same instruments.
+  obs::Counter egress_hits_;
+  obs::Counter egress_misses_;
+  obs::Counter routing_fills_;
+  obs::Histogram egress_tied_;
 
   // Dense layouts, built once at construction: AS ids to dense indices,
   // router id to its owner's dense AS index, router id to its position in

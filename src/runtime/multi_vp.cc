@@ -16,7 +16,15 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 
 MultiVpResult MultiVpExecutor::run(const std::vector<VpJob>& jobs) const {
   MultiVpResult out;
+  // One tracer serves every job of a run; each VP's stage spans nest under
+  // its own vp.run span via the per-thread stacks.
+  obs::Tracer* tracer =
+      !jobs.empty() && jobs.front().config.obs
+          ? jobs.front().config.obs->tracer()
+          : nullptr;
   auto t0 = std::chrono::steady_clock::now();
+  obs::Span run_span(tracer, "multi_vp.run");
+  run_span.note("vps", static_cast<std::int64_t>(jobs.size()));
   // One chunk per VP: a bdrmap run is far coarser than any scheduling
   // overhead, and per-VP granularity gives thieves the most slack.
   out.per_vp = parallel_map<core::BdrmapResult>(
@@ -25,16 +33,21 @@ MultiVpResult MultiVpExecutor::run(const std::vector<VpJob>& jobs) const {
         const VpJob& job = jobs[i];
         BDRMAP_EXPECTS(static_cast<bool>(job.make_services),
                        "VpJob needs a probe-services factory");
+        obs::Span vp_span(
+            job.config.obs ? job.config.obs->tracer() : nullptr, "vp.run");
+        vp_span.note("vp", static_cast<std::int64_t>(i));
         auto services = job.make_services();
         core::Bdrmap pipeline(*services, job.inputs, job.config);
         return pipeline.run();
       },
       /*chunk=*/1);
+  run_span.close();
   out.times.run_seconds = seconds_since(t0);
 
   // Ordered reduction, VP by VP on this thread: output is a pure function
   // of the per-VP results, independent of which worker finished first.
   auto r0 = std::chrono::steady_clock::now();
+  obs::Span reduce_span(tracer, "multi_vp.reduce");
   for (std::size_t vp = 0; vp < out.per_vp.size(); ++vp) {
     const core::BdrmapResult& r = out.per_vp[vp];
     for (const core::InferredLink& link : r.links) {
@@ -52,6 +65,7 @@ MultiVpResult MultiVpExecutor::run(const std::vector<VpJob>& jobs) const {
     out.total.stopset_hits += r.stats.stopset_hits;
     out.total.probe_failures += r.stats.probe_failures;
   }
+  reduce_span.close();
   out.times.reduce_seconds = seconds_since(r0);
   return out;
 }

@@ -13,7 +13,23 @@ thread_local std::size_t t_index = 0;
 
 ThreadPool* ThreadPool::current() { return t_pool; }
 
-ThreadPool::ThreadPool(unsigned threads) {
+ThreadPool::ThreadPool(unsigned threads, obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    owned_registry_ = std::make_unique<obs::MetricsRegistry>();
+    registry = owned_registry_.get();
+  }
+  registry_ = registry;
+  // Get-or-create: several pools in one process (multi-VP run + nested
+  // bench pools) share the run-wide instruments when handed one registry.
+  submitted_ = registry_->counter("runtime.tasks_submitted");
+  executed_ = registry_->counter("runtime.tasks_executed");
+  steals_ = registry_->counter("runtime.steals");
+  parks_ = registry_->counter("runtime.parks");
+  unparks_ = registry_->counter("runtime.unparks");
+  queue_depth_ = registry_->gauge("runtime.queue_depth");
+  queue_depth_at_submit_ = registry_->histogram(
+      "runtime.queue_depth_at_submit", {0, 1, 2, 4, 8, 16, 32, 64, 128, 256});
+
   if (threads == 0) threads = std::thread::hardware_concurrency();
   if (threads == 0) threads = 1;
   workers_.reserve(threads);
@@ -49,8 +65,11 @@ void ThreadPool::submit(std::function<void()> fn) {
     std::lock_guard<std::mutex> lk(workers_[slot]->mu);
     workers_[slot]->tasks.push_back(std::move(fn));
   }
-  submitted_.fetch_add(1, std::memory_order_relaxed);
-  queued_.fetch_add(1, std::memory_order_release);
+  submitted_.inc();
+  const std::uint64_t depth =
+      queued_.fetch_add(1, std::memory_order_release) + 1;
+  queue_depth_.set(static_cast<std::int64_t>(depth));
+  queue_depth_at_submit_.observe(depth);
   // Bridge the park mutex so a worker between its predicate check and its
   // sleep cannot miss this submission (classic lost-wakeup window: the
   // queue counter is not updated under park_mu_).
@@ -68,7 +87,8 @@ bool ThreadPool::pop_task(std::size_t self, std::function<void()>& out,
     if (!w.tasks.empty()) {
       out = std::move(w.tasks.back());
       w.tasks.pop_back();
-      queued_.fetch_sub(1, std::memory_order_release);
+      queue_depth_.set(static_cast<std::int64_t>(
+          queued_.fetch_sub(1, std::memory_order_release) - 1));
       *stolen = false;
       return true;
     }
@@ -83,7 +103,8 @@ bool ThreadPool::pop_task(std::size_t self, std::function<void()>& out,
     if (!w.tasks.empty()) {
       out = std::move(w.tasks.front());
       w.tasks.pop_front();
-      queued_.fetch_sub(1, std::memory_order_release);
+      queue_depth_.set(static_cast<std::int64_t>(
+          queued_.fetch_sub(1, std::memory_order_release) - 1));
       *stolen = true;
       return true;
     }
@@ -96,9 +117,9 @@ bool ThreadPool::try_run_one() {
   bool stolen = false;
   std::size_t self = (t_pool == this) ? t_index : workers_.size();
   if (!pop_task(self, task, &stolen)) return false;
-  if (stolen) steals_.fetch_add(1, std::memory_order_relaxed);
+  if (stolen) steals_.inc();
   task();
-  executed_.fetch_add(1, std::memory_order_relaxed);
+  executed_.inc();
   return true;
 }
 
@@ -110,28 +131,19 @@ void ThreadPool::worker_loop(std::size_t index) {
     std::unique_lock<std::mutex> lk(park_mu_);
     if (stopping_) return;
     if (queued_.load(std::memory_order_acquire) > 0) continue;  // recheck
-    parks_.fetch_add(1, std::memory_order_relaxed);
+    parks_.inc();
     park_cv_.wait(lk, [this] {
       return stopping_ || queued_.load(std::memory_order_acquire) > 0;
     });
-    unparks_.fetch_add(1, std::memory_order_relaxed);
+    unparks_.inc();
     if (stopping_) return;
   }
 }
 
-RuntimeStats ThreadPool::stats() const {
-  RuntimeStats s;
-  s.tasks_submitted = submitted_.load(std::memory_order_relaxed);
-  s.tasks_executed = executed_.load(std::memory_order_relaxed);
-  s.steals = steals_.load(std::memory_order_relaxed);
-  s.parks = parks_.load(std::memory_order_relaxed);
-  s.unparks = unparks_.load(std::memory_order_relaxed);
-  return s;
-}
-
-std::unique_ptr<ThreadPool> make_pool(unsigned threads) {
+std::unique_ptr<ThreadPool> make_pool(unsigned threads,
+                                      obs::MetricsRegistry* registry) {
   if (threads <= 1) return nullptr;
-  return std::make_unique<ThreadPool>(threads);
+  return std::make_unique<ThreadPool>(threads, registry);
 }
 
 }  // namespace bdrmap::runtime

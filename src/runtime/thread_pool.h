@@ -15,8 +15,14 @@
 // writes slot i of a pre-sized vector and MultiVpExecutor merges in VP
 // order, so results are bit-identical at any worker count.
 //
-// Counters (RuntimeStats) are exposed so speedups and scheduling behavior
-// are measurable rather than anecdotal (bench_runtime, docs/parallelism.md).
+// Scheduling telemetry flows through an obs::MetricsRegistry (DESIGN.md
+// §11): counters runtime.tasks_submitted / tasks_executed / steals /
+// parks / unparks, gauge runtime.queue_depth, and histogram
+// runtime.queue_depth_at_submit. Pass a shared registry to fold the pool
+// into a run-wide export; with none the pool owns a private registry, so
+// the instruments are always live and readable via metrics(). Note
+// queued_ stays a separate atomic — it gates parking (control state), the
+// gauge is telemetry only.
 #pragma once
 
 #include <atomic>
@@ -29,21 +35,16 @@
 #include <thread>
 #include <vector>
 
-namespace bdrmap::runtime {
+#include "obs/metrics.h"
 
-// Scheduling telemetry, cumulative since pool construction.
-struct RuntimeStats {
-  std::uint64_t tasks_submitted = 0;
-  std::uint64_t tasks_executed = 0;
-  std::uint64_t steals = 0;    // tasks taken from another worker's deque
-  std::uint64_t parks = 0;     // times a worker went to sleep
-  std::uint64_t unparks = 0;   // times a sleeping worker was woken
-};
+namespace bdrmap::runtime {
 
 class ThreadPool {
  public:
   // threads == 0 picks std::thread::hardware_concurrency() (min 1).
-  explicit ThreadPool(unsigned threads = 0);
+  // registry == nullptr makes the pool own a private registry.
+  explicit ThreadPool(unsigned threads = 0,
+                      obs::MetricsRegistry* registry = nullptr);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -62,7 +63,9 @@ class ThreadPool {
   // fork/join to make progress even on a single worker).
   bool try_run_one();
 
-  RuntimeStats stats() const;
+  // The registry the pool's instruments live in (shared or owned).
+  // Snapshot it to read consistent counter values; see obs/metrics.h.
+  obs::MetricsRegistry& metrics() const { return *registry_; }
 
   // The pool the calling thread is a worker of, or nullptr.
   static ThreadPool* current();
@@ -88,15 +91,21 @@ class ThreadPool {
   std::atomic<std::uint64_t> next_slot_{0};  // external round-robin cursor
   std::atomic<std::uint64_t> queued_{0};     // tasks enqueued, not yet popped
 
-  mutable std::atomic<std::uint64_t> submitted_{0};
-  mutable std::atomic<std::uint64_t> executed_{0};
-  mutable std::atomic<std::uint64_t> steals_{0};
-  mutable std::atomic<std::uint64_t> parks_{0};
-  mutable std::atomic<std::uint64_t> unparks_{0};
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::MetricsRegistry* registry_ = nullptr;
+  obs::Counter submitted_;
+  obs::Counter executed_;
+  obs::Counter steals_;
+  obs::Counter parks_;
+  obs::Counter unparks_;
+  obs::Gauge queue_depth_;
+  obs::Histogram queue_depth_at_submit_;
 };
 
 // Builds a pool for `threads` workers, or nullptr when threads <= 1 —
 // the convention every consumer follows for "run sequentially, no pool".
-std::unique_ptr<ThreadPool> make_pool(unsigned threads);
+// `registry` is forwarded to the pool (nullptr => pool-private registry).
+std::unique_ptr<ThreadPool> make_pool(unsigned threads,
+                                      obs::MetricsRegistry* registry = nullptr);
 
 }  // namespace bdrmap::runtime

@@ -1,0 +1,229 @@
+// Tracer/Span semantics (src/obs/trace.h) and the export golden-schema
+// contract: export_json output must validate against the checked-in
+// docs/obs_schema.json via the src/obs/json.h subset validator — the same
+// schema tools/check_obs.py enforces on CI smoke exports.
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/json.h"
+#include "obs/obs.h"
+
+namespace bdrmap::obs {
+namespace {
+
+TEST(ObsTrace, NullTracerSpanIsNoOp) {
+  Span s(nullptr, "never.recorded");
+  s.note("key", "value");
+  s.note("n", std::int64_t{42});
+  s.close();  // must not crash; nothing to close
+}
+
+TEST(ObsTrace, SpansNestPerThread) {
+  Tracer tracer;
+  {
+    Span root(&tracer, "outer");
+    {
+      Span mid(&tracer, "middle");
+      Span leaf(&tracer, "inner");
+    }
+    Span sibling(&tracer, "sibling");
+  }
+  std::vector<SpanRecord> spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[0].parent, SpanRecord::kNoParent);
+  EXPECT_EQ(spans[1].name, "middle");
+  EXPECT_EQ(spans[1].parent, 0u);
+  EXPECT_EQ(spans[2].name, "inner");
+  EXPECT_EQ(spans[2].parent, 1u);
+  // Opened after middle/inner closed: parents under outer, not inner.
+  EXPECT_EQ(spans[3].name, "sibling");
+  EXPECT_EQ(spans[3].parent, 0u);
+  for (const SpanRecord& s : spans) EXPECT_TRUE(s.closed);
+  EXPECT_EQ(tracer.open_span_count(), 0u);
+}
+
+TEST(ObsTrace, ThreadsKeepIndependentStacks) {
+  Tracer tracer;
+  Span main_span(&tracer, "main.root");
+  std::thread worker([&tracer] {
+    // A worker with no open span roots its own tree: it must NOT parent
+    // under another thread's open span.
+    Span w(&tracer, "worker.root");
+    Span child(&tracer, "worker.child");
+  });
+  worker.join();
+  main_span.close();
+
+  std::vector<SpanRecord> spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  std::size_t worker_root = SpanRecord::kNoParent;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].name == "worker.root") worker_root = i;
+  }
+  ASSERT_NE(worker_root, SpanRecord::kNoParent);
+  EXPECT_EQ(spans[worker_root].parent, SpanRecord::kNoParent);
+  for (const SpanRecord& s : spans) {
+    if (s.name == "worker.child") {
+      EXPECT_EQ(s.parent, worker_root);
+    }
+  }
+}
+
+TEST(ObsTrace, ExceptionUnwindingClosesSpans) {
+  Tracer tracer;
+  try {
+    Span outer(&tracer, "failing.outer");
+    Span inner(&tracer, "failing.inner");
+    throw std::runtime_error("boom");
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(tracer.span_count(), 2u);
+  EXPECT_EQ(tracer.open_span_count(), 0u);
+  for (const SpanRecord& s : tracer.snapshot()) {
+    EXPECT_TRUE(s.closed) << s.name;
+  }
+}
+
+TEST(ObsTrace, NotesRecordInInsertionOrder) {
+  Tracer tracer;
+  {
+    Span s(&tracer, "noted");
+    s.note("first", "alpha");
+    s.note("second", std::int64_t{-7});
+    s.note("first", "beta");  // duplicates keep every entry
+  }
+  std::vector<SpanRecord> spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  ASSERT_EQ(spans[0].notes.size(), 3u);
+  EXPECT_EQ(spans[0].notes[0], (std::pair<std::string, std::string>{
+                                   "first", "alpha"}));
+  EXPECT_EQ(spans[0].notes[1], (std::pair<std::string, std::string>{
+                                   "second", "-7"}));
+  EXPECT_EQ(spans[0].notes[2], (std::pair<std::string, std::string>{
+                                   "first", "beta"}));
+}
+
+TEST(ObsTrace, CloseIsIdempotentAndEarly) {
+  Tracer tracer;
+  Span s(&tracer, "early");
+  s.close();
+  s.close();                      // second close: no-op
+  s.note("after", "ignored-ok");  // must not crash
+  EXPECT_EQ(tracer.open_span_count(), 0u);
+  EXPECT_EQ(tracer.span_count(), 1u);
+}
+
+TEST(ObsTrace, MovedFromSpanDoesNotDoubleClose) {
+  Tracer tracer;
+  {
+    Span a(&tracer, "moved");
+    Span b = std::move(a);
+  }  // only b's destructor may close
+  EXPECT_EQ(tracer.span_count(), 1u);
+  EXPECT_EQ(tracer.open_span_count(), 0u);
+}
+
+// --- golden schema contract -----------------------------------------------
+
+json::Value load_schema() {
+  std::ifstream in(BDRMAP_SOURCE_DIR "/docs/obs_schema.json");
+  EXPECT_TRUE(in.is_open()) << "docs/obs_schema.json must be checked in";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string error;
+  auto schema = json::parse(buf.str(), &error);
+  EXPECT_TRUE(schema.has_value()) << error;
+  return schema.value_or(json::Value{});
+}
+
+ExportInfo test_info() {
+  ExportInfo info;
+  info.tool = "obs_trace_test";
+  info.scenario = "unit";
+  info.seed = 7;
+  info.vps = 1;
+  info.threads = 1;
+  return info;
+}
+
+TEST(ObsTraceExport, EnabledExportValidatesAgainstGoldenSchema) {
+  ObsOptions options;
+  options.enabled = true;
+  options.run_label = "golden";
+  Observability obs(options);
+  obs.registry()->counter("core.heuristic.2_firewall").inc(3);
+  obs.registry()->gauge("runtime.queue_depth").set(-1);
+  obs.registry()->histogram("test.hist", {1, 2}).observe(5);
+  {
+    Span root(obs.tracer(), "bdrmap.run");
+    Span stage(obs.tracer(), "stage.trace");
+    stage.note("traces", std::int64_t{12});
+    stage.note("label", "quoted \"text\"\n");  // exercises escaping
+  }
+
+  std::string doc_text = export_json(obs, test_info());
+  std::string error;
+  auto doc = json::parse(doc_text, &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  json::Value schema = load_schema();
+  EXPECT_TRUE(json::validate(schema, *doc, &error)) << error;
+
+  // Spot-check the round trip, not just the shape.
+  const json::Value* spans = doc->find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_EQ(spans->items.size(), 2u);
+  EXPECT_EQ(spans->items[0].find("name")->string, "bdrmap.run");
+  EXPECT_EQ(spans->items[1].find("parent")->number, 0.0);
+  const json::Value* notes = spans->items[1].find("notes");
+  ASSERT_NE(notes, nullptr);
+  EXPECT_EQ(notes->find("traces")->string, "12");
+  EXPECT_EQ(notes->find("label")->string, "quoted \"text\"\n");
+}
+
+TEST(ObsTraceExport, DisabledExportValidatesAgainstGoldenSchema) {
+  Observability obs;  // default: disabled, null registry/tracer
+  ASSERT_EQ(obs.registry(), nullptr);
+  ASSERT_EQ(obs.tracer(), nullptr);
+  std::string doc_text = export_json(obs, test_info());
+  std::string error;
+  auto doc = json::parse(doc_text, &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  json::Value schema = load_schema();
+  EXPECT_TRUE(json::validate(schema, *doc, &error)) << error;
+  EXPECT_EQ(doc->find("run")->find("enabled")->boolean, false);
+  EXPECT_TRUE(doc->find("spans")->items.empty());
+  EXPECT_TRUE(doc->find("metrics")->find("counters")->items.empty());
+}
+
+TEST(ObsTraceExport, SchemaRejectsCorruptedDocuments) {
+  // Guards against a vacuous validator: a document violating the schema
+  // in obvious ways must actually fail.
+  json::Value schema = load_schema();
+  std::string error;
+  auto missing = json::parse(R"({"version": 1})", &error);
+  ASSERT_TRUE(missing.has_value()) << error;
+  EXPECT_FALSE(json::validate(schema, *missing, &error));
+
+  auto bad_version = json::parse(
+      R"({"version": 2, "run": {"tool": "t", "scenario": "s", "label": "l",
+          "enabled": true, "seed": 0, "vps": 0, "threads": 1},
+          "metrics": {"counters": [], "gauges": [], "histograms": []},
+          "spans": []})",
+      &error);
+  ASSERT_TRUE(bad_version.has_value()) << error;
+  EXPECT_FALSE(json::validate(schema, *bad_version, &error));
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
+}  // namespace
+}  // namespace bdrmap::obs

@@ -16,6 +16,7 @@
 
 #include "eval/scenario.h"
 #include "netbase/rng.h"
+#include "obs/metrics.h"
 #include "route/bgp_sim.h"
 #include "route/fib.h"
 #include "topo/generator.h"
@@ -206,6 +207,48 @@ TEST(RouteFastPath, ConcurrentFillIsDeterministic) {
   for (unsigned t = 0; t < kThreads; ++t) {
     EXPECT_EQ(mismatches[t], 0u) << "thread " << t;
   }
+}
+
+TEST(RouteFastPath, CacheMetricsCountHitsAndMisses) {
+  topo::GeneratedInternet gen = topo::generate(eval::small_access_config(7));
+  std::vector<Probe> work = build_workload(gen.net, 0xFEED);
+  ASSERT_FALSE(work.empty());
+
+  // Cached plane: the cold pass only misses and fills; re-walking the same
+  // workload must hit without adding a single new miss.
+  obs::MetricsRegistry cached_metrics;
+  BgpSimulator bgp(gen.net, &cached_metrics);
+  FibOptions on;
+  on.metrics = &cached_metrics;
+  Fib cached(gen.net, bgp, on);
+  for (const Probe& probe : work) walk(cached, probe);
+  obs::MetricsSnapshot cold = cached_metrics.snapshot();
+  EXPECT_GT(cold.counter("route.fib.egress_cache_misses"), 0u);
+  EXPECT_GT(cold.counter("route.fib.routing_fills"), 0u);
+  for (const Probe& probe : work) walk(cached, probe);
+  obs::MetricsSnapshot warm = cached_metrics.snapshot();
+  EXPECT_GT(warm.counter("route.fib.egress_cache_hits"), 0u);
+  EXPECT_EQ(warm.counter("route.fib.egress_cache_misses"),
+            cold.counter("route.fib.egress_cache_misses"));
+  EXPECT_EQ(warm.counter("route.fib.routing_fills"),
+            cold.counter("route.fib.routing_fills"));
+  const obs::HistogramSample* tied =
+      warm.histogram("route.fib.egress_tied_sessions");
+  ASSERT_NE(tied, nullptr);
+  EXPECT_GT(tied->count, 0u);
+
+  // Cache-disabled plane over the same workload: the egress cache is never
+  // consulted, so it can neither hit nor miss.
+  obs::MetricsRegistry uncached_metrics;
+  BgpSimulator uncached_bgp(gen.net);
+  FibOptions off;
+  off.enable_caches = false;
+  off.metrics = &uncached_metrics;
+  Fib uncached(gen.net, uncached_bgp, off);
+  for (const Probe& probe : work) walk(uncached, probe);
+  obs::MetricsSnapshot snap = uncached_metrics.snapshot();
+  EXPECT_EQ(snap.counter("route.fib.egress_cache_hits"), 0u);
+  EXPECT_EQ(snap.counter("route.fib.egress_cache_misses"), 0u);
 }
 
 }  // namespace

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include "netbase/contract.h"
+#include "obs/metrics.h"
 #include "runtime/parallel_for.h"
 #include "runtime/task_group.h"
 
@@ -27,11 +28,13 @@ TEST(ThreadPool, RunsEveryTaskOnce) {
   }
   group.wait();
   EXPECT_EQ(count.load(), 100);
-  runtime::RuntimeStats stats = pool.stats();
-  EXPECT_EQ(stats.tasks_submitted, 100u);
+  // Snapshot, not live handles: one consistent read after the join instead
+  // of racing the workers field by field.
+  obs::MetricsSnapshot stats = pool.metrics().snapshot();
+  EXPECT_EQ(stats.counter("runtime.tasks_submitted"), 100u);
   // The joiner helps, so the pool-side executed counter can undercount
   // total work but submitted tasks never run twice.
-  EXPECT_LE(stats.tasks_executed, 100u);
+  EXPECT_LE(stats.counter("runtime.tasks_executed"), 100u);
 }
 
 TEST(ThreadPool, StressTenThousandTinyTasks) {
@@ -186,11 +189,35 @@ TEST(ThreadPool, CountersAreConsistent) {
   runtime::TaskGroup group(&pool);
   for (int i = 0; i < 500; ++i) group.spawn([] {});
   group.wait();
-  runtime::RuntimeStats s = pool.stats();
-  EXPECT_EQ(s.tasks_submitted, 500u);
-  EXPECT_LE(s.tasks_executed, s.tasks_submitted);
-  EXPECT_LE(s.steals, s.tasks_executed);
-  EXPECT_GE(s.unparks, 0u);
+  obs::MetricsSnapshot s = pool.metrics().snapshot();
+  EXPECT_EQ(s.counter("runtime.tasks_submitted"), 500u);
+  EXPECT_LE(s.counter("runtime.tasks_executed"),
+            s.counter("runtime.tasks_submitted"));
+  EXPECT_LE(s.counter("runtime.steals"), s.counter("runtime.tasks_executed"));
+  // Queue drained at join: the depth gauge must have settled back to 0 and
+  // the submit-time depth histogram must have seen every submission.
+  EXPECT_EQ(s.gauge("runtime.queue_depth"), 0);
+  const obs::HistogramSample* depth =
+      s.histogram("runtime.queue_depth_at_submit");
+  ASSERT_NE(depth, nullptr);
+  EXPECT_EQ(depth->count, 500u);
+}
+
+TEST(ThreadPool, SharedRegistryAggregatesAcrossPools) {
+  // Two pools handed the same registry share one set of instruments — the
+  // multi-VP run plus nested bench pools fold into a single export.
+  obs::MetricsRegistry registry;
+  {
+    runtime::ThreadPool a(2, &registry);
+    runtime::ThreadPool b(2, &registry);
+    runtime::TaskGroup ga(&a);
+    runtime::TaskGroup gb(&b);
+    for (int i = 0; i < 10; ++i) ga.spawn([] {});
+    for (int i = 0; i < 7; ++i) gb.spawn([] {});
+    ga.wait();
+    gb.wait();
+  }
+  EXPECT_EQ(registry.snapshot().counter("runtime.tasks_submitted"), 17u);
 }
 
 TEST(ThreadPool, MakePoolConvention) {

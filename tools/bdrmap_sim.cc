@@ -20,6 +20,8 @@
 #include "eval/ground_truth.h"
 #include "eval/scenario.h"
 #include "eval/table1.h"
+#include "obs/export.h"
+#include "obs/obs.h"
 #include "runtime/multi_vp.h"
 #include "runtime/thread_pool.h"
 #include "warts/dot.h"
@@ -49,6 +51,10 @@ struct Options {
   // are bit-identical, only slower — a production escape hatch and the
   // baseline knob bench_hotpath uses.
   bool no_route_cache = false;
+  // Observability export (DESIGN.md §11): when set, the run executes with
+  // metrics + tracing enabled and writes one JSON document here. The
+  // border map itself is bit-identical either way.
+  std::string obs_json_path;
 };
 
 void usage(const char* argv0) {
@@ -59,7 +65,7 @@ void usage(const char* argv0) {
       "          [--json FILE] [--warts FILE] [--dot FILE] [--replay FILE]\n"
       "          [--dump-traces] [--table1] [--validate] [--audit] "
       "[--quiet]\n"
-      "          [--no-route-cache]\n",
+      "          [--no-route-cache] [--obs-json FILE]\n",
       argv0);
 }
 
@@ -116,6 +122,10 @@ bool parse_args(int argc, char** argv, Options* opts) {
       opts->quiet = true;
     } else if (arg == "--no-route-cache") {
       opts->no_route_cache = true;
+    } else if (arg == "--obs-json") {
+      const char* v = next();
+      if (!v) return false;
+      opts->obs_json_path = v;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return false;
@@ -153,8 +163,14 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  obs::ObsOptions obs_options;
+  obs_options.enabled = !opts.obs_json_path.empty();
+  obs_options.run_label = opts.scenario;
+  obs::Observability obs(obs_options);
+
   route::FibOptions fib_options;
   fib_options.enable_caches = !opts.no_route_cache;
+  fib_options.metrics = obs.registry();
   eval::Scenario scenario(config, {}, fib_options);
   net::AsId vp_as = scenario.first_of(vp_kind);
   auto vps = scenario.vps_in(vp_as);
@@ -168,10 +184,15 @@ int main(int argc, char** argv) {
         !opts.dot_path.empty()) {
       std::fprintf(stderr,
                    "--all-vps combines only with --validate/--threads/"
-                   "--quiet; export and replay flags are per-VP\n");
+                   "--quiet/--obs-json; export and replay flags are "
+                   "per-VP\n");
       return 2;
     }
-    auto pool = runtime::make_pool(opts.threads);
+    // The pool reports into the run's registry when observability is on
+    // (registry() is null otherwise, giving the pool a private one).
+    auto pool = runtime::make_pool(opts.threads, obs.registry());
+    core::BdrmapConfig run_config;
+    run_config.obs = &obs;
     if (!opts.quiet) {
       std::printf("scenario=%s seed=%llu: %zu VPs in %s on %u thread(s)\n",
                   opts.scenario.c_str(),
@@ -180,8 +201,8 @@ int main(int argc, char** argv) {
     }
     // VP i probes with seed (seed ^ 0x515) + i, so VP 0 reproduces the
     // single-VP run bit for bit.
-    runtime::MultiVpResult runs =
-        scenario.run_bdrmap_parallel(vps, {}, opts.seed ^ 0x515, pool.get());
+    runtime::MultiVpResult runs = scenario.run_bdrmap_parallel(
+        vps, run_config, opts.seed ^ 0x515, pool.get());
 
     for (std::size_t i = 0; i < runs.per_vp.size(); ++i) {
       const core::BdrmapResult& r = runs.per_vp[i];
@@ -218,14 +239,33 @@ int main(int argc, char** argv) {
       std::printf("stages: run %.3fs, reduce %.3fs\n",
                   runs.times.run_seconds, runs.times.reduce_seconds);
       if (pool) {
-        runtime::RuntimeStats s = pool->stats();
-        std::printf("pool: %llu tasks submitted, %llu executed, "
-                    "%llu steals, %llu parks, %llu unparks\n",
-                    static_cast<unsigned long long>(s.tasks_submitted),
-                    static_cast<unsigned long long>(s.tasks_executed),
-                    static_cast<unsigned long long>(s.steals),
-                    static_cast<unsigned long long>(s.parks),
-                    static_cast<unsigned long long>(s.unparks));
+        obs::MetricsSnapshot s = pool->metrics().snapshot();
+        std::printf(
+            "pool: %llu tasks submitted, %llu executed, "
+            "%llu steals, %llu parks, %llu unparks\n",
+            static_cast<unsigned long long>(
+                s.counter("runtime.tasks_submitted")),
+            static_cast<unsigned long long>(
+                s.counter("runtime.tasks_executed")),
+            static_cast<unsigned long long>(s.counter("runtime.steals")),
+            static_cast<unsigned long long>(s.counter("runtime.parks")),
+            static_cast<unsigned long long>(s.counter("runtime.unparks")));
+      }
+    }
+    if (!opts.obs_json_path.empty()) {
+      obs::ExportInfo info;
+      info.tool = "bdrmap_sim";
+      info.scenario = opts.scenario;
+      info.seed = opts.seed;
+      info.vps = vps.size();
+      info.threads = opts.threads;
+      if (!obs::write_json_file(opts.obs_json_path, obs, info)) {
+        std::fprintf(stderr, "cannot open %s\n", opts.obs_json_path.c_str());
+        return 1;
+      }
+      if (!opts.quiet) {
+        std::printf("wrote observability export to %s\n",
+                    opts.obs_json_path.c_str());
       }
     }
     return 0;
@@ -245,9 +285,11 @@ int main(int argc, char** argv) {
                 scenario.net().pops()[vp.pop].city.c_str());
   }
 
+  core::BdrmapConfig run_config;
+  run_config.obs = &obs;
   core::BdrmapResult result =
       opts.replay_path.empty()
-          ? scenario.run_bdrmap(vp, {}, opts.seed ^ 0x515)
+          ? scenario.run_bdrmap(vp, run_config, opts.seed ^ 0x515)
           : core::analyze_offline(warts::load_traces(opts.replay_path),
                                   scenario.inputs_for(vp_as));
   if (!opts.replay_path.empty() && !opts.quiet) {
@@ -325,6 +367,22 @@ int main(int argc, char** argv) {
     out << warts::result_to_json(result) << "\n";
     if (!opts.quiet) {
       std::printf("wrote border map to %s\n", opts.json_path.c_str());
+    }
+  }
+  if (!opts.obs_json_path.empty()) {
+    obs::ExportInfo info;
+    info.tool = "bdrmap_sim";
+    info.scenario = opts.scenario;
+    info.seed = opts.seed;
+    info.vps = 1;
+    info.threads = 1;
+    if (!obs::write_json_file(opts.obs_json_path, obs, info)) {
+      std::fprintf(stderr, "cannot open %s\n", opts.obs_json_path.c_str());
+      return 1;
+    }
+    if (!opts.quiet) {
+      std::printf("wrote observability export to %s\n",
+                  opts.obs_json_path.c_str());
     }
   }
   return 0;

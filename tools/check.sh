@@ -12,6 +12,10 @@
 #   --bench        build and run the forwarding fast-path benchmark
 #                  (bench_hotpath); the bit-identity gate is hard, the
 #                  throughput targets are informational here
+#   --obs          observability smoke: run bdrmap_sim --obs-json over the
+#                  small scenario (single-VP and multi-VP) and validate the
+#                  exports against docs/obs_schema.json with
+#                  tools/check_obs.py
 #
 # clang-tidy is optional: when the binary is absent the tidy stage is
 # skipped with a notice (the .clang-tidy profile still gates CI runners
@@ -24,13 +28,15 @@ FAST=0
 LINT_ONLY=0
 TSAN_ONLY=0
 BENCH_ONLY=0
+OBS_ONLY=0
 case "${1:-}" in
   --fast) FAST=1 ;;
   --lint) LINT_ONLY=1 ;;
   --tsan) TSAN_ONLY=1 ;;
   --bench) BENCH_ONLY=1 ;;
+  --obs) OBS_ONLY=1 ;;
   "") ;;
-  *) echo "usage: tools/check.sh [--fast|--lint|--tsan|--bench]" >&2; exit 2 ;;
+  *) echo "usage: tools/check.sh [--fast|--lint|--tsan|--bench|--obs]" >&2; exit 2 ;;
 esac
 
 run_tsan() {
@@ -38,9 +44,24 @@ run_tsan() {
   cmake --preset tsan
   cmake --build --preset tsan -j "$JOBS" --target \
     runtime_thread_pool_test runtime_multi_vp_test netbase_contract_test \
-    route_fastpath_test
+    route_fastpath_test obs_metrics_test obs_trace_test
   ctest --test-dir build-tsan -j "$JOBS" --output-on-failure \
-    -R 'ThreadPool|TaskGroup|ParallelFor|ParallelMap|MultiVp|Contract|FastPath'
+    -R 'ThreadPool|TaskGroup|ParallelFor|ParallelMap|MultiVp|Contract|FastPath|Obs'
+}
+
+run_obs() {
+  echo "== obs smoke: bdrmap_sim --obs-json + schema check =="
+  cmake --preset default >/dev/null
+  cmake --build --preset default -j "$JOBS" --target bdrmap_sim
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' RETURN
+  ./build/tools/bdrmap_sim --scenario small --obs-json "$tmp/obs_single.json" \
+    >/dev/null
+  python3 tools/check_obs.py "$tmp/obs_single.json"
+  ./build/tools/bdrmap_sim --scenario small --all-vps --threads 4 \
+    --obs-json "$tmp/obs_multi.json" >/dev/null
+  python3 tools/check_obs.py "$tmp/obs_multi.json"
 }
 
 run_bench() {
@@ -82,6 +103,12 @@ fi
 if [[ "$BENCH_ONLY" == "1" ]]; then
   run_bench
   echo "== bench passed =="
+  exit 0
+fi
+
+if [[ "$OBS_ONLY" == "1" ]]; then
+  run_obs
+  echo "== obs smoke passed =="
   exit 0
 fi
 

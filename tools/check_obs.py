@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Observability export gate: schema + run-completeness checks.
+
+Validates a JSON document written by ``--obs-json`` (bdrmap_sim,
+bench_table1, bench_hotpath) against docs/obs_schema.json using the same
+JSON-Schema subset the C++ validator (src/obs/json.h) implements:
+
+  type (string), properties, required, items, enum, minimum, minItems,
+  additionalProperties (boolean form)
+
+Beyond the shape, a full run must actually have been instrumented, so by
+default the gate also requires:
+
+  * run.enabled is true
+  * every pipeline stage span fired at least once
+    (bdrmap.run, stage.schedule, stage.trace, stage.alias, stage.merge,
+    stage.heuristics)
+  * at least one per-heuristic fire counter (core.heuristic.*) is nonzero
+  * every span is closed and parent ids point at earlier spans
+
+--schema-only skips the run-completeness checks (for exports from partial
+or disabled runs).
+
+Usage: tools/check_obs.py EXPORT.json [--schema PATH] [--schema-only]
+Exit status: 0 clean, 1 findings, 2 usage error. Used by tools/check.sh
+--obs and CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+REQUIRED_SPANS = [
+    "bdrmap.run",
+    "stage.schedule",
+    "stage.trace",
+    "stage.alias",
+    "stage.merge",
+    "stage.heuristics",
+]
+
+
+def is_integer(doc) -> bool:
+    # Booleans are ints in Python; JSON distinguishes them.
+    return isinstance(doc, int) and not isinstance(doc, bool)
+
+
+def type_matches(name: str, doc) -> bool:
+    if name == "object":
+        return isinstance(doc, dict)
+    if name == "array":
+        return isinstance(doc, list)
+    if name == "string":
+        return isinstance(doc, str)
+    if name == "number":
+        return is_integer(doc) or isinstance(doc, float)
+    if name == "integer":
+        return is_integer(doc)
+    if name == "boolean":
+        return isinstance(doc, bool)
+    if name == "null":
+        return doc is None
+    return False  # unknown type name never matches (schema bug surfaces)
+
+
+def validate(schema, doc, path: str = "") -> str | None:
+    """Returns the path of the first violation, or None when valid."""
+    where = path or "/"
+    if not isinstance(schema, dict):
+        return f"{where}: schema node must be an object"
+    if "type" in schema and not type_matches(schema["type"], doc):
+        return f"{where}: expected type '{schema['type']}'"
+    if "enum" in schema:
+        # Exact-kind match: True must not satisfy an enum of [1].
+        hits = [
+            o for o in schema["enum"]
+            if type(o) is type(doc) and o == doc
+        ]
+        if not hits:
+            return f"{where}: value not in enum"
+    if "minimum" in schema and isinstance(doc, (int, float)) \
+            and not isinstance(doc, bool) and doc < schema["minimum"]:
+        return f"{where}: below minimum"
+    if "minItems" in schema and isinstance(doc, list) \
+            and len(doc) < schema["minItems"]:
+        return f"{where}: fewer than minItems entries"
+    if isinstance(doc, dict):
+        for key in schema.get("required", []):
+            if key not in doc:
+                return f"{where}: missing required member '{key}'"
+        props = schema.get("properties", {})
+        for key, sub in props.items():
+            if key in doc:
+                err = validate(sub, doc[key], f"{path}/{key}")
+                if err:
+                    return err
+        if schema.get("additionalProperties", True) is False:
+            for key in doc:
+                if key not in props:
+                    return f"{where}: unexpected member '{key}'"
+    if isinstance(doc, list) and "items" in schema:
+        for i, item in enumerate(doc):
+            err = validate(schema["items"], item, f"{path}/{i}")
+            if err:
+                return err
+    return None
+
+
+def check_run(doc) -> list[str]:
+    """Run-completeness findings for a full instrumented run."""
+    findings = []
+    if not doc["run"]["enabled"]:
+        findings.append("run.enabled is false: export is from a disabled run")
+    span_names = [s["name"] for s in doc["spans"]]
+    for name in REQUIRED_SPANS:
+        if name not in span_names:
+            findings.append(f"missing pipeline stage span '{name}'")
+    for i, span in enumerate(doc["spans"]):
+        if not span["closed"]:
+            findings.append(f"span {i} ('{span['name']}') never closed")
+        if span["id"] != i:
+            findings.append(f"span {i} has id {span['id']} (must be its index)")
+        if span["parent"] >= i:
+            findings.append(
+                f"span {i} ('{span['name']}') parent {span['parent']} "
+                "is not an earlier span"
+            )
+    fired = [
+        c for c in doc["metrics"]["counters"]
+        if c["name"].startswith("core.heuristic.") and c["value"] > 0
+    ]
+    if not fired:
+        findings.append("no core.heuristic.* counter fired")
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("export", help="JSON document written by --obs-json")
+    parser.add_argument(
+        "--schema", default=str(REPO / "docs" / "obs_schema.json"))
+    parser.add_argument(
+        "--schema-only", action="store_true",
+        help="skip the run-completeness checks")
+    args = parser.parse_args(argv)
+
+    try:
+        schema = json.loads(Path(args.schema).read_text())
+        doc = json.loads(Path(args.export).read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_obs: {e}", file=sys.stderr)
+        return 1
+
+    err = validate(schema, doc)
+    if err:
+        print(f"check_obs: {args.export}: schema violation: {err}",
+              file=sys.stderr)
+        return 1
+
+    if not args.schema_only:
+        findings = check_run(doc)
+        if findings:
+            for f in findings:
+                print(f"check_obs: {args.export}: {f}", file=sys.stderr)
+            return 1
+
+    n_spans = len(doc["spans"])
+    n_metrics = sum(len(v) for v in doc["metrics"].values())
+    print(f"check_obs: {args.export}: ok "
+          f"({n_metrics} metrics, {n_spans} spans)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
