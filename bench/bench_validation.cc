@@ -1,11 +1,15 @@
 // Reproduces the §5.6 ground-truth validation: the paper validated 3,277
 // links across four networks at 96.3% - 98.9% correct. We play the role of
-// the four operators using the generator's truth tables.
+// the four operators using the generator's truth tables. Beyond the four
+// clean networks, every adversarial family in the scenario registry runs at
+// the same canonical seed and is gated against its link-accuracy floor —
+// the bench exits nonzero if any family regresses below its floor.
+#include <algorithm>
 #include <cstdio>
 
 #include "eval/ground_truth.h"
 #include "eval/report.h"
-#include "eval/scenario.h"
+#include "eval/scenario_registry.h"
 #include "runtime/flags.h"
 #include "runtime/parallel_for.h"
 
@@ -13,24 +17,35 @@ using namespace bdrmap;
 
 namespace {
 
+constexpr std::uint64_t kBenchSeed = 42;
+
 struct Row {
   std::string network;
+  bool adversarial = false;
+  double floor = 0.0;
   std::size_t links = 0;
   std::size_t links_correct = 0;
   std::size_t routers = 0;
   std::size_t routers_correct = 0;
+
+  double link_accuracy() const {
+    return static_cast<double>(links_correct) /
+           static_cast<double>(std::max<std::size_t>(links, 1));
+  }
+  bool passed() const { return links > 0 && link_accuracy() >= floor; }
 };
 
-Row validate(const char* name, const topo::GeneratorConfig& config,
-             topo::AsKind vp_kind, std::size_t vp_count,
+Row validate(const eval::ScenarioSpec& spec, bool adversarial,
              runtime::ThreadPool* pool) {
-  eval::Scenario scenario(config);
-  net::AsId vp_as = scenario.first_of(vp_kind);
+  eval::Scenario scenario(spec);
+  net::AsId vp_as = scenario.first_of(spec.vp_kind);
   eval::GroundTruth truth(scenario.net(), vp_as);
   Row row;
-  row.network = name;
+  row.network = spec.name;
+  row.adversarial = adversarial;
+  row.floor = spec.link_accuracy_floor;
   auto vps = scenario.vps_in(vp_as);
-  if (vps.size() > vp_count) vps.resize(vp_count);
+  if (vps.size() > spec.bench_vp_count) vps.resize(spec.bench_vp_count);
   // Every VP of this network in parallel (nested under the per-network
   // fan-out: TaskGroup helping keeps the workers busy, not deadlocked).
   // VP i probes with seed 0x515 + i: distinct per VP, as distinct
@@ -57,52 +72,63 @@ int main(int argc, char** argv) {
   std::printf("paper: R&E 96.3%%, large access 97.0-98.9%% (3 VPs), "
               "Tier-1 97.5%%, small access 96.6%%\n\n");
 
-  struct Network {
-    const char* name;
-    topo::GeneratorConfig config;
-    topo::AsKind vp_kind;
-    std::size_t vp_count;
+  // Registry order: the four §5.6-style clean networks first, then every
+  // adversarial family at the same canonical seed.
+  struct Job {
+    eval::ScenarioSpec spec;
+    bool adversarial;
   };
-  const std::vector<Network> networks = {
-      {"R&E network", eval::research_education_config(42),
-       topo::AsKind::kResearchEdu, 1},
-      // The paper evaluated three VPs inside the large access network.
-      {"Large access network (3 VPs)", eval::large_access_config(42),
-       topo::AsKind::kAccess, 3},
-      {"Tier-1 network", eval::tier1_config(42), topo::AsKind::kTier1, 1},
-      {"Small access network", eval::small_access_config(42),
-       topo::AsKind::kAccess, 1},
-  };
+  std::vector<Job> jobs;
+  const auto adversarial = eval::adversarial_scenario_names();
+  for (const std::string& name : eval::scenario_names()) {
+    auto spec = eval::scenario_spec(name, kBenchSeed);
+    bool adv = std::find(adversarial.begin(), adversarial.end(), name) !=
+               adversarial.end();
+    jobs.push_back({*spec, adv});
+  }
   runtime::ThreadPool* p = pool.get();
   std::vector<Row> rows = runtime::parallel_map<Row>(
-      p, networks.size(), [&networks, p](std::size_t i) {
-        const Network& n = networks[i];
-        return validate(n.name, n.config, n.vp_kind, n.vp_count, p);
+      p, jobs.size(), [&jobs, p](std::size_t i) {
+        return validate(jobs[i].spec, jobs[i].adversarial, p);
       });
 
   std::vector<std::vector<std::string>> cells;
   std::size_t total_links = 0, total_correct = 0;
+  bool all_passed = true;
   for (const auto& r : rows) {
-    total_links += r.links;
-    total_correct += r.links_correct;
+    if (!r.adversarial) {
+      total_links += r.links;
+      total_correct += r.links_correct;
+    }
+    all_passed = all_passed && r.passed();
     cells.push_back(
-        {r.network, std::to_string(r.links),
+        {r.network, r.adversarial ? "adversarial" : "clean",
+         std::to_string(r.links),
          eval::format_double(eval::pct(r.links_correct,
                                        std::max<std::size_t>(r.links, 1))) +
              "%",
+         eval::format_double(r.floor * 100.0) + "%",
+         r.passed() ? "ok" : "FAIL",
          std::to_string(r.routers),
          eval::format_double(eval::pct(
              r.routers_correct, std::max<std::size_t>(r.routers, 1))) + "%"});
   }
   cells.push_back(
-      {"TOTAL", std::to_string(total_links),
+      {"TOTAL (clean)", "", std::to_string(total_links),
        eval::format_double(eval::pct(
            total_correct, std::max<std::size_t>(total_links, 1))) + "%",
-       "", ""});
-  std::fputs(eval::render_table({"network", "links", "link acc",
-                                 "neighbor routers", "router acc"},
+       "", "", "", ""});
+  std::fputs(eval::render_table({"network", "kind", "links", "link acc",
+                                 "floor", "gate", "neighbor routers",
+                                 "router acc"},
                                 cells)
                  .c_str(),
              stdout);
+  if (!all_passed) {
+    std::fprintf(stderr,
+                 "\nFAIL: at least one family fell below its accuracy "
+                 "floor\n");
+    return 1;
+  }
   return 0;
 }

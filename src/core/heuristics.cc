@@ -47,6 +47,44 @@ void Heuristics::extend_vp_space() {
   // previous unrouted addresses on the path back to the VP are assumed to
   // be delegated to the hosting network; the RIR files name the blocks.
   if (!in_.rir) return;
+
+  // Robustness anchor: the TTL-1 hop of a trace is the VP host's default
+  // gateway — hosting-network infrastructure by construction, even when
+  // the public BGP view lost the announcement covering its address (stale
+  // collector data corrupts exactly this in the adversarial scenarios).
+  // When that address is unrouted, the RIR delegation holding it — plus
+  // every other block the registry files under the same organization —
+  // recovers the VP's infrastructure space; without this, a single missing
+  // origin row can erase the whole kVp address class and with it every
+  // border inference.
+  std::vector<net::OrgId> vp_orgs;
+  for (const auto& trace : graph_.traces()) {
+    if (trace.hops.empty()) continue;
+    const auto& hop = trace.hops.front();
+    if (hop.kind != probe::ReplyKind::kTimeExceeded) continue;
+    if (in_.origins->origins(hop.addr)) continue;  // routed: classify works
+    if (in_.ixps && in_.ixps->is_ixp_address(hop.addr)) continue;
+    auto delegation = in_.rir->lookup(hop.addr);
+    if (!delegation) continue;
+    if (std::find(vp_extra_blocks_.begin(), vp_extra_blocks_.end(),
+                  delegation->block) == vp_extra_blocks_.end()) {
+      vp_extra_blocks_.push_back(delegation->block);
+    }
+    if (std::find(vp_orgs.begin(), vp_orgs.end(), delegation->org) ==
+        vp_orgs.end()) {
+      vp_orgs.push_back(delegation->org);
+    }
+  }
+  for (net::OrgId org : vp_orgs) {
+    for (const auto& d : in_.rir->all()) {
+      if (!(d.org == org)) continue;
+      if (std::find(vp_extra_blocks_.begin(), vp_extra_blocks_.end(),
+                    d.block) == vp_extra_blocks_.end()) {
+        vp_extra_blocks_.push_back(d.block);
+      }
+    }
+  }
+
   for (const auto& trace : graph_.traces()) {
     // Find the last hop whose address is VP-originated in public BGP.
     std::ptrdiff_t last_vp = -1;

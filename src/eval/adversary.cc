@@ -1,0 +1,237 @@
+#include "eval/adversary.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "asdata/as_relationships.h"
+#include "netbase/rng.h"
+
+namespace bdrmap::eval {
+
+using net::AsId;
+using net::Ipv4Addr;
+using net::OrgId;
+using net::Prefix;
+
+CorruptionConfig uniform_corruption(double rate, std::uint64_t seed) {
+  CorruptionConfig c;
+  c.drop_relationship_p = rate;
+  c.flip_relationship_p = rate;
+  c.drop_origin_p = rate;
+  c.drop_ixp_member_p = rate;
+  c.stale_ixp_member_p = rate;
+  c.drop_delegation_p = rate;
+  c.shuffle_sibling_p = rate;
+  c.seed = seed;
+  return c;
+}
+
+std::vector<AsId> pick_route_leakers(const topo::Internet& net,
+                                     std::size_t count) {
+  const auto& rels = net.truth_relationships();
+  std::vector<AsId> out;
+  for (const auto& info : net.ases()) {
+    if (out.size() >= count) break;
+    if (info.kind != topo::AsKind::kTransit) continue;
+    // The classic leaker profile: a multihomed transit with peers whose
+    // peer/provider routes it can re-export upward and sideways.
+    if (rels.providers(info.id).empty() || rels.peers(info.id).empty()) {
+      continue;
+    }
+    out.push_back(info.id);
+  }
+  return out;
+}
+
+std::vector<HijackRecord> inject_hijacks(topo::Internet& net, AsId vp_as,
+                                         std::size_t count,
+                                         std::uint64_t seed) {
+  std::vector<HijackRecord> out;
+  if (count == 0) return out;
+  net::Rng rng(seed);
+  const auto& siblings = net.sibling_table();
+
+  // The hijacker: one rogue enterprise AS originating every injected
+  // more-specific (the typical single-origin leak/hijack event). Enterprises
+  // sit at the edge, so the bogus announcement propagates through their
+  // providers exactly like a real fat-finger hijack.
+  std::vector<AsId> enterprises;
+  for (const auto& info : net.ases()) {
+    if (info.kind == topo::AsKind::kEnterprise &&
+        !info.routers.empty() && !siblings.are_siblings(info.id, vp_as)) {
+      enterprises.push_back(info.id);
+    }
+  }
+  if (enterprises.empty()) return out;
+  AsId hijacker = rng.pick(enterprises);
+
+  // Victims: announced prefixes wide enough to carve a /24 out of,
+  // originated outside both the VP's and the hijacker's organizations.
+  std::vector<std::size_t> candidates;
+  for (std::size_t i = 0; i < net.announced().size(); ++i) {
+    const auto& ap = net.announced()[i];
+    if (ap.prefix.length() >= 24) continue;
+    if (siblings.are_siblings(ap.origin, vp_as)) continue;
+    if (siblings.are_siblings(ap.origin, hijacker)) continue;
+    if (net.as_info(ap.origin).kind == topo::AsKind::kIxpOperator) continue;
+    candidates.push_back(i);
+  }
+  rng.shuffle(candidates);
+
+  const net::RouterId host = net.as_info(hijacker).routers.front();
+  for (std::size_t i = 0; i < candidates.size() && out.size() < count; ++i) {
+    const auto ap = net.announced()[candidates[i]];  // copy: vector grows
+    Prefix more_specific(ap.prefix.first(), 24);
+    net.add_announced({more_specific, hijacker, host, {}, 0.25});
+    out.push_back({ap.prefix, more_specific, ap.origin, hijacker});
+  }
+  return out;
+}
+
+std::vector<AnycastRecord> inject_anycast(topo::Internet& net,
+                                          std::size_t count,
+                                          std::uint64_t seed) {
+  std::vector<AnycastRecord> out;
+  if (count == 0) return out;
+  net::Rng rng(seed);
+  const auto& siblings = net.sibling_table();
+
+  std::vector<AsId> content;
+  for (const auto& info : net.ases()) {
+    if (info.kind == topo::AsKind::kContent && !info.routers.empty()) {
+      content.push_back(info.id);
+    }
+  }
+  if (content.size() < 2) return out;
+
+  // Candidate prefixes: content-network announcements (anycast services
+  // live in content space).
+  std::vector<std::size_t> candidates;
+  for (std::size_t i = 0; i < net.announced().size(); ++i) {
+    const auto& ap = net.announced()[i];
+    if (net.as_info(ap.origin).kind != topo::AsKind::kContent) continue;
+    candidates.push_back(i);
+  }
+  rng.shuffle(candidates);
+
+  for (std::size_t i = 0; i < candidates.size() && out.size() < count; ++i) {
+    const auto ap = net.announced()[candidates[i]];  // copy: vector grows
+    // A second, organizationally unrelated content network co-originates
+    // the same prefix from its own site; longest-match (equal-length, last
+    // writer) delivery moves the traffic there, so probes toward the
+    // primary's space terminate inside the secondary — one prefix, two
+    // origins, two sites.
+    AsId secondary;
+    bool found = false;
+    for (AsId c : content) {
+      if (!siblings.are_siblings(c, ap.origin) && c != ap.origin) {
+        secondary = c;
+        found = true;
+        break;
+      }
+    }
+    if (!found) break;
+    net.add_announced({ap.prefix, secondary,
+                       net.as_info(secondary).routers.front(), {},
+                       ap.dest_responsiveness});
+    out.push_back({ap.prefix, ap.origin, secondary});
+  }
+  return out;
+}
+
+CorruptedInputs corrupt_inputs(const topo::Internet& net,
+                               const asdata::OriginTable& clean_origins,
+                               const asdata::RelationshipStore& clean_rels,
+                               const CorruptionConfig& config,
+                               const std::vector<AsId>& protected_ases) {
+  CorruptedInputs out;
+  net::Rng rng(config.seed);
+
+  // Operator-curated records (the VP-hosting orgs' own data) are immune.
+  std::unordered_set<std::uint32_t> prot_as;
+  std::unordered_set<std::uint32_t> prot_org;
+  for (AsId a : protected_ases) {
+    prot_as.insert(a.value);
+    for (AsId s : net.sibling_table().siblings_of(a)) prot_as.insert(s.value);
+    OrgId org = net.sibling_table().org_of(a);
+    if (org.valid()) prot_org.insert(org.value);
+  }
+  auto as_protected = [&](AsId a) { return prot_as.count(a.value) > 0; };
+
+  // Relationships: per undirected edge, drop, mislabel, or copy faithfully.
+  // Mislabels stay symmetric — both sides of the dump agree on the wrong
+  // label, matching sanitized relationship files — so the audit's
+  // as-graph.symmetry pass holds on corrupted inputs by design. A flipped
+  // peer edge gains a bogus hierarchy direction with the lower AS id
+  // (created earlier, hence higher tier) as provider, which keeps the
+  // corrupted hierarchy acyclic in practice; a flipped c2p edge flattens
+  // into a peering.
+  for (AsId a : clean_rels.all_ases()) {
+    for (AsId b : clean_rels.neighbors(a)) {
+      if (a.value >= b.value) continue;  // each edge once
+      asdata::Relationship r = clean_rels.rel(a, b);
+      if (rng.chance(config.drop_relationship_p)) continue;
+      if (rng.chance(config.flip_relationship_p)) {
+        asdata::Relationship wrong = r == asdata::Relationship::kPeer
+                                         ? asdata::Relationship::kCustomer
+                                         : asdata::Relationship::kPeer;
+        out.rels.add_raw(a, b, wrong);
+        out.rels.add_raw(b, a, invert(wrong));
+        continue;
+      }
+      out.rels.add_raw(a, b, r);
+      out.rels.add_raw(b, a, invert(r));
+    }
+  }
+
+  // Origins: drop whole prefix-origin rows.
+  for (const auto& [prefix, origins] : clean_origins.all_prefixes()) {
+    for (AsId origin : origins) {
+      if (rng.chance(config.drop_origin_p) && !as_protected(origin)) continue;
+      out.origins.add(prefix, origin);
+    }
+  }
+
+  // IXP directory: records copied verbatim (indices must stay aligned),
+  // memberships dropped or gone stale.
+  for (const auto& record : net.ixp_directory().ixps()) {
+    out.ixps.add_ixp(record);
+  }
+  for (const auto& m : net.ixp_directory().memberships()) {
+    if (rng.chance(config.drop_ixp_member_p)) continue;
+    asdata::IxpMembership copy = m;
+    if (rng.chance(config.stale_ixp_member_p)) {
+      copy.address = Ipv4Addr(copy.address.value() + rng.uniform(1, 120));
+    }
+    out.ixps.add_membership(copy);
+  }
+
+  // RIR delegations: drop rows (never the VP orgs' own blocks).
+  for (const auto& d : net.rir().all()) {
+    if (rng.chance(config.drop_delegation_p) && !prot_org.count(d.org.value)) {
+      continue;
+    }
+    out.rir.add(d);
+  }
+
+  // Siblings: refile some ASes under a random other organization (stale
+  // WHOIS); assignment order follows the deterministic AS table.
+  std::vector<OrgId> orgs;
+  for (const auto& info : net.ases()) {
+    OrgId org = net.sibling_table().org_of(info.id);
+    if (org.valid()) orgs.push_back(org);
+  }
+  for (const auto& info : net.ases()) {
+    OrgId org = net.sibling_table().org_of(info.id);
+    if (!org.valid()) continue;
+    if (!orgs.empty() && rng.chance(config.shuffle_sibling_p)) {
+      OrgId wrong =
+          orgs[rng.uniform(0, static_cast<std::uint32_t>(orgs.size() - 1))];
+      if (!as_protected(info.id)) org = wrong;
+    }
+    out.siblings.assign(info.id, org);
+  }
+  return out;
+}
+
+}  // namespace bdrmap::eval

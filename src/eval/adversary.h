@@ -1,0 +1,128 @@
+// Adversarial scenario machinery (ROADMAP item 5, paper §4 challenges).
+//
+// Three independent attack layers compose into named scenario families
+// (scenario_registry.h): control-plane mutations applied to the generated
+// Internet before the routing substrate is built (prefix hijacks, anycast
+// co-origination), export-policy overrides handed to route::BgpSimulator
+// (route leaks), and input corruption producing stale/noisy copies of the
+// §5.2 data products the inference core consumes. Every draw comes from a
+// seeded net::Rng, so each adversarial scenario is exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "asdata/bgp_origins.h"
+#include "asdata/ixp.h"
+#include "asdata/rir.h"
+#include "asdata/siblings.h"
+#include "topo/internet.h"
+
+namespace bdrmap::eval {
+
+// Corruption rates applied to the inference inputs (NOT to the ground
+// truth): each knob is the probability that one record of the matching
+// store is dropped, flipped, or rewritten. Models stale WHOIS, inconsistent
+// relationship dumps, and out-of-date IXP directories (§4 challenge 5-6).
+struct CorruptionConfig {
+  double drop_relationship_p = 0.0;   // relationship edge missing entirely
+  double flip_relationship_p = 0.0;   // c2p <-> p2p mislabeled (symmetric:
+                                      // both sides carry the wrong label)
+  double drop_origin_p = 0.0;         // prefix-origin row missing
+  double drop_ixp_member_p = 0.0;     // IXP membership row missing
+  double stale_ixp_member_p = 0.0;    // membership row has a wrong address
+  double drop_delegation_p = 0.0;     // RIR delegation missing
+  double shuffle_sibling_p = 0.0;     // AS filed under a random other org
+  std::uint64_t seed = 0xBADDA7A;
+
+  bool any() const {
+    return drop_relationship_p > 0 || flip_relationship_p > 0 ||
+           drop_origin_p > 0 || drop_ixp_member_p > 0 ||
+           stale_ixp_member_p > 0 || drop_delegation_p > 0 ||
+           shuffle_sibling_p > 0;
+  }
+};
+
+// Every knob set to `rate` — the one-dimensional sweep the noisy-inputs
+// family and the degradation analyses use.
+CorruptionConfig uniform_corruption(double rate,
+                                    std::uint64_t seed = 0xBADDA7A);
+
+// One injected more-specific hijack: `hijacker` originates `hijacked`
+// (a more-specific of the victim's `victim_prefix`), so longest-match
+// forwarding delivers the victim's traffic to the hijacker's network and
+// the public origin data is poisoned.
+struct HijackRecord {
+  net::Prefix victim_prefix;
+  net::Prefix hijacked;
+  net::AsId victim;
+  net::AsId hijacker;
+};
+
+// One anycast/MOAS co-origination: `secondary` (an unrelated organization)
+// additionally originates `prefix`, and traffic lands at the secondary's
+// site — one prefix, multiple origins and sites (root-DNS style anycast).
+struct AnycastRecord {
+  net::Prefix prefix;
+  net::AsId primary;
+  net::AsId secondary;
+};
+
+// The adversarial layers of one scenario family. Defaults are all inert.
+struct AdversarySpec {
+  std::size_t route_leakers = 0;     // ASes violating valley-free export
+  std::size_t hijacked_prefixes = 0; // injected more-specific hijacks
+  std::size_t anycast_prefixes = 0;  // injected anycast co-originations
+  double spoof_reply_p = 0.0;        // probe::TracerConfig::spoof_reply_p
+  CorruptionConfig corruption;       // inference-input corruption rates
+  std::uint64_t seed = 0xADC0DE;     // drives hijack/anycast selection
+
+  bool active() const {
+    return route_leakers > 0 || hijacked_prefixes > 0 ||
+           anycast_prefixes > 0 || spoof_reply_p > 0 || corruption.any();
+  }
+};
+
+// Deterministically selects up to `count` transit ASes with both a provider
+// and a peer (so the leak has an audience), in ascending AS order.
+std::vector<net::AsId> pick_route_leakers(const topo::Internet& net,
+                                          std::size_t count);
+
+// Injects up to `count` more-specific hijacks against prefixes originated
+// outside the VP's organization. Must run before the BGP/FIB substrate is
+// built over `net`.
+std::vector<HijackRecord> inject_hijacks(topo::Internet& net,
+                                         net::AsId vp_as, std::size_t count,
+                                         std::uint64_t seed);
+
+// Injects up to `count` anycast co-originations of content-network
+// prefixes. Must run before the BGP/FIB substrate is built over `net`.
+std::vector<AnycastRecord> inject_anycast(topo::Internet& net,
+                                          std::size_t count,
+                                          std::uint64_t seed);
+
+// Owned corrupted copies of the five §5.2 input stores. Built from the
+// *public* data a VP would consume (collector-derived origins, inferred
+// relationships), never from the ground truth.
+struct CorruptedInputs {
+  asdata::OriginTable origins;
+  asdata::RelationshipStore rels;
+  asdata::IxpDirectory ixps;
+  asdata::RirDelegations rir;
+  asdata::SiblingTable siblings;
+};
+
+// `protected_ases` are the VP-hosting networks: their own origin rows, RIR
+// delegations, and sibling filings survive corruption untouched, because a
+// bdrmap operator curates their own network's records (§5.2 — the same
+// reason InferenceInputs::vp_ases stays truthful). Public data about
+// everyone else is fair game. Every corruption decision consumes its RNG
+// draw whether or not the record is protected, so the noise applied to the
+// rest of the Internet is identical for any protected set.
+CorruptedInputs corrupt_inputs(const topo::Internet& net,
+                               const asdata::OriginTable& clean_origins,
+                               const asdata::RelationshipStore& clean_rels,
+                               const CorruptionConfig& config,
+                               const std::vector<net::AsId>& protected_ases);
+
+}  // namespace bdrmap::eval

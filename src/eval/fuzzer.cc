@@ -1,0 +1,161 @@
+#include "eval/fuzzer.h"
+
+#include <algorithm>
+#include <exception>
+#include <map>
+#include <sstream>
+
+#include "check/check.h"
+#include "eval/ground_truth.h"
+#include "netbase/contract.h"
+#include "netbase/rng.h"
+#include "runtime/parallel_for.h"
+
+namespace bdrmap::eval {
+
+namespace {
+
+// Jitters `p` multiplicatively within [0.5x, 1.5x], clamped to [0, cap].
+double jitter(net::Rng& rng, double p, double cap = 0.95) {
+  return std::clamp(p * rng.uniform_real(0.5, 1.5), 0.0, cap);
+}
+
+std::string make_repro(const std::string& family, std::uint64_t seed) {
+  std::ostringstream os;
+  os << "tools/scenario_fuzz --family " << family << " --base-seed " << seed
+     << " --seeds 1";
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<std::string> default_fuzz_families() {
+  std::vector<std::string> out = adversarial_scenario_names();
+  out.insert(out.begin(), "small");  // one clean control family
+  return out;
+}
+
+ScenarioSpec fuzzed_spec(const std::string& family, std::uint64_t seed) {
+  auto base = scenario_spec(family, seed);
+  BDRMAP_EXPECTS(base.has_value(), "fuzzed family must be registered");
+  ScenarioSpec spec = *base;
+
+  // Independent stream per case: the topology draw must not perturb the
+  // generator's own seeded stream (spec.config.seed stays `seed`).
+  net::Rng rng(seed ^ 0xF0221E57ULL);
+  topo::GeneratorConfig& c = spec.config;
+  c.num_tier1 = rng.uniform(3, 6);
+  c.num_transit = rng.uniform(8, 16);
+  c.num_access = rng.uniform(3, 6);
+  c.num_content = rng.uniform(4, 8);
+  c.num_research_edu = rng.uniform(1, 3);
+  c.num_enterprise = rng.uniform(40, 100);
+  c.num_ixps = rng.uniform(1, 3);
+  c.featured_access_pops = rng.uniform(3, 6);
+  c.enterprise_multihome_p = jitter(rng, c.enterprise_multihome_p);
+  c.transit_peering_p = jitter(rng, c.transit_peering_p);
+  c.content_peers_access_p = jitter(rng, c.content_peers_access_p);
+  c.ixp_member_p = jitter(rng, c.ixp_member_p);
+  c.ixp_peering_p = jitter(rng, c.ixp_peering_p);
+  c.p_egress_reply = jitter(rng, c.p_egress_reply, 0.4);
+  c.p_virtual_router = jitter(rng, c.p_virtual_router, 0.2);
+  return spec;
+}
+
+FuzzCaseResult run_fuzz_case(const std::string& family, std::uint64_t seed,
+                             double floor_override, obs::Observability* obs) {
+  FuzzCaseResult out;
+  out.family = family;
+  out.seed = seed;
+  out.repro = make_repro(family, seed);
+  try {
+    ScenarioSpec spec = fuzzed_spec(family, seed);
+    out.floor = floor_override >= 0.0 ? floor_override : spec.fuzz_floor;
+    Scenario scenario(spec);
+
+    // Property 3a: the generated truth graph must itself be Gao-Rexford
+    // consistent — the adversarial layers poison announcements, exports,
+    // and input copies, never the relationship edges.
+    check::InvariantChecker checker;
+    check::CheckContext truth_ctx;
+    truth_ctx.net = &scenario.net();
+    truth_ctx.rels = &scenario.net().truth_relationships();
+    check::CheckReport truth_report = checker.run(
+        truth_ctx, {std::string(check::pass_id::kAsGraphSymmetry),
+                    std::string(check::pass_id::kAsGraphGaoRexford)});
+    out.gr_consistent = truth_report.error_count() == 0;
+
+    // The pipeline run (property 1 guards the whole try block).
+    net::AsId vp_as = scenario.first_of(spec.vp_kind);
+    std::vector<topo::Vp> vps = scenario.vps_in(vp_as);
+    if (vps.empty()) {
+      out.crashed = true;
+      out.error = "no VP available in the featured network";
+      return out;
+    }
+    core::BdrmapConfig config;
+    config.obs = obs;
+    core::BdrmapResult result = scenario.run_bdrmap(vps.front(), config, seed);
+
+    // Property 2: accuracy against ground truth.
+    GroundTruth truth(scenario.net(), vp_as);
+    ValidationSummary summary = truth.validate(result);
+    out.link_accuracy = summary.link_accuracy();
+    out.links_total = summary.links_total;
+
+    // Property 3b: the inference audit over what the pipeline produced.
+    core::InferenceInputs inputs = scenario.inputs_for(vp_as);
+    check::CheckContext ctx = check::inference_context(result, inputs);
+    ctx.net = &scenario.net();
+    out.audit_errors = checker.run(ctx).error_count();
+  } catch (const std::exception& e) {
+    out.crashed = true;
+    out.error = e.what();
+    return out;
+  } catch (...) {
+    out.crashed = true;
+    out.error = "unknown exception";
+    return out;
+  }
+  out.passed = !out.crashed && out.gr_consistent && out.audit_errors == 0 &&
+               out.links_total > 0 && out.link_accuracy >= out.floor;
+  return out;
+}
+
+FuzzSummary run_fuzz(const FuzzConfig& config) {
+  const std::vector<std::string> families =
+      config.families.empty() ? default_fuzz_families() : config.families;
+  BDRMAP_EXPECTS(!families.empty(), "fuzz sweep needs at least one family");
+
+  // Contract mode is process-global, so it is switched once around the
+  // whole (possibly pool-parallel) sweep rather than per case: a firing
+  // BDRMAP_EXPECTS anywhere in the pipeline surfaces as a recorded crash.
+  net::ScopedContractMode guard(net::ContractMode::kThrow);
+
+  FuzzSummary summary;
+  summary.cases = runtime::parallel_map<FuzzCaseResult>(
+      config.pool, config.cases, [&](std::size_t i) {
+        const std::string& family = families[i % families.size()];
+        return run_fuzz_case(family, config.base_seed + i,
+                             config.floor_override, config.obs);
+      });
+
+  if (config.obs != nullptr && config.obs->registry() != nullptr) {
+    obs::MetricsRegistry* reg = config.obs->registry();
+    reg->counter("eval.fuzz.scenarios").inc(summary.cases.size());
+    reg->counter("eval.fuzz.failures").inc(summary.failures());
+    // Per-family minimum link accuracy, in basis points (gauges are int64).
+    std::map<std::string, double> min_acc;
+    for (const FuzzCaseResult& c : summary.cases) {
+      auto [it, fresh] = min_acc.try_emplace(c.family, c.link_accuracy);
+      if (!fresh) it->second = std::min(it->second, c.link_accuracy);
+    }
+    for (const auto& [family, acc] : min_acc) {
+      reg->gauge("eval.fuzz.accuracy_bp." + family)
+          .set(static_cast<std::int64_t>(acc * 10000.0));
+    }
+  }
+  return summary;
+}
+
+}  // namespace bdrmap::eval

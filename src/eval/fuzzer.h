@@ -1,0 +1,93 @@
+// Property-based scenario fuzzer (ROADMAP item 5 tentpole).
+//
+// Each case draws a random Gao-Rexford-consistent topology from a seed,
+// instantiates one scenario family from the registry over it, runs the
+// full bdrmap pipeline for one VP, and checks three properties:
+//
+//   1. no crash — neither an exception nor a BDRMAP_EXPECTS/ENSURES
+//      violation escapes the pipeline (contracts run in kThrow mode, so a
+//      firing contract is a recorded failure, not a process abort);
+//   2. accuracy — link accuracy meets the family's fuzz floor, and the
+//      pipeline inferred at least one interdomain link;
+//   3. audit — the src/check inference audit reports zero errors, and the
+//      truth AS graph itself is symmetric and Gao-Rexford consistent
+//      (a generator bug fails the case, not the inference).
+//
+// Failures carry a one-line repro command (tools/scenario_fuzz flags) so
+// any failing seed reruns in isolation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eval/scenario_registry.h"
+#include "obs/obs.h"
+#include "runtime/thread_pool.h"
+
+namespace bdrmap::eval {
+
+struct FuzzConfig {
+  std::uint64_t base_seed = 1;
+  std::size_t cases = 25;
+  // Families to sweep, round-robin (case i uses families[i % size]).
+  // Empty selects the default sweep: "small" plus every adversarial family.
+  std::vector<std::string> families;
+  // Replaces every family's fuzz floor when >= 0 (tests use 1.1 to force
+  // failures deterministically).
+  double floor_override = -1.0;
+  runtime::ThreadPool* pool = nullptr;  // null = sequential
+  obs::Observability* obs = nullptr;    // eval.fuzz.* metrics when enabled
+};
+
+struct FuzzCaseResult {
+  std::string family;
+  std::uint64_t seed = 0;
+  bool passed = false;
+  bool crashed = false;        // property 1 failed
+  bool gr_consistent = true;   // property 3a (truth graph)
+  std::size_t audit_errors = 0;  // property 3b (inference audit)
+  double link_accuracy = 0.0;
+  std::size_t links_total = 0;
+  double floor = 0.0;          // the fuzz floor this case was gated on
+  std::string error;           // exception/contract text when crashed
+  // `tools/scenario_fuzz --family F --base-seed S --seeds 1` — reruns
+  // exactly this case.
+  std::string repro;
+};
+
+struct FuzzSummary {
+  std::vector<FuzzCaseResult> cases;
+
+  std::size_t failures() const {
+    std::size_t n = 0;
+    for (const auto& c : cases) {
+      if (!c.passed) ++n;
+    }
+    return n;
+  }
+  bool passed() const { return failures() == 0; }
+};
+
+// The family list run_fuzz sweeps when FuzzConfig::families is empty.
+std::vector<std::string> default_fuzz_families();
+
+// The registry spec for `family` with its topology randomized from `seed`:
+// AS population, IXP count, PoP count, and peering densities all jitter
+// within generator-supported ranges while the adversarial knobs and floors
+// stay the family's own. Asserts the family exists.
+ScenarioSpec fuzzed_spec(const std::string& family, std::uint64_t seed);
+
+// Runs one fuzz case. The caller is responsible for contract mode (run_fuzz
+// sets kThrow process-wide); obs may be null.
+FuzzCaseResult run_fuzz_case(const std::string& family, std::uint64_t seed,
+                             double floor_override = -1.0,
+                             obs::Observability* obs = nullptr);
+
+// Runs the whole sweep, in parallel when config.pool is set. Deterministic
+// for a given config at any thread count: case i's result depends only on
+// (family, base_seed + i). Publishes eval.fuzz.scenarios/.failures counters
+// and per-family minimum-accuracy gauges (basis points) when obs is live.
+FuzzSummary run_fuzz(const FuzzConfig& config);
+
+}  // namespace bdrmap::eval

@@ -2,29 +2,84 @@
 
 namespace bdrmap::eval {
 
+namespace {
+
+ScenarioSpec custom_spec(const topo::GeneratorConfig& config,
+                         const route::CollectorConfig& collector_config) {
+  ScenarioSpec spec;
+  spec.config = config;
+  spec.collectors = collector_config;
+  return spec;
+}
+
+}  // namespace
+
 Scenario::Scenario(const topo::GeneratorConfig& config,
                    const route::CollectorConfig& collector_config,
                    const route::FibOptions& fib_options)
-    : gen_(topo::generate(config)) {
+    : Scenario(custom_spec(config, collector_config), fib_options) {}
+
+Scenario::Scenario(const ScenarioSpec& spec,
+                   const route::FibOptions& fib_options)
+    : spec_(spec), gen_(topo::generate(spec.config)) {
+  // Control-plane mutations run before the routing substrate is built so
+  // the FIB and collector view see the poisoned announcements.
+  const AdversarySpec& adv = spec_.adversary;
+  if (adv.hijacked_prefixes > 0) {
+    hijacks_ = inject_hijacks(gen_.net, first_of(spec_.vp_kind),
+                              adv.hijacked_prefixes, adv.seed);
+  }
+  if (adv.anycast_prefixes > 0) {
+    anycasts_ = inject_anycast(gen_.net, adv.anycast_prefixes, adv.seed);
+  }
+  route::BgpPolicy policy;
+  if (adv.route_leakers > 0) {
+    policy.leakers = pick_route_leakers(gen_.net, adv.route_leakers);
+  }
   // One registry handle covers the whole routing substrate: the BGP
   // simulator inherits whatever FibOptions carries.
-  bgp_ = std::make_unique<route::BgpSimulator>(gen_.net, fib_options.metrics);
+  bgp_ = std::make_unique<route::BgpSimulator>(gen_.net, std::move(policy),
+                                               fib_options.metrics);
   fib_ = std::make_unique<route::Fib>(gen_.net, *bgp_, fib_options);
-  collectors_ =
-      std::make_unique<route::CollectorView>(gen_.net, *bgp_, collector_config);
+  collectors_ = std::make_unique<route::CollectorView>(gen_.net, *bgp_,
+                                                       spec_.collectors);
   asdata::RelationshipInferenceConfig ric;
-  ric.clique_seed_size = config.num_tier1;
+  ric.clique_seed_size = spec_.config.num_tier1;
   inferred_rels_ = collectors_->infer_relationships(ric);
+  if (adv.corruption.any()) {
+    // Every VP-hosting AS is an operator with curated self-knowledge, so
+    // its own records survive the corruption (see corrupt_inputs).
+    std::vector<net::AsId> vp_hosts;
+    for (const auto& vp : gen_.vps) {
+      if (std::find(vp_hosts.begin(), vp_hosts.end(), vp.as) ==
+          vp_hosts.end()) {
+        vp_hosts.push_back(vp.as);
+      }
+    }
+    corrupted_ = corrupt_inputs(gen_.net, collectors_->public_origins(),
+                                inferred_rels_, adv.corruption, vp_hosts);
+  }
 }
 
 core::InferenceInputs Scenario::inputs_for(net::AsId as) const {
   core::InferenceInputs in;
-  in.origins = &collectors_->public_origins();
-  in.rels = &inferred_rels_;
-  in.ixps = &gen_.net.ixp_directory();
-  in.rir = &gen_.net.rir();
-  in.siblings = &gen_.net.sibling_table();
-  in.vp_ases = gen_.net.sibling_table().siblings_of(as);
+  if (corrupted_.has_value()) {
+    in.origins = &corrupted_->origins;
+    in.rels = &corrupted_->rels;
+    in.ixps = &corrupted_->ixps;
+    in.rir = &corrupted_->rir;
+    in.siblings = &corrupted_->siblings;
+    // The VP's own sibling list is operator-curated (§5.2), so it stays
+    // truthful even when the public AS-to-org data is corrupted.
+    in.vp_ases = gen_.net.sibling_table().siblings_of(as);
+  } else {
+    in.origins = &collectors_->public_origins();
+    in.rels = &inferred_rels_;
+    in.ixps = &gen_.net.ixp_directory();
+    in.rir = &gen_.net.rir();
+    in.siblings = &gen_.net.sibling_table();
+    in.vp_ases = gen_.net.sibling_table().siblings_of(as);
+  }
   // Primary AS first (§5.2: curated list for the hosting network).
   auto it = std::find(in.vp_ases.begin(), in.vp_ases.end(), as);
   if (it != in.vp_ases.end()) std::iter_swap(in.vp_ases.begin(), it);
@@ -42,6 +97,10 @@ std::vector<topo::Vp> Scenario::vps_in(net::AsId as) const {
 std::unique_ptr<probe::LocalProbeServices> Scenario::services_for(
     const topo::Vp& vp, std::uint64_t seed,
     probe::TracerConfig tracer) const {
+  // Spec-level reply spoofing applies unless the caller configured its own.
+  if (tracer.spoof_reply_p <= 0.0) {
+    tracer.spoof_reply_p = spec_.adversary.spoof_reply_p;
+  }
   return std::make_unique<probe::LocalProbeServices>(gen_.net, *fib_, vp,
                                                      seed, tracer);
 }

@@ -8,10 +8,13 @@
 #pragma once
 
 #include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "core/bdrmap.h"
 #include "core/heuristics.h"
+#include "eval/adversary.h"
 #include "probe/alias.h"
 #include "route/collectors.h"
 #include "route/fib.h"
@@ -20,6 +23,27 @@
 
 namespace bdrmap::eval {
 
+// The full description of one named scenario family: topology, collector
+// view, VP placement, adversarial layers, and the accuracy floors the
+// validation bench and the fuzzer gate on. scenario_registry.h constructs
+// these by name.
+struct ScenarioSpec {
+  std::string name = "custom";
+  std::string description;
+  topo::GeneratorConfig config;
+  route::CollectorConfig collectors;
+  topo::AsKind vp_kind = topo::AsKind::kAccess;
+  // How many VPs bench_validation runs for this family (the paper used 3
+  // for the large access network, 1 elsewhere).
+  std::size_t bench_vp_count = 1;
+  AdversarySpec adversary;
+  // Link-accuracy gates: `link_accuracy_floor` applies at the canonical
+  // bench seed (42); `fuzz_floor` is the looser bound for
+  // fuzzer-randomized topologies.
+  double link_accuracy_floor = 0.9;
+  double fuzz_floor = 0.75;
+};
+
 class Scenario {
  public:
   // fib_options lets benchmarks and the golden bit-identity suite build a
@@ -27,6 +51,14 @@ class Scenario {
   // (enable_caches = false) as the fast-path baseline.
   explicit Scenario(const topo::GeneratorConfig& config,
                     const route::CollectorConfig& collector_config = {},
+                    const route::FibOptions& fib_options = {});
+
+  // Builds a (possibly adversarial) named scenario: applies the spec's
+  // control-plane mutations before constructing the routing substrate,
+  // hands the route-leak policy to the BGP simulator, and — when the spec
+  // carries corruption rates — derives noisy copies of the inference
+  // inputs that inputs_for() then serves instead of the clean ones.
+  explicit Scenario(const ScenarioSpec& spec,
                     const route::FibOptions& fib_options = {});
 
   Scenario(const Scenario&) = delete;
@@ -40,6 +72,13 @@ class Scenario {
   const asdata::RelationshipStore& inferred_rels() const {
     return inferred_rels_;
   }
+
+  // The spec this scenario was built from (a synthesized "custom" spec for
+  // the plain-config constructor) and the adversarial injection records.
+  const ScenarioSpec& spec() const { return spec_; }
+  const std::vector<HijackRecord>& hijacks() const { return hijacks_; }
+  const std::vector<AnycastRecord>& anycasts() const { return anycasts_; }
+  bool inputs_corrupted() const { return corrupted_.has_value(); }
 
   // The inference inputs a VP in `as` receives: public origins, inferred
   // relationships, IXP/RIR data, and the curated sibling list of the VP's
@@ -79,11 +118,17 @@ class Scenario {
   net::AsId first_of(topo::AsKind kind, std::size_t index = 0) const;
 
  private:
+  ScenarioSpec spec_;
   topo::GeneratedInternet gen_;
+  std::vector<HijackRecord> hijacks_;
+  std::vector<AnycastRecord> anycasts_;
   std::unique_ptr<route::BgpSimulator> bgp_;
   std::unique_ptr<route::Fib> fib_;
   std::unique_ptr<route::CollectorView> collectors_;
   asdata::RelationshipStore inferred_rels_;
+  // Present iff the spec carries corruption rates; inputs_for() serves
+  // these noisy copies instead of the clean stores.
+  std::optional<CorruptedInputs> corrupted_;
 };
 
 // Named configurations approximating the paper's networks. All are

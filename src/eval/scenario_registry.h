@@ -1,0 +1,40 @@
+// Named scenario registry: one place that maps a scenario name to its full
+// ScenarioSpec (topology, collectors, VP placement, adversarial layers,
+// accuracy floors). bdrmap_sim, bench_validation, scenario_fuzz, and the
+// test suite all construct scenarios through here, so a family is defined
+// exactly once.
+//
+// Clean families ("ren", "access", "tier1", "small") approximate the §5.6
+// validation networks; adversarial families stress the §4 challenges — see
+// docs/scenarios.md for each family's grounding, knobs, and floors.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "eval/scenario.h"
+
+namespace bdrmap::eval {
+
+// All registered scenario names, clean families first.
+std::vector<std::string> scenario_names();
+
+// The adversarial subset (families with an active AdversarySpec), in
+// registry order — what bench_validation gates and the fuzzer sweeps.
+std::vector<std::string> adversarial_scenario_names();
+
+// The spec for `name` seeded with `seed`; nullopt for unknown names.
+std::optional<ScenarioSpec> scenario_spec(std::string_view name,
+                                          std::uint64_t seed);
+
+// Convenience: builds the scenario for `name`; nullptr for unknown names.
+std::unique_ptr<Scenario> make_scenario(std::string_view name,
+                                        std::uint64_t seed,
+                                        const route::FibOptions& fib_options =
+                                            {});
+
+}  // namespace bdrmap::eval

@@ -72,6 +72,19 @@ Ipv4Addr TracerouteEngine::reply_source(
   return found ? best : net_.canonical_addr(router);
 }
 
+Ipv4Addr TracerouteEngine::maybe_spoof(Ipv4Addr real, Ipv4Addr probe_dst) {
+  // Guard on p > 0 before drawing so the honest configuration consumes no
+  // RNG state (bit-identical traces for every pre-existing seed).
+  if (config_.spoof_reply_p <= 0.0 || !rng_.chance(config_.spoof_reply_p)) {
+    return real;
+  }
+  // Forge a host address inside the destination's /24: the reply appears
+  // to originate in the destination network even though the true replier
+  // sits mid-path (TraceHop::truth_router still records reality).
+  std::uint32_t host = rng_.uniform(1, 254);
+  return Ipv4Addr((probe_dst.value() & 0xffffff00u) | host);
+}
+
 TraceResult TracerouteEngine::trace(Ipv4Addr dst, const StopFn& stop) {
   traces_.inc();
   TraceResult result;
@@ -170,7 +183,7 @@ TraceResult TracerouteEngine::trace(Ipv4Addr dst, const StopFn& stop) {
       // reaches the end host, which may answer.
       if (router.behavior.sends_ttl_expired &&
           !rng_.chance(router.behavior.rate_limit_drop)) {
-        hop.addr = reply_source(node.router, node.ingress, q);
+        hop.addr = maybe_spoof(reply_source(node.router, node.ingress, q), dst);
         hop.kind = ReplyKind::kTimeExceeded;
       }
       ++probes_sent_;  // the extra host-directed probe
@@ -195,7 +208,7 @@ TraceResult TracerouteEngine::trace(Ipv4Addr dst, const StopFn& stop) {
     // Intermediate hop: ICMP time exceeded, maybe.
     if (router.behavior.sends_ttl_expired &&
         !rng_.chance(router.behavior.rate_limit_drop)) {
-      hop.addr = reply_source(node.router, node.ingress, q);
+      hop.addr = maybe_spoof(reply_source(node.router, node.ingress, q), dst);
       hop.kind = ReplyKind::kTimeExceeded;
     }
     result.hops.push_back(hop);

@@ -34,6 +34,13 @@ struct TracerConfig {
   // differently and equal-cost paths interleave, manufacturing false
   // adjacencies.
   bool paris = true;
+  // Adversarial reply spoofing (eval scenario families): with this
+  // probability a time-exceeded reply's source address is forged to a host
+  // address inside the probed destination's covering prefix — the
+  // spoofed/NATed-middlebox pathology that makes a transit hop look like
+  // the destination network. 0 (default) leaves the reply plane honest and
+  // consumes no RNG draws, so existing seeds stay bit-identical.
+  double spoof_reply_p = 0.0;
   // When set, per-type probe counters (probe.*) report here; nullptr
   // (default) keeps them no-ops. Shared by every engine of a run — the
   // counters are get-or-create, so per-VP engines aggregate.
@@ -74,6 +81,8 @@ class TracerouteEngine {
   // The reply source address a router uses for a time-exceeded message.
   Ipv4Addr reply_source(net::RouterId router, net::IfaceId ingress,
                         const route::Fib::RouteQuery& dst_query) const;
+  // Applies TracerConfig::spoof_reply_p to a time-exceeded reply source.
+  Ipv4Addr maybe_spoof(Ipv4Addr real, Ipv4Addr probe_dst);
   bool reaches(net::RouterId router, Ipv4Addr probe_dst) const;
 
   const topo::Internet& net_;

@@ -15,6 +15,7 @@
 #include <optional>
 #include <shared_mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "netbase/ids.h"
@@ -24,6 +25,20 @@
 namespace bdrmap::route {
 
 using net::AsId;
+
+// Export-policy overrides for adversarial scenarios. The relationship graph
+// stays Gao-Rexford-consistent; a policy only changes what an AS *exports*.
+struct BgpPolicy {
+  // ASes committing a classic type-1 route leak: each re-exports its best
+  // route of ANY class to all of its providers and peers, which accept it
+  // as a customer-/peer-learned route respectively. A neighbor whose own
+  // best route is already at least as short rejects the leak (AS-path loop
+  // detection: the circular announcement carries the neighbor's own ASN),
+  // which keeps the leaked forwarding plane loop-free.
+  std::vector<AsId> leakers;
+
+  bool has_leaks() const { return !leakers.empty(); }
+};
 
 enum class RouteClass : std::uint8_t {
   kNone,      // unreachable
@@ -44,6 +59,13 @@ class BgpSimulator {
   // keeps every instrument a no-op.
   explicit BgpSimulator(const topo::Internet& net,
                         obs::MetricsRegistry* metrics = nullptr);
+
+  // Same, with an adversarial export policy (route leaks). The default
+  // policy is empty, making this constructor equivalent to the one above.
+  BgpSimulator(const topo::Internet& net, BgpPolicy policy,
+               obs::MetricsRegistry* metrics = nullptr);
+
+  const BgpPolicy& policy() const { return policy_; }
 
   // Best route class/length from `src` toward `dst` (an AS).
   RouteInfo route(AsId src, AsId dst) const;
@@ -91,8 +113,21 @@ class BgpSimulator {
   const PerDst& table(AsId dst) const;
   TierSet compute_tiers(AsId src, AsId dst) const;
   std::size_t index(AsId as) const { return as_index_.at(as); }
+  bool is_leaker(AsId as) const { return leaker_set_.count(as) > 0; }
+
+  // Relax-only derivations shared by the base fill and the leak overlay:
+  // peer[] from cust[] across peer edges, prov[] via Dijkstra down p2c
+  // edges. Both only ever lower values, so re-running after a leak
+  // relaxation is safe.
+  void derive_peer(PerDst& t) const;
+  void derive_prov(PerDst& t) const;
+  // Applies the BgpPolicy route leaks to a freshly computed table, iterated
+  // to a fixed point (all relaxations strictly decrease bounded values).
+  void apply_leaks(PerDst& t) const;
 
   const topo::Internet& net_;
+  BgpPolicy policy_;
+  std::unordered_set<AsId> leaker_set_;
   std::unordered_map<AsId, std::size_t> as_index_;
   std::vector<AsId> as_ids_;
   // No-op handles unless a registry was supplied at construction.

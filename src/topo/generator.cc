@@ -853,14 +853,16 @@ void Generator::create_ixps() {
           {lan, ixp_as, attach.begin()->second.first, {}, 0.0});
     }
 
-    // Public directory entry (PeeringDB/PCH analogue), with record noise:
-    // ~7% of membership rows are missing, ~3% stale (wrong address).
+    // Public directory entry (PeeringDB/PCH analogue), with configurable
+    // record noise (defaults: ~7% of rows missing, ~3% stale).
     std::size_t ixp_index = net_.ixp_directory().add_ixp(
         {"IXP-" + std::to_string(x + 1), lan, lan_announced ? ixp_as : AsId{}});
     for (AsId m : members) {
-      if (rng_.chance(0.07)) continue;  // missing record
+      if (rng_.chance(config_.ixp_missing_record_p)) continue;
       Ipv4Addr recorded = attach.at(m).second;
-      if (rng_.chance(0.03)) recorded = Ipv4Addr(recorded.value() + 100);
+      if (rng_.chance(config_.ixp_stale_record_p)) {
+        recorded = Ipv4Addr(recorded.value() + 100);
+      }
       net_.ixp_directory().add_membership({ixp_index, m, recorded});
     }
 

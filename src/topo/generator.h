@@ -55,6 +55,12 @@ struct GeneratorConfig {
   double ixp_member_p = 0.35;            // transit/content joins a given IXP
   double ixp_peering_p = 0.5;            // members peer via route server
 
+  // --- IXP directory record quality (PeeringDB/PCH analogue) ---
+  // Defaults reproduce real-world noise levels; adversarial scenario
+  // families crank them up to model hidden route-server peers (§4 ch. 6).
+  double ixp_missing_record_p = 0.07;  // membership row absent entirely
+  double ixp_stale_record_p = 0.03;    // row present, wrong fabric address
+
   // --- behaviour mixtures (per router unless noted) ---
   double p_enterprise_firewall = 0.72;  // edge filtering at stub borders
   double p_silent = 0.04;               // no ICMP at all

@@ -1,0 +1,123 @@
+// Property-based scenario fuzzer: sweep determinism, the three per-case
+// properties, forced-failure repro lines, and the eval.fuzz.* metrics.
+#include "eval/fuzzer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "runtime/thread_pool.h"
+
+namespace bdrmap::eval {
+namespace {
+
+TEST(Fuzzer, DefaultFamiliesAreSmallPlusAdversarial) {
+  auto families = default_fuzz_families();
+  ASSERT_FALSE(families.empty());
+  EXPECT_EQ(families.front(), "small");  // the clean control
+  for (const std::string& adv : adversarial_scenario_names()) {
+    EXPECT_NE(std::find(families.begin(), families.end(), adv),
+              families.end())
+        << adv;
+  }
+}
+
+TEST(Fuzzer, FuzzedSpecIsDeterministicAndBounded) {
+  ScenarioSpec a = fuzzed_spec("route_leak", 7);
+  ScenarioSpec b = fuzzed_spec("route_leak", 7);
+  EXPECT_EQ(a.config.num_tier1, b.config.num_tier1);
+  EXPECT_EQ(a.config.num_enterprise, b.config.num_enterprise);
+  EXPECT_EQ(a.config.ixp_member_p, b.config.ixp_member_p);
+  EXPECT_EQ(a.config.seed, 7u);
+  // The family's adversarial knobs and floors survive the randomization.
+  EXPECT_EQ(a.name, "route_leak");
+  EXPECT_EQ(a.adversary.route_leakers, 2u);
+  EXPECT_DOUBLE_EQ(a.fuzz_floor, 0.6);
+  // Topology draws stay inside the generator-supported ranges.
+  EXPECT_GE(a.config.num_tier1, 3u);
+  EXPECT_LE(a.config.num_tier1, 6u);
+  EXPECT_GE(a.config.num_enterprise, 40u);
+  EXPECT_LE(a.config.num_enterprise, 100u);
+  EXPECT_LE(a.config.p_egress_reply, 0.4);
+}
+
+TEST(Fuzzer, SweepPassesAndRepeatsBitIdentically) {
+  FuzzConfig config;
+  config.base_seed = 1;
+  config.cases = 8;
+  FuzzSummary first = run_fuzz(config);
+  FuzzSummary second = run_fuzz(config);
+  EXPECT_EQ(first.failures(), 0u) << [&] {
+    std::string s;
+    for (const auto& c : first.cases) {
+      if (!c.passed) s += c.repro + " (" + c.error + ")\n";
+    }
+    return s;
+  }();
+  ASSERT_EQ(first.cases.size(), second.cases.size());
+  for (std::size_t i = 0; i < first.cases.size(); ++i) {
+    EXPECT_EQ(first.cases[i].family, second.cases[i].family);
+    EXPECT_EQ(first.cases[i].seed, second.cases[i].seed);
+    EXPECT_EQ(first.cases[i].link_accuracy, second.cases[i].link_accuracy);
+    EXPECT_EQ(first.cases[i].links_total, second.cases[i].links_total);
+    EXPECT_EQ(first.cases[i].audit_errors, second.cases[i].audit_errors);
+  }
+}
+
+TEST(Fuzzer, ParallelSweepMatchesSequential) {
+  FuzzConfig config;
+  config.base_seed = 3;
+  config.cases = 8;
+  FuzzSummary sequential = run_fuzz(config);
+  auto pool = runtime::make_pool(4);
+  config.pool = pool.get();
+  FuzzSummary parallel = run_fuzz(config);
+  ASSERT_EQ(sequential.cases.size(), parallel.cases.size());
+  for (std::size_t i = 0; i < sequential.cases.size(); ++i) {
+    EXPECT_EQ(sequential.cases[i].family, parallel.cases[i].family);
+    EXPECT_EQ(sequential.cases[i].link_accuracy,
+              parallel.cases[i].link_accuracy);
+    EXPECT_EQ(sequential.cases[i].passed, parallel.cases[i].passed);
+  }
+}
+
+TEST(Fuzzer, FloorOverrideForcesFailuresWithReproLines) {
+  FuzzConfig config;
+  config.base_seed = 1;
+  config.cases = 3;
+  config.families = {"small"};
+  config.floor_override = 1.1;  // unreachable: every case must fail
+  FuzzSummary summary = run_fuzz(config);
+  EXPECT_EQ(summary.failures(), 3u);
+  for (const auto& c : summary.cases) {
+    EXPECT_FALSE(c.passed);
+    EXPECT_FALSE(c.crashed) << c.error;  // only the floor failed
+    EXPECT_DOUBLE_EQ(c.floor, 1.1);
+    EXPECT_EQ(c.repro, "tools/scenario_fuzz --family small --base-seed " +
+                           std::to_string(c.seed) + " --seeds 1");
+  }
+}
+
+TEST(Fuzzer, PublishesObsMetrics) {
+  obs::Observability obs({.enabled = true});
+  FuzzConfig config;
+  config.base_seed = 5;
+  config.cases = 4;
+  config.families = {"small", "noisy_inputs"};
+  config.obs = &obs;
+  FuzzSummary summary = run_fuzz(config);
+  ASSERT_NE(obs.registry(), nullptr);
+  EXPECT_EQ(obs.registry()->counter("eval.fuzz.scenarios").value(), 4u);
+  EXPECT_EQ(obs.registry()->counter("eval.fuzz.failures").value(),
+            summary.failures());
+  // Per-family minimum accuracy in basis points.
+  for (const char* family : {"small", "noisy_inputs"}) {
+    auto gauge =
+        obs.registry()->gauge(std::string("eval.fuzz.accuracy_bp.") + family);
+    EXPECT_GT(gauge.value(), 0);
+    EXPECT_LE(gauge.value(), 10000);
+  }
+}
+
+}  // namespace
+}  // namespace bdrmap::eval

@@ -1,8 +1,10 @@
-// Scenario wiring: named configurations, input plumbing, and the
-// determinism contract the benches rely on.
+// Scenario wiring: named configurations, the scenario registry, input
+// plumbing, and the determinism contract the benches rely on.
 #include "eval/scenario.h"
 
 #include <gtest/gtest.h>
+
+#include "eval/scenario_registry.h"
 
 namespace bdrmap::eval {
 namespace {
@@ -26,6 +28,43 @@ TEST(Scenario, NamedConfigsProduceExpectedVpNetworks) {
     auto vps = s.vps_in(s.first_of(topo::AsKind::kAccess));
     EXPECT_EQ(vps.size(), 4u);  // featured_access_pops = 4
   }
+}
+
+TEST(ScenarioRegistry, EveryNameResolvesAndUnknownsDoNot) {
+  auto names = scenario_names();
+  ASSERT_GE(names.size(), 9u);
+  EXPECT_EQ(names.front(), "ren");  // clean families lead the listing
+  for (const std::string& name : names) {
+    auto spec = scenario_spec(name, 1);
+    ASSERT_TRUE(spec.has_value()) << name;
+    EXPECT_EQ(spec->name, name);
+    EXPECT_FALSE(spec->description.empty()) << name;
+    EXPECT_EQ(spec->config.seed, 1u) << name;
+  }
+  EXPECT_FALSE(scenario_spec("nonesuch", 1).has_value());
+  EXPECT_EQ(make_scenario("nonesuch", 1), nullptr);
+}
+
+TEST(ScenarioRegistry, AdversarialFamiliesCarryLayersAndFloors) {
+  auto adversarial = adversarial_scenario_names();
+  EXPECT_GE(adversarial.size(), 5u);  // the bench gates at least five
+  for (const std::string& name : adversarial) {
+    auto spec = scenario_spec(name, 1);
+    ASSERT_TRUE(spec.has_value()) << name;
+    EXPECT_LE(spec->fuzz_floor, spec->link_accuracy_floor) << name;
+    // hidden_ixp attacks through generator/collector knobs alone; every
+    // other family activates an AdversarySpec layer.
+    if (name != "hidden_ixp") {
+      EXPECT_TRUE(spec->adversary.active()) << name;
+    }
+  }
+}
+
+TEST(ScenarioRegistry, MakeScenarioBuildsTheNamedFamily) {
+  auto scenario = make_scenario("noisy_inputs", 7);
+  ASSERT_NE(scenario, nullptr);
+  EXPECT_EQ(scenario->spec().name, "noisy_inputs");
+  EXPECT_TRUE(scenario->inputs_corrupted());
 }
 
 TEST(Scenario, FeaturedNetworksResolve) {

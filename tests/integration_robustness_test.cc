@@ -1,10 +1,12 @@
 // Cross-cutting integration properties: remote timestamp plumbing, MOAS
 // forwarding, pinned-prefix fallback, link emission after response gaps,
-// and validation robustness across seeds at access-network scale.
+// validation robustness across seeds at access-network scale, and the
+// adversarial scenario families (accuracy floor + clean invariant audit).
 #include <gtest/gtest.h>
 
+#include "check/check.h"
 #include "eval/ground_truth.h"
-#include "eval/scenario.h"
+#include "eval/scenario_registry.h"
 #include "remote/split.h"
 #include "route/fib.h"
 #include "test_support.h"
@@ -119,6 +121,58 @@ TEST_P(AccessValidation, LinkAccuracyHoldsAtScale) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AccessValidation,
                          ::testing::Values(42, 7, 99));
+
+// One case per registered adversarial family at the canonical bench seed:
+// the pipeline must hold the family's link-accuracy floor, and the
+// inference audit over what it produced must be clean.
+class AdversarialFamily : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AdversarialFamily, MeetsFloorWithCleanAudit) {
+  auto scenario = eval::make_scenario(GetParam(), 42);
+  ASSERT_NE(scenario, nullptr);
+  const eval::ScenarioSpec& spec = scenario->spec();
+  net::AsId vp_as = scenario->first_of(spec.vp_kind);
+  auto vps = scenario->vps_in(vp_as);
+  ASSERT_FALSE(vps.empty());
+  auto result = scenario->run_bdrmap(vps.front());
+
+  eval::GroundTruth truth(scenario->net(), vp_as);
+  auto summary = truth.validate(result);
+  ASSERT_GT(summary.links_total, 0u);
+  EXPECT_GE(summary.link_accuracy(), spec.link_accuracy_floor)
+      << summary.links_correct << "/" << summary.links_total;
+
+  core::InferenceInputs inputs = scenario->inputs_for(vp_as);
+  check::CheckContext ctx = check::inference_context(result, inputs);
+  ctx.net = &scenario->net();
+  check::CheckReport report = check::InvariantChecker().run(ctx);
+  EXPECT_EQ(report.error_count(), 0u) << report.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, AdversarialFamily,
+    ::testing::ValuesIn(eval::adversarial_scenario_names()),
+    [](const auto& info) { return info.param; });
+
+TEST(AdversarialFamilies, RouteLeakIsVisibleToTheSubstrateAudit) {
+  // Positive control for the leak machinery: the rib.valley-free pass must
+  // actually see valley paths when leakers are active — an adversary the
+  // audit cannot detect would make the family's clean-audit gate vacuous.
+  auto scenario = eval::make_scenario("route_leak", 42);
+  ASSERT_NE(scenario, nullptr);
+  check::CheckContext ctx = check::substrate_context(
+      scenario->net(), scenario->bgp(), scenario->fib());
+  check::CheckReport report = check::InvariantChecker().run(
+      ctx, {std::string(check::pass_id::kRibValleyFree)});
+  EXPECT_GT(report.count(check::pass_id::kRibValleyFree), 0u);
+
+  auto clean = eval::make_scenario("small", 42);
+  check::CheckContext clean_ctx = check::substrate_context(
+      clean->net(), clean->bgp(), clean->fib());
+  check::CheckReport clean_report = check::InvariantChecker().run(
+      clean_ctx, {std::string(check::pass_id::kRibValleyFree)});
+  EXPECT_EQ(clean_report.count(check::pass_id::kRibValleyFree), 0u);
+}
 
 TEST(GapLinks, FirstRouterAfterSilentBorderStillLinked) {
   // Find a run where some neighbor is reached only past a response gap;

@@ -5,10 +5,13 @@
 // "Internet" is the synthetic substrate, selected by scenario name + seed.
 //
 // Usage:
-//   bdrmap_sim [--scenario ren|access|tier1|small] [--seed N] [--vp K]
+//   bdrmap_sim [--scenario NAME] [--list-scenarios] [--seed N] [--vp K]
 //              [--all-vps] [--threads N]
 //              [--json FILE] [--warts FILE] [--dump-traces] [--table1]
 //              [--validate] [--audit] [--quiet] [--no-route-cache]
+//
+// Scenario names come from eval::scenario_registry — the four clean §5.6
+// networks plus the adversarial families (route_leak, hijack, ...).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -18,7 +21,7 @@
 #include "check/check.h"
 #include "core/offline.h"
 #include "eval/ground_truth.h"
-#include "eval/scenario.h"
+#include "eval/scenario_registry.h"
 #include "eval/table1.h"
 #include "obs/export.h"
 #include "obs/obs.h"
@@ -34,6 +37,7 @@ namespace {
 
 struct Options {
   std::string scenario = "ren";
+  bool list_scenarios = false;
   std::uint64_t seed = 42;
   std::size_t vp_index = 0;
   bool all_vps = false;  // run every VP of the network, in parallel
@@ -57,10 +61,19 @@ struct Options {
   std::string obs_json_path;
 };
 
+void list_scenarios(std::FILE* out) {
+  std::fprintf(out, "available scenarios:\n");
+  for (const std::string& name : eval::scenario_names()) {
+    auto spec = eval::scenario_spec(name, 1);
+    std::fprintf(out, "  %-15s %s\n", name.c_str(),
+                 spec ? spec->description.c_str() : "");
+  }
+}
+
 void usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s [--scenario ren|access|tier1|small] [--seed N] [--vp K]\n"
+      "usage: %s [--scenario NAME] [--list-scenarios] [--seed N] [--vp K]\n"
       "          [--all-vps] [--threads N]\n"
       "          [--json FILE] [--warts FILE] [--dot FILE] [--replay FILE]\n"
       "          [--dump-traces] [--table1] [--validate] [--audit] "
@@ -79,6 +92,8 @@ bool parse_args(int argc, char** argv, Options* opts) {
       const char* v = next();
       if (!v) return false;
       opts->scenario = v;
+    } else if (arg == "--list-scenarios") {
+      opts->list_scenarios = true;
     } else if (arg == "--seed") {
       const char* v = next();
       if (!v) return false;
@@ -143,25 +158,19 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  topo::GeneratorConfig config;
-  topo::AsKind vp_kind;
-  if (opts.scenario == "ren") {
-    config = eval::research_education_config(opts.seed);
-    vp_kind = topo::AsKind::kResearchEdu;
-  } else if (opts.scenario == "access") {
-    config = eval::large_access_config(opts.seed);
-    vp_kind = topo::AsKind::kAccess;
-  } else if (opts.scenario == "tier1") {
-    config = eval::tier1_config(opts.seed);
-    vp_kind = topo::AsKind::kTier1;
-  } else if (opts.scenario == "small") {
-    config = eval::small_access_config(opts.seed);
-    vp_kind = topo::AsKind::kAccess;
-  } else {
+  if (opts.list_scenarios) {
+    list_scenarios(stdout);
+    return 0;
+  }
+
+  auto spec = eval::scenario_spec(opts.scenario, opts.seed);
+  if (!spec.has_value()) {
     std::fprintf(stderr, "unknown scenario: %s\n", opts.scenario.c_str());
+    list_scenarios(stderr);
     usage(argv[0]);
     return 2;
   }
+  const topo::AsKind vp_kind = spec->vp_kind;
 
   obs::ObsOptions obs_options;
   obs_options.enabled = !opts.obs_json_path.empty();
@@ -171,7 +180,7 @@ int main(int argc, char** argv) {
   route::FibOptions fib_options;
   fib_options.enable_caches = !opts.no_route_cache;
   fib_options.metrics = obs.registry();
-  eval::Scenario scenario(config, {}, fib_options);
+  eval::Scenario scenario(*spec, fib_options);
   net::AsId vp_as = scenario.first_of(vp_kind);
   auto vps = scenario.vps_in(vp_as);
   if (vps.empty()) {

@@ -16,6 +16,9 @@
 #                  small scenario (single-VP and multi-VP) and validate the
 #                  exports against docs/obs_schema.json with
 #                  tools/check_obs.py
+#   --fuzz         property-based scenario fuzz smoke: fixed-seed sweep of
+#                  25 cases across every adversarial family (scenario_fuzz;
+#                  failing seeds print one-line repro commands)
 #
 # clang-tidy is optional: when the binary is absent the tidy stage is
 # skipped with a notice (the .clang-tidy profile still gates CI runners
@@ -29,14 +32,16 @@ LINT_ONLY=0
 TSAN_ONLY=0
 BENCH_ONLY=0
 OBS_ONLY=0
+FUZZ_ONLY=0
 case "${1:-}" in
   --fast) FAST=1 ;;
   --lint) LINT_ONLY=1 ;;
   --tsan) TSAN_ONLY=1 ;;
   --bench) BENCH_ONLY=1 ;;
   --obs) OBS_ONLY=1 ;;
+  --fuzz) FUZZ_ONLY=1 ;;
   "") ;;
-  *) echo "usage: tools/check.sh [--fast|--lint|--tsan|--bench|--obs]" >&2; exit 2 ;;
+  *) echo "usage: tools/check.sh [--fast|--lint|--tsan|--bench|--obs|--fuzz]" >&2; exit 2 ;;
 esac
 
 run_tsan() {
@@ -44,9 +49,16 @@ run_tsan() {
   cmake --preset tsan
   cmake --build --preset tsan -j "$JOBS" --target \
     runtime_thread_pool_test runtime_multi_vp_test netbase_contract_test \
-    route_fastpath_test obs_metrics_test obs_trace_test
+    route_fastpath_test obs_metrics_test obs_trace_test eval_fuzzer_test
   ctest --test-dir build-tsan -j "$JOBS" --output-on-failure \
-    -R 'ThreadPool|TaskGroup|ParallelFor|ParallelMap|MultiVp|Contract|FastPath|Obs'
+    -R 'ThreadPool|TaskGroup|ParallelFor|ParallelMap|MultiVp|Contract|FastPath|Obs|Fuzzer'
+}
+
+run_fuzz() {
+  echo "== fuzz smoke: scenario_fuzz, fixed-seed 25-case sweep =="
+  cmake --preset default >/dev/null
+  cmake --build --preset default -j "$JOBS" --target scenario_fuzz
+  ./build/tools/scenario_fuzz --seeds 25 --threads "$JOBS"
 }
 
 run_obs() {
@@ -109,6 +121,12 @@ fi
 if [[ "$OBS_ONLY" == "1" ]]; then
   run_obs
   echo "== obs smoke passed =="
+  exit 0
+fi
+
+if [[ "$FUZZ_ONLY" == "1" ]]; then
+  run_fuzz
+  echo "== fuzz smoke passed =="
   exit 0
 fi
 
