@@ -1,0 +1,191 @@
+// Concurrency capabilities: Clang Thread Safety Analysis (TSA) attribute
+// macros plus the only lock types the repository is allowed to use
+// (docs/static_analysis.md §4; lint rule BDR103 bans raw std primitives
+// everywhere in src/ outside this header).
+//
+// Why: the road to bdrmapd (ROADMAP item 2) is concurrent incremental
+// re-inference under millions of lookups/sec. Until now the lock
+// discipline around every shared structure — worker deques, the park
+// protocol, the FIB/BGP double-checked caches, the metrics registry —
+// lived in comments, enforced only by whichever interleavings tsan
+// happened to witness. With these wrappers the discipline is part of the
+// type system: a member annotated BDRMAP_GUARDED_BY(mu_) cannot be read
+// without holding mu_, a helper annotated BDRMAP_REQUIRES(mu_) cannot be
+// called without it, and a Clang build with -Wthread-safety
+// -Werror=thread-safety-analysis (CMake option BDRMAP_THREAD_SAFETY, CI
+// job clang-threadsafety) fails to compile on violation — at every call
+// site, including the interleavings no test exercises.
+//
+// On non-Clang compilers every macro expands to nothing and the wrappers
+// are zero-cost veneers over the std primitives, so GCC builds and
+// sanitizer presets are unaffected.
+//
+// Usage conventions (mirrored in docs/static_analysis.md):
+//
+//   net::Mutex mu_;
+//   std::deque<Task> tasks_ BDRMAP_GUARDED_BY(mu_);
+//
+//   void drain() BDRMAP_EXCLUDES(mu_);            // takes mu_ itself
+//   void drain_locked() BDRMAP_REQUIRES(mu_);     // caller holds mu_
+//
+//   { net::MutexLock lk(mu_); ... }               // exclusive section
+//   { net::SharedLock lk(cache_mu_); ... }        // shared (reader) section
+//
+// Condition variables pair with Mutex through net::CondVar, whose wait
+// functions atomically release and re-acquire the capability; from the
+// analysis' (and the caller's) point of view the mutex is held across the
+// wait. Predicates are deliberately not part of the wait API: TSA analyzes
+// a lambda body as a separate function that does not hold the caller's
+// capabilities, so waiters loop around a plain wait instead.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+// ---------------------------------------------------------------------------
+// Attribute macros. Clang-only; empty elsewhere.
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__)
+#define BDRMAP_TSA_ATTR(x) __attribute__((x))
+#else
+#define BDRMAP_TSA_ATTR(x)  // non-Clang: annotations compile away
+#endif
+
+// Type of a lockable resource ("capability") / of a RAII lock over one.
+#define BDRMAP_CAPABILITY(x) BDRMAP_TSA_ATTR(capability(x))
+#define BDRMAP_SCOPED_CAPABILITY BDRMAP_TSA_ATTR(scoped_lockable)
+
+// Data members protected by a capability (pointee variant for pointers).
+#define BDRMAP_GUARDED_BY(x) BDRMAP_TSA_ATTR(guarded_by(x))
+#define BDRMAP_PT_GUARDED_BY(x) BDRMAP_TSA_ATTR(pt_guarded_by(x))
+
+// Function contracts: caller must hold / must not hold the capability.
+#define BDRMAP_REQUIRES(...) BDRMAP_TSA_ATTR(requires_capability(__VA_ARGS__))
+#define BDRMAP_REQUIRES_SHARED(...) \
+  BDRMAP_TSA_ATTR(requires_shared_capability(__VA_ARGS__))
+#define BDRMAP_EXCLUDES(...) BDRMAP_TSA_ATTR(locks_excluded(__VA_ARGS__))
+
+// Functions that acquire / release capabilities themselves.
+#define BDRMAP_ACQUIRE(...) BDRMAP_TSA_ATTR(acquire_capability(__VA_ARGS__))
+#define BDRMAP_ACQUIRE_SHARED(...) \
+  BDRMAP_TSA_ATTR(acquire_shared_capability(__VA_ARGS__))
+#define BDRMAP_RELEASE(...) BDRMAP_TSA_ATTR(release_capability(__VA_ARGS__))
+#define BDRMAP_RELEASE_SHARED(...) \
+  BDRMAP_TSA_ATTR(release_shared_capability(__VA_ARGS__))
+#define BDRMAP_TRY_ACQUIRE(...) \
+  BDRMAP_TSA_ATTR(try_acquire_capability(__VA_ARGS__))
+
+// Lock ordering and escape hatches.
+#define BDRMAP_ACQUIRED_BEFORE(...) \
+  BDRMAP_TSA_ATTR(acquired_before(__VA_ARGS__))
+#define BDRMAP_ACQUIRED_AFTER(...) BDRMAP_TSA_ATTR(acquired_after(__VA_ARGS__))
+#define BDRMAP_RETURN_CAPABILITY(x) BDRMAP_TSA_ATTR(lock_returned(x))
+#define BDRMAP_NO_THREAD_SAFETY_ANALYSIS \
+  BDRMAP_TSA_ATTR(no_thread_safety_analysis)
+
+namespace bdrmap::net {
+
+// Exclusive capability over std::mutex.
+class BDRMAP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() BDRMAP_ACQUIRE() { mu_.lock(); }
+  void unlock() BDRMAP_RELEASE() { mu_.unlock(); }
+  bool try_lock() BDRMAP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+// Reader/writer capability over std::shared_mutex.
+class BDRMAP_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() BDRMAP_ACQUIRE() { mu_.lock(); }
+  void unlock() BDRMAP_RELEASE() { mu_.unlock(); }
+  bool try_lock() BDRMAP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  void lock_shared() BDRMAP_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() BDRMAP_RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool try_lock_shared() BDRMAP_TRY_ACQUIRE(true) {
+    return mu_.try_lock_shared();
+  }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+// RAII exclusive section over a Mutex or (write path) a SharedMutex.
+class BDRMAP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) BDRMAP_ACQUIRE(mu) : mu_(&mu) { mu.lock(); }
+  explicit MutexLock(SharedMutex& mu) BDRMAP_ACQUIRE(mu) : smu_(&mu) {
+    mu.lock();
+  }
+  ~MutexLock() BDRMAP_RELEASE() {
+    if (mu_ != nullptr) {
+      mu_->unlock();
+    } else {
+      smu_->unlock();
+    }
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_ = nullptr;
+  SharedMutex* smu_ = nullptr;
+};
+
+// RAII shared (reader) section over a SharedMutex.
+class BDRMAP_SCOPED_CAPABILITY SharedLock {
+ public:
+  explicit SharedLock(SharedMutex& mu) BDRMAP_ACQUIRE_SHARED(mu) : mu_(&mu) {
+    mu.lock_shared();
+  }
+  ~SharedLock() BDRMAP_RELEASE() { mu_->unlock_shared(); }
+
+  SharedLock(const SharedLock&) = delete;
+  SharedLock& operator=(const SharedLock&) = delete;
+
+ private:
+  SharedMutex* mu_;
+};
+
+// Condition variable paired with net::Mutex. Waits release and re-acquire
+// the capability internally (std::condition_variable_any drives the Mutex
+// through its BasicLockable surface), so callers keep reasoning — and the
+// analysis keeps checking — as if the mutex were held throughout. Waiters
+// must loop: plain waits return on notify, timeout, or spuriously.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  void wait(Mutex& mu) BDRMAP_REQUIRES(mu) { cv_.wait(mu); }
+
+  template <class Rep, class Period>
+  void wait_for(Mutex& mu, const std::chrono::duration<Rep, Period>& dur)
+      BDRMAP_REQUIRES(mu) {
+    cv_.wait_for(mu, dur);
+  }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace bdrmap::net

@@ -54,7 +54,7 @@ const MetricsRegistry::Entry* MetricsRegistry::lookup(const std::string& name,
 
 Counter MetricsRegistry::counter_impl(std::string_view name, bool strict) {
   std::string key(name);
-  std::lock_guard<std::mutex> lk(mu_);
+  net::MutexLock lk(mu_);
   if (const Entry* e = lookup(key, Kind::kCounter, strict)) {
     // Under kLog contract mode lookup() can return a mismatched entry;
     // hand back a no-op handle rather than aliasing the wrong cell.
@@ -70,7 +70,7 @@ Counter MetricsRegistry::counter_impl(std::string_view name, bool strict) {
 
 Gauge MetricsRegistry::gauge_impl(std::string_view name, bool strict) {
   std::string key(name);
-  std::lock_guard<std::mutex> lk(mu_);
+  net::MutexLock lk(mu_);
   if (const Entry* e = lookup(key, Kind::kGauge, strict)) {
     if (e->kind != Kind::kGauge) return Gauge{};
     return Gauge(&gauges_[e->index]);
@@ -89,7 +89,7 @@ Histogram MetricsRegistry::histogram_impl(std::string_view name,
   BDRMAP_EXPECTS(std::is_sorted(bounds.begin(), bounds.end()),
                  "histogram bucket bounds must ascend");
   std::string key(name);
-  std::lock_guard<std::mutex> lk(mu_);
+  net::MutexLock lk(mu_);
   if (const Entry* e = lookup(key, Kind::kHistogram, strict)) {
     if (e->kind != Kind::kHistogram) return Histogram{};
     return Histogram(&histograms_[e->index]);
@@ -129,7 +129,7 @@ Histogram MetricsRegistry::histogram(std::string_view name,
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot snap;
-  std::lock_guard<std::mutex> lk(mu_);
+  net::MutexLock lk(mu_);
   snap.counters.reserve(counter_names_.size());
   for (std::size_t i = 0; i < counter_names_.size(); ++i) {
     snap.counters.push_back(

@@ -28,11 +28,12 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "netbase/sync.h"
 
 namespace bdrmap::obs {
 
@@ -154,7 +155,7 @@ class MetricsRegistry {
   Gauge gauge(std::string_view name);
   Histogram histogram(std::string_view name, std::vector<std::uint64_t> bounds);
 
-  MetricsSnapshot snapshot() const;
+  MetricsSnapshot snapshot() const BDRMAP_EXCLUDES(mu_);
 
  private:
   enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
@@ -165,21 +166,27 @@ class MetricsRegistry {
 
   // strict=true contract-fails on any existing entry; strict=false reuses
   // a same-kind entry and contract-fails on a kind mismatch.
-  Counter counter_impl(std::string_view name, bool strict);
-  Gauge gauge_impl(std::string_view name, bool strict);
+  Counter counter_impl(std::string_view name, bool strict)
+      BDRMAP_EXCLUDES(mu_);
+  Gauge gauge_impl(std::string_view name, bool strict) BDRMAP_EXCLUDES(mu_);
   Histogram histogram_impl(std::string_view name,
-                           std::vector<std::uint64_t> bounds, bool strict);
-  const Entry* lookup(const std::string& name, Kind want, bool strict);
+                           std::vector<std::uint64_t> bounds, bool strict)
+      BDRMAP_EXCLUDES(mu_);
+  const Entry* lookup(const std::string& name, Kind want, bool strict)
+      BDRMAP_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, Entry> names_;
+  // mu_ guards registration and snapshot; the handle hot path never takes
+  // it — handles hold pointers to cells whose addresses the deques keep
+  // stable, and cell access is a relaxed atomic op (see file comment).
+  mutable net::Mutex mu_;
+  std::unordered_map<std::string, Entry> names_ BDRMAP_GUARDED_BY(mu_);
   // Deques: cell addresses must survive every later registration.
-  std::deque<std::atomic<std::uint64_t>> counters_;
-  std::deque<std::atomic<std::int64_t>> gauges_;
-  std::deque<Histogram::Cells> histograms_;
-  std::vector<std::string> counter_names_;
-  std::vector<std::string> gauge_names_;
-  std::vector<std::string> histogram_names_;
+  std::deque<std::atomic<std::uint64_t>> counters_ BDRMAP_GUARDED_BY(mu_);
+  std::deque<std::atomic<std::int64_t>> gauges_ BDRMAP_GUARDED_BY(mu_);
+  std::deque<Histogram::Cells> histograms_ BDRMAP_GUARDED_BY(mu_);
+  std::vector<std::string> counter_names_ BDRMAP_GUARDED_BY(mu_);
+  std::vector<std::string> gauge_names_ BDRMAP_GUARDED_BY(mu_);
+  std::vector<std::string> histogram_names_ BDRMAP_GUARDED_BY(mu_);
 };
 
 }  // namespace bdrmap::obs

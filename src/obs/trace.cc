@@ -17,7 +17,7 @@ std::uint64_t Tracer::now_us() const {
 
 std::size_t Tracer::begin_span(std::string_view name) {
   const std::uint64_t t = now_us();
-  std::lock_guard<std::mutex> lk(mu_);
+  net::MutexLock lk(mu_);
   std::size_t id = spans_.size();
   SpanRecord rec;
   rec.name = std::string(name);
@@ -32,7 +32,7 @@ std::size_t Tracer::begin_span(std::string_view name) {
 
 void Tracer::end_span(std::size_t id) {
   const std::uint64_t t = now_us();
-  std::lock_guard<std::mutex> lk(mu_);
+  net::MutexLock lk(mu_);
   BDRMAP_EXPECTS(id < spans_.size(), "end_span: unknown span id");
   if (id >= spans_.size()) return;
   SpanRecord& rec = spans_[id];
@@ -50,7 +50,7 @@ void Tracer::end_span(std::size_t id) {
 
 void Tracer::annotate(std::size_t id, std::string_view key,
                       std::string_view value) {
-  std::lock_guard<std::mutex> lk(mu_);
+  net::MutexLock lk(mu_);
   BDRMAP_EXPECTS(id < spans_.size(), "annotate: unknown span id");
   if (id >= spans_.size()) return;
   spans_[id].notes.emplace_back(std::string(key), std::string(value));
@@ -62,17 +62,17 @@ void Tracer::annotate(std::size_t id, std::string_view key,
 }
 
 std::vector<SpanRecord> Tracer::snapshot() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  net::MutexLock lk(mu_);
   return spans_;
 }
 
 std::size_t Tracer::span_count() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  net::MutexLock lk(mu_);
   return spans_.size();
 }
 
 std::size_t Tracer::open_span_count() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  net::MutexLock lk(mu_);
   return open_;
 }
 

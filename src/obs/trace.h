@@ -19,13 +19,14 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "netbase/sync.h"
 
 namespace bdrmap::obs {
 
@@ -53,25 +54,27 @@ class Tracer {
 
   // Opens a span whose parent is the calling thread's innermost open span
   // (kNoParent when the thread has none). Returns the span's id.
-  std::size_t begin_span(std::string_view name);
+  std::size_t begin_span(std::string_view name) BDRMAP_EXCLUDES(mu_);
   // Closes `id` and pops it from the calling thread's open stack. Closing
   // out of LIFO order is tolerated (the span is removed wherever it sits).
-  void end_span(std::size_t id);
-  void annotate(std::size_t id, std::string_view key, std::string_view value);
+  void end_span(std::size_t id) BDRMAP_EXCLUDES(mu_);
+  void annotate(std::size_t id, std::string_view key, std::string_view value)
+      BDRMAP_EXCLUDES(mu_);
   void annotate(std::size_t id, std::string_view key, std::int64_t value);
 
   // Point-in-time copy of every span recorded so far, in id order.
-  std::vector<SpanRecord> snapshot() const;
+  std::vector<SpanRecord> snapshot() const BDRMAP_EXCLUDES(mu_);
   std::size_t span_count() const;
   std::size_t open_span_count() const;
 
  private:
   std::uint64_t now_us() const;
 
-  mutable std::mutex mu_;
-  std::vector<SpanRecord> spans_;
-  std::unordered_map<std::thread::id, std::vector<std::size_t>> stacks_;
-  std::size_t open_ = 0;
+  mutable net::Mutex mu_;
+  std::vector<SpanRecord> spans_ BDRMAP_GUARDED_BY(mu_);
+  std::unordered_map<std::thread::id, std::vector<std::size_t>> stacks_
+      BDRMAP_GUARDED_BY(mu_);
+  std::size_t open_ BDRMAP_GUARDED_BY(mu_) = 0;
   std::chrono::steady_clock::time_point epoch_;
 };
 

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <deque>
-#include <mutex>
 #include <queue>
 
 #include "netbase/contract.h"
@@ -32,7 +31,7 @@ BgpSimulator::BgpSimulator(const topo::Internet& net, BgpPolicy policy,
 
 const BgpSimulator::PerDst& BgpSimulator::table(AsId dst) const {
   {
-    std::shared_lock<std::shared_mutex> lk(cache_mu_);
+    net::SharedLock lk(cache_mu_);
     auto it = cache_.find(dst);
     if (it != cache_.end()) return *it->second;
   }
@@ -79,7 +78,7 @@ const BgpSimulator::PerDst& BgpSimulator::table(AsId dst) const {
   // destination produced identical tables: first writer wins, the loser's
   // copy is discarded. References stay valid across rehashes because the
   // table lives behind a unique_ptr.
-  std::unique_lock<std::shared_mutex> lk(cache_mu_);
+  net::MutexLock lk(cache_mu_);
   auto it = cache_.emplace(dst, std::move(t)).first;
   return *it->second;
 }
@@ -210,7 +209,7 @@ const BgpSimulator::TierSet& BgpSimulator::tiers(AsId src, AsId dst) const {
       (static_cast<std::uint64_t>(index(src)) << 32) |
       static_cast<std::uint64_t>(index(dst));
   {
-    std::shared_lock<std::shared_mutex> lk(tiers_mu_);
+    net::SharedLock lk(tiers_mu_);
     auto it = tiers_.find(key);
     if (it != tiers_.end()) {
       tier_hits_.inc();
@@ -219,7 +218,7 @@ const BgpSimulator::TierSet& BgpSimulator::tiers(AsId src, AsId dst) const {
   }
   tier_fills_.inc();
   auto t = std::make_unique<TierSet>(compute_tiers(src, dst));
-  std::unique_lock<std::shared_mutex> lk(tiers_mu_);
+  net::MutexLock lk(tiers_mu_);
   auto it = tiers_.emplace(key, std::move(t)).first;
   return *it->second;
 }

@@ -13,12 +13,12 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <shared_mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "netbase/ids.h"
+#include "netbase/sync.h"
 #include "obs/metrics.h"
 #include "topo/internet.h"
 
@@ -88,7 +88,7 @@ class BgpSimulator {
   struct TierSet {
     std::vector<std::vector<AsId>> tiers;
   };
-  const TierSet& tiers(AsId src, AsId dst) const;
+  const TierSet& tiers(AsId src, AsId dst) const BDRMAP_EXCLUDES(tiers_mu_);
 
   // The deterministic best AS path from `src` to `dst` using lowest-AS
   // tie-breaking — what a route collector peering with `src` records.
@@ -110,7 +110,7 @@ class BgpSimulator {
     std::vector<std::uint16_t> cust, peer, prov;
   };
 
-  const PerDst& table(AsId dst) const;
+  const PerDst& table(AsId dst) const BDRMAP_EXCLUDES(cache_mu_);
   TierSet compute_tiers(AsId src, AsId dst) const;
   std::size_t index(AsId as) const { return as_index_.at(as); }
   bool is_leaker(AsId as) const { return leaker_set_.count(as) > 0; }
@@ -140,13 +140,15 @@ class BgpSimulator {
   // value-deterministic (a pure function of the immutable truth graph),
   // so first-writer-wins insertion keeps results independent of thread
   // interleaving.
-  mutable std::shared_mutex cache_mu_;
-  mutable std::unordered_map<AsId, std::unique_ptr<PerDst>> cache_;
+  mutable net::SharedMutex cache_mu_;
+  mutable std::unordered_map<AsId, std::unique_ptr<PerDst>> cache_
+      BDRMAP_GUARDED_BY(cache_mu_);
   // Candidate-tier cache keyed by packed dense (src, dst) indices. Same
   // locking and purity discipline as cache_ above; referenced entries live
   // behind unique_ptr so they survive rehashes.
-  mutable std::shared_mutex tiers_mu_;
-  mutable std::unordered_map<std::uint64_t, std::unique_ptr<TierSet>> tiers_;
+  mutable net::SharedMutex tiers_mu_;
+  mutable std::unordered_map<std::uint64_t, std::unique_ptr<TierSet>> tiers_
+      BDRMAP_GUARDED_BY(tiers_mu_);
   static const TierSet kNoTiers;
 };
 

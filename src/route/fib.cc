@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <limits>
-#include <mutex>
 #include <queue>
 
 #include "netbase/contract.h"
@@ -156,7 +155,7 @@ Fib::RouteQuery Fib::query(Ipv4Addr dst) const {
 
 const Fib::AsRouting& Fib::routing_for(std::uint32_t as_dense) const {
   {
-    std::shared_lock<std::shared_mutex> lk(routing_mu_);
+    net::SharedLock lk(routing_mu_);
     if (routing_[as_dense]) return *routing_[as_dense];
   }
   routing_fills_.inc();
@@ -227,7 +226,7 @@ const Fib::AsRouting& Fib::routing_for(std::uint32_t as_dense) const {
   // Pure computation: racing fills for the same AS produced identical
   // tables, so first writer wins and the duplicate is discarded. The
   // returned reference survives because the slot vector never resizes.
-  std::unique_lock<std::shared_mutex> lk(routing_mu_);
+  net::MutexLock lk(routing_mu_);
   if (!routing_[as_dense]) routing_[as_dense] = std::move(r);
   return *routing_[as_dense];
 }
@@ -316,7 +315,7 @@ const Fib::EgressEntry& Fib::egress_entry(
   const EgressKey key{r.value, dst_as.value,
                       static_cast<const void*>(pinned)};
   {
-    std::shared_lock<std::shared_mutex> lk(egress_mu_);
+    net::SharedLock lk(egress_mu_);
     auto it = egress_.find(key);
     if (it != egress_.end()) {
       egress_hits_.inc();
@@ -367,7 +366,7 @@ const Fib::EgressEntry& Fib::egress_entry(
   egress_tied_.observe(entry->tied.size());
 
   // Pure function of the immutable topology: first writer wins.
-  std::unique_lock<std::shared_mutex> lk(egress_mu_);
+  net::MutexLock lk(egress_mu_);
   auto it = egress_.emplace(key, std::move(entry)).first;
   return *it->second;
 }

@@ -31,11 +31,11 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "netbase/ids.h"
+#include "netbase/sync.h"
 #include "obs/metrics.h"
 #include "route/bgp_sim.h"
 #include "topo/internet.h"
@@ -196,13 +196,15 @@ class Fib {
                                        const RouteQuery::Resolved& res,
                                        Ipv4Addr dst,
                                        std::uint32_t flow_salt) const;
-  const AsRouting& routing_for(std::uint32_t as_dense) const;
+  const AsRouting& routing_for(std::uint32_t as_dense) const
+      BDRMAP_EXCLUDES(routing_mu_);
   // Cache-disabled egress selection: the original per-hop tier scan.
   const Session* choose_egress_uncached(
       RouterId r, AsId as, AsId dst_as, Ipv4Addr dst,
       const std::vector<LinkId>* pinned) const;
   const EgressEntry& egress_entry(RouterId r, AsId dst_as,
-                                  const std::vector<LinkId>* pinned) const;
+                                  const std::vector<LinkId>* pinned) const
+      BDRMAP_EXCLUDES(egress_mu_);
   std::optional<Hop> internal_step(RouterId r, RouterId target, Ipv4Addr dst,
                                    std::uint32_t flow_salt) const;
 
@@ -234,15 +236,16 @@ class Fib {
   // shared by every concurrent VP run, and the Dijkstra fill is a pure
   // function of the immutable topology, so first-writer-wins insertion is
   // value-deterministic regardless of thread interleaving.
-  mutable std::shared_mutex routing_mu_;
-  mutable std::vector<std::unique_ptr<AsRouting>> routing_;
+  mutable net::SharedMutex routing_mu_;
+  mutable std::vector<std::unique_ptr<AsRouting>> routing_
+      BDRMAP_GUARDED_BY(routing_mu_);
 
   // Egress decision cache, same locking and purity discipline. Entries
   // live behind unique_ptr so references survive rehashes.
-  mutable std::shared_mutex egress_mu_;
+  mutable net::SharedMutex egress_mu_;
   mutable std::unordered_map<EgressKey, std::unique_ptr<EgressEntry>,
                              EgressKeyHash>
-      egress_;
+      egress_ BDRMAP_GUARDED_BY(egress_mu_);
 
   static const std::vector<Session> kNoSessions;
 };

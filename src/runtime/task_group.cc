@@ -14,7 +14,7 @@ TaskGroup::~TaskGroup() {
 
 void TaskGroup::record_exception() noexcept {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    net::MutexLock lk(mu_);
     if (!eptr_) eptr_ = std::current_exception();
   }
   cancel();  // no point running the siblings of a failed task
@@ -26,7 +26,7 @@ void TaskGroup::finish_one() noexcept {
     // so the group cannot be destroyed until this critical section ends;
     // notifying after unlocking would let a helping joiner observe
     // unfinished_ == 0, return, and destroy cv_ under our feet.
-    std::lock_guard<std::mutex> lk(mu_);
+    net::MutexLock lk(mu_);
     cv_.notify_all();
   }
 }
@@ -56,17 +56,17 @@ void TaskGroup::wait() {
     // Help: run pending pool tasks (our own children first — workers pop
     // their deque LIFO) instead of blocking a thread the children need.
     if (pool_ != nullptr && pool_->try_run_one()) continue;
-    std::unique_lock<std::mutex> lk(mu_);
+    net::MutexLock lk(mu_);
     // Re-check under the lock, then sleep briefly rather than forever:
     // our remaining children may be RUNNING on workers that are
     // themselves parked in a nested wait, in which case new helpable
-    // tasks can appear without any completion signal on cv_.
+    // tasks can appear without any completion signal on cv_. The outer
+    // loop re-checks unfinished_ after every wakeup (timeout, notify, or
+    // spurious), so no predicate is needed on the wait itself.
     if (unfinished_.load(std::memory_order_acquire) == 0) break;
-    cv_.wait_for(lk, std::chrono::milliseconds(1), [this] {
-      return unfinished_.load(std::memory_order_acquire) == 0;
-    });
+    cv_.wait_for(mu_, std::chrono::milliseconds(1));
   }
-  std::lock_guard<std::mutex> lk(mu_);
+  net::MutexLock lk(mu_);
   if (eptr_) {
     std::exception_ptr e = eptr_;
     eptr_ = nullptr;  // rethrow once; later wait() calls return clean

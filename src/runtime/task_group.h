@@ -27,12 +27,11 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 
+#include "netbase/sync.h"
 #include "runtime/thread_pool.h"
 
 namespace bdrmap::runtime {
@@ -58,19 +57,19 @@ class TaskGroup {
   // Joins every spawned task, helping the pool while it waits, then
   // rethrows the first captured exception (if any). May be called more
   // than once; later calls only rethrow.
-  void wait();
+  void wait() BDRMAP_EXCLUDES(mu_);
 
  private:
-  void record_exception() noexcept;
-  void finish_one() noexcept;
+  void record_exception() noexcept BDRMAP_EXCLUDES(mu_);
+  void finish_one() noexcept BDRMAP_EXCLUDES(mu_);
 
   ThreadPool* pool_;
   std::atomic<bool> cancelled_{false};
   std::atomic<std::size_t> unfinished_{0};
 
-  std::mutex mu_;                 // guards eptr_ and pairs with cv_
-  std::condition_variable cv_;    // signalled when unfinished_ hits zero
-  std::exception_ptr eptr_;
+  net::Mutex mu_;                 // pairs with cv_
+  net::CondVar cv_;               // signalled when unfinished_ hits zero
+  std::exception_ptr eptr_ BDRMAP_GUARDED_BY(mu_);
 };
 
 }  // namespace bdrmap::runtime

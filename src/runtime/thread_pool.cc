@@ -44,7 +44,7 @@ ThreadPool::ThreadPool(unsigned threads, obs::MetricsRegistry* registry) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lk(park_mu_);
+    net::MutexLock lk(park_mu_);
     stopping_ = true;
   }
   park_cv_.notify_all();
@@ -62,7 +62,7 @@ void ThreadPool::submit(std::function<void()> fn) {
            workers_.size();
   }
   {
-    std::lock_guard<std::mutex> lk(workers_[slot]->mu);
+    net::MutexLock lk(workers_[slot]->mu);
     workers_[slot]->tasks.push_back(std::move(fn));
   }
   submitted_.inc();
@@ -73,7 +73,7 @@ void ThreadPool::submit(std::function<void()> fn) {
   // Bridge the park mutex so a worker between its predicate check and its
   // sleep cannot miss this submission (classic lost-wakeup window: the
   // queue counter is not updated under park_mu_).
-  { std::lock_guard<std::mutex> lk(park_mu_); }
+  { net::MutexLock lk(park_mu_); }
   park_cv_.notify_one();
 }
 
@@ -83,7 +83,7 @@ bool ThreadPool::pop_task(std::size_t self, std::function<void()>& out,
   // Own deque first, from the back: depth-first on nested fork/join.
   if (self < n) {
     Worker& w = *workers_[self];
-    std::lock_guard<std::mutex> lk(w.mu);
+    net::MutexLock lk(w.mu);
     if (!w.tasks.empty()) {
       out = std::move(w.tasks.back());
       w.tasks.pop_back();
@@ -99,7 +99,7 @@ bool ThreadPool::pop_task(std::size_t self, std::function<void()>& out,
     std::size_t victim = (self + k) % n;
     if (victim == self) continue;
     Worker& w = *workers_[victim];
-    std::lock_guard<std::mutex> lk(w.mu);
+    net::MutexLock lk(w.mu);
     if (!w.tasks.empty()) {
       out = std::move(w.tasks.front());
       w.tasks.pop_front();
@@ -128,13 +128,16 @@ void ThreadPool::worker_loop(std::size_t index) {
   t_index = index;
   for (;;) {
     if (try_run_one()) continue;
-    std::unique_lock<std::mutex> lk(park_mu_);
+    net::MutexLock lk(park_mu_);
     if (stopping_) return;
     if (queued_.load(std::memory_order_acquire) > 0) continue;  // recheck
     parks_.inc();
-    park_cv_.wait(lk, [this] {
-      return stopping_ || queued_.load(std::memory_order_acquire) > 0;
-    });
+    // Loop around a plain wait: a CondVar wait can return spuriously, and
+    // a predicate lambda would be analyzed as a function that does not
+    // hold park_mu_ (see netbase/sync.h).
+    while (!stopping_ && queued_.load(std::memory_order_acquire) == 0) {
+      park_cv_.wait(park_mu_);
+    }
     unparks_.inc();
     if (stopping_) return;
   }

@@ -26,15 +26,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "netbase/sync.h"
 #include "obs/metrics.h"
 
 namespace bdrmap::runtime {
@@ -54,7 +53,7 @@ class ThreadPool {
 
   // Enqueues one task. Safe from any thread, including pool workers
   // (a worker submits to its own deque; others round-robin).
-  void submit(std::function<void()> fn);
+  void submit(std::function<void()> fn) BDRMAP_EXCLUDES(park_mu_);
 
   // Runs one pending task on the calling thread if any is available.
   // Returns false when every deque is empty. This is the "help" primitive:
@@ -72,11 +71,11 @@ class ThreadPool {
 
  private:
   struct Worker {
-    std::deque<std::function<void()>> tasks;
-    std::mutex mu;
+    net::Mutex mu;
+    std::deque<std::function<void()>> tasks BDRMAP_GUARDED_BY(mu);
   };
 
-  void worker_loop(std::size_t index);
+  void worker_loop(std::size_t index) BDRMAP_EXCLUDES(park_mu_);
   // Pops a task for the thread at `self` (self == size() means an external
   // thread: steal only). Sets *stolen when it came from a foreign deque.
   bool pop_task(std::size_t self, std::function<void()>& out, bool* stolen);
@@ -84,9 +83,9 @@ class ThreadPool {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
 
-  std::mutex park_mu_;
-  std::condition_variable park_cv_;
-  bool stopping_ = false;
+  net::Mutex park_mu_;
+  net::CondVar park_cv_;
+  bool stopping_ BDRMAP_GUARDED_BY(park_mu_) = false;
 
   std::atomic<std::uint64_t> next_slot_{0};  // external round-robin cursor
   std::atomic<std::uint64_t> queued_{0};     // tasks enqueued, not yet popped

@@ -1,0 +1,7 @@
+// Bad fixture for BDR004: raw assert() outside tests.
+#include <cassert>
+
+int fixture_bdr004(int v) {
+  assert(v > 0);
+  return v;
+}

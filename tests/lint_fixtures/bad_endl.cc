@@ -1,0 +1,4 @@
+// Bad fixture for BDR007: std::endl.
+#include <iostream>
+
+void fixture_bdr007() { std::cout << "done" << std::endl; }

@@ -1,0 +1,14 @@
+// Bad fixture for BDR006: converting single-argument constructor.
+#pragma once
+
+namespace bdrmap::fixtures {
+
+class Widget {
+ public:
+  Widget(int size);
+
+ private:
+  int size_;
+};
+
+}  // namespace bdrmap::fixtures

@@ -1,0 +1,4 @@
+// Bad fixture for BDR002: include of a build-directory artifact.
+#include "build/generated_config.h"
+
+int fixture_bdr002() { return 2; }

@@ -1,0 +1,4 @@
+// Bad fixture for BDR001: relative project include.
+#include "../core/bdrmap.h"
+
+int fixture_bdr001() { return 1; }

@@ -1,0 +1,4 @@
+// Bad fixture for BDR008: NULL literal.
+#include <cstddef>
+
+const char* fixture_bdr008() { return NULL; }

@@ -1,0 +1,6 @@
+// Bad fixture for BDR003: first include is not the file's own header.
+#include "clean.h"
+
+#include "bad_own_header.h"
+
+int fixture_bdr003() { return 3; }

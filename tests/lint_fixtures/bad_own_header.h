@@ -1,0 +1,4 @@
+// Header half of the BDR003 fixture (clean on its own).
+#pragma once
+
+int fixture_bdr003();

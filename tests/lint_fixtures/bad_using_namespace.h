@@ -1,0 +1,4 @@
+// Bad fixture for BDR005: file-scope `using namespace` in a header.
+#pragma once
+
+using namespace std;

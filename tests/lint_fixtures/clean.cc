@@ -1,0 +1,8 @@
+// Good fixture: own header first, no banned patterns.
+#include "clean.h"
+
+namespace bdrmap::fixtures {
+
+int probe_clean(const Clean& c) { return c.value() + 1; }
+
+}  // namespace bdrmap::fixtures

@@ -1,0 +1,16 @@
+// Good fixture: a header every analyzer pass accepts.
+#pragma once
+
+namespace bdrmap::fixtures {
+
+class Clean {
+ public:
+  Clean() = default;
+  explicit Clean(int value) : value_(value) {}
+  int value() const { return value_; }
+
+ private:
+  int value_ = 0;
+};
+
+}  // namespace bdrmap::fixtures

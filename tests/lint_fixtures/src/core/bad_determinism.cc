@@ -1,0 +1,14 @@
+// Bad fixture for BDR102: ambient entropy and wall clocks in src/core.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned fixture_bdr102() {
+  std::random_device rd;
+  unsigned v = rd() + static_cast<unsigned>(rand());
+  v += static_cast<unsigned>(std::time(nullptr));
+  v += static_cast<unsigned>(
+      std::chrono::system_clock::now().time_since_epoch().count());
+  return v;
+}

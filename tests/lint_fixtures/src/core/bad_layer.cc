@@ -1,0 +1,5 @@
+// Bad fixture for BDR101: core reaching up into eval (a back-edge in the
+// module DAG).
+#include "eval/report.h"
+
+int fixture_bdr101() { return 101; }

@@ -1,0 +1,12 @@
+// Good fixture: a src/core file that respects layering and determinism
+// (seeded RNG from netbase, includes only modules beneath core).
+#include "netbase/rng.h"
+
+namespace bdrmap::core {
+
+unsigned fixture_good_core(unsigned seed) {
+  bdrmap::net::Rng rng(seed);
+  return rng.uniform(0, 10);
+}
+
+}  // namespace bdrmap::core

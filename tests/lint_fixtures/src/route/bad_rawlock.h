@@ -1,0 +1,19 @@
+// Bad fixture for BDR103: raw std lock members instead of the annotated
+// capabilities from netbase/sync.h.
+#pragma once
+
+#include <mutex>
+#include <shared_mutex>
+
+namespace bdrmap::route {
+
+class BadCache {
+ public:
+  BadCache() = default;
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::shared_mutex cache_mu_;
+};
+
+}  // namespace bdrmap::route

@@ -16,6 +16,13 @@
 #                  small scenario (single-VP and multi-VP) and validate the
 #                  exports against docs/obs_schema.json with
 #                  tools/check_obs.py
+#   --analyze      bdrmap-analyze stage: all tools/lint.py passes
+#                  (hygiene, module layering, determinism, raw locks)
+#                  repo-wide, the fixture self-test
+#                  (tools/lint_selftest.py), and — when clang++ is
+#                  installed — a Clang build with -Wthread-safety
+#                  -Werror=thread-safety-analysis over the netbase/sync.h
+#                  capability annotations (clang-tsa preset)
 #   --fuzz         property-based scenario fuzz smoke: fixed-seed sweep of
 #                  25 cases across every adversarial family (scenario_fuzz;
 #                  failing seeds print one-line repro commands)
@@ -33,6 +40,7 @@ TSAN_ONLY=0
 BENCH_ONLY=0
 OBS_ONLY=0
 FUZZ_ONLY=0
+ANALYZE_ONLY=0
 case "${1:-}" in
   --fast) FAST=1 ;;
   --lint) LINT_ONLY=1 ;;
@@ -40,8 +48,9 @@ case "${1:-}" in
   --bench) BENCH_ONLY=1 ;;
   --obs) OBS_ONLY=1 ;;
   --fuzz) FUZZ_ONLY=1 ;;
+  --analyze) ANALYZE_ONLY=1 ;;
   "") ;;
-  *) echo "usage: tools/check.sh [--fast|--lint|--tsan|--bench|--obs|--fuzz]" >&2; exit 2 ;;
+  *) echo "usage: tools/check.sh [--fast|--lint|--tsan|--bench|--obs|--fuzz|--analyze]" >&2; exit 2 ;;
 esac
 
 run_tsan() {
@@ -84,19 +93,39 @@ run_bench() {
 }
 
 run_lint() {
-  echo "== lint: tools/lint.py =="
+  echo "== lint: tools/lint.py (all passes) =="
   python3 tools/lint.py
 
   if command -v clang-tidy >/dev/null 2>&1; then
     echo "== lint: clang-tidy =="
-    # Needs a compile database; the default preset writes one.
+    # Needs a compile database; the default preset writes one. The net
+    # covers every compiled tree: src/, tools/, bench/, examples/ and
+    # tests/ (lint fixtures are deliberately bad and never compiled, so
+    # they are excluded).
     if [[ ! -f build/compile_commands.json ]]; then
       cmake --preset default >/dev/null
     fi
-    git ls-files 'src/*.cc' 'tools/*.cc' | xargs -r -P "$JOBS" -n 8 \
+    git ls-files 'src/*.cc' 'tools/*.cc' 'bench/*.cc' 'examples/*.cc' \
+        'tests/*.cc' | grep -v lint_fixtures | xargs -r -P "$JOBS" -n 8 \
       clang-tidy -p build --quiet
   else
     echo "== lint: clang-tidy not installed, skipping tidy stage =="
+  fi
+}
+
+run_analyze() {
+  echo "== analyze: tools/lint.py (hygiene + layering + determinism + raw locks) =="
+  python3 tools/lint.py
+
+  echo "== analyze: lint fixture self-test =="
+  python3 tools/lint_selftest.py
+
+  if command -v clang++ >/dev/null 2>&1; then
+    echo "== analyze: Clang thread-safety analysis (-Werror=thread-safety-analysis) =="
+    cmake --preset clang-tsa >/dev/null
+    cmake --build --preset clang-tsa -j "$JOBS"
+  else
+    echo "== analyze: clang++ not installed, skipping thread-safety build =="
   fi
 }
 
@@ -127,6 +156,12 @@ fi
 if [[ "$FUZZ_ONLY" == "1" ]]; then
   run_fuzz
   echo "== fuzz smoke passed =="
+  exit 0
+fi
+
+if [[ "$ANALYZE_ONLY" == "1" ]]; then
+  run_analyze
+  echo "== analyze passed =="
   exit 0
 fi
 
