@@ -42,6 +42,40 @@ void RelationshipStore::add_raw(AsId a, AsId b, Relationship rel_of_b_from_a) {
   }
 }
 
+void RelationshipStore::erase_directed(AsId a, AsId b) {
+  auto it = edges_.find(key(a, b));
+  if (it == edges_.end()) return;
+  auto adj = adj_.find(a);
+  if (adj != adj_.end()) {
+    std::vector<AsId>* list = nullptr;
+    switch (it->second) {
+      case Relationship::kProvider:
+        list = &adj->second.providers;
+        break;
+      case Relationship::kCustomer:
+        list = &adj->second.customers;
+        break;
+      case Relationship::kPeer:
+        list = &adj->second.peers;
+        break;
+      case Relationship::kNone:
+        break;
+    }
+    if (list != nullptr) {
+      list->erase(std::remove(list->begin(), list->end(), b), list->end());
+    }
+  }
+  edges_.erase(it);
+}
+
+void RelationshipStore::set_rel(AsId a, AsId b, Relationship rel_of_b_from_a) {
+  erase_directed(a, b);
+  erase_directed(b, a);
+  if (rel_of_b_from_a == Relationship::kNone) return;
+  add_raw(a, b, rel_of_b_from_a);
+  add_raw(b, a, invert(rel_of_b_from_a));
+}
+
 Relationship RelationshipStore::rel(AsId a, AsId b) const {
   auto it = edges_.find(key(a, b));
   return it == edges_.end() ? Relationship::kNone : it->second;

@@ -55,6 +55,13 @@ class RelationshipStore {
   // asymmetries afterwards. kNone is ignored.
   void add_raw(AsId a, AsId b, Relationship rel_of_b_from_a);
 
+  // Overwrites the relationship between `a` and `b` in BOTH directions:
+  // rel(a, b) becomes `rel_of_b_from_a` and rel(b, a) its inverse, replacing
+  // any existing edge. kNone removes the edge entirely. This is the churn
+  // hook (serve::ChurnEvent relationship changes, e.g. depeering a c2p edge
+  // to p2p); batch loading should keep using add_c2p/add_p2p/add_raw.
+  void set_rel(AsId a, AsId b, Relationship rel_of_b_from_a);
+
   // The relationship of `b` from `a`'s point of view.
   Relationship rel(AsId a, AsId b) const;
 
@@ -87,6 +94,10 @@ class RelationshipStore {
   static std::uint64_t key(AsId a, AsId b) {
     return (std::uint64_t{a.value} << 32) | b.value;
   }
+
+  // Detaches the directed edge rel(a, b), dropping b from a's adjacency
+  // list for the edge's current label. No-op when the edge is absent.
+  void erase_directed(AsId a, AsId b);
 
   std::unordered_map<std::uint64_t, Relationship> edges_;  // rel(a,b) by key
   std::unordered_map<AsId, AdjLists> adj_;

@@ -24,7 +24,7 @@ BaselineResult naive_ip_as(const std::vector<ObservedTrace>& traces,
         continue;
       }
       AsId as = origins.origin(hop.addr);
-      result.owners[hop.addr] = as;
+      result.owners.assign(hop.addr, as);
       if (prev_valid && prev != hop.addr && prev_as != as &&
           is_vp(prev_as) && as.valid() && !is_vp(as)) {
         if (seen_links.emplace(prev, hop.addr).second) {

@@ -8,11 +8,11 @@
 // the comparison point for bench_baseline.
 #pragma once
 
-#include <map>
 #include <vector>
 
 #include "asdata/bgp_origins.h"
 #include "core/observations.h"
+#include "core/owner_table.h"
 
 namespace bdrmap::core {
 
@@ -25,8 +25,9 @@ struct BaselineLink {
 
 struct BaselineResult {
   // Inferred owner per observed time-exceeded address: the origin of the
-  // longest matching prefix (kNoAs when unrouted).
-  std::map<Ipv4Addr, AsId> owners;
+  // longest matching prefix (kNoAs when unrouted). Sorted flat vector with
+  // std::map-identical contents and iteration order (owner_table.h).
+  OwnerTable owners;
   // Consecutive-hop pairs whose IP-AS mappings differ, with the VP network
   // on the near side.
   std::vector<BaselineLink> links;

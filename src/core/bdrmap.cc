@@ -80,6 +80,13 @@ std::vector<ObservedTrace> Bdrmap::collect_traces() {
   std::vector<ObservedTrace> traces;
   obs::Span schedule_span(tracer(), "stage.schedule");
   auto blocks = build_probe_blocks(*inputs_.origins, inputs_.vp_ases);
+  if (!config_.target_filter.empty()) {
+    const auto& filter = config_.target_filter;
+    std::erase_if(blocks, [&](const ProbeBlock& b) {
+      return std::find(filter.begin(), filter.end(), b.target_as) ==
+             filter.end();
+    });
+  }
   stats_.blocks = blocks.size();
   schedule_span.note("blocks", static_cast<std::int64_t>(blocks.size()));
   schedule_span.close();
@@ -368,6 +375,75 @@ BdrmapResult Bdrmap::run() {
     heuristics_config.confirmed_inbound = &confirmed;
   }
   stats_.probes_sent = services_.probes_sent();
+
+  obs::Span merge_span(tracer(), "stage.merge");
+  RouterGraph graph(std::move(traces), groups);
+  merge_span.close();
+
+  obs::Span heuristics_span(tracer(), "stage.heuristics");
+  BdrmapResult result =
+      infer_borders(std::move(graph), inputs_, heuristics_config, stats_);
+  heuristics_span.note("links", static_cast<std::int64_t>(result.links.size()));
+  heuristics_span.close();
+
+  result.failed_targets = std::move(failures_);
+  run_span.note("probes_sent",
+                static_cast<std::int64_t>(result.stats.probes_sent));
+  publish_result(result, registry());
+  return result;
+}
+
+CollectedTraces Bdrmap::collect() {
+  const bool reentered = running_.exchange(true, std::memory_order_acq_rel);
+  BDRMAP_EXPECTS(!reentered,
+                 "core::Bdrmap is single-threaded per instance; collect() "
+                 "re-entered concurrently");
+  struct RunGuard {
+    std::atomic<bool>& flag;
+    ~RunGuard() { flag.store(false, std::memory_order_release); }
+  } guard{running_};
+
+  obs::Span collect_span(tracer(), "bdrmap.collect");
+  CollectedTraces out;
+  out.traces = collect_traces();
+  out.failures = std::move(failures_);
+  out.probes_sent = services_.probes_sent();
+  out.blocks = stats_.blocks;
+  out.stopset_hits = stats_.stopset_hits;
+  out.probe_failures = stats_.probe_failures;
+  collect_span.note("traces", static_cast<std::int64_t>(out.traces.size()));
+  return out;
+}
+
+BdrmapResult Bdrmap::run_with(CollectedTraces collected) {
+  const bool reentered = running_.exchange(true, std::memory_order_acq_rel);
+  BDRMAP_EXPECTS(!reentered,
+                 "core::Bdrmap is single-threaded per instance; run_with() "
+                 "re-entered concurrently");
+  struct RunGuard {
+    std::atomic<bool>& flag;
+    ~RunGuard() { flag.store(false, std::memory_order_release); }
+  } guard{running_};
+
+  obs::Span run_span(tracer(), "bdrmap.run");
+
+  stats_.blocks = collected.blocks;
+  stats_.stopset_hits = collected.stopset_hits;
+  stats_.probe_failures = collected.probe_failures;
+  stats_.traces = collected.traces.size();
+  failures_ = std::move(collected.failures);
+  std::vector<ObservedTrace> traces = std::move(collected.traces);
+
+  auto groups = resolve_aliases(traces);
+  auto confirmed = confirm_inbound(traces);
+
+  HeuristicsConfig heuristics_config = config_.heuristics;
+  if (config_.enable_timestamp_checks) {
+    heuristics_config.confirmed_inbound = &confirmed;
+  }
+  // Collection probes were spent by another services object; the tail's
+  // own alias/timestamp probes add on top.
+  stats_.probes_sent = collected.probes_sent + services_.probes_sent();
 
   obs::Span merge_span(tracer(), "stage.merge");
   RouterGraph graph(std::move(traces), groups);

@@ -60,6 +60,41 @@ struct BdrmapConfig {
   // registry. Metrics never feed inference: the border map is
   // bit-identical with obs on, off, or null.
   obs::Observability* obs = nullptr;
+  // When non-empty, collection probes only the blocks whose target AS is in
+  // this list (the §5.3 schedule is otherwise unchanged, including its
+  // sorted block order). This is the slice knob the serve engine uses to
+  // re-collect only churn-dirtied (VP, target-AS) slices; a filtered
+  // collect is bit-identical to the matching slice of an unfiltered one
+  // because the stop set is keyed per target AS.
+  std::vector<AsId> target_filter;
+};
+
+// The output of the collection stage (stage.schedule + stage.trace),
+// detached from the inference tail so a scheduler can cache, merge, or
+// re-run slices independently (serve::ServeEngine). Produced by
+// Bdrmap::collect(), consumed by Bdrmap::run_with(); slices concatenate by
+// appending fields in target-AS order.
+struct CollectedTraces {
+  std::vector<ObservedTrace> traces;
+  std::vector<ProbeFailure> failures;
+  std::uint64_t probes_sent = 0;  // spent by the collecting services
+  std::size_t blocks = 0;
+  std::size_t stopset_hits = 0;
+  std::size_t probe_failures = 0;
+
+  // Appends `other` (field-wise) onto this slice.
+  void append(CollectedTraces other) {
+    traces.insert(traces.end(),
+                  std::make_move_iterator(other.traces.begin()),
+                  std::make_move_iterator(other.traces.end()));
+    failures.insert(failures.end(),
+                    std::make_move_iterator(other.failures.begin()),
+                    std::make_move_iterator(other.failures.end()));
+    probes_sent += other.probes_sent;
+    blocks += other.blocks;
+    stopset_hits += other.stopset_hits;
+    probe_failures += other.probe_failures;
+  }
 };
 
 // One inferred router-level interdomain link.
@@ -109,6 +144,15 @@ class Bdrmap {
          BdrmapConfig config = {});
 
   BdrmapResult run();
+
+  // Split pipeline (serve::ServeEngine): collect() runs only the probing
+  // stages and packages their output; run_with() runs the inference tail
+  // (alias resolution, inbound confirmation, graph build, §5.4 heuristics)
+  // over previously collected traces, using this instance's services for
+  // the alias/timestamp probing. run() == run_with(collect()) when both
+  // use the same services object.
+  CollectedTraces collect();
+  BdrmapResult run_with(CollectedTraces collected);
 
  private:
   std::vector<ObservedTrace> collect_traces();

@@ -1,6 +1,7 @@
 #include "core/mapit.h"
 
 #include <algorithm>
+#include <map>
 #include <set>
 
 namespace bdrmap::core {
@@ -22,7 +23,7 @@ MapItResult run_mapit(const std::vector<ObservedTrace>& traces,
         prev_valid = false;
         continue;
       }
-      result.owners.emplace(hop.addr, origins.origin(hop.addr));
+      result.owners.insert_first(hop.addr, origins.origin(hop.addr));
       if (prev_valid && prev != hop.addr) {
         successors[prev].insert(hop.addr);
         predecessors[hop.addr].insert(prev);
@@ -41,8 +42,8 @@ MapItResult run_mapit(const std::vector<ObservedTrace>& traces,
   for (int pass = 0; pass < config.max_passes; ++pass) {
     ++result.passes_run;
     bool changed = false;
-    std::map<Ipv4Addr, AsId> next = result.owners;
-    for (auto& [addr, label] : result.owners) {
+    OwnerTable next = result.owners;
+    for (const auto& [addr, label] : result.owners) {
       auto succ_it = successors.find(addr);
       if (succ_it == successors.end()) continue;  // path end: no constraint
       // Dominant successor label.
@@ -78,7 +79,7 @@ MapItResult run_mapit(const std::vector<ObservedTrace>& traces,
                              origins.origin(s) == own_origin;
       }
       if (own_space_follows) continue;
-      next[addr] = dominant;
+      next.assign(addr, dominant);
       changed = true;
     }
     result.owners = std::move(next);

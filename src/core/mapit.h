@@ -12,11 +12,11 @@
 // (frequently wrong) IP-AS label.
 #pragma once
 
-#include <map>
 #include <vector>
 
 #include "asdata/bgp_origins.h"
 #include "core/observations.h"
+#include "core/owner_table.h"
 
 namespace bdrmap::core {
 
@@ -29,7 +29,9 @@ struct MapItConfig {
 
 struct MapItResult {
   // Final owner label per observed (time-exceeded) interface address.
-  std::map<Ipv4Addr, AsId> owners;
+  // Sorted flat vector with std::map-identical contents and iteration
+  // order (owner_table.h).
+  OwnerTable owners;
   // Interfaces whose label changed from the plain IP-AS mapping.
   std::size_t relabeled = 0;
   // Interfaces that were terminal in every trace (no successors): the

@@ -1,0 +1,130 @@
+// Sorted flat owner table: address -> owning AS.
+//
+// The comparison methods (baseline.h, mapit.h) label every observed
+// interface address with an AS. They used std::map<Ipv4Addr, AsId> — one
+// node allocation plus an O(log n) pointer chase per hop of every trace,
+// in loops hot enough to show up in bench_baseline. OwnerTable keeps the
+// map interface the consumers use (at/find/count/size, sorted pair
+// iteration with structured bindings) but stores entries in one sorted
+// flat vector: builds batch-append in O(1) amortized and normalize once
+// with a single sort, lookups binary-search a contiguous array.
+//
+// Insertion semantics mirror the two std::map idioms the builders used:
+// insert_first() == map::emplace (first write to a key wins) and
+// assign() == map::operator[]= (last write wins). Mixed sequences resolve
+// exactly as the equivalent map mutation sequence would, so results are
+// bit-identical to the std::map versions, including iteration order.
+//
+// Not thread-safe: one builder mutates, then readers share the normalized
+// table (same single-threaded discipline as the rest of the comparison
+// pipeline).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "netbase/contract.h"
+#include "netbase/ids.h"
+#include "netbase/ipv4.h"
+
+namespace bdrmap::core {
+
+class OwnerTable {
+ public:
+  using Entry = std::pair<net::Ipv4Addr, net::AsId>;
+  using const_iterator = std::vector<Entry>::const_iterator;
+
+  // map::emplace semantics: keeps the existing value if `addr` is present
+  // (or was appended earlier in this batch).
+  void insert_first(net::Ipv4Addr addr, net::AsId as) {
+    pending_.push_back({addr, as, /*overwrite=*/false});
+  }
+
+  // map::operator[]= semantics: the last write to `addr` wins.
+  void assign(net::Ipv4Addr addr, net::AsId as) {
+    pending_.push_back({addr, as, /*overwrite=*/true});
+  }
+
+  const net::AsId& at(net::Ipv4Addr addr) const {
+    const Entry* e = lookup(addr);
+    BDRMAP_EXPECTS(e != nullptr, "OwnerTable::at: address not present");
+    return e->second;
+  }
+
+  const Entry* find(net::Ipv4Addr addr) const { return lookup(addr); }
+  std::size_t count(net::Ipv4Addr addr) const {
+    return lookup(addr) ? 1 : 0;
+  }
+
+  std::size_t size() const {
+    flush();
+    return entries_.size();
+  }
+  bool empty() const { return size() == 0; }
+
+  // Sorted by address, unique keys — the std::map iteration order.
+  const_iterator begin() const {
+    flush();
+    return entries_.begin();
+  }
+  const_iterator end() const {
+    flush();
+    return entries_.end();
+  }
+
+ private:
+  struct Pending {
+    net::Ipv4Addr addr;
+    net::AsId as;
+    bool overwrite;
+  };
+
+  const Entry* lookup(net::Ipv4Addr addr) const {
+    flush();
+    auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), addr,
+        [](const Entry& e, net::Ipv4Addr a) { return e.first < a; });
+    if (it == entries_.end() || it->first != addr) return nullptr;
+    return &*it;
+  }
+
+  // Folds the append batch into the sorted entry vector. Stable sort keeps
+  // same-key appends in insertion order, so replaying them left-to-right
+  // reproduces the exact value the equivalent map mutations would leave.
+  void flush() const {
+    if (pending_.empty()) return;
+    std::stable_sort(pending_.begin(), pending_.end(),
+                     [](const Pending& a, const Pending& b) {
+                       return a.addr < b.addr;
+                     });
+    std::vector<Entry> merged;
+    merged.reserve(entries_.size() + pending_.size());
+    auto old = entries_.begin();
+    for (auto p = pending_.begin(); p != pending_.end();) {
+      const net::Ipv4Addr key = p->addr;
+      while (old != entries_.end() && old->first < key) {
+        merged.push_back(*old++);
+      }
+      const bool have = old != entries_.end() && old->first == key;
+      net::AsId value = have ? old->second : p->as;
+      bool written = have;
+      for (; p != pending_.end() && p->addr == key; ++p) {
+        if (p->overwrite || !written) {
+          value = p->as;
+          written = true;
+        }
+      }
+      if (have) ++old;
+      merged.push_back({key, value});
+    }
+    merged.insert(merged.end(), old, entries_.end());
+    entries_ = std::move(merged);
+    pending_.clear();
+  }
+
+  mutable std::vector<Entry> entries_;   // sorted, unique
+  mutable std::vector<Pending> pending_;  // unsorted append batch
+};
+
+}  // namespace bdrmap::core

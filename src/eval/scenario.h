@@ -68,6 +68,11 @@ class Scenario {
   const std::vector<topo::Vp>& vps() const { return gen_.vps; }
   const route::BgpSimulator& bgp() const { return *bgp_; }
   const route::Fib& fib() const { return *fib_; }
+  // Mutable substrate access for the serve engine: churn events mutate the
+  // scenario's own BGP/FIB overlays (quiescence contract in route/fib.h).
+  // Everything else should stick to the const accessors above.
+  route::BgpSimulator& bgp_mutable() { return *bgp_; }
+  route::Fib& fib_mutable() { return *fib_; }
   const route::CollectorView& collectors() const { return *collectors_; }
   const asdata::RelationshipStore& inferred_rels() const {
     return inferred_rels_;

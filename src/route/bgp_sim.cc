@@ -37,7 +37,7 @@ const BgpSimulator::PerDst& BgpSimulator::table(AsId dst) const {
   }
   table_fills_.inc();
 
-  const auto& rels = net_.truth_relationships();
+  const auto& rels = this->rels();
   auto t = std::make_unique<PerDst>();
   const std::size_t n = as_ids_.size();
   t->cust.assign(n, kInf);
@@ -84,7 +84,7 @@ const BgpSimulator::PerDst& BgpSimulator::table(AsId dst) const {
 }
 
 void BgpSimulator::derive_peer(PerDst& t) const {
-  const auto& rels = net_.truth_relationships();
+  const auto& rels = this->rels();
   const std::size_t n = as_ids_.size();
   for (std::size_t i = 0; i < n; ++i) {
     for (AsId p : rels.peers(as_ids_[i])) {
@@ -99,7 +99,7 @@ void BgpSimulator::derive_peer(PerDst& t) const {
 void BgpSimulator::derive_prov(PerDst& t) const {
   // Dijkstra with unit weights over base values; relax-only, so it can be
   // re-run after leak relaxations lowered cust/peer entries.
-  const auto& rels = net_.truth_relationships();
+  const auto& rels = this->rels();
   const std::size_t n = as_ids_.size();
   using Entry = std::pair<std::uint16_t, std::uint32_t>;  // (dist, index)
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
@@ -128,7 +128,7 @@ void BgpSimulator::derive_prov(PerDst& t) const {
 }
 
 void BgpSimulator::apply_leaks(PerDst& t) const {
-  const auto& rels = net_.truth_relationships();
+  const auto& rels = this->rels();
   auto min3 = [&](std::size_t i) {
     return std::min({t.cust[i], t.peer[i], t.prov[i]});
   };
@@ -187,6 +187,25 @@ void BgpSimulator::apply_leaks(PerDst& t) const {
   }
 }
 
+void BgpSimulator::set_relationship(AsId a, AsId b,
+                                    asdata::Relationship rel_of_b_from_a) {
+  if (!rels_override_) {
+    rels_override_ = std::make_unique<asdata::RelationshipStore>(
+        net_.truth_relationships());
+  }
+  rels_override_->set_rel(a, b, rel_of_b_from_a);
+  invalidate_all();
+}
+
+void BgpSimulator::invalidate_all() {
+  {
+    net::MutexLock lk(cache_mu_);
+    cache_.clear();
+  }
+  net::MutexLock lk(tiers_mu_);
+  tiers_.clear();
+}
+
 RouteInfo BgpSimulator::route(AsId src, AsId dst) const {
   if (!as_index_.count(src) || !as_index_.count(dst)) return {};
   if (src == dst) return {RouteClass::kSelf, 0};
@@ -229,7 +248,7 @@ BgpSimulator::TierSet BgpSimulator::compute_tiers(AsId src, AsId dst) const {
   if (!as_index_.count(src) || !as_index_.count(dst) || src == dst) {
     return set;
   }
-  const auto& rels = net_.truth_relationships();
+  const auto& rels = this->rels();
   const PerDst& t = table(dst);
   std::size_t i = index(src);
   // The distance a neighbor advertises toward us: its customer-cone
@@ -288,7 +307,7 @@ std::vector<AsId> BgpSimulator::as_path(AsId src, AsId dst) const {
   if (!as_index_.count(src) || !as_index_.count(dst)) return path;
   path.push_back(src);
   if (src == dst) return path;
-  const auto& rels = net_.truth_relationships();
+  const auto& rels = this->rels();
   const PerDst& t = table(dst);
 
   auto min3 = [&](std::size_t i) {

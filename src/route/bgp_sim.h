@@ -99,6 +99,29 @@ class BgpSimulator {
     return route(src, dst).cls != RouteClass::kNone;
   }
 
+  // -- Churn hooks (serve::ServeEngine) -------------------------------------
+  //
+  // A long-lived daemon replays relationship churn into the simulator
+  // without rebuilding the topology. The first override copies the truth
+  // graph into a private store (copy-on-write); later route/tier fills read
+  // the overridden store. Overrides and invalidation REQUIRE external
+  // quiescence: no concurrent route()/tiers()/as_path() callers (the serve
+  // engine applies churn strictly between inference epochs, and the thread
+  // pool's task hand-off provides the happens-before edge).
+
+  // Rewrites the relationship between `a` and `b` in both directions
+  // (kNone removes the edge) and invalidates every cached table/tier.
+  void set_relationship(AsId a, AsId b, asdata::Relationship rel_of_b_from_a)
+      BDRMAP_EXCLUDES(cache_mu_, tiers_mu_);
+
+  // Drops all memoized per-destination tables and candidate-tier sets.
+  // References previously returned by tiers() become dangling.
+  void invalidate_all() BDRMAP_EXCLUDES(cache_mu_, tiers_mu_);
+
+  // The relationship graph routes are currently computed over: the truth
+  // graph until the first set_relationship, the private overlay after.
+  const asdata::RelationshipStore& relationships() const { return rels(); }
+
  private:
   static constexpr std::uint16_t kInf = 0xffff;
 
@@ -125,8 +148,17 @@ class BgpSimulator {
   // to a fixed point (all relaxations strictly decrease bounded values).
   void apply_leaks(PerDst& t) const;
 
+  // Effective relationship graph: the overlay if churn installed one, the
+  // topology's truth graph otherwise. Read from fill paths only; the
+  // overlay pointer is written exclusively under the quiescence contract
+  // of set_relationship above.
+  const asdata::RelationshipStore& rels() const {
+    return rels_override_ ? *rels_override_ : net_.truth_relationships();
+  }
+
   const topo::Internet& net_;
   BgpPolicy policy_;
+  std::unique_ptr<asdata::RelationshipStore> rels_override_;
   std::unordered_set<AsId> leaker_set_;
   std::unordered_map<AsId, std::size_t> as_index_;
   std::vector<AsId> as_ids_;

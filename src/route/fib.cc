@@ -88,6 +88,52 @@ Fib::Fib(const topo::Internet& net, const BgpSimulator& bgp,
   }
 }
 
+void Fib::set_link_state(LinkId link, bool up) {
+  {
+    net::MutexLock lk(overlay_mu_);
+    if (up) {
+      down_links_.erase(link.value);
+    } else {
+      down_links_.insert(link.value);
+    }
+    overlay_active_.store(!down_links_.empty() || !withdrawn_.empty(),
+                          std::memory_order_release);
+  }
+  // Cached egress decisions were computed against the previous down set.
+  invalidate_egress();
+}
+
+void Fib::set_prefix_withdrawn(const net::Prefix& p, bool withdrawn) {
+  net::MutexLock lk(overlay_mu_);
+  for (const auto& ap : net_.announced()) {
+    if (ap.prefix != p) continue;
+    if (withdrawn) {
+      withdrawn_.insert(&ap);
+    } else {
+      withdrawn_.erase(&ap);
+    }
+  }
+  overlay_active_.store(!down_links_.empty() || !withdrawn_.empty(),
+                        std::memory_order_release);
+}
+
+void Fib::invalidate_egress() {
+  net::MutexLock lk(egress_mu_);
+  egress_.clear();
+}
+
+bool Fib::link_is_down(LinkId link) const {
+  if (!overlay_active_.load(std::memory_order_acquire)) return false;
+  net::SharedLock lk(overlay_mu_);
+  return down_links_.count(link.value) > 0;
+}
+
+bool Fib::prefix_withdrawn(const topo::AnnouncedPrefix* ap) const {
+  if (!overlay_active_.load(std::memory_order_acquire)) return false;
+  net::SharedLock lk(overlay_mu_);
+  return withdrawn_.count(ap) > 0;
+}
+
 const std::vector<Session>& Fib::sessions_of(AsId as) const {
   auto it = as_dense_.find(as);
   return it == as_dense_.end() ? kNoSessions : sessions_[it->second];
@@ -132,6 +178,10 @@ Fib::RouteQuery::Resolved Fib::resolve(Ipv4Addr dst) const {
     return r;
   }
   if (const auto* ap = net_.announced_match(dst)) {
+    // A withdrawn prefix has no route; there is deliberately no
+    // less-specific fallback (matching announced_match's exact-trie
+    // semantics — see docs/serving.md).
+    if (prefix_withdrawn(ap)) return r;
     r.ok = true;
     r.dst_as = ap->origin;
     r.target = ap->host_router;
@@ -296,6 +346,7 @@ const Session* Fib::choose_egress_uncached(
           std::find(pinned->begin(), pinned->end(), s.link) == pinned->end()) {
         continue;
       }
+      if (link_is_down(s.link)) continue;  // churn overlay
       double d = igp_distance(r, s.near_router);
       if (d == kInfDist) continue;
       std::uint64_t rank = flow_rank(dst, s.link);
@@ -351,6 +402,7 @@ const Fib::EgressEntry& Fib::egress_entry(
                 pinned->end()) {
           continue;
         }
+        if (link_is_down(s.link)) continue;  // churn overlay
         double d = igp_distance(r, s.near_router);
         if (d == kInfDist) continue;
         if (d < best_dist) {
@@ -386,7 +438,9 @@ std::optional<Fib::Hop> Fib::next_hop_resolved(
   if (x == res.dst_as) {
     if (r == res.target) {
       if (res.cross_link.valid()) {
-        // Deliver across the p2p subnet to the far-side router.
+        // Deliver across the p2p subnet to the far-side router — unless
+        // churn took the link down, which strands the far-side address.
+        if (link_is_down(res.cross_link)) return std::nullopt;
         const auto& link = net_.link(res.cross_link);
         for (IfaceId i : link.ifaces) {
           const auto& iface = net_.iface(i);

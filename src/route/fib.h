@@ -28,10 +28,12 @@
 // bit-identity suite (tests/route_fastpath_test.cc).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "netbase/ids.h"
@@ -153,6 +155,33 @@ class Fib {
 
   bool caches_enabled() const { return options_.enable_caches; }
 
+  // -- Churn overlays (serve::ServeEngine) ----------------------------------
+  //
+  // Data-plane churn applied on top of the immutable topology: interdomain
+  // links can be marked down (their sessions drop out of egress selection
+  // and cross-link delivery) and announced prefixes can be withdrawn
+  // (resolve() reports no route). Mutators REQUIRE external quiescence —
+  // no concurrent forwarding calls — which the serve engine guarantees by
+  // applying churn strictly between inference epochs; concurrent readers
+  // of an unchanging overlay are safe (overlay_mu_). With no churn ever
+  // applied the hot path pays one relaxed atomic load.
+
+  // Marks an interdomain link down (up=false) or restores it. Invalidates
+  // the egress-decision cache; references previously returned by
+  // egress_entry become dangling.
+  void set_link_state(LinkId link, bool up)
+      BDRMAP_EXCLUDES(overlay_mu_, egress_mu_);
+
+  // Withdraws (or re-announces) every announced prefix equal to `p`.
+  void set_prefix_withdrawn(const net::Prefix& p, bool withdrawn)
+      BDRMAP_EXCLUDES(overlay_mu_);
+
+  // Drops all memoized egress decisions (e.g. after the BGP simulator's
+  // relationship overlay changed candidate tiers).
+  void invalidate_egress() BDRMAP_EXCLUDES(egress_mu_);
+
+  bool link_is_down(LinkId link) const BDRMAP_EXCLUDES(overlay_mu_);
+
  private:
   struct AsRouting {
     std::vector<RouterId> routers;  // of this AS (== AsInfo::routers)
@@ -246,6 +275,16 @@ class Fib {
   mutable std::unordered_map<EgressKey, std::unique_ptr<EgressEntry>,
                              EgressKeyHash>
       egress_ BDRMAP_GUARDED_BY(egress_mu_);
+
+  // Churn overlay state (see the public churn section). overlay_active_
+  // fast-gates the overlay_mu_ acquisitions out of the zero-churn hot path.
+  bool prefix_withdrawn(const topo::AnnouncedPrefix* ap) const
+      BDRMAP_EXCLUDES(overlay_mu_);
+  std::atomic<bool> overlay_active_{false};
+  mutable net::SharedMutex overlay_mu_;
+  std::unordered_set<std::uint32_t> down_links_ BDRMAP_GUARDED_BY(overlay_mu_);
+  std::unordered_set<const topo::AnnouncedPrefix*> withdrawn_
+      BDRMAP_GUARDED_BY(overlay_mu_);
 
   static const std::vector<Session> kNoSessions;
 };

@@ -70,4 +70,53 @@ MultiVpResult MultiVpExecutor::run(const std::vector<VpJob>& jobs) const {
   return out;
 }
 
+std::vector<core::CollectedTraces> MultiVpExecutor::collect(
+    const std::vector<VpJob>& jobs) const {
+  obs::Tracer* tracer =
+      !jobs.empty() && jobs.front().config.obs
+          ? jobs.front().config.obs->tracer()
+          : nullptr;
+  obs::Span span(tracer, "multi_vp.collect");
+  span.note("slices", static_cast<std::int64_t>(jobs.size()));
+  return parallel_map<core::CollectedTraces>(
+      pool_, jobs.size(),
+      [&jobs](std::size_t i) {
+        const VpJob& job = jobs[i];
+        BDRMAP_EXPECTS(static_cast<bool>(job.make_services),
+                       "VpJob needs a probe-services factory");
+        auto services = job.make_services();
+        core::Bdrmap pipeline(*services, job.inputs, job.config);
+        return pipeline.collect();
+      },
+      /*chunk=*/1);
+}
+
+std::vector<core::BdrmapResult> MultiVpExecutor::infer(
+    const std::vector<VpJob>& jobs,
+    std::vector<core::CollectedTraces> collected) const {
+  BDRMAP_EXPECTS(jobs.size() == collected.size(),
+                 "one collected bundle per infer job");
+  obs::Tracer* tracer =
+      !jobs.empty() && jobs.front().config.obs
+          ? jobs.front().config.obs->tracer()
+          : nullptr;
+  obs::Span span(tracer, "multi_vp.infer");
+  span.note("vps", static_cast<std::int64_t>(jobs.size()));
+  return parallel_map<core::BdrmapResult>(
+      pool_, jobs.size(),
+      [&jobs, &collected](std::size_t i) {
+        const VpJob& job = jobs[i];
+        BDRMAP_EXPECTS(static_cast<bool>(job.make_services),
+                       "VpJob needs a probe-services factory");
+        obs::Span vp_span(
+            job.config.obs ? job.config.obs->tracer() : nullptr, "vp.run");
+        vp_span.note("vp", static_cast<std::int64_t>(i));
+        auto services = job.make_services();
+        core::Bdrmap pipeline(*services, job.inputs, job.config);
+        // Exclusive per index: no two workers touch the same slot.
+        return pipeline.run_with(std::move(collected[i]));
+      },
+      /*chunk=*/1);
+}
+
 }  // namespace bdrmap::runtime

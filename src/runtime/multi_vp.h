@@ -65,6 +65,18 @@ class MultiVpExecutor {
 
   MultiVpResult run(const std::vector<VpJob>& jobs) const;
 
+  // Split-pipeline execution (serve::ServeEngine): collect() fans the
+  // jobs' collection stages out over the pool — for slice jobs each
+  // VpJob carries a config.target_filter narrowing it to one (VP, target
+  // AS) slice — and infer() runs the inference tails over previously
+  // collected (possibly cached) traces. collected[i] feeds jobs[i]; both
+  // results land in job order, same determinism contract as run().
+  std::vector<core::CollectedTraces> collect(
+      const std::vector<VpJob>& jobs) const;
+  std::vector<core::BdrmapResult> infer(
+      const std::vector<VpJob>& jobs,
+      std::vector<core::CollectedTraces> collected) const;
+
  private:
   ThreadPool* pool_;
 };

@@ -1,0 +1,262 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "netbase/contract.h"
+
+namespace bdrmap::serve {
+
+namespace {
+
+// Seed mixer (splitmix64 finalizer over a keyed combination): slice seeds
+// depend on (base, vp, target AS) ONLY — never on the epoch — which is the
+// whole incremental-correctness argument (engine.h header comment).
+std::uint64_t mix(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  std::uint64_t z = a ^ (b * 0x9e3779b97f4a7c15ULL) ^
+                    ((c + 1) * 0xbf58476d1ce4e5b9ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t kInferSalt = 0x1f3a9;
+
+std::vector<net::AsId> sorted_union(std::vector<net::AsId> a,
+                                    const std::vector<net::AsId>& b) {
+  a.insert(a.end(), b.begin(), b.end());
+  std::sort(a.begin(), a.end());
+  a.erase(std::unique(a.begin(), a.end()), a.end());
+  return a;
+}
+
+}  // namespace
+
+ServeEngine::ServeEngine(const topo::Internet& net, route::BgpSimulator& bgp,
+                         route::Fib& fib, std::vector<VpContext> vps,
+                         EngineOptions options)
+    : net_(net),
+      bgp_(bgp),
+      fib_(fib),
+      vps_(std::move(vps)),
+      options_(std::move(options)),
+      executor_(options_.pool) {
+  BDRMAP_EXPECTS(!vps_.empty(), "ServeEngine needs at least one VP");
+  vp_targets_.reserve(vps_.size());
+  for (const VpContext& vp : vps_) {
+    BDRMAP_EXPECTS(vp.inputs.origins != nullptr,
+                   "VpContext needs an origin table");
+    BDRMAP_EXPECTS(static_cast<bool>(vp.make_services),
+                   "VpContext needs a seeded probe-services factory");
+    // The §5.3 schedule sorts blocks by target AS; the unique AS list in
+    // that order is this VP's slice keyspace.
+    std::vector<net::AsId> list;
+    for (const core::ProbeBlock& block :
+         core::build_probe_blocks(*vp.inputs.origins, vp.inputs.vp_ases)) {
+      if (list.empty() || list.back() != block.target_as) {
+        list.push_back(block.target_as);
+      }
+    }
+    targets_ = sorted_union(std::move(targets_), list);
+    vp_targets_.push_back(std::move(list));
+  }
+  store_.resize(vps_.size());
+  if (options_.obs && options_.obs->registry()) {
+    obs::MetricsRegistry* reg = options_.obs->registry();
+    churn_events_ = reg->counter("serve.churn.events");
+    dirty_slices_ = reg->counter("serve.churn.dirty_slices");
+    clean_slices_ = reg->counter("serve.churn.clean_slices");
+    compiles_ = reg->counter("serve.snapshot.compiles");
+  }
+}
+
+std::uint64_t ServeEngine::slice_seed(std::size_t vp, net::AsId as) const {
+  return mix(options_.base_seed, vp, as.value);
+}
+
+std::uint64_t ServeEngine::infer_seed(std::size_t vp) const {
+  return mix(options_.base_seed, vp, kInferSalt);
+}
+
+runtime::VpJob ServeEngine::slice_job(std::size_t vp, net::AsId as) const {
+  runtime::VpJob job;
+  auto factory = vps_[vp].make_services;
+  const std::uint64_t seed = slice_seed(vp, as);
+  job.make_services = [factory = std::move(factory), seed] {
+    return factory(seed);
+  };
+  job.inputs = vps_[vp].inputs;
+  job.config = options_.config;
+  job.config.target_filter = {as};
+  return job;
+}
+
+runtime::VpJob ServeEngine::infer_job(std::size_t vp) const {
+  runtime::VpJob job;
+  auto factory = vps_[vp].make_services;
+  const std::uint64_t seed = infer_seed(vp);
+  job.make_services = [factory = std::move(factory), seed] {
+    return factory(seed);
+  };
+  job.inputs = vps_[vp].inputs;
+  job.config = options_.config;
+  job.config.target_filter.clear();
+  return job;
+}
+
+std::vector<OwnedPrefix> ServeEngine::owned_prefixes() const {
+  std::vector<OwnedPrefix> out;
+  for (const auto& [prefix, origins] :
+       vps_.front().inputs.origins->all_prefixes()) {
+    if (withdrawn_.count(prefix)) continue;
+    BDRMAP_EXPECTS(!origins.empty(), "announced prefix without origins");
+    out.push_back({prefix, *std::min_element(origins.begin(), origins.end())});
+  }
+  return out;
+}
+
+void ServeEngine::rebuild_full() {
+  obs::Tracer* tracer = options_.obs ? options_.obs->tracer() : nullptr;
+  obs::Span span(tracer, "serve.rebuild");
+  if (built_) ++epoch_;
+  built_ = true;
+  std::vector<runtime::VpJob> jobs;
+  std::vector<std::pair<std::size_t, net::AsId>> keys;
+  for (std::size_t vp = 0; vp < vps_.size(); ++vp) {
+    for (net::AsId as : vp_targets_[vp]) {
+      jobs.push_back(slice_job(vp, as));
+      keys.emplace_back(vp, as);
+    }
+  }
+  std::vector<core::CollectedTraces> collected = executor_.collect(jobs);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    store_[keys[i].first][keys[i].second] = std::move(collected[i]);
+  }
+  span.note("slices", static_cast<std::int64_t>(keys.size()));
+  reinfer_and_publish(tracer);
+}
+
+ChurnApplyStats ServeEngine::apply(const ChurnEvent& event) {
+  BDRMAP_EXPECTS(built_, "apply() requires an initial rebuild_full()");
+  obs::Tracer* tracer = options_.obs ? options_.obs->tracer() : nullptr;
+  obs::Span span(tracer, "serve.apply");
+  span.note("event", churn_kind_name(event.kind));
+
+  // Dirty bound in the OLD state (routes the event destroys)...
+  std::vector<net::AsId> dirty =
+      affected_targets(event, bgp_, net_, targets_);
+  apply_event(event, bgp_, fib_);
+  // ...unioned with the bound in the NEW state (routes it creates).
+  dirty = sorted_union(std::move(dirty),
+                       affected_targets(event, bgp_, net_, targets_));
+
+  if (event.kind == ChurnKind::kWithdraw) withdrawn_.insert(event.prefix);
+  if (event.kind == ChurnKind::kAnnounce) withdrawn_.erase(event.prefix);
+
+  ++epoch_;
+  churn_events_.inc();
+
+  std::vector<runtime::VpJob> jobs;
+  std::vector<std::pair<std::size_t, net::AsId>> keys;
+  std::size_t total_slices = 0;
+  for (std::size_t vp = 0; vp < vps_.size(); ++vp) {
+    total_slices += vp_targets_[vp].size();
+    for (net::AsId as : vp_targets_[vp]) {
+      if (!std::binary_search(dirty.begin(), dirty.end(), as)) continue;
+      jobs.push_back(slice_job(vp, as));
+      keys.emplace_back(vp, as);
+    }
+  }
+  {
+    obs::Span collect_span(tracer, "serve.collect");
+    collect_span.note("dirty_slices", static_cast<std::int64_t>(keys.size()));
+    std::vector<core::CollectedTraces> collected = executor_.collect(jobs);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      store_[keys[i].first][keys[i].second] = std::move(collected[i]);
+    }
+  }
+
+  ChurnApplyStats stats;
+  stats.dirty_targets = dirty.size();
+  stats.dirty_slices = keys.size();
+  stats.clean_slices = total_slices - keys.size();
+  stats.epoch = epoch_;
+  dirty_slices_.inc(stats.dirty_slices);
+  clean_slices_.inc(stats.clean_slices);
+
+  reinfer_and_publish(tracer);
+  return stats;
+}
+
+void ServeEngine::reinfer_and_publish(obs::Tracer* tracer) {
+  // Concatenate each VP's slices in target-AS order — the same order the
+  // monolithic §5.3 schedule would have probed them.
+  std::vector<core::CollectedTraces> per_vp(vps_.size());
+  for (std::size_t vp = 0; vp < vps_.size(); ++vp) {
+    for (const auto& [as, slice] : store_[vp]) {
+      per_vp[vp].append(slice);
+    }
+  }
+  std::vector<core::BdrmapResult> results;
+  {
+    obs::Span span(tracer, "serve.infer");
+    results = infer_all(std::move(per_vp));
+  }
+  std::shared_ptr<const BorderMapSnapshot> snap;
+  {
+    obs::Span span(tracer, "serve.compile");
+    snap = compile_snapshot(results, epoch_);
+    span.note("prefixes", static_cast<std::int64_t>(snap->prefix_count()));
+    span.note("borders",
+              static_cast<std::int64_t>(snap->borders().size()));
+  }
+  handle_.publish(snap);
+  compiles_.inc();
+  last_results_ = std::move(results);
+}
+
+std::vector<core::BdrmapResult> ServeEngine::infer_all(
+    std::vector<core::CollectedTraces> per_vp_traces) const {
+  std::vector<runtime::VpJob> jobs;
+  jobs.reserve(vps_.size());
+  for (std::size_t vp = 0; vp < vps_.size(); ++vp) {
+    jobs.push_back(infer_job(vp));
+  }
+  return executor_.infer(jobs, std::move(per_vp_traces));
+}
+
+std::shared_ptr<const BorderMapSnapshot> ServeEngine::compile_snapshot(
+    const std::vector<core::BdrmapResult>& results,
+    std::uint64_t epoch) const {
+  std::vector<const core::BdrmapResult*> ptrs;
+  ptrs.reserve(results.size());
+  for (const core::BdrmapResult& r : results) ptrs.push_back(&r);
+  return BorderMapSnapshot::compile(owned_prefixes(),
+                                    core::merge_results(ptrs), epoch);
+}
+
+ServeEngine::Reference ServeEngine::recompute_reference() const {
+  obs::Tracer* tracer = options_.obs ? options_.obs->tracer() : nullptr;
+  obs::Span span(tracer, "serve.reference");
+  // Fresh collection of EVERY slice with the cache's own seeds, bypassing
+  // the cache entirely: what the incremental path must match bit-for-bit.
+  std::vector<runtime::VpJob> jobs;
+  std::vector<std::pair<std::size_t, net::AsId>> keys;
+  for (std::size_t vp = 0; vp < vps_.size(); ++vp) {
+    for (net::AsId as : vp_targets_[vp]) {
+      jobs.push_back(slice_job(vp, as));
+      keys.emplace_back(vp, as);
+    }
+  }
+  std::vector<core::CollectedTraces> collected = executor_.collect(jobs);
+  std::vector<core::CollectedTraces> per_vp(vps_.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    per_vp[keys[i].first].append(std::move(collected[i]));
+  }
+  Reference ref;
+  ref.per_vp = infer_all(std::move(per_vp));
+  ref.snapshot = compile_snapshot(ref.per_vp, epoch_);
+  return ref;
+}
+
+}  // namespace bdrmap::serve

@@ -1,0 +1,218 @@
+#include "serve/snapshot.h"
+
+#include <algorithm>
+
+#include "netbase/contract.h"
+
+namespace bdrmap::serve {
+
+namespace {
+
+// FNV-1a, the repo's stock structural hash.
+inline std::uint64_t fnv(std::uint64_t h, std::uint64_t v) {
+  h ^= v;
+  h *= 0x100000001b3ULL;
+  return h;
+}
+
+// Mutable pointer-free trie used only during compilation.
+struct BuildNode {
+  std::uint32_t child[2] = {0, 0};  // 0 == none (root is never a child)
+  std::int32_t value = -1;
+};
+
+inline std::uint32_t bit_at(std::uint32_t value, std::uint8_t pos) {
+  return (value >> (31u - pos)) & 1u;
+}
+
+}  // namespace
+
+std::shared_ptr<const BorderMapSnapshot> BorderMapSnapshot::compile(
+    std::vector<OwnedPrefix> prefixes, const core::MergedMap& map,
+    std::uint64_t epoch) {
+  auto snap = std::shared_ptr<BorderMapSnapshot>(new BorderMapSnapshot());
+  snap->epoch_ = epoch;
+
+  // Canonical prefix order; duplicates keep the first owner (matching
+  // OriginTable's first-wins add()).
+  std::sort(prefixes.begin(), prefixes.end(),
+            [](const OwnedPrefix& a, const OwnedPrefix& b) {
+              return a.prefix != b.prefix ? a.prefix < b.prefix
+                                          : a.owner < b.owner;
+            });
+  prefixes.erase(std::unique(prefixes.begin(), prefixes.end(),
+                             [](const OwnedPrefix& a, const OwnedPrefix& b) {
+                               return a.prefix == b.prefix;
+                             }),
+                 prefixes.end());
+  snap->prefixes_ = std::move(prefixes);
+
+  // Border tables from the merged map, in link order.
+  snap->borders_.reserve(map.links.size());
+  for (const core::MergedLink& link : map.links) {
+    BorderRecord rec;
+    rec.neighbor_as = link.neighbor_as;
+    rec.how = link.how;
+    auto addr_of = [&](std::size_t router) {
+      if (router == core::MergedLink::kNoRouter) return net::Ipv4Addr();
+      const auto& addrs = map.routers[router].addrs;
+      return addrs.empty() ? net::Ipv4Addr() : addrs.front();
+    };
+    rec.near_addr = addr_of(link.near_router);
+    rec.far_addr = addr_of(link.far_router);
+    rec.vp_begin = static_cast<std::uint32_t>(snap->vp_index_.size());
+    for (std::size_t vp : link.seen_by) {
+      snap->vp_index_.push_back(static_cast<std::uint32_t>(vp));
+    }
+    rec.vp_count = static_cast<std::uint32_t>(snap->vp_index_.size()) -
+                   rec.vp_begin;
+    snap->borders_.push_back(rec);
+  }
+
+  // Per-neighbor-AS grouping (links_by_as is already sorted by AS).
+  for (const auto& [as, indices] : map.links_by_as) {
+    BorderSlice slice;
+    slice.begin = static_cast<std::uint32_t>(snap->border_idx_.size());
+    for (std::size_t i : indices) {
+      snap->border_idx_.push_back(static_cast<std::uint32_t>(i));
+    }
+    slice.count =
+        static_cast<std::uint32_t>(snap->border_idx_.size()) - slice.begin;
+    snap->by_as_.emplace_back(as, slice);
+  }
+
+  // Resolve each prefix owner to its border slice once, at compile time.
+  snap->slots_.resize(snap->prefixes_.size());
+  for (std::size_t i = 0; i < snap->prefixes_.size(); ++i) {
+    const net::AsId owner = snap->prefixes_[i].owner;
+    auto it = std::lower_bound(
+        snap->by_as_.begin(), snap->by_as_.end(), owner,
+        [](const auto& entry, net::AsId as) { return entry.first < as; });
+    if (it != snap->by_as_.end() && it->first == owner) {
+      snap->slots_[i] = it->second;
+    }
+  }
+
+  // Uncompressed binary trie over the prefixes...
+  std::vector<BuildNode> build(1);
+  for (std::size_t i = 0; i < snap->prefixes_.size(); ++i) {
+    const net::Prefix& p = snap->prefixes_[i].prefix;
+    std::uint32_t cur = 0;
+    for (std::uint8_t d = 0; d < p.length(); ++d) {
+      const std::uint32_t b = bit_at(p.network().value(), d);
+      if (build[cur].child[b] == 0) {
+        build[cur].child[b] = static_cast<std::uint32_t>(build.size());
+        build.emplace_back();
+      }
+      cur = build[cur].child[b];
+    }
+    if (build[cur].value < 0) build[cur].value = static_cast<std::int32_t>(i);
+  }
+
+  // ...then flatten with path compression: valueless single-child chains
+  // collapse into the successor's skip fragment. Iterative DFS; children
+  // are emitted after their parent, so child indices are patched when the
+  // child is emitted.
+  struct Work {
+    std::uint32_t build_idx;
+    std::uint32_t parent_flat;  // kNil for the root
+    std::uint8_t parent_bit;
+  };
+  std::vector<Work> stack;
+  if (!snap->prefixes_.empty()) stack.push_back({0, kNil, 0});
+  while (!stack.empty()) {
+    Work w = stack.back();
+    stack.pop_back();
+    Node flat;
+    std::uint32_t cur = w.build_idx;
+    while (build[cur].value < 0 &&
+           (build[cur].child[0] == 0) != (build[cur].child[1] == 0)) {
+      const std::uint8_t b = build[cur].child[1] != 0 ? 1 : 0;
+      flat.skip_bits |= static_cast<std::uint32_t>(b)
+                        << (31u - flat.skip_len);
+      ++flat.skip_len;
+      cur = build[cur].child[b];
+    }
+    flat.value = build[cur].value;
+    const std::uint32_t flat_idx =
+        static_cast<std::uint32_t>(snap->nodes_.size());
+    snap->nodes_.push_back(flat);
+    if (w.parent_flat != kNil) {
+      snap->nodes_[w.parent_flat].child[w.parent_bit] = flat_idx;
+    }
+    for (std::uint8_t b = 0; b < 2; ++b) {
+      if (build[cur].child[b] != 0) {
+        stack.push_back({build[cur].child[b], flat_idx, b});
+      }
+    }
+  }
+
+  // Structural fingerprint over every table the queries read.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const OwnedPrefix& p : snap->prefixes_) {
+    h = fnv(h, (std::uint64_t{p.prefix.network().value()} << 8) |
+                   p.prefix.length());
+    h = fnv(h, p.owner.value);
+  }
+  for (const BorderRecord& r : snap->borders_) {
+    h = fnv(h, (std::uint64_t{r.neighbor_as.value} << 8) |
+                   static_cast<std::uint64_t>(r.how));
+    h = fnv(h, (std::uint64_t{r.near_addr.value()} << 32) |
+                   r.far_addr.value());
+    h = fnv(h, (std::uint64_t{r.vp_begin} << 32) | r.vp_count);
+  }
+  for (std::uint32_t v : snap->vp_index_) h = fnv(h, v);
+  for (std::uint32_t v : snap->border_idx_) h = fnv(h, v);
+  snap->fingerprint_ = h;
+  return snap;
+}
+
+BorderMapSnapshot::Lookup BorderMapSnapshot::lookup(net::Ipv4Addr addr) const {
+  Lookup out;
+  if (nodes_.empty()) return out;
+  const std::uint32_t value = addr.value();
+  std::uint32_t node = 0;
+  std::uint32_t pos = 0;  // bits consumed
+  std::int32_t best = -1;
+  for (;;) {
+    const Node& n = nodes_[node];
+    if (n.skip_len > 0) {
+      // Compare the compressed fragment in one shot: address bits
+      // [pos, pos + skip_len) against the left-aligned skip_bits.
+      if (pos + n.skip_len > 32) break;
+      const std::uint32_t frag = (value << pos) &
+                                 ~(n.skip_len == 32
+                                       ? 0u
+                                       : (~0u >> n.skip_len));
+      if (frag != n.skip_bits) break;
+      pos += n.skip_len;
+    }
+    if (n.value >= 0) best = n.value;
+    if (pos >= 32) break;
+    const std::uint32_t b = (value >> (31u - pos)) & 1u;
+    if (n.child[b] == kNil) break;
+    node = n.child[b];
+    ++pos;
+  }
+  if (best < 0) return out;
+  out.routed = true;
+  out.owner = prefixes_[static_cast<std::size_t>(best)].owner;
+  const BorderSlice& slice = slots_[static_cast<std::size_t>(best)];
+  out.borders = border_idx_.data() + slice.begin;
+  out.border_count = slice.count;
+  return out;
+}
+
+std::vector<std::uint32_t> BorderMapSnapshot::borders_toward(
+    net::AsId as) const {
+  std::vector<std::uint32_t> out;
+  auto it = std::lower_bound(
+      by_as_.begin(), by_as_.end(), as,
+      [](const auto& entry, net::AsId a) { return entry.first < a; });
+  if (it == by_as_.end() || it->first != as) return out;
+  out.assign(border_idx_.begin() + it->second.begin,
+             border_idx_.begin() + it->second.begin + it->second.count);
+  return out;
+}
+
+}  // namespace bdrmap::serve

@@ -1,0 +1,125 @@
+// Immutable border-map snapshot: the read side of bdrmapd.
+//
+// A BorderMapSnapshot freezes one inference epoch — the merged multi-VP
+// border map plus the public prefix-origin view — into a query structure
+// a daemon can serve at millions of lookups per second:
+//
+//  * a path-compressed binary trie over the owned prefixes, flattened
+//    into one contiguous node array (u32 child indices, no pointers),
+//    answering longest-prefix "who owns IP X, and which of our borders
+//    lead toward that owner?" lookups with a handful of cache lines;
+//  * dense border/owner tables: one BorderRecord per merged interdomain
+//    link with a flat per-border VP list answering the catchment-style
+//    "which VPs' traffic crosses border B?" query (Sermpezis & Kotronis,
+//    PAPERS.md), and a per-neighbor-AS index over the records.
+//
+// Snapshots are immutable after compile(): readers share them through
+// serve::SnapshotHandle (RCU-style atomic swap, handle.h) and never
+// synchronize with the writer that compiles the next epoch.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/merge.h"
+#include "netbase/ids.h"
+#include "netbase/ipv4.h"
+#include "netbase/prefix.h"
+
+namespace bdrmap::serve {
+
+// One routed prefix with the owner the snapshot answers for it (the lowest
+// origin AS of the prefix, matching asdata::OriginTable::origin).
+struct OwnedPrefix {
+  net::Prefix prefix;
+  net::AsId owner;
+};
+
+// One interdomain link of the serving network, compiled from a
+// core::MergedLink. Addresses are the canonical (lowest) interface address
+// of the merged router on each side; zero when that side was silent
+// (§5.4.8 placements / first-after-gap borders).
+struct BorderRecord {
+  net::AsId neighbor_as;
+  core::Heuristic how = core::Heuristic::kNone;
+  net::Ipv4Addr near_addr;
+  net::Ipv4Addr far_addr;
+  std::uint32_t vp_begin = 0;  // [vp_begin, vp_begin + vp_count) into
+  std::uint32_t vp_count = 0;  // the snapshot's flat VP index array
+};
+
+class BorderMapSnapshot {
+ public:
+  struct Lookup {
+    bool routed = false;
+    net::AsId owner;                          // origin of the longest match
+    const std::uint32_t* borders = nullptr;   // indices into borders()
+    std::uint32_t border_count = 0;           // links toward owner's AS
+  };
+
+  // Compiles one epoch. `prefixes` is the routed-prefix view (any order;
+  // duplicates keep the first owner), `map` the merged multi-VP result.
+  static std::shared_ptr<const BorderMapSnapshot> compile(
+      std::vector<OwnedPrefix> prefixes, const core::MergedMap& map,
+      std::uint64_t epoch);
+
+  // Longest-prefix match; routed == false for uncovered addresses.
+  Lookup lookup(net::Ipv4Addr addr) const;
+
+  const std::vector<BorderRecord>& borders() const { return borders_; }
+
+  // Catchment: the VP indices (merge order) whose traffic crosses border
+  // `b` — the VPs whose runs observed the link.
+  const std::uint32_t* catchment(std::uint32_t b, std::uint32_t* count) const {
+    const BorderRecord& r = borders_[b];
+    *count = r.vp_count;
+    return vp_index_.data() + r.vp_begin;
+  }
+
+  // Indices of every border whose neighbor is `as` (empty when `as` is not
+  // a neighbor of the serving network).
+  std::vector<std::uint32_t> borders_toward(net::AsId as) const;
+
+  std::uint64_t epoch() const { return epoch_; }
+  std::size_t prefix_count() const { return prefixes_.size(); }
+  std::size_t node_count() const { return nodes_.size(); }
+
+  // Structural hash over every table — two snapshots answering queries
+  // identically hash identically (the bit-identity gates compare this).
+  std::uint64_t fingerprint() const { return fingerprint_; }
+
+ private:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  // Path-compressed trie node. Arriving at a node with `pos` address bits
+  // consumed: first match `skip_len` further bits against `skip_bits`
+  // (left-aligned fragment), then — if a prefix of length pos + skip_len
+  // exists — record `value`, then branch on the next bit.
+  struct Node {
+    std::uint32_t child[2] = {kNil, kNil};
+    std::int32_t value = -1;  // index into prefixes_ / slots_
+    std::uint8_t skip_len = 0;
+    std::uint32_t skip_bits = 0;
+  };
+
+  BorderMapSnapshot() = default;
+
+  std::vector<Node> nodes_;  // nodes_[0] is the root (when non-empty)
+  std::vector<OwnedPrefix> prefixes_;
+  // Per prefix: the owner's [begin, count) slice of border_idx_.
+  struct BorderSlice {
+    std::uint32_t begin = 0;
+    std::uint32_t count = 0;
+  };
+  std::vector<BorderSlice> slots_;        // parallel to prefixes_
+  std::vector<std::uint32_t> border_idx_;  // border indices grouped by AS
+  std::vector<BorderRecord> borders_;
+  std::vector<std::uint32_t> vp_index_;   // flat catchment lists
+  // Sorted (neighbor AS -> slice of border_idx_) for borders_toward().
+  std::vector<std::pair<net::AsId, BorderSlice>> by_as_;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t fingerprint_ = 0;
+};
+
+}  // namespace bdrmap::serve

@@ -1,0 +1,5 @@
+// Bad fixture for BDR101: serve reaching up into eval — the serving layer
+// may depend on core/route/runtime/obs/netbase only.
+#include "eval/report.h"
+
+int fixture_serve_bdr101() { return 101; }

@@ -1,0 +1,195 @@
+// ServeEngine: churn-driven incremental re-inference must be bit-identical
+// to a from-scratch recompute — per VP via eval::same_border_map AND at the
+// snapshot level via the structural fingerprint — on every scenario family,
+// including the adversarial ones. Plus the serve.* observability contract.
+#include "serve/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "eval/degradation.h"
+#include "eval/scenario_registry.h"
+#include "obs/export.h"
+#include "obs/json.h"
+#include "obs/obs.h"
+#include "runtime/thread_pool.h"
+#include "serve/churn.h"
+
+namespace bdrmap {
+namespace {
+
+struct EngineFixture {
+  std::unique_ptr<eval::Scenario> scenario;
+  std::unique_ptr<runtime::ThreadPool> pool;
+  std::unique_ptr<serve::ServeEngine> engine;
+  net::AsId vp_as;
+};
+
+EngineFixture make_engine(const std::string& name, std::uint64_t seed,
+                          obs::Observability* obs = nullptr,
+                          std::size_t max_vps = 3) {
+  auto spec = eval::scenario_spec(name, seed);
+  EXPECT_TRUE(spec.has_value()) << name;
+  EngineFixture fx;
+  fx.scenario = std::make_unique<eval::Scenario>(*spec);
+  fx.vp_as = fx.scenario->first_of(spec->vp_kind);
+  auto vps = fx.scenario->vps_in(fx.vp_as);
+  if (vps.size() > max_vps) vps.resize(max_vps);
+  EXPECT_FALSE(vps.empty()) << name;
+
+  fx.pool = runtime::make_pool(4, obs ? obs->registry() : nullptr);
+  serve::EngineOptions options;
+  options.base_seed = seed ^ 0x515;
+  options.obs = obs;
+  options.config.obs = obs;
+  options.pool = fx.pool.get();
+
+  std::vector<serve::VpContext> contexts;
+  for (const topo::Vp& vp : vps) {
+    serve::VpContext ctx;
+    eval::Scenario* scenario = fx.scenario.get();
+    ctx.make_services = [scenario, vp](std::uint64_t s) {
+      return std::unique_ptr<probe::ProbeServices>(
+          scenario->services_for(vp, s));
+    };
+    ctx.inputs = fx.scenario->inputs_for(fx.vp_as);
+    contexts.push_back(std::move(ctx));
+  }
+  fx.engine = std::make_unique<serve::ServeEngine>(
+      fx.scenario->net(), fx.scenario->bgp_mutable(),
+      fx.scenario->fib_mutable(), std::move(contexts), options);
+  return fx;
+}
+
+void expect_identical(const serve::ServeEngine& engine,
+                      const std::string& label) {
+  const serve::ServeEngine::Reference ref = engine.recompute_reference();
+  const auto live = engine.handle().current();
+  ASSERT_NE(live, nullptr) << label;
+  EXPECT_EQ(ref.snapshot->fingerprint(), live->fingerprint()) << label;
+  ASSERT_EQ(ref.per_vp.size(), engine.last_results().size()) << label;
+  for (std::size_t vp = 0; vp < ref.per_vp.size(); ++vp) {
+    EXPECT_TRUE(
+        eval::same_border_map(ref.per_vp[vp], engine.last_results()[vp]))
+        << label << " VP " << vp;
+  }
+}
+
+// The tight loop: on the small family, gate EVERY event kind the stream
+// emits, checking identity after each epoch.
+TEST(ServeIncrementalTest, PerEventBitIdentity) {
+  EngineFixture fx = make_engine("small", 42);
+  fx.engine->rebuild_full();
+  expect_identical(*fx.engine, "epoch 0");
+  serve::ChurnStream stream(fx.scenario->net(), 42);
+  for (int i = 0; i < 6; ++i) {
+    const serve::ChurnEvent event = stream.next();
+    const serve::ChurnApplyStats stats = fx.engine->apply(event);
+    EXPECT_EQ(stats.epoch, fx.engine->epoch());
+    expect_identical(*fx.engine,
+                     "epoch " + std::to_string(stats.epoch) + " after " +
+                         serve::describe(event));
+  }
+}
+
+// Every scenario family — clean §5.6 networks and the adversarial suite —
+// holds identity after a burst of churn.
+TEST(ServeIncrementalTest, AllScenarioFamiliesBitIdentity) {
+  for (const std::string& name : eval::scenario_names()) {
+    EngineFixture fx = make_engine(name, 42, nullptr, /*max_vps=*/2);
+    fx.engine->rebuild_full();
+    serve::ChurnStream stream(fx.scenario->net(), 7);
+    for (int i = 0; i < 2; ++i) fx.engine->apply(stream.next());
+    expect_identical(*fx.engine, name);
+  }
+}
+
+TEST(ServeIncrementalTest, DirtySetIsActuallyPartial) {
+  EngineFixture fx = make_engine("small", 42);
+  fx.engine->rebuild_full();
+  const std::uint64_t v0 = fx.engine->handle().version();
+  serve::ChurnStream stream(fx.scenario->net(), 42);
+  std::size_t clean_total = 0;
+  for (int i = 0; i < 4; ++i) {
+    const serve::ChurnApplyStats stats = fx.engine->apply(stream.next());
+    EXPECT_GT(stats.dirty_slices, 0u);
+    clean_total += stats.clean_slices;
+  }
+  // Incrementality must be real: across a handful of events at least some
+  // slices were served from the cache rather than re-collected.
+  EXPECT_GT(clean_total, 0u);
+  // One publish per epoch, none skipped.
+  EXPECT_EQ(fx.engine->handle().version(), v0 + 4);
+  EXPECT_EQ(fx.engine->handle().current()->epoch(), fx.engine->epoch());
+}
+
+TEST(ServeIncrementalTest, WithdrawDropsPrefixFromSnapshot) {
+  EngineFixture fx = make_engine("small", 42);
+  fx.engine->rebuild_full();
+  const std::size_t before = fx.engine->handle().current()->prefix_count();
+  // Find a withdraw event; the stream may open with something else.
+  serve::ChurnStream stream(fx.scenario->net(), 42);
+  for (int i = 0; i < 32; ++i) {
+    const serve::ChurnEvent event = stream.next();
+    fx.engine->apply(event);
+    if (event.kind == serve::ChurnKind::kWithdraw) {
+      // The withdrawn prefix leaves the routed view; lookups under it may
+      // still resolve through a covering less-specific, so the observable
+      // contract is the shrunken prefix table.
+      EXPECT_LT(fx.engine->handle().current()->prefix_count(), before);
+      return;
+    }
+  }
+  FAIL() << "stream produced no withdraw in 32 events";
+}
+
+// serve.* observability: counters and spans land in the export, and the
+// export still validates against docs/obs_schema.json (the same contract
+// tools/check_obs.py --serve enforces on CI).
+TEST(ServeIncrementalTest, ObsExportValidatesAgainstSchema) {
+  obs::ObsOptions obs_options;
+  obs_options.enabled = true;
+  obs_options.run_label = "serve-test";
+  obs::Observability obs(obs_options);
+  EngineFixture fx = make_engine("small", 42, &obs);
+  fx.engine->rebuild_full();
+  serve::ChurnStream stream(fx.scenario->net(), 42);
+  fx.engine->apply(stream.next());
+
+  obs::MetricsSnapshot snapshot = obs.registry()->snapshot();
+  EXPECT_EQ(snapshot.counter("serve.churn.events"), 1u);
+  EXPECT_EQ(snapshot.counter("serve.snapshot.compiles"), 2u);
+  EXPECT_GT(snapshot.counter("serve.churn.dirty_slices") +
+                snapshot.counter("serve.churn.clean_slices"),
+            0u);
+
+  obs::ExportInfo info;
+  info.tool = "serve_incremental_test";
+  info.scenario = "small";
+  info.seed = 42;
+  info.vps = fx.engine->vp_count();
+  info.threads = 4;
+  const std::string doc_text = obs::export_json(obs, info);
+  EXPECT_NE(doc_text.find("serve.churn.events"), std::string::npos);
+  EXPECT_NE(doc_text.find("serve.rebuild"), std::string::npos);
+  EXPECT_NE(doc_text.find("serve.apply"), std::string::npos);
+
+  std::ifstream in(BDRMAP_SOURCE_DIR "/docs/obs_schema.json");
+  ASSERT_TRUE(in.is_open()) << "docs/obs_schema.json must be checked in";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string error;
+  auto schema = obs::json::parse(buf.str(), &error);
+  ASSERT_TRUE(schema.has_value()) << error;
+  auto doc = obs::json::parse(doc_text, &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_TRUE(obs::json::validate(*schema, *doc, &error)) << error;
+}
+
+}  // namespace
+}  // namespace bdrmap

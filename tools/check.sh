@@ -16,6 +16,10 @@
 #                  small scenario (single-VP and multi-VP) and validate the
 #                  exports against docs/obs_schema.json with
 #                  tools/check_obs.py
+#   --serve        serving smoke: bdrmapd one-shot over the small scenario
+#                  with churn, --compare-full (hard bit-identity gate
+#                  incremental vs from-scratch) and an --obs-json export
+#                  validated with tools/check_obs.py --serve
 #   --analyze      bdrmap-analyze stage: all tools/lint.py passes
 #                  (hygiene, module layering, determinism, raw locks)
 #                  repo-wide, the fixture self-test
@@ -41,6 +45,7 @@ BENCH_ONLY=0
 OBS_ONLY=0
 FUZZ_ONLY=0
 ANALYZE_ONLY=0
+SERVE_ONLY=0
 case "${1:-}" in
   --fast) FAST=1 ;;
   --lint) LINT_ONLY=1 ;;
@@ -49,8 +54,9 @@ case "${1:-}" in
   --obs) OBS_ONLY=1 ;;
   --fuzz) FUZZ_ONLY=1 ;;
   --analyze) ANALYZE_ONLY=1 ;;
+  --serve) SERVE_ONLY=1 ;;
   "") ;;
-  *) echo "usage: tools/check.sh [--fast|--lint|--tsan|--bench|--obs|--fuzz|--analyze]" >&2; exit 2 ;;
+  *) echo "usage: tools/check.sh [--fast|--lint|--tsan|--bench|--obs|--fuzz|--analyze|--serve]" >&2; exit 2 ;;
 esac
 
 run_tsan() {
@@ -58,9 +64,10 @@ run_tsan() {
   cmake --preset tsan
   cmake --build --preset tsan -j "$JOBS" --target \
     runtime_thread_pool_test runtime_multi_vp_test netbase_contract_test \
-    route_fastpath_test obs_metrics_test obs_trace_test eval_fuzzer_test
+    route_fastpath_test obs_metrics_test obs_trace_test eval_fuzzer_test \
+    serve_handle_test serve_snapshot_test serve_incremental_test
   ctest --test-dir build-tsan -j "$JOBS" --output-on-failure \
-    -R 'ThreadPool|TaskGroup|ParallelFor|ParallelMap|MultiVp|Contract|FastPath|Obs|Fuzzer'
+    -R 'ThreadPool|TaskGroup|ParallelFor|ParallelMap|MultiVp|Contract|FastPath|Obs|Fuzzer|Serve'
 }
 
 run_fuzz() {
@@ -83,6 +90,18 @@ run_obs() {
   ./build/tools/bdrmap_sim --scenario small --all-vps --threads 4 \
     --obs-json "$tmp/obs_multi.json" >/dev/null
   python3 tools/check_obs.py "$tmp/obs_multi.json"
+}
+
+run_serve() {
+  echo "== serve smoke: bdrmapd churn + --compare-full + obs export =="
+  cmake --preset default >/dev/null
+  cmake --build --preset default -j "$JOBS" --target bdrmapd
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' RETURN
+  ./build/tools/bdrmapd --scenario small --seed 42 --churn 3 \
+    --queries 10000 --compare-full --obs-json "$tmp/obs_serve.json"
+  python3 tools/check_obs.py --serve "$tmp/obs_serve.json"
 }
 
 run_bench() {
@@ -156,6 +175,12 @@ fi
 if [[ "$FUZZ_ONLY" == "1" ]]; then
   run_fuzz
   echo "== fuzz smoke passed =="
+  exit 0
+fi
+
+if [[ "$SERVE_ONLY" == "1" ]]; then
+  run_serve
+  echo "== serve smoke passed =="
   exit 0
 fi
 

@@ -19,11 +19,14 @@ default the gate also requires:
   * every span is closed and parent ids point at earlier spans
 
 --schema-only skips the run-completeness checks (for exports from partial
-or disabled runs).
+or disabled runs). --serve switches the completeness profile to the one
+bdrmapd produces (docs/serving.md): the serve.* spans and churn counters
+are required instead of the batch pipeline stages.
 
 Usage: tools/check_obs.py EXPORT.json [--schema PATH] [--schema-only]
+                                      [--serve]
 Exit status: 0 clean, 1 findings, 2 usage error. Used by tools/check.sh
---obs and CI.
+--obs / --serve and CI.
 """
 
 from __future__ import annotations
@@ -42,6 +45,20 @@ REQUIRED_SPANS = [
     "stage.alias",
     "stage.merge",
     "stage.heuristics",
+]
+
+# What a bdrmapd run must have emitted (docs/serving.md): one full build,
+# at least one churn epoch with its collect/infer/compile chain.
+SERVE_REQUIRED_SPANS = [
+    "serve.rebuild",
+    "serve.apply",
+    "serve.collect",
+    "serve.infer",
+    "serve.compile",
+]
+SERVE_REQUIRED_COUNTERS = [
+    "serve.churn.events",
+    "serve.snapshot.compiles",
 ]
 
 
@@ -111,15 +128,17 @@ def validate(schema, doc, path: str = "") -> str | None:
     return None
 
 
-def check_run(doc) -> list[str]:
+def check_run(doc, serve: bool = False) -> list[str]:
     """Run-completeness findings for a full instrumented run."""
     findings = []
     if not doc["run"]["enabled"]:
         findings.append("run.enabled is false: export is from a disabled run")
     span_names = [s["name"] for s in doc["spans"]]
-    for name in REQUIRED_SPANS:
+    required = SERVE_REQUIRED_SPANS if serve else REQUIRED_SPANS
+    kind = "serve" if serve else "pipeline stage"
+    for name in required:
         if name not in span_names:
-            findings.append(f"missing pipeline stage span '{name}'")
+            findings.append(f"missing {kind} span '{name}'")
     for i, span in enumerate(doc["spans"]):
         if not span["closed"]:
             findings.append(f"span {i} ('{span['name']}') never closed")
@@ -130,9 +149,19 @@ def check_run(doc) -> list[str]:
                 f"span {i} ('{span['name']}') parent {span['parent']} "
                 "is not an earlier span"
             )
+    counters = {c["name"]: c["value"] for c in doc["metrics"]["counters"]}
+    if serve:
+        for name in SERVE_REQUIRED_COUNTERS:
+            if counters.get(name, 0) <= 0:
+                findings.append(f"serve counter '{name}' never fired")
+        touched = (counters.get("serve.churn.dirty_slices", 0)
+                   + counters.get("serve.churn.clean_slices", 0))
+        if touched <= 0:
+            findings.append("no slice was classified dirty or clean "
+                            "(churn never reached the engine)")
     fired = [
-        c for c in doc["metrics"]["counters"]
-        if c["name"].startswith("core.heuristic.") and c["value"] > 0
+        name for name, value in counters.items()
+        if name.startswith("core.heuristic.") and value > 0
     ]
     if not fired:
         findings.append("no core.heuristic.* counter fired")
@@ -147,6 +176,10 @@ def main(argv: list[str]) -> int:
     parser.add_argument(
         "--schema-only", action="store_true",
         help="skip the run-completeness checks")
+    parser.add_argument(
+        "--serve", action="store_true",
+        help="require the bdrmapd serve.* profile instead of the "
+             "batch pipeline stages")
     args = parser.parse_args(argv)
 
     try:
@@ -163,7 +196,7 @@ def main(argv: list[str]) -> int:
         return 1
 
     if not args.schema_only:
-        findings = check_run(doc)
+        findings = check_run(doc, serve=args.serve)
         if findings:
             for f in findings:
                 print(f"check_obs: {args.export}: {f}", file=sys.stderr)

@@ -138,10 +138,16 @@ MODULE_DEPS = {
     "check": _WITH_CORE,
     "warts": _WITH_CORE,
     "eval": _WITH_CORE | {"runtime", "remote", "check", "congestion", "warts"},
+    # The serving layer sits above the pipeline but below the harnesses:
+    # it may consume the inference core, the routing substrate and the
+    # executor, and NOTHING in src/ may depend on it (only tools/ and
+    # bench/ link it) — its absence from every other allow-set is the
+    # enforcement.
+    "serve": _BASE | {"obs", "core", "route", "runtime"},
 }
 
 # Modules whose inference output must be bit-reproducible (BDR102).
-DETERMINISTIC_MODULES = {"core", "route", "probe", "topo"}
+DETERMINISTIC_MODULES = {"core", "route", "probe", "topo", "serve"}
 
 DETERMINISM_BANS = [
     (re.compile(r"(?<![\w.:])s?rand\s*\("), "rand()/srand()"),
