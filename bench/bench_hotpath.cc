@@ -25,6 +25,7 @@
 // measured sections finish, on its own scenario and pool, and exports its
 // metrics + spans. The measured numbers above are always from obs-off
 // runs; the flag cannot perturb them.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -54,16 +55,20 @@ double now_seconds() {
       .count();
 }
 
+// One warmup run (untimed), then the median of `repeat` timed runs —
+// the honest middle of the distribution, not the flattering best case.
 template <typename Fn>
-double best_of(int repeat, Fn&& fn) {
-  double best = 0.0;
+double median_of(int repeat, Fn&& fn) {
+  fn();  // warmup
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(repeat));
   for (int r = 0; r < repeat; ++r) {
     double t0 = now_seconds();
     fn();
-    double dt = now_seconds() - t0;
-    if (r == 0 || dt < best) best = dt;
+    times.push_back(now_seconds() - t0);
   }
-  return best;
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
 }
 
 std::string json_double(double v) {
@@ -173,8 +178,9 @@ int main(int argc, char** argv) {
   // fast path on and one recomputing every hop.
   eval::Scenario cached(eval::small_access_config(42));
   eval::Scenario uncached(eval::small_access_config(42), {}, no_cache);
-  std::printf("bench_hotpath: hardware_concurrency=%u, best of %d\n\n", hw,
-              repeat);
+  std::printf(
+      "bench_hotpath: hardware_concurrency=%u, median of %d (1 warmup)\n\n",
+      hw, repeat);
 
   // --- 1. next_hop throughput over full walks ---
   std::vector<Probe> work = build_workload(cached.net(), 0xb0d);
@@ -184,10 +190,10 @@ int main(int argc, char** argv) {
   for (const Probe& p : work) walk(uncached.fib(), p, &trail_uncached);
   bool walks_identical = trail_cached == trail_uncached;
 
-  double t_cached = best_of(repeat, [&] {
+  double t_cached = median_of(repeat, [&] {
     for (const Probe& p : work) walk(cached.fib(), p, nullptr);
   });
-  double t_uncached = best_of(repeat, [&] {
+  double t_uncached = median_of(repeat, [&] {
     for (const Probe& p : work) walk(uncached.fib(), p, nullptr);
   });
   double mps_cached = static_cast<double>(calls) / t_cached / 1e6;
@@ -211,16 +217,17 @@ int main(int argc, char** argv) {
     e2e_identical =
         eval::same_border_map(res_cached.per_vp[i], res_uncached.per_vp[i]);
   }
-  double e2e_cached = best_of(repeat, [&] {
+  double e2e_cached = median_of(repeat, [&] {
     auto r = cached.run_bdrmap_parallel(vps, {}, 0x515, &pool);
     (void)r;
   });
-  double e2e_uncached = best_of(repeat, [&] {
+  double e2e_uncached = median_of(repeat, [&] {
     auto r = uncached.run_bdrmap_parallel(vps, {}, 0x515, &pool);
     (void)r;
   });
   double e2e_speedup = e2e_uncached / e2e_cached;
-  std::printf("end-to-end (%zu VPs, %u threads):\n", vps.size(), threads);
+  std::printf("end-to-end (%zu VPs, %u pool workers, hw=%u):\n", vps.size(),
+              pool.size(), hw);
   std::printf("  cached   %.3fs\n", e2e_cached);
   std::printf("  uncached %.3fs\n", e2e_uncached);
   std::printf("  speedup %.2fx, identical: %s\n\n", e2e_speedup,
@@ -237,6 +244,7 @@ int main(int argc, char** argv) {
   out << "  \"scenario\": \"small_access\",\n";
   out << "  \"hardware_concurrency\": " << hw << ",\n";
   out << "  \"repeat\": " << repeat << ",\n";
+  out << "  \"warmup\": true,\n";
   out << "  \"next_hop\": {\n";
   out << "    \"walks\": " << work.size() << ",\n";
   out << "    \"calls\": " << calls << ",\n";
@@ -249,6 +257,10 @@ int main(int argc, char** argv) {
   out << "  \"end_to_end\": {\n";
   out << "    \"vps\": " << vps.size() << ",\n";
   out << "    \"threads\": " << threads << ",\n";
+  // Honesty: the worker count the pool actually spawned, which is what
+  // the speedup was measured on (a loaded or small host may differ from
+  // the --threads request).
+  out << "    \"pool_workers\": " << pool.size() << ",\n";
   out << "    \"cached_seconds\": " << json_double(e2e_cached) << ",\n";
   out << "    \"uncached_seconds\": " << json_double(e2e_uncached) << ",\n";
   out << "    \"speedup\": " << json_double(e2e_speedup) << ",\n";

@@ -1,0 +1,282 @@
+// Scale benchmark: the data-oriented hot core at thousands of ASes.
+//
+// Three measurements over eval::scale_config (written to BENCH_scale.json
+// and stdout), each with a hard bit-identity gate:
+//
+//  1. batched vs baseline end-to-end — the full bdrmap pipeline with
+//     probe-wave batching, flat egress rows, and compiled heuristics
+//     scans (DESIGN.md §14) vs the same pipeline with waves off, the
+//     FIB's pre-§14 keyed egress cache, and the per-call heuristics
+//     scans (the PR4 cached baseline). Same seeds, so the border maps
+//     must match link-for-link.
+//  2. multi-VP sharded scaling — run_sharded repartitions the VPs'
+//     collection stages into (VP × target-AS-batch) slice tasks; the
+//     same plan runs on 1, 2 and 8 pool workers and every per-VP border
+//     map must be byte-identical across worker counts.
+//  3. wave invariance — batched and unbatched tracing over the identical
+//     substrate must agree per VP (the TraceBatch purity contract).
+//
+// Honesty rules: every timing is a median of --repeat runs after one
+// warmup; the JSON records the actual pool worker count and the
+// hardware concurrency next to every speedup, plus effective
+// parallelism = speedup / min(workers, hardware threads). Identity
+// failures always exit 1; speedup targets (>=1.5x batched end-to-end,
+// >=3x multi-VP at 8 workers) only gate under --strict, so smoke runs
+// on small or loaded hosts cannot flake.
+//
+// Usage: bench_scale [--out FILE] [--repeat N] [--workers N] [--vps N]
+//                    [--ases-per-shard N] [--smoke] [--strict]
+//
+// --smoke swaps in the small_access scenario with one repeat: same code
+// paths and identity gates, CI-friendly wall clock.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "core/blocks.h"
+#include "eval/degradation.h"
+#include "eval/scenario.h"
+#include "route/fib.h"
+#include "runtime/thread_pool.h"
+
+using namespace bdrmap;
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// One warmup run (untimed), then the median of `repeat` timed runs —
+// the honest middle of the distribution, not the flattering best case.
+template <typename Fn>
+double median_of(int repeat, Fn&& fn) {
+  fn();  // warmup
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(repeat));
+  for (int r = 0; r < repeat; ++r) {
+    double t0 = now_seconds();
+    fn();
+    times.push_back(now_seconds() - t0);
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+std::string json_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+bool same_per_vp(const runtime::MultiVpResult& a,
+                 const runtime::MultiVpResult& b) {
+  if (a.per_vp.size() != b.per_vp.size()) return false;
+  for (std::size_t i = 0; i < a.per_vp.size(); ++i) {
+    if (!eval::same_border_map(a.per_vp[i], b.per_vp[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_scale.json";
+  int repeat = 3;
+  unsigned workers = 8;
+  std::size_t max_vps = 3;
+  std::size_t ases_per_shard = 8;
+  bool smoke = false;
+  bool strict = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+      repeat = std::atoi(argv[++i]);
+      if (repeat < 1) repeat = 1;
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      workers = static_cast<unsigned>(std::atoi(argv[++i]));
+      if (workers < 1) workers = 1;
+    } else if (std::strcmp(argv[i], "--vps") == 0 && i + 1 < argc) {
+      max_vps = static_cast<std::size_t>(std::atoi(argv[++i]));
+      if (max_vps < 1) max_vps = 1;
+    } else if (std::strcmp(argv[i], "--ases-per-shard") == 0 && i + 1 < argc) {
+      ases_per_shard = static_cast<std::size_t>(std::atoi(argv[++i]));
+      if (ases_per_shard < 1) ases_per_shard = 1;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--strict") == 0) {
+      strict = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--out FILE] [--repeat N] [--workers N] "
+                   "[--vps N] [--ases-per-shard N] [--smoke] [--strict]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (smoke) repeat = 1;
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const char* scenario_name = smoke ? "small_access" : "scale";
+  topo::GeneratorConfig gen_config =
+      smoke ? eval::small_access_config(42) : eval::scale_config(42);
+
+  // Two planes of the same topology: the §14 data-oriented FIB (flat
+  // egress rows) and the PR4 cached baseline (keyed egress map).
+  route::FibOptions legacy_fib;
+  legacy_fib.enable_flat_egress = false;
+  double t0 = now_seconds();
+  eval::Scenario flat(gen_config);
+  eval::Scenario legacy(gen_config, {}, legacy_fib);
+  double build_seconds = now_seconds() - t0;
+
+  std::vector<topo::Vp> vps = flat.vps_in(flat.featured_access());
+  if (vps.size() > max_vps) vps.resize(max_vps);
+  std::printf("bench_scale: scenario=%s ases=%zu vps=%zu "
+              "hardware_concurrency=%u median of %d (1 warmup), "
+              "built in %.2fs\n\n",
+              scenario_name, flat.net().ases().size(), vps.size(), hw,
+              repeat, build_seconds);
+
+  core::BdrmapConfig batched;   // probe_wave + compiled scans default on
+  core::BdrmapConfig unbatched;  // waves off, everything else §14
+  unbatched.probe_wave = 0;
+  core::BdrmapConfig baseline;   // the full pre-§14 plane
+  baseline.probe_wave = 0;
+  baseline.heuristics.enable_compiled_scans = false;
+
+  // --- 1. batched + flat vs unbatched + legacy, end to end ---
+  // Sequential (no pool): isolates the data-layout win from scheduling.
+  runtime::MultiVpResult r_batched =
+      flat.run_bdrmap_parallel(vps, batched, 0x515, nullptr);
+  runtime::MultiVpResult r_unbatched =
+      flat.run_bdrmap_parallel(vps, unbatched, 0x515, nullptr);
+  runtime::MultiVpResult r_legacy =
+      legacy.run_bdrmap_parallel(vps, baseline, 0x515, nullptr);
+  const bool wave_identical = same_per_vp(r_batched, r_unbatched);
+  const bool flat_identical = same_per_vp(r_batched, r_legacy);
+
+  double t_batched = median_of(repeat, [&] {
+    auto r = flat.run_bdrmap_parallel(vps, batched, 0x515, nullptr);
+    (void)r;
+  });
+  double t_baseline = median_of(repeat, [&] {
+    auto r = legacy.run_bdrmap_parallel(vps, baseline, 0x515, nullptr);
+    (void)r;
+  });
+  double e2e_speedup = t_baseline / t_batched;
+  const auto traces = r_batched.total.traces;
+  std::printf("end-to-end (%zu VPs, sequential, %zu traces):\n", vps.size(),
+              traces);
+  std::printf("  batched+flat      %.3fs (%.0f traces/s)\n", t_batched,
+              static_cast<double>(traces) / t_batched);
+  std::printf("  unbatched+legacy  %.3fs\n", t_baseline);
+  std::printf("  speedup %.2fx, wave identical: %s, fib identical: %s\n\n",
+              e2e_speedup, wave_identical ? "yes" : "NO",
+              flat_identical ? "yes" : "NO");
+
+  // --- 2. sharded multi-VP scaling: same plan, 1 / 2 / N workers ---
+  runtime::ThreadPool pool1(1);
+  runtime::ThreadPool pool2(2);
+  runtime::ThreadPool poolN(workers);
+  auto sharded = [&](runtime::ThreadPool* pool) {
+    return flat.run_bdrmap_sharded(vps, batched, 0x1517, pool,
+                                   ases_per_shard);
+  };
+  runtime::MultiVpResult s1 = sharded(&pool1);
+  runtime::MultiVpResult s2 = sharded(&pool2);
+  runtime::MultiVpResult sN = sharded(&poolN);
+  const bool shard_identical =
+      same_per_vp(s1, s2) && same_per_vp(s1, sN);
+  // Shard count: distinct §5.3 target ASes per VP, batched — the same
+  // decomposition run_sharded derives internally.
+  std::size_t shard_count = 0;
+  {
+    core::InferenceInputs inputs = flat.inputs_for(vps[0].as);
+    auto blocks = core::build_probe_blocks(*inputs.origins, inputs.vp_ases);
+    std::unordered_set<net::AsId> targets;
+    for (const core::ProbeBlock& b : blocks) targets.insert(b.target_as);
+    shard_count =
+        vps.size() * ((targets.size() + ases_per_shard - 1) / ases_per_shard);
+  }
+
+  double t_shard1 = median_of(repeat, [&] { auto r = sharded(&pool1); (void)r; });
+  double t_shardN = median_of(repeat, [&] { auto r = sharded(&poolN); (void)r; });
+  double mv_speedup = t_shard1 / t_shardN;
+  double effective =
+      mv_speedup / static_cast<double>(std::min(workers, hw));
+  std::printf("sharded multi-VP (%zu VPs x %zu-AS batches, ~%zu tasks):\n",
+              vps.size(), ases_per_shard, shard_count);
+  std::printf("  1 worker   %.3fs\n", t_shard1);
+  std::printf("  %u workers %.3fs\n", workers, t_shardN);
+  std::printf("  speedup %.2fx (hw=%u, effective parallelism %.2f), "
+              "identical: %s\n\n",
+              mv_speedup, hw, effective, shard_identical ? "yes" : "NO");
+
+  // --- 3. emit JSON ---
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  out << "{\n";
+  out << "  \"bench\": \"scale\",\n";
+  out << "  \"scenario\": \"" << scenario_name << "\",\n";
+  out << "  \"ases\": " << flat.net().ases().size() << ",\n";
+  out << "  \"vps\": " << vps.size() << ",\n";
+  out << "  \"hardware_concurrency\": " << hw << ",\n";
+  out << "  \"repeat\": " << repeat << ",\n";
+  out << "  \"warmup\": true,\n";
+  out << "  \"build_seconds\": " << json_double(build_seconds) << ",\n";
+  out << "  \"end_to_end\": {\n";
+  out << "    \"traces\": " << traces << ",\n";
+  out << "    \"batched_seconds\": " << json_double(t_batched) << ",\n";
+  out << "    \"baseline_seconds\": " << json_double(t_baseline) << ",\n";
+  out << "    \"speedup\": " << json_double(e2e_speedup) << ",\n";
+  out << "    \"batched_traces_per_sec\": "
+      << json_double(static_cast<double>(traces) / t_batched) << ",\n";
+  out << "    \"wave_identical\": " << (wave_identical ? "true" : "false")
+      << ",\n";
+  out << "    \"identical\": " << (flat_identical && wave_identical
+                                       ? "true"
+                                       : "false")
+      << "\n  },\n";
+  out << "  \"multi_vp\": {\n";
+  out << "    \"ases_per_shard\": " << ases_per_shard << ",\n";
+  out << "    \"shards\": " << shard_count << ",\n";
+  out << "    \"pool_workers\": " << poolN.size() << ",\n";
+  out << "    \"one_worker_seconds\": " << json_double(t_shard1) << ",\n";
+  out << "    \"n_worker_seconds\": " << json_double(t_shardN) << ",\n";
+  out << "    \"speedup\": " << json_double(mv_speedup) << ",\n";
+  out << "    \"effective_parallelism\": " << json_double(effective) << ",\n";
+  out << "    \"identical\": " << (shard_identical ? "true" : "false")
+      << "\n  }\n}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+
+  // Identity is non-negotiable; throughput targets gate only under
+  // --strict (the 8-worker target additionally needs 8 hardware threads
+  // to be meaningful at all).
+  if (!wave_identical || !flat_identical || !shard_identical) {
+    std::printf("FAIL: optimized planes are not bit-identical\n");
+    return 1;
+  }
+  const bool fast_enough =
+      e2e_speedup >= 1.5 && (hw < workers || mv_speedup >= 3.0);
+  if (!fast_enough) {
+    std::printf("%s: speedup below target (e2e %.2fx < 1.5x or multi-VP "
+                "%.2fx < 3.0x at %u workers)\n",
+                strict ? "FAIL" : "WARN", e2e_speedup, mv_speedup, workers);
+    if (strict) return 1;
+  }
+  return 0;
+}

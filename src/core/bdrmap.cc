@@ -46,6 +46,14 @@ void publish_result(const BdrmapResult& result,
   registry->counter("core.stopset_hits").inc(result.stats.stopset_hits);
   registry->counter("core.probe_failures").inc(result.stats.probe_failures);
   registry->counter("core.links").inc(result.links.size());
+  // Compiled-view footprint (gauges: last run wins; per-VP engines racing
+  // here is fine, the values are diagnostics, not inference inputs).
+  registry->gauge("core.arena.bytes_reserved")
+      .set(static_cast<std::int64_t>(result.stats.arena_bytes_reserved));
+  registry->gauge("core.arena.bytes_used")
+      .set(static_cast<std::int64_t>(result.stats.arena_bytes_used));
+  registry->gauge("core.arena.allocations")
+      .set(static_cast<std::int64_t>(result.stats.arena_allocations));
 
   const auto& routers = result.graph.routers();
   for (std::size_t n = 0; n < routers.size(); ++n) {
@@ -107,13 +115,32 @@ std::vector<ObservedTrace> Bdrmap::collect_traces() {
     return set->front();
   };
 
-  for (const ProbeBlock& block : blocks) {
+  // First destination probed in a block (§5.3): skip the network address
+  // of real prefixes, probe tiny ones from their first address.
+  auto first_dst = [](const ProbeBlock& block) {
+    return block.prefix.size() >= 4
+               ? Ipv4Addr(block.prefix.first().value() + 1)
+               : block.prefix.first();
+  };
+  std::vector<Ipv4Addr> wave;
+  for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+    // Announce the next wave of first destinations so a local engine can
+    // pre-walk their forward paths in one lockstep batch. Retry probes
+    // (attempt > 0) fall back to solo walks inside trace().
+    if (config_.probe_wave > 0 && bi % config_.probe_wave == 0) {
+      wave.clear();
+      const std::size_t end =
+          std::min(bi + config_.probe_wave, blocks.size());
+      for (std::size_t j = bi; j < end; ++j) {
+        wave.push_back(first_dst(blocks[j]));
+      }
+      services_.prewalk_wave(wave);
+    }
+    const ProbeBlock& block = blocks[bi];
     int attempts = static_cast<int>(std::min<std::uint64_t>(
         static_cast<std::uint64_t>(config_.max_addrs_per_block),
         block.prefix.size()));
-    Ipv4Addr dst = block.prefix.size() >= 4
-                       ? Ipv4Addr(block.prefix.first().value() + 1)
-                       : block.prefix.first();
+    Ipv4Addr dst = first_dst(block);
     for (int attempt = 0; attempt < attempts; ++attempt, dst = dst.next()) {
       if (!block.prefix.contains(dst)) break;
       probe::StopFn stop = nullptr;
@@ -280,18 +307,23 @@ BdrmapResult infer_borders(RouterGraph graph, const InferenceInputs& inputs,
   auto uncooperative = heuristics.run();
   const InferenceInputs& inputs_ = inputs;  // keep the body below uniform
 
+  // The graph is final from here on: compile the SoA/CSR view once and
+  // run every scan below over its contiguous arrays (DESIGN.md §14).
+  net::Arena arena;
+  const CompiledGraph cg = result.graph.compile(arena);
+
   // Routers that are the first non-VP router of some trace (counting only
   // time-exceeded hops): these border the VP network even when the hop
-  // before them never answered.
-  const auto& routers = result.graph.routers();
-  std::unordered_set<std::size_t> follows_vp;
-  for (const auto& trace : result.graph.traces()) {
-    for (const auto& hop : trace.hops) {
-      if (hop.kind != probe::ReplyKind::kTimeExceeded) continue;
-      auto r = result.graph.router_of(hop.addr);
-      if (!r) continue;
-      if (routers[*r].vp_side) continue;
-      follows_vp.insert(*r);
+  // before them never answered. Hop addresses were resolved to router
+  // indices at compile time, so this is a pure array walk.
+  // BDRMAP_HOT_BEGIN(infer_scan)
+  std::uint8_t* follows_vp = arena.allocate<std::uint8_t>(cg.router_count);
+  for (std::uint32_t t = 0; t < cg.trace_count; ++t) {
+    for (std::uint32_t i = cg.trace_offsets[t]; i < cg.trace_offsets[t + 1];
+         ++i) {
+      const std::uint32_t r = cg.trace_hops[i];
+      if (cg.vp_side[r]) continue;
+      follows_vp[r] = 1;
       break;
     }
   }
@@ -305,27 +337,31 @@ BdrmapResult infer_borders(RouterGraph graph, const InferenceInputs& inputs,
     return sibs.empty() ? as : sibs.front();
   };
   std::unordered_set<AsId> linked_orgs;
-  for (std::size_t n = 0; n < routers.size(); ++n) {
-    const GraphRouter& router = routers[n];
-    if (result.graph.merged_away(n)) continue;
-    if (router.vp_side || router.how == Heuristic::kNone ||
-        !router.owner.valid()) {
+  for (std::uint32_t n = 0; n < cg.router_count; ++n) {
+    if (!cg.live[n]) continue;
+    if (cg.vp_side[n] ||
+        cg.how[n] == static_cast<std::uint8_t>(Heuristic::kNone) ||
+        !cg.owner[n].valid()) {
       continue;
     }
+    const auto how = static_cast<Heuristic>(cg.how[n]);
     bool any_near = false;
-    for (std::size_t p : router.prev) {
-      if (routers[p].vp_side) {
-        result.links.push_back({p, n, router.owner, router.how});
+    for (std::uint32_t i = cg.prev_offsets[n]; i < cg.prev_offsets[n + 1];
+         ++i) {
+      const std::uint32_t p = cg.prev[i];
+      if (cg.vp_side[p]) {
+        result.links.push_back({p, n, cg.owner[n], how});
         any_near = true;
       }
     }
-    if (!any_near && follows_vp.count(n)) {
+    if (!any_near && follows_vp[n]) {
       result.links.push_back(
-          {InferredLink::kNoRouter, n, router.owner, router.how});
+          {InferredLink::kNoRouter, n, cg.owner[n], how});
       any_near = true;
     }
-    if (any_near) linked_orgs.insert(org_of(router.owner));
+    if (any_near) linked_orgs.insert(org_of(cg.owner[n]));
   }
+  // BDRMAP_HOT_END(infer_scan)
   for (const auto& u : uncooperative) {
     if (linked_orgs.count(org_of(u.neighbor))) continue;
     result.links.push_back(
@@ -336,15 +372,20 @@ BdrmapResult infer_borders(RouterGraph graph, const InferenceInputs& inputs,
     result.links_by_as[result.links[i].neighbor_as].push_back(i);
   }
 
-  stats.routers = result.graph.live_router_count();
-  for (const auto& router : result.graph.routers()) {
-    if (router.addrs.empty()) continue;
-    if (router.vp_side) {
+  stats.routers = 0;
+  for (std::uint32_t n = 0; n < cg.router_count; ++n) {
+    if (!cg.live[n]) continue;
+    ++stats.routers;
+    if (cg.vp_side[n]) {
       ++stats.vp_routers;
-    } else if (router.how != Heuristic::kNone) {
+    } else if (cg.how[n] != static_cast<std::uint8_t>(Heuristic::kNone)) {
       ++stats.neighbor_routers;
     }
   }
+  const net::Arena::Stats& arena_stats = arena.stats();
+  stats.arena_bytes_reserved = arena_stats.bytes_reserved;
+  stats.arena_bytes_used = arena_stats.bytes_used;
+  stats.arena_allocations = arena_stats.allocations;
   result.stats = stats;
   return result;
 }

@@ -67,6 +67,14 @@ struct BdrmapConfig {
   // collect is bit-identical to the matching slice of an unfiltered one
   // because the stop set is keyed per target AS.
   std::vector<AsId> target_filter;
+  // Batched probe-wave width (DESIGN.md §14): collect_traces() announces
+  // the first destination of each of the next `probe_wave` blocks via
+  // ProbeServices::prewalk_wave before tracing them, so a local engine
+  // pre-walks their forward paths in one lockstep pass. Retries within a
+  // block stay unbatched. 0 disables waving. Bit-identical either way —
+  // the pre-walk is a pure FIB walk; replies, RNG and stop sets are
+  // evaluated in trace() itself.
+  std::size_t probe_wave = 64;
 };
 
 // The output of the collection stage (stage.schedule + stage.trace),
@@ -117,6 +125,12 @@ struct BdrmapStats {
   std::size_t stopset_hits = 0;
   // Probes the measurement channel abandoned (§5.8 degraded deployment).
   std::size_t probe_failures = 0;
+  // Footprint of the compiled SoA/CSR inference view (DESIGN.md §14).
+  // Memory accounting only — never part of border-map equality
+  // (eval::same_border_map ignores these fields by construction).
+  std::size_t arena_bytes_reserved = 0;
+  std::size_t arena_bytes_used = 0;
+  std::size_t arena_allocations = 0;
 };
 
 struct BdrmapResult {

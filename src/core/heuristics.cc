@@ -24,6 +24,15 @@ AsId Heuristics::org_rep(AsId as) const {
 }
 
 AddrInfo Heuristics::classify(Ipv4Addr addr) const {
+  if (!config_.enable_compiled_scans) return classify_uncached(addr);
+  auto it = classify_cache_.find(addr);
+  if (it != classify_cache_.end()) return it->second;
+  AddrInfo info = classify_uncached(addr);
+  classify_cache_.emplace(addr, info);
+  return info;
+}
+
+AddrInfo Heuristics::classify_uncached(Ipv4Addr addr) const {
   if (in_.ixps && in_.ixps->is_ixp_address(addr)) {
     return {AddrClass::kIxp, AsId{}};
   }
@@ -138,6 +147,10 @@ std::vector<AsId> Heuristics::external_origins(const GraphRouter& r) const {
 }
 
 std::vector<AsId> Heuristics::first_external_after(std::size_t router) const {
+  if (config_.enable_compiled_scans) {
+    if (!first_external_built_) build_first_external_table();
+    return first_external_table_[router];
+  }
   std::vector<AsId> out;
   for (const auto& trace : graph_.traces()) {
     bool seen = false;
@@ -158,6 +171,51 @@ std::vector<AsId> Heuristics::first_external_after(std::size_t router) const {
     }
   }
   return out;
+}
+
+void Heuristics::build_first_external_table() const {
+  // Computes first_external_after for every router in one sweep instead of
+  // rescanning all traces per candidate. Walking a trace, each router that
+  // has appeared is "pending" until the first later routed-external hop on
+  // a *different* router supplies its origin; a router's own first hop is
+  // consumed before it joins the pending set, so hops strictly after the
+  // first occurrence are considered — exactly the per-router scan above.
+  const std::size_t count = graph_.routers().size();
+  first_external_table_.assign(count, {});
+  std::vector<std::uint32_t> seen_epoch(count, 0);
+  std::vector<std::uint32_t> pending;
+  std::uint32_t epoch = 0;
+  // BDRMAP_HOT_BEGIN(first_external_scan)
+  for (const auto& trace : graph_.traces()) {
+    ++epoch;
+    pending.clear();
+    for (const auto& hop : trace.hops) {
+      if (hop.kind != probe::ReplyKind::kTimeExceeded) continue;
+      auto r = graph_.router_of(hop.addr);
+      if (!r) continue;
+      const auto x = static_cast<std::uint32_t>(*r);
+      if (!pending.empty()) {
+        AddrInfo info = classify(hop.addr);
+        if (info.cls == AddrClass::kExternal) {
+          std::size_t keep = 0;
+          for (std::size_t i = 0; i < pending.size(); ++i) {
+            if (pending[i] == x) {  // a router never answers for itself
+              pending[keep++] = pending[i];
+              continue;
+            }
+            first_external_table_[pending[i]].push_back(info.origin);
+          }
+          pending.resize(keep);
+        }
+      }
+      if (seen_epoch[x] != epoch) {
+        seen_epoch[x] = epoch;
+        pending.push_back(x);
+      }
+    }
+  }
+  // BDRMAP_HOT_END(first_external_scan)
+  first_external_built_ = true;
 }
 
 std::unordered_map<AsId, int> Heuristics::adjacent_origin_counts(
@@ -712,6 +770,18 @@ std::vector<UncooperativeNeighbor> Heuristics::phase8_uncooperative() {
       std::unique(bgp_neighbors.begin(), bgp_neighbors.end()),
       bgp_neighbors.end());
 
+  // Compiled-scan index: trace indices grouped by target organization, so
+  // each neighbor only visits its own traces instead of rescanning all of
+  // them. Trace order within a group is preserved, and the per-trace work
+  // below is order-independent anyway — results are identical.
+  std::unordered_map<AsId, std::vector<std::size_t>> traces_by_org;
+  if (config_.enable_compiled_scans) {
+    const auto& traces = graph_.traces();
+    for (std::size_t ti = 0; ti < traces.size(); ++ti) {
+      traces_by_org[org_rep(traces[ti].target_as)].push_back(ti);
+    }
+  }
+
   for (AsId neighbor : bgp_neighbors) {
     if (covered.count(org_rep(neighbor))) continue;
 
@@ -721,8 +791,7 @@ std::vector<UncooperativeNeighbor> Heuristics::phase8_uncooperative() {
     std::map<std::size_t, std::size_t> last_counts;
     bool beyond = false;
     bool icmp_from_neighbor = false;
-    for (const auto& trace : graph_.traces()) {
-      if (org_rep(trace.target_as) != org_rep(neighbor)) continue;
+    auto scan_trace = [&](const ObservedTrace& trace) {
       // Last VP-side router, and anything after it?
       std::size_t last_vp = std::numeric_limits<std::size_t>::max();
       for (const auto& hop : trace.hops) {
@@ -747,6 +816,17 @@ std::vector<UncooperativeNeighbor> Heuristics::phase8_uncooperative() {
       }
       if (last_vp != std::numeric_limits<std::size_t>::max()) {
         ++last_counts[last_vp];
+      }
+    };
+    if (config_.enable_compiled_scans) {
+      auto it = traces_by_org.find(org_rep(neighbor));
+      if (it != traces_by_org.end()) {
+        for (std::size_t ti : it->second) scan_trace(graph_.traces()[ti]);
+      }
+    } else {
+      for (const auto& trace : graph_.traces()) {
+        if (org_rep(trace.target_as) != org_rep(neighbor)) continue;
+        scan_trace(trace);
       }
     }
     if (beyond || last_counts.empty()) continue;

@@ -39,6 +39,13 @@ struct HeuristicsConfig {
   bool enable_third_party = true;    // ablation: §5.4.5 steps 5.1/5.2
   bool enable_relationships = true;  // ablation: §5.4.5 entirely
   bool enable_analytic_alias = true; // ablation: §5.4.7
+  // Data-oriented scan compilation (DESIGN.md §14): memoized address
+  // classification, a single-pass first-external table shared by §5.4.3
+  // and §5.4.5, and a per-organization trace index for §5.4.8. Pure
+  // caching of deterministic lookups — inferences are bit-identical
+  // either way; `false` restores the per-call scans and exists so
+  // benchmarks can measure the pre-§14 baseline.
+  bool enable_compiled_scans = true;
   // Addresses confirmed as inbound interfaces by timestamp probing [26]:
   // routers whose external addresses are all confirmed are exempt from
   // third-party reclassification. Not owned; may be null.
@@ -86,6 +93,14 @@ class Heuristics {
   bool is_vp_as(AsId as) const;
   // Representative AS for sibling-collapsing comparisons.
   AsId org_rep(AsId as) const;
+  // The longest-match/IXP/RIR lookup behind classify(); classify() itself
+  // memoizes this when enable_compiled_scans is set (the inputs are fixed
+  // after construction, so the mapping never changes).
+  AddrInfo classify_uncached(Ipv4Addr addr) const;
+  // One pass over all traces filling first_external_table_ for every
+  // router at once (valid until the first merge; built lazily, and only
+  // consulted by the pre-merge phases 3 and 5).
+  void build_first_external_table() const;
   bool all_vp(const GraphRouter& r) const;
   // Distinct external origins over the router's time-exceeded addresses.
   std::vector<AsId> external_origins(const GraphRouter& r) const;
@@ -113,6 +128,11 @@ class Heuristics {
   AsId vp_as_;  // primary VP AS
   // Unrouted blocks attributed to the VP network via RIR delegations.
   std::vector<net::Prefix> vp_extra_blocks_;
+  // enable_compiled_scans caches (DESIGN.md §14). Mutable: they memoize
+  // const lookups without changing observable results.
+  mutable std::unordered_map<Ipv4Addr, AddrInfo> classify_cache_;
+  mutable std::vector<std::vector<AsId>> first_external_table_;
+  mutable bool first_external_built_ = false;
 };
 
 }  // namespace bdrmap::core

@@ -140,6 +140,30 @@ runtime::MultiVpResult Scenario::run_bdrmap_parallel(
   return runtime::MultiVpExecutor(pool).run(jobs);
 }
 
+runtime::MultiVpResult Scenario::run_bdrmap_sharded(
+    const std::vector<topo::Vp>& vps, core::BdrmapConfig config,
+    std::uint64_t base_seed, runtime::ThreadPool* pool,
+    std::size_t ases_per_shard, probe::TracerConfig tracer) const {
+  if (!tracer.metrics && config.obs) tracer.metrics = config.obs->registry();
+  std::vector<runtime::ShardedVpJob> jobs;
+  jobs.reserve(vps.size());
+  for (const topo::Vp& vp : vps) {
+    runtime::ShardedVpJob job;
+    const topo::Vp vp_copy = vp;
+    job.make_services = [this, vp_copy, tracer](std::uint64_t seed)
+        -> std::unique_ptr<probe::ProbeServices> {
+      return services_for(vp_copy, seed, tracer);
+    };
+    job.inputs = inputs_for(vp.as);
+    job.config = config;
+    jobs.push_back(std::move(job));
+  }
+  runtime::ShardPlan plan;
+  plan.base_seed = base_seed;
+  plan.ases_per_shard = ases_per_shard;
+  return runtime::MultiVpExecutor(pool).run_sharded(jobs, plan);
+}
+
 net::AsId Scenario::first_of(topo::AsKind kind, std::size_t index) const {
   std::size_t seen = 0;
   for (const auto& info : gen_.net.ases()) {
@@ -211,6 +235,22 @@ topo::GeneratorConfig small_access_config(std::uint64_t seed) {
   c.num_enterprise = 80;
   c.num_ixps = 2;
   c.featured_access_pops = 4;  // a small regional access network
+  return c;
+}
+
+topo::GeneratorConfig scale_config(std::uint64_t seed) {
+  // Thousands of ASes: enough distinct §5.3 target ASes that a sharded
+  // run yields hundreds of slice tasks per VP and a probe wave always
+  // fills. Enterprise stubs dominate, as in the real routing table.
+  topo::GeneratorConfig c;
+  c.seed = seed;
+  c.num_tier1 = 8;
+  c.num_transit = 64;
+  c.num_access = 12;
+  c.num_content = 20;
+  c.num_research_edu = 8;
+  c.num_enterprise = 2000;
+  c.num_ixps = 5;
   return c;
 }
 

@@ -115,6 +115,17 @@ class Scenario {
       std::uint64_t base_seed = 0x515, runtime::ThreadPool* pool = nullptr,
       probe::TracerConfig tracer = {}) const;
 
+  // Sharded variant (DESIGN.md §14): repartitions each VP's collection
+  // into (VP × target-AS-batch) slice tasks via
+  // runtime::MultiVpExecutor::run_sharded. Output is a pure function of
+  // (vps, config, base_seed, ases_per_shard) — byte-identical at any
+  // worker count — but is keyed differently from run_bdrmap_parallel
+  // (per-slice RNG streams), so the two are not comparable maps.
+  runtime::MultiVpResult run_bdrmap_sharded(
+      const std::vector<topo::Vp>& vps, core::BdrmapConfig config = {},
+      std::uint64_t base_seed = 0x515, runtime::ThreadPool* pool = nullptr,
+      std::size_t ases_per_shard = 8, probe::TracerConfig tracer = {}) const;
+
   // Featured networks (see DESIGN.md).
   net::AsId featured_access() const;   // the §6 large access network
   net::AsId level3_like() const;       // its Tier-1 peer (~45 links)
@@ -142,5 +153,9 @@ topo::GeneratorConfig research_education_config(std::uint64_t seed = 1);
 topo::GeneratorConfig large_access_config(std::uint64_t seed = 1);
 topo::GeneratorConfig tier1_config(std::uint64_t seed = 1);
 topo::GeneratorConfig small_access_config(std::uint64_t seed = 1);
+// bench_scale's topology (DESIGN.md §14): thousands of ASes, so the §5.3
+// schedule is wide enough for probe-wave batching and (VP × target-AS)
+// sharding to show up in wall-clock rather than drown in setup cost.
+topo::GeneratorConfig scale_config(std::uint64_t seed = 1);
 
 }  // namespace bdrmap::eval

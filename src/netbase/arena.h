@@ -1,0 +1,119 @@
+#pragma once
+
+// Chunked bump allocator backing the data-oriented core (DESIGN.md §14).
+//
+// An Arena owns a list of geometrically growing chunks and hands out
+// pointers by bumping an offset; individual allocations are never freed.
+// reset() recycles every chunk for the next epoch, which is only legal
+// under the serve layer's between-epoch quiescence contract (no reader
+// may hold a pointer into the arena across a reset). Because nothing
+// ever runs destructors, only trivially destructible types may live
+// here — enforced at compile time.
+//
+// The arena is single-owner: one thread builds, many threads may read
+// the finished arrays afterwards (publication via the owning structure's
+// synchronization). There is no internal locking.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#include "netbase/contract.h"
+
+namespace bdrmap::net {
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultChunkBytes = std::size_t{1} << 16;
+
+  struct Stats {
+    std::size_t bytes_reserved = 0;  // sum of chunk capacities
+    std::size_t bytes_used = 0;      // bumped bytes incl. alignment padding
+    std::size_t allocations = 0;     // allocate<T>() calls since reset()
+    std::size_t chunks = 0;          // chunks currently owned
+  };
+
+  explicit Arena(std::size_t first_chunk_bytes = kDefaultChunkBytes)
+      : first_chunk_bytes_(first_chunk_bytes == 0 ? kDefaultChunkBytes
+                                                  : first_chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  // Value-initialized array of `count` Ts. Returns nullptr for count == 0.
+  // Pointers stay valid until reset() or destruction.
+  template <typename T>
+  T* allocate(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never runs destructors");
+    if (count == 0) return nullptr;
+    BDRMAP_EXPECTS(count <= (SIZE_MAX - alignof(T)) / sizeof(T),
+                   "Arena::allocate size overflow");
+    void* raw = allocate_raw(count * sizeof(T), alignof(T));
+    T* first = static_cast<T*>(raw);
+    for (std::size_t i = 0; i < count; ++i) {
+      ::new (static_cast<void*>(first + i)) T{};
+    }
+    ++stats_.allocations;
+    return first;
+  }
+
+  // Recycle every chunk for the next epoch: capacity is retained, offsets
+  // rewind, and subsequent allocations revisit the same addresses in the
+  // same order — the reuse-across-epochs determinism the batch tests pin.
+  void reset() {
+    for (Chunk& chunk : chunks_) chunk.offset = 0;
+    current_ = 0;
+    stats_.bytes_used = 0;
+    stats_.allocations = 0;
+  }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t capacity = 0;
+    std::size_t offset = 0;
+  };
+
+  void* allocate_raw(std::size_t bytes, std::size_t align) {
+    while (current_ < chunks_.size()) {
+      Chunk& chunk = chunks_[current_];
+      const std::size_t aligned = align_up(chunk.offset, align);
+      if (aligned + bytes <= chunk.capacity) {
+        stats_.bytes_used += (aligned - chunk.offset) + bytes;
+        chunk.offset = aligned + bytes;
+        return chunk.data.get() + aligned;
+      }
+      ++current_;
+    }
+    std::size_t capacity =
+        chunks_.empty() ? first_chunk_bytes_ : chunks_.back().capacity * 2;
+    if (capacity < bytes + align) capacity = bytes + align;
+    Chunk chunk;
+    chunk.data = std::make_unique<std::byte[]>(capacity);
+    chunk.capacity = capacity;
+    chunks_.push_back(std::move(chunk));
+    stats_.bytes_reserved += capacity;
+    stats_.chunks = chunks_.size();
+    current_ = chunks_.size() - 1;
+    return allocate_raw(bytes, align);
+  }
+
+  static std::size_t align_up(std::size_t value, std::size_t align) {
+    return (value + align - 1) & ~(align - 1);
+  }
+
+  std::size_t first_chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t current_ = 0;
+  Stats stats_;
+};
+
+}  // namespace bdrmap::net

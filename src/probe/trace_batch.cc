@@ -1,0 +1,87 @@
+#include "probe/trace_batch.h"
+
+namespace bdrmap::probe {
+
+TraceBatch::TraceBatch(const topo::Internet& net, const route::Fib& fib,
+                       obs::MetricsRegistry* metrics)
+    : net_(net), fib_(fib) {
+  if (metrics) {
+    batches_ = metrics->counter("probe.batch.batches");
+    flows_ = metrics->counter("probe.batch.flows");
+    flows_per_batch_ = metrics->histogram("probe.batch.flows_per_batch",
+                                          {1, 2, 4, 8, 16, 32, 64, 128});
+  }
+}
+
+void TraceBatch::prewalk(net::RouterId start, const FlowSpec* flows,
+                         std::size_t n, net::Arena& arena,
+                         PrewalkedPath* out) {
+  if (n == 0) return;
+  batches_.inc();
+  flows_.inc(n);
+  flows_per_batch_.observe(n);
+
+  // Resolve every destination once, allocate every hop array up front.
+  slots_.assign(n, nullptr);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i].query = flows[i].shared_query ? *flows[i].shared_query
+                                         : fib_.query(flows[i].dst);
+    const int limit = flows[i].limit;
+    slots_[i] = arena.allocate<PathHop>(
+        limit > 0 ? static_cast<std::size_t>(limit) : 0);
+    out[i].hops = slots_[i];
+    out[i].count = 0;
+  }
+
+  cur_.assign(n, start);
+  ingress_.assign(n, net::IfaceId{});
+  entered_.assign(n, 0);
+  live_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (flows[i].limit > 0) live_.push_back(static_cast<std::uint32_t>(i));
+  }
+
+  // BDRMAP_HOT_BEGIN(probe_batch_advance) — BDR104: the lockstep sweep.
+  // One hop for every live flow per pass; pure FIB reads, no allocation
+  // beyond the up-front arena grab, no node containers.
+  int step = 0;
+  while (!live_.empty()) {
+    std::size_t w = 0;
+    for (std::size_t k = 0; k < live_.size(); ++k) {
+      const std::uint32_t i = live_[k];
+      const FlowSpec& flow = flows[i];
+      PrewalkedPath& path = out[i];
+      const net::RouterId cur = cur_[i];
+
+      PathHop node;
+      node.router = cur;
+      node.ingress = ingress_[i];
+      node.is_delivery = fib_.delivered_at(cur, path.query);
+      if (node.is_delivery) {
+        node.dst_is_own_addr = fib_.addr_owned_by(cur, path.query);
+      }
+      // Enterprise edge filtering: the border answers for itself but
+      // drops probes transiting into the network (§4 challenge 3).
+      node.firewalled = entered_[i] != 0 &&
+                        net_.router(cur).behavior.firewall_edge &&
+                        !node.dst_is_own_addr;
+      slots_[i][path.count] = node;
+      ++path.count;
+
+      if (node.is_delivery || node.firewalled || step + 1 >= flow.limit) {
+        continue;  // flow retires
+      }
+      auto hop = fib_.next_hop(cur, path.query, flow.flow_salt);
+      if (!hop) continue;  // no route: flow retires
+      entered_[i] = hop->crossed_interdomain ? 1 : 0;
+      cur_[i] = hop->router;
+      ingress_[i] = hop->ingress;
+      live_[w++] = i;  // flow survives into the next sweep
+    }
+    live_.resize(w);
+    ++step;
+  }
+  // BDRMAP_HOT_END(probe_batch_advance)
+}
+
+}  // namespace bdrmap::probe

@@ -1,0 +1,95 @@
+// Batched probe-wave execution (DESIGN.md §14).
+//
+// The forward-path walk of a simulated trace is a pure function of the
+// FIB: it consumes no RNG and never consults the stop set (tracer.cc
+// generates replies only after the walk). TraceBatch exploits that: one
+// call pre-walks the forward paths of MANY flows — a probe wave — in
+// lockstep, resolving each destination's RouteQuery once up front and
+// then advancing every live flow one hop per sweep, so the FIB's dense
+// IGP tables and flat egress rows stay hot across flows instead of being
+// re-walked per destination. The per-destination ECMP rank is applied
+// per flow at lookup (FlowSpec::flow_salt), exactly as the per-flow walk
+// would.
+//
+// Bit-identity: because the walk is pure, the paths produced here are
+// identical to the ones TracerouteEngine would compute one flow at a
+// time, in any batching arrangement — the property tests/trace_batch_test.cc
+// pins and bench_scale hard-gates.
+//
+// Paths are flattened into a caller-supplied net::Arena; pointers stay
+// valid until that arena is reset (the engine resets its wave arena only
+// between fully-consumed waves — the serve layer's quiescence contract).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "netbase/arena.h"
+#include "netbase/ids.h"
+#include "netbase/ipv4.h"
+#include "obs/metrics.h"
+#include "route/fib.h"
+#include "topo/internet.h"
+
+namespace bdrmap::probe {
+
+// One pre-walked forward-path hop. Mirrors the tracer's per-node state:
+// the router the probe's TTL expires at, the interface it arrived on,
+// and the delivery/firewall classification every consumer re-derives.
+struct PathHop {
+  net::RouterId router;
+  net::IfaceId ingress;           // invalid on the first hop
+  bool is_delivery = false;       // dst terminates at this router
+  bool dst_is_own_addr = false;   // dst is one of the router's interfaces
+  bool firewalled = false;        // edge filter blocks onward delivery
+};
+
+// A flow to pre-walk: destination, ECMP flow salt, and the hop budget.
+// When `shared_query` is set the flow copies that resolution instead of
+// resolving dst itself — one RouteQuery resolution advancing many flows
+// (classic traceroute's per-TTL salts all target the same destination).
+struct FlowSpec {
+  net::Ipv4Addr dst;
+  std::uint32_t flow_salt = 0;
+  int limit = 0;
+  const route::Fib::RouteQuery* shared_query = nullptr;
+};
+
+// The pre-walked forward path of one flow: the resolved query plus an
+// arena-backed hop array.
+struct PrewalkedPath {
+  route::Fib::RouteQuery query;
+  const PathHop* hops = nullptr;
+  std::uint32_t count = 0;
+};
+
+class TraceBatch {
+ public:
+  TraceBatch(const topo::Internet& net, const route::Fib& fib,
+             obs::MetricsRegistry* metrics = nullptr);
+
+  // Pre-walks `n` flows from `start` in lockstep, writing one
+  // PrewalkedPath per flow into `out`. Hop arrays land in `arena`.
+  void prewalk(net::RouterId start, const FlowSpec* flows, std::size_t n,
+               net::Arena& arena, PrewalkedPath* out);
+
+ private:
+  const topo::Internet& net_;
+  const route::Fib& fib_;
+
+  // No-op handles unless a registry was supplied.
+  obs::Counter batches_;
+  obs::Counter flows_;
+  obs::Histogram flows_per_batch_;
+
+  // Lockstep scratch, reused across calls (no per-wave allocation once
+  // the high-water mark is reached).
+  std::vector<net::RouterId> cur_;
+  std::vector<net::IfaceId> ingress_;
+  std::vector<std::uint8_t> entered_;
+  std::vector<std::uint32_t> live_;
+  std::vector<PathHop*> slots_;  // mutable view of each flow's hop array
+};
+
+}  // namespace bdrmap::probe

@@ -9,7 +9,7 @@ TracerouteEngine::TracerouteEngine(const topo::Internet& net,
                                    const route::Fib& fib, topo::Vp vp,
                                    std::uint64_t seed, TracerConfig config)
     : net_(net), fib_(fib), vp_(vp), rng_(seed), config_(config),
-      vp_query_(fib.query(vp.addr)) {
+      vp_query_(fib.query(vp.addr)), batch_(net, fib, config.metrics) {
   if (config_.metrics) {
     traces_ = config_.metrics->counter("probe.traces");
     trace_packets_ = config_.metrics->counter("probe.trace_packets");
@@ -85,78 +85,85 @@ Ipv4Addr TracerouteEngine::maybe_spoof(Ipv4Addr real, Ipv4Addr probe_dst) {
   return Ipv4Addr((probe_dst.value() & 0xffffff00u) | host);
 }
 
+void TracerouteEngine::prewalk_wave(const std::vector<Ipv4Addr>& dsts) {
+  if (!config_.paris || dsts.empty()) return;
+  // Starting a wave drops any unconsumed stash: the wave arena is about
+  // to be recycled, which would dangle the stale paths.
+  wave_.clear();
+  wave_arena_.reset();
+  wave_flows_.clear();
+  for (Ipv4Addr dst : dsts) {
+    wave_flows_.push_back({dst, 0, config_.max_ttl, nullptr});
+  }
+  wave_paths_.assign(wave_flows_.size(), PrewalkedPath{});
+  batch_.prewalk(vp_.attach_router, wave_flows_.data(), wave_flows_.size(),
+                 wave_arena_, wave_paths_.data());
+  for (std::size_t i = 0; i < dsts.size(); ++i) {
+    // First writer wins on duplicate destinations; the loser re-walks
+    // solo in trace() — same pure path either way.
+    wave_.emplace(dsts[i].value(), wave_paths_[i]);
+  }
+}
+
 TraceResult TracerouteEngine::trace(Ipv4Addr dst, const StopFn& stop) {
   traces_.inc();
   TraceResult result;
   result.dst = dst;
 
-  // Resolve the destination once for the whole trace (DESIGN.md §9);
-  // every per-hop decision below reuses it.
-  const route::Fib::RouteQuery q = fib_.query(dst);
-
-  // Walk the forward path once (Paris traceroute: one path per flow).
-  struct PathNode {
-    RouterId router;
-    IfaceId ingress;
-    bool is_delivery = false;   // dst terminates at this router
-    bool dst_is_own_addr = false;  // dst is one of the router's interfaces
-    bool firewalled = false;    // edge filter blocks onward/host delivery
-  };
-  std::vector<PathNode> path;
-  // Walks up to `limit` hops with a fixed flow salt, appending nodes.
-  auto walk = [&](std::uint32_t flow_salt, int limit,
-                  std::vector<PathNode>& out) {
-    RouterId cur = vp_.attach_router;
-    IfaceId ingress;  // invalid on the first hop (VP-facing side)
-    bool entered_interdomain = false;
-    for (int i = 0; i < limit; ++i) {
-      PathNode node{cur, ingress, false, false, false};
-      node.is_delivery = fib_.delivered_at(cur, q);
-      if (node.is_delivery) {
-        node.dst_is_own_addr = fib_.addr_owned_by(cur, q);
-      }
-      // Enterprise edge filtering: the border answers for itself but drops
-      // probes transiting into the network — including to hosts behind it —
-      // while its own interface addresses remain reachable (§4 ch. 3).
-      node.firewalled = entered_interdomain &&
-                        net_.router(cur).behavior.firewall_edge &&
-                        !node.dst_is_own_addr;
-      out.push_back(node);
-      if (node.is_delivery || node.firewalled) break;
-      auto hop = fib_.next_hop(cur, q, flow_salt);
-      if (!hop) break;  // no route
-      entered_interdomain = hop->crossed_interdomain;
-      cur = hop->router;
-      ingress = hop->ingress;
-    }
-  };
-
+  // The forward path, pre-walked (TraceBatch, DESIGN.md §14): either
+  // stashed by a prewalk_wave() call or walked solo here. The walk is a
+  // pure function of the FIB, so both routes yield identical paths; all
+  // RNG/stop-set consumption happens in the reply loop below.
+  PrewalkedPath path;
   if (config_.paris) {
-    // One flow, one path (flow salt 0 for every probe).
-    walk(0, config_.max_ttl, path);
+    auto it = wave_.find(dst.value());
+    if (it != wave_.end()) {
+      path = it->second;  // hops stay valid until the next wave starts
+      wave_.erase(it);
+    } else {
+      solo_arena_.reset();
+      FlowSpec flow{dst, 0, config_.max_ttl, nullptr};
+      batch_.prewalk(vp_.attach_router, &flow, 1, solo_arena_, &path);
+    }
   } else {
     // Classic traceroute: each TTL's probe hashes to its own ECMP choice;
     // the recorded "path" is hop k of the salt-k walk — which may splice
-    // different true paths together (the [2] artifact).
+    // different true paths together (the [2] artifact). One RouteQuery
+    // resolution is shared by every per-TTL flow; the batch advances all
+    // of them in lockstep.
+    solo_arena_.reset();
+    const route::Fib::RouteQuery q = fib_.query(dst);
+    wave_flows_.clear();
     for (int ttl = 1; ttl <= config_.max_ttl; ++ttl) {
-      std::vector<PathNode> probe_path;
-      walk(static_cast<std::uint32_t>(ttl), ttl, probe_path);
-      if (static_cast<int>(probe_path.size()) < ttl) {
-        // The salt-ttl walk ended early (delivery/firewall/no route):
-        // record its terminal node and stop probing.
-        if (!probe_path.empty()) path.push_back(probe_path.back());
-        break;
-      }
-      path.push_back(probe_path.back());
-      if (probe_path.back().is_delivery || probe_path.back().firewalled) {
-        break;
-      }
+      wave_flows_.push_back({dst, static_cast<std::uint32_t>(ttl), ttl, &q});
     }
+    wave_paths_.assign(wave_flows_.size(), PrewalkedPath{});
+    batch_.prewalk(vp_.attach_router, wave_flows_.data(), wave_flows_.size(),
+                   solo_arena_, wave_paths_.data());
+    classic_scratch_.clear();
+    for (int ttl = 1; ttl <= config_.max_ttl; ++ttl) {
+      const PrewalkedPath& probe_path =
+          wave_paths_[static_cast<std::size_t>(ttl - 1)];
+      if (probe_path.count == 0) break;
+      const PathHop& last = probe_path.hops[probe_path.count - 1];
+      classic_scratch_.push_back(last);
+      if (static_cast<int>(probe_path.count) < ttl) {
+        // The salt-ttl walk ended early (delivery/firewall/no route):
+        // its terminal node is recorded and probing stops.
+        break;
+      }
+      if (last.is_delivery || last.firewalled) break;
+    }
+    path.query = q;
+    path.hops = classic_scratch_.data();
+    path.count = static_cast<std::uint32_t>(classic_scratch_.size());
   }
+  const route::Fib::RouteQuery& q = path.query;
 
   // Generate per-TTL replies along the walked path.
   int gap = 0;
-  for (const PathNode& node : path) {
+  for (std::uint32_t hop_i = 0; hop_i < path.count; ++hop_i) {
+    const PathHop& node = path.hops[hop_i];
     ++probes_sent_;
     trace_packets_.inc();
     const auto& router = net_.router(node.router);
@@ -227,32 +234,17 @@ TraceResult TracerouteEngine::trace(Ipv4Addr dst, const StopFn& stop) {
 }
 
 bool TracerouteEngine::reaches(RouterId router, Ipv4Addr probe_dst) const {
-  // Walks the forward path checking the probe is actually delivered to
-  // `router` (firewalls and routing failures make addresses unreachable).
-  const route::Fib::RouteQuery q = fib_.query(probe_dst);
-  RouterId cur = vp_.attach_router;
-  bool entered_interdomain = false;
-  for (int i = 0; i < config_.max_ttl; ++i) {
-    if (fib_.delivered_at(cur, q)) {
-      if (cur != router) return false;
-      // Edge filters still permit traffic to the router's own addresses,
-      // but not to hosts behind it.
-      bool own_addr = fib_.addr_owned_by(cur, q);
-      if (entered_interdomain && net_.router(cur).behavior.firewall_edge &&
-          !own_addr) {
-        return false;
-      }
-      return true;
-    }
-    if (entered_interdomain && net_.router(cur).behavior.firewall_edge) {
-      return false;
-    }
-    auto hop = fib_.next_hop(cur, q);
-    if (!hop) return false;
-    entered_interdomain = hop->crossed_interdomain;
-    cur = hop->router;
-  }
-  return false;
+  // Derived from the shared pure walk (trace_batch.h): the probe reaches
+  // `router` iff the path terminates there as an unfirewalled delivery
+  // (edge filters still permit traffic to the border's own addresses,
+  // which the walk's firewalled flag already exempts).
+  solo_arena_.reset();
+  FlowSpec flow{probe_dst, 0, config_.max_ttl, nullptr};
+  PrewalkedPath path;
+  batch_.prewalk(vp_.attach_router, &flow, 1, solo_arena_, &path);
+  if (path.count == 0) return false;
+  const PathHop& last = path.hops[path.count - 1];
+  return last.is_delivery && !last.firewalled && last.router == router;
 }
 
 bool TracerouteEngine::reaches_addr(Ipv4Addr addr) const {
@@ -279,29 +271,23 @@ std::optional<bool> TracerouteEngine::timestamp_probe(Ipv4Addr path_dst,
 
   // Walk the forward path; the candidate stamps iff it is the ingress
   // interface of some hop (the semantics [26] exploits: a router stamps
-  // with the address of the interface the packet arrived on).
-  const route::Fib::RouteQuery q = fib_.query(path_dst);
-  RouterId cur = vp_.attach_router;
-  IfaceId ingress;
-  bool entered_interdomain = false;
+  // with the address of the interface the packet arrived on). The path
+  // comes from the shared pure walk (trace_batch.h).
+  solo_arena_.reset();
+  FlowSpec flow{path_dst, 0, config_.max_ttl, nullptr};
+  PrewalkedPath path;
+  batch_.prewalk(vp_.attach_router, &flow, 1, solo_arena_, &path);
   bool delivered = false;
   bool stamped = false;
-  for (int i = 0; i < config_.max_ttl; ++i) {
-    if (ingress.valid() && net_.iface(ingress).addr == candidate) {
+  for (std::uint32_t i = 0; i < path.count; ++i) {
+    const PathHop& node = path.hops[i];
+    if (node.ingress.valid() && net_.iface(node.ingress).addr == candidate) {
       stamped = true;
     }
-    if (fib_.delivered_at(cur, q)) {
+    if (node.is_delivery) {
       delivered = true;
       break;
     }
-    if (entered_interdomain && net_.router(cur).behavior.firewall_edge) {
-      break;
-    }
-    auto hop = fib_.next_hop(cur, q);
-    if (!hop) break;
-    entered_interdomain = hop->crossed_interdomain;
-    cur = hop->router;
-    ingress = hop->ingress;
   }
   if (stamped) return true;
   // Negative evidence only if the probe actually completed its journey.

@@ -14,9 +14,12 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
+#include "netbase/arena.h"
 #include "netbase/rng.h"
 #include "obs/metrics.h"
+#include "probe/trace_batch.h"
 #include "probe/types.h"
 #include "route/fib.h"
 #include "topo/generator.h"
@@ -53,6 +56,17 @@ class TracerouteEngine {
                    topo::Vp vp, std::uint64_t seed, TracerConfig config = {});
 
   TraceResult trace(Ipv4Addr dst, const StopFn& stop = nullptr);
+
+  // Batched probe-wave execution (DESIGN.md §14): pre-walks the forward
+  // paths of the given future trace() destinations in one lockstep
+  // TraceBatch pass. Each subsequent trace() consumes its stashed path
+  // instead of walking alone; the reply plane (RNG draws, stop-set
+  // evaluation, probe accounting) is untouched, so results stay
+  // bit-identical to unbatched tracing in the same call order. Calling
+  // this starts a new wave: any unconsumed stash from the previous wave
+  // is dropped and the wave arena is recycled. No-op in classic
+  // (non-Paris) mode, where trace() itself batches its per-TTL flows.
+  void prewalk_wave(const std::vector<Ipv4Addr>& dsts);
 
   // ICMP echo probe to `addr` itself (used for alias resolution / §5.4.8
   // evidence). Returns the reply source, which for echo replies is the
@@ -101,6 +115,20 @@ class TracerouteEngine {
   mutable std::unordered_map<std::uint32_t, bool> reach_cache_;
   // router -> egress interface toward the VP (invalid == no egress).
   mutable std::unordered_map<std::uint32_t, net::IfaceId> vp_egress_cache_;
+
+  // The shared pure-walk engine: trace() (Paris and classic), reaches()
+  // and timestamp_probe() all derive their forward paths from it.
+  // Mutable because reaches() is logically const but reuses the batch
+  // scratch and the solo arena (same discipline as reach_cache_).
+  mutable TraceBatch batch_;
+  // Solo walks (one flow) recycle this arena per call; stashed wave
+  // paths live in wave_arena_, reset only when a new wave starts.
+  mutable net::Arena solo_arena_;
+  net::Arena wave_arena_;
+  std::unordered_map<std::uint32_t, PrewalkedPath> wave_;
+  std::vector<FlowSpec> wave_flows_;          // scratch
+  std::vector<PrewalkedPath> wave_paths_;     // scratch
+  std::vector<PathHop> classic_scratch_;      // classic-mode spliced path
 };
 
 }  // namespace bdrmap::probe

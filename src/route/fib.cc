@@ -60,6 +60,10 @@ Fib::Fib(const topo::Internet& net, const BgpSimulator& bgp,
   routing_.resize(ases.size());
   sessions_.resize(ases.size());
   sessions_by_far_.resize(ases.size());
+  // Row pointers start null; rows are allocated on the first egress
+  // decision a router makes (vector of atomics is fixed-size by design).
+  egress_rows_ = std::vector<std::atomic<std::atomic<const EgressEntry*>*>>(
+      net.routers().size());
 
   for (const auto& info : net.interdomain_links()) {
     const auto& link = net.link(info.link);
@@ -118,8 +122,17 @@ void Fib::set_prefix_withdrawn(const net::Prefix& p, bool withdrawn) {
 }
 
 void Fib::invalidate_egress() {
+  // Mutators run under the serve layer's quiescence contract (no
+  // concurrent forwarding), so relaxed stores suffice to null the rows.
   net::MutexLock lk(egress_mu_);
   egress_.clear();
+  const std::size_t n_ases = sessions_.size();
+  for (auto& storage : egress_row_storage_) {
+    for (std::size_t j = 0; j < n_ases; ++j) {
+      storage[j].store(nullptr, std::memory_order_relaxed);
+    }
+  }
+  egress_pool_.clear();
 }
 
 bool Fib::link_is_down(LinkId link) const {
@@ -148,6 +161,13 @@ AsId Fib::owner_of(RouterId r) const {
 }
 
 Fib::RouteQuery::Resolved Fib::resolve(Ipv4Addr dst) const {
+  // Dense index of the routing target AS, kNoIndex for ASes outside the
+  // construction snapshot (corrupted-truth audits) — those fall back to
+  // the keyed egress map instead of the flat rows.
+  auto dense_as = [this](AsId as) {
+    auto it = as_dense_.find(as);
+    return it == as_dense_.end() ? kNoIndex : it->second;
+  };
   RouteQuery::Resolved r;
   if (auto iface_id = net_.iface_at(dst)) {
     const auto& iface = net_.iface(*iface_id);
@@ -166,6 +186,7 @@ Fib::RouteQuery::Resolved Fib::resolve(Ipv4Addr dst) const {
         const auto& oi = net_.iface(other);
         if (owner_of(oi.router) == link.addr_space_owner) {
           r.dst_as = link.addr_space_owner;
+          r.dst_as_dense = dense_as(r.dst_as);
           r.target = oi.router;
           r.cross_link = link.id;
           r.cross_egress = other;
@@ -174,6 +195,7 @@ Fib::RouteQuery::Resolved Fib::resolve(Ipv4Addr dst) const {
       }
     }
     r.dst_as = owner;
+    r.dst_as_dense = dense_as(owner);
     r.target = t;
     return r;
   }
@@ -184,6 +206,7 @@ Fib::RouteQuery::Resolved Fib::resolve(Ipv4Addr dst) const {
     if (prefix_withdrawn(ap)) return r;
     r.ok = true;
     r.dst_as = ap->origin;
+    r.dst_as_dense = dense_as(ap->origin);
     r.target = ap->host_router;
     r.final_router = ap->host_router;
     r.ap = ap;
@@ -295,6 +318,8 @@ double Fib::igp_distance(RouterId a, RouterId b) const {
   return rt.dist[ia * rt.routers.size() + ib];
 }
 
+// BDRMAP_HOT_BEGIN(fib_internal_step) — BDR104: the intra-AS hop. Dense
+// table loads and one flow hash; nothing may allocate here.
 std::optional<Fib::Hop> Fib::internal_step(RouterId r, RouterId target,
                                            Ipv4Addr dst,
                                            std::uint32_t flow_salt) const {
@@ -325,6 +350,7 @@ std::optional<Fib::Hop> Fib::internal_step(RouterId r, RouterId target,
   if (!in.valid()) return std::nullopt;
   return Hop{net_.iface(in).router, in, out, iface.link, false};
 }
+// BDRMAP_HOT_END(fib_internal_step)
 
 const Session* Fib::choose_egress_uncached(
     RouterId r, AsId as, AsId dst_as, Ipv4Addr dst,
@@ -361,24 +387,12 @@ const Session* Fib::choose_egress_uncached(
   return nullptr;
 }
 
-const Fib::EgressEntry& Fib::egress_entry(
+Fib::EgressEntry Fib::compute_egress_entry(
     RouterId r, AsId dst_as, const std::vector<LinkId>* pinned) const {
-  const EgressKey key{r.value, dst_as.value,
-                      static_cast<const void*>(pinned)};
-  {
-    net::SharedLock lk(egress_mu_);
-    auto it = egress_.find(key);
-    if (it != egress_.end()) {
-      egress_hits_.inc();
-      return *it->second;
-    }
-  }
-  egress_misses_.inc();
-
   // Fill: first satisfiable tier, sessions tied at minimal IGP distance
   // from r, in session order — the same winners the uncached scan finds,
   // minus the per-destination rank that next_hop applies at lookup time.
-  auto entry = std::make_unique<EgressEntry>();
+  EgressEntry entry;
   const AsId as = owner_of(r);
   const std::uint32_t as_dense = as_dense_.at(as);
   const auto& sessions = sessions_[as_dense];
@@ -407,20 +421,83 @@ const Fib::EgressEntry& Fib::egress_entry(
         if (d == kInfDist) continue;
         if (d < best_dist) {
           best_dist = d;
-          entry->tied.clear();
+          entry.tied.clear();
         }
-        if (d == best_dist) entry->tied.push_back(&s);
+        if (d == best_dist) entry.tied.push_back(&s);
       }
-      if (!entry->tied.empty()) break;  // tier satisfied
+      if (!entry.tied.empty()) break;  // tier satisfied
     }
   }
+  egress_tied_.observe(entry.tied.size());
+  return entry;
+}
 
-  egress_tied_.observe(entry->tied.size());
+const Fib::EgressEntry& Fib::egress_entry(
+    RouterId r, AsId dst_as, const std::vector<LinkId>* pinned) const {
+  const EgressKey key{r.value, dst_as.value,
+                      static_cast<const void*>(pinned)};
+  {
+    net::SharedLock lk(egress_mu_);
+    auto it = egress_.find(key);
+    if (it != egress_.end()) {
+      egress_hits_.inc();
+      return *it->second;
+    }
+  }
+  egress_misses_.inc();
+
+  auto entry = std::make_unique<EgressEntry>(
+      compute_egress_entry(r, dst_as, pinned));
 
   // Pure function of the immutable topology: first writer wins.
   net::MutexLock lk(egress_mu_);
   auto it = egress_.emplace(key, std::move(entry)).first;
   return *it->second;
+}
+
+const Fib::EgressEntry* Fib::egress_fill_flat(RouterId r,
+                                              std::uint32_t dst_as_dense,
+                                              AsId dst_as) const {
+  egress_misses_.inc();
+  EgressEntry filled = compute_egress_entry(r, dst_as, nullptr);
+
+  net::MutexLock lk(egress_mu_);
+  std::atomic<const EgressEntry*>* row =
+      egress_rows_[r.value].load(std::memory_order_relaxed);
+  if (!row) {
+    auto storage = std::make_unique<std::atomic<const EgressEntry*>[]>(
+        sessions_.size());  // value-initialized: every slot starts null
+    row = storage.get();
+    egress_row_storage_.push_back(std::move(storage));
+    egress_rows_[r.value].store(row, std::memory_order_release);
+  }
+  // First writer wins; a racing fill computed the identical entry.
+  if (const EgressEntry* e = row[dst_as_dense].load(std::memory_order_relaxed)) {
+    return e;
+  }
+  egress_pool_.push_back(std::move(filled));
+  const EgressEntry* e = &egress_pool_.back();
+  row[dst_as_dense].store(e, std::memory_order_release);
+  return e;
+}
+
+// BDRMAP_HOT_BEGIN(fib_walk) — BDR104: the per-hop forwarding decision.
+// Array loads, published-pointer acquire loads and pure hashes only; no
+// node containers, no heap allocation (cold fills live outside the region).
+
+const Fib::EgressEntry* Fib::egress_entry_flat(RouterId r,
+                                               std::uint32_t dst_as_dense,
+                                               AsId dst_as) const {
+  std::atomic<const EgressEntry*>* row =
+      egress_rows_[r.value].load(std::memory_order_acquire);
+  if (row) {
+    if (const EgressEntry* e =
+            row[dst_as_dense].load(std::memory_order_acquire)) {
+      egress_hits_.inc();
+      return e;
+    }
+  }
+  return egress_fill_flat(r, dst_as_dense, dst_as);
 }
 
 std::optional<Fib::Hop> Fib::next_hop_resolved(
@@ -458,15 +535,19 @@ std::optional<Fib::Hop> Fib::next_hop_resolved(
   // Interdomain: pick an egress session by preference tier + hot potato.
   const Session* egress = nullptr;
   if (options_.enable_caches) {
-    const EgressEntry& e = egress_entry(r, res.dst_as, res.pinned);
-    if (!e.tied.empty()) {
-      egress = e.tied.front();
-      if (e.tied.size() > 1) {
+    const EgressEntry* e =
+        (options_.enable_flat_egress && !res.pinned &&
+         res.dst_as_dense != kNoIndex)
+            ? egress_entry_flat(r, res.dst_as_dense, res.dst_as)
+            : &egress_entry(r, res.dst_as, res.pinned);
+    if (!e->tied.empty()) {
+      egress = e->tied.front();
+      if (e->tied.size() > 1) {
         std::uint64_t best_rank = flow_rank(dst, egress->link);
-        for (std::size_t i = 1; i < e.tied.size(); ++i) {
-          std::uint64_t rank = flow_rank(dst, e.tied[i]->link);
+        for (std::size_t i = 1; i < e->tied.size(); ++i) {
+          std::uint64_t rank = flow_rank(dst, e->tied[i]->link);
           if (rank < best_rank) {
-            egress = e.tied[i];
+            egress = e->tied[i];
             best_rank = rank;
           }
         }
@@ -505,6 +586,8 @@ bool Fib::delivered_at(RouterId r, const RouteQuery& q) const {
   if (res.is_iface_addr) return r == res.final_router;
   return r == res.target && res.ap && res.ap->prefix.contains(q.dst_);
 }
+
+// BDRMAP_HOT_END(fib_walk)
 
 bool Fib::delivered_at(RouterId r, Ipv4Addr dst) const {
   RouteQuery::Resolved res = resolve(dst);

@@ -30,6 +30,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -69,6 +70,12 @@ struct Session {
 // baseline measurement and bit-identity auditing.
 struct FibOptions {
   bool enable_caches = true;
+  // Flat per-router egress rows indexed by dense destination AS
+  // (DESIGN.md §14) — the data-oriented fast path for interdomain
+  // next_hop decisions. false falls back to the keyed hash-map cache on
+  // every lookup (the pre-§14 cached baseline bench_scale measures
+  // against). Value-identical either way.
+  bool enable_flat_egress = true;
   // When set, the FIB reports cache behaviour (route.fib.* counters and
   // the egress tie-width histogram) to this registry. nullptr (default)
   // leaves every handle a no-op — the zero-overhead path the hot-path
@@ -109,6 +116,10 @@ class Fib {
       IfaceId cross_egress;        // target's interface on cross_link
       const topo::AnnouncedPrefix* ap = nullptr;
       const std::vector<LinkId>* pinned = nullptr;
+      // Dense index of dst_as (kNoIndex when the AS is outside the
+      // construction snapshot): routes the hot walk onto the flat egress
+      // rows instead of the keyed hash map.
+      std::uint32_t dst_as_dense = 0xffffffffu;
     };
     Ipv4Addr dst_;
     bool pre_resolved_ = false;
@@ -231,8 +242,21 @@ class Fib {
   const Session* choose_egress_uncached(
       RouterId r, AsId as, AsId dst_as, Ipv4Addr dst,
       const std::vector<LinkId>* pinned) const;
+  // The shared fill: first satisfiable tier, sessions tied at minimal IGP
+  // distance from r, in session order. Pure function of the immutable
+  // topology (+ a quiescent churn overlay), so racing fills are identical.
+  EgressEntry compute_egress_entry(RouterId r, AsId dst_as,
+                                   const std::vector<LinkId>* pinned) const;
   const EgressEntry& egress_entry(RouterId r, AsId dst_as,
                                   const std::vector<LinkId>* pinned) const
+      BDRMAP_EXCLUDES(egress_mu_);
+  // Flat-row lookup for the unpinned common case (DESIGN.md §14): two
+  // acquire-loads on the hot walk, no lock, no hashing.
+  const EgressEntry* egress_entry_flat(RouterId r, std::uint32_t dst_as_dense,
+                                       AsId dst_as) const
+      BDRMAP_EXCLUDES(egress_mu_);
+  const EgressEntry* egress_fill_flat(RouterId r, std::uint32_t dst_as_dense,
+                                      AsId dst_as) const
       BDRMAP_EXCLUDES(egress_mu_);
   std::optional<Hop> internal_step(RouterId r, RouterId target, Ipv4Addr dst,
                                    std::uint32_t flow_salt) const;
@@ -270,11 +294,24 @@ class Fib {
       BDRMAP_GUARDED_BY(routing_mu_);
 
   // Egress decision cache, same locking and purity discipline. Entries
-  // live behind unique_ptr so references survive rehashes.
+  // live behind unique_ptr so references survive rehashes. Since the
+  // flat rows below took over the unpinned case this map only ever holds
+  // pinned (selective-announcement) decisions and snapshot-foreign ASes.
   mutable net::SharedMutex egress_mu_;
   mutable std::unordered_map<EgressKey, std::unique_ptr<EgressEntry>,
                              EgressKeyHash>
       egress_ BDRMAP_GUARDED_BY(egress_mu_);
+
+  // Flat egress rows (DESIGN.md §14): per-router arrays of published
+  // entry pointers indexed by the destination's dense AS index. Rows are
+  // allocated lazily (only routers that actually make interdomain
+  // decisions pay), published with release stores and read with acquire
+  // loads; entries live in a deque so published pointers stay stable.
+  mutable std::vector<std::atomic<std::atomic<const EgressEntry*>*>>
+      egress_rows_;
+  mutable std::vector<std::unique_ptr<std::atomic<const EgressEntry*>[]>>
+      egress_row_storage_ BDRMAP_GUARDED_BY(egress_mu_);
+  mutable std::deque<EgressEntry> egress_pool_ BDRMAP_GUARDED_BY(egress_mu_);
 
   // Churn overlay state (see the public churn section). overlay_active_
   // fast-gates the overlay_mu_ acquisitions out of the zero-churn hot path.

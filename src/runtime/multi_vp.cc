@@ -1,7 +1,9 @@
 #include "runtime/multi_vp.h"
 
 #include <chrono>
+#include <unordered_set>
 
+#include "core/blocks.h"
 #include "netbase/contract.h"
 #include "runtime/parallel_for.h"
 
@@ -11,6 +13,46 @@ namespace {
 double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
+}
+
+// Seed mixer (splitmix64 finalizer over a keyed combination), the same
+// idiom as serve::ServeEngine: slice seeds depend only on (base, vp,
+// slice index), so the shard schedule — not worker timing — fixes every
+// RNG stream.
+std::uint64_t mix(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  std::uint64_t z = a ^ (b * 0x9e3779b97f4a7c15ULL) ^
+                    ((c + 1) * 0xbf58476d1ce4e5b9ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t kInferSalt = 0x1f3a9;
+
+// Ordered reduction over out.per_vp, VP by VP on the joining thread: the
+// merged output is a pure function of the per-VP results, independent of
+// which worker finished first. Shared by run() and run_sharded().
+void reduce_ordered(MultiVpResult& out) {
+  for (std::size_t vp = 0; vp < out.per_vp.size(); ++vp) {
+    const core::BdrmapResult& r = out.per_vp[vp];
+    for (const core::InferredLink& link : r.links) {
+      out.merged_links_by_as[link.neighbor_as].push_back(
+          out.merged_links.size());
+      out.merged_links.emplace_back(vp, link);
+    }
+    out.total.probes_sent += r.stats.probes_sent;
+    out.total.blocks += r.stats.blocks;
+    out.total.traces += r.stats.traces;
+    out.total.alias_pair_tests += r.stats.alias_pair_tests;
+    out.total.routers += r.stats.routers;
+    out.total.vp_routers += r.stats.vp_routers;
+    out.total.neighbor_routers += r.stats.neighbor_routers;
+    out.total.stopset_hits += r.stats.stopset_hits;
+    out.total.probe_failures += r.stats.probe_failures;
+    out.total.arena_bytes_reserved += r.stats.arena_bytes_reserved;
+    out.total.arena_bytes_used += r.stats.arena_bytes_used;
+    out.total.arena_allocations += r.stats.arena_allocations;
+  }
 }
 }  // namespace
 
@@ -48,23 +90,106 @@ MultiVpResult MultiVpExecutor::run(const std::vector<VpJob>& jobs) const {
   // of the per-VP results, independent of which worker finished first.
   auto r0 = std::chrono::steady_clock::now();
   obs::Span reduce_span(tracer, "multi_vp.reduce");
-  for (std::size_t vp = 0; vp < out.per_vp.size(); ++vp) {
-    const core::BdrmapResult& r = out.per_vp[vp];
-    for (const core::InferredLink& link : r.links) {
-      out.merged_links_by_as[link.neighbor_as].push_back(
-          out.merged_links.size());
-      out.merged_links.emplace_back(vp, link);
+  reduce_ordered(out);
+  reduce_span.close();
+  out.times.reduce_seconds = seconds_since(r0);
+  return out;
+}
+
+MultiVpResult MultiVpExecutor::run_sharded(
+    const std::vector<ShardedVpJob>& jobs, const ShardPlan& plan) const {
+  MultiVpResult out;
+  obs::Tracer* tracer =
+      !jobs.empty() && jobs.front().config.obs
+          ? jobs.front().config.obs->tracer()
+          : nullptr;
+  auto t0 = std::chrono::steady_clock::now();
+  obs::Span run_span(tracer, "multi_vp.run_sharded");
+  run_span.note("vps", static_cast<std::int64_t>(jobs.size()));
+
+  const std::size_t batch =
+      plan.ases_per_shard == 0 ? 1 : plan.ases_per_shard;
+
+  // Build the flat shard list on the calling thread: for each VP, the
+  // distinct target ASes in §5.3 schedule order (the order
+  // build_probe_blocks emits), grouped into batches. The plan is pure
+  // input — no worker touches it concurrently.
+  struct Shard {
+    std::size_t vp;
+    std::size_t index_in_vp;  // keys the slice seed
+    std::vector<net::AsId> targets;
+  };
+  std::vector<Shard> shards;
+  for (std::size_t vp = 0; vp < jobs.size(); ++vp) {
+    const ShardedVpJob& job = jobs[vp];
+    BDRMAP_EXPECTS(job.config.target_filter.empty(),
+                   "run_sharded owns the target filter; pass it via the "
+                   "plan, not the job config");
+    auto blocks = core::build_probe_blocks(*job.inputs.origins,
+                                           job.inputs.vp_ases);
+    std::vector<net::AsId> targets;
+    std::unordered_set<net::AsId> seen;
+    for (const core::ProbeBlock& b : blocks) {
+      if (seen.insert(b.target_as).second) targets.push_back(b.target_as);
     }
-    out.total.probes_sent += r.stats.probes_sent;
-    out.total.blocks += r.stats.blocks;
-    out.total.traces += r.stats.traces;
-    out.total.alias_pair_tests += r.stats.alias_pair_tests;
-    out.total.routers += r.stats.routers;
-    out.total.vp_routers += r.stats.vp_routers;
-    out.total.neighbor_routers += r.stats.neighbor_routers;
-    out.total.stopset_hits += r.stats.stopset_hits;
-    out.total.probe_failures += r.stats.probe_failures;
+    for (std::size_t start = 0; start < targets.size(); start += batch) {
+      Shard shard;
+      shard.vp = vp;
+      shard.index_in_vp = start / batch;
+      const std::size_t end = std::min(start + batch, targets.size());
+      shard.targets.assign(targets.begin() + static_cast<std::ptrdiff_t>(start),
+                           targets.begin() + static_cast<std::ptrdiff_t>(end));
+      shards.push_back(std::move(shard));
+    }
   }
+  run_span.note("shards", static_cast<std::int64_t>(shards.size()));
+
+  // Collect every shard in parallel: each task is a filtered collect with
+  // its own probe stack seeded from (base, vp, shard index).
+  auto slices = parallel_map<core::CollectedTraces>(
+      pool_, shards.size(),
+      [&jobs, &shards, &plan](std::size_t i) {
+        const Shard& shard = shards[i];
+        const ShardedVpJob& job = jobs[shard.vp];
+        BDRMAP_EXPECTS(static_cast<bool>(job.make_services),
+                       "ShardedVpJob needs a probe-services factory");
+        core::BdrmapConfig config = job.config;
+        config.target_filter = shard.targets;
+        auto services = job.make_services(
+            mix(plan.base_seed, shard.vp, shard.index_in_vp));
+        core::Bdrmap pipeline(*services, job.inputs, config);
+        return pipeline.collect();
+      },
+      /*chunk=*/1);
+
+  // Stitch the slices back per VP in plan order — shards were emitted in
+  // (vp, batch) order, so this append IS the §5.3 schedule order.
+  std::vector<core::CollectedTraces> per_vp(jobs.size());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    per_vp[shards[i].vp].append(std::move(slices[i]));
+  }
+
+  // Inference tails, one per VP, seeded off the collection streams.
+  out.per_vp = parallel_map<core::BdrmapResult>(
+      pool_, jobs.size(),
+      [&jobs, &per_vp, &plan](std::size_t vp) {
+        const ShardedVpJob& job = jobs[vp];
+        obs::Span vp_span(
+            job.config.obs ? job.config.obs->tracer() : nullptr, "vp.run");
+        vp_span.note("vp", static_cast<std::int64_t>(vp));
+        auto services =
+            job.make_services(mix(plan.base_seed, vp, kInferSalt));
+        core::Bdrmap pipeline(*services, job.inputs, job.config);
+        // Exclusive per index: no two workers touch the same slot.
+        return pipeline.run_with(std::move(per_vp[vp]));
+      },
+      /*chunk=*/1);
+  run_span.close();
+  out.times.run_seconds = seconds_since(t0);
+
+  auto r0 = std::chrono::steady_clock::now();
+  obs::Span reduce_span(tracer, "multi_vp.reduce");
+  reduce_ordered(out);
   reduce_span.close();
   out.times.reduce_seconds = seconds_since(r0);
   return out;

@@ -39,6 +39,28 @@ struct VpJob {
   core::BdrmapConfig config;
 };
 
+// One vantage point of a sharded run (run_sharded): like VpJob, but the
+// factory is invoked once per slice task (and once for the inference
+// tail) with an executor-mixed seed, so the schedule — never the worker —
+// decides every RNG stream.
+struct ShardedVpJob {
+  std::function<std::unique_ptr<probe::ProbeServices>(std::uint64_t seed)>
+      make_services;
+  core::InferenceInputs inputs;
+  // config.target_filter must be empty: the shard plan owns the filter.
+  core::BdrmapConfig config;
+};
+
+// How run_sharded slices the work (DESIGN.md §14).
+struct ShardPlan {
+  std::uint64_t base_seed = 0;
+  // Target ASes per collection slice. Smaller batches make more (and
+  // better balanced) tasks at the cost of per-slice setup. The output is
+  // a pure function of (jobs, plan): changing the batch width re-keys
+  // the per-slice RNG streams, changing the worker count never does.
+  std::size_t ases_per_shard = 8;
+};
+
 // Wall-clock of the two stages, for the runtime's telemetry contract.
 struct MultiVpTimes {
   double run_seconds = 0.0;     // fork/join over the per-VP pipelines
@@ -64,6 +86,19 @@ class MultiVpExecutor {
   explicit MultiVpExecutor(ThreadPool* pool) : pool_(pool) {}
 
   MultiVpResult run(const std::vector<VpJob>& jobs) const;
+
+  // Sharded execution (DESIGN.md §14): repartitions every VP's collection
+  // stage into (VP × target-AS-batch) slice tasks — each a filtered
+  // collect with its own deterministically seeded probe stack — so the
+  // pool sees hundreds of balanced tasks instead of one lump per VP.
+  // Collected slices are stitched back per VP in plan order (the §5.3
+  // schedule order), the inference tails run per VP, and the final merge
+  // is the same ordered reduction as run(): byte-identical output at 1
+  // or 64 workers for a fixed (jobs, plan). Differs from run() only in
+  // RNG-stream keying (per slice instead of per VP), exactly like the
+  // serve engine's slice decomposition.
+  MultiVpResult run_sharded(const std::vector<ShardedVpJob>& jobs,
+                            const ShardPlan& plan) const;
 
   // Split-pipeline execution (serve::ServeEngine): collect() fans the
   // jobs' collection stages out over the pool — for slice jobs each

@@ -10,7 +10,9 @@
 #                  suites (runtime pool/executor + contract tests + the
 #                  fast-path concurrent cache-fill suite)
 #   --bench        build and run the forwarding fast-path benchmark
-#                  (bench_hotpath); the bit-identity gate is hard, the
+#                  (bench_hotpath) plus a bench_scale --smoke pass (the
+#                  §14 batching/sharding identity gates over the small
+#                  scenario); the bit-identity gates are hard, the
 #                  throughput targets are informational here
 #   --obs          observability smoke: run bdrmap_sim --obs-json over the
 #                  small scenario (single-VP and multi-VP) and validate the
@@ -64,10 +66,11 @@ run_tsan() {
   cmake --preset tsan
   cmake --build --preset tsan -j "$JOBS" --target \
     runtime_thread_pool_test runtime_multi_vp_test netbase_contract_test \
-    route_fastpath_test obs_metrics_test obs_trace_test eval_fuzzer_test \
-    serve_handle_test serve_snapshot_test serve_incremental_test
+    route_fastpath_test trace_batch_test obs_metrics_test obs_trace_test \
+    eval_fuzzer_test serve_handle_test serve_snapshot_test \
+    serve_incremental_test
   ctest --test-dir build-tsan -j "$JOBS" --output-on-failure \
-    -R 'ThreadPool|TaskGroup|ParallelFor|ParallelMap|MultiVp|Contract|FastPath|Obs|Fuzzer|Serve'
+    -R 'ThreadPool|TaskGroup|ParallelFor|ParallelMap|MultiVp|Contract|FastPath|TraceBatch|Obs|Fuzzer|Serve'
 }
 
 run_fuzz() {
@@ -107,8 +110,12 @@ run_serve() {
 run_bench() {
   echo "== bench: forwarding fast path (bench_hotpath) =="
   cmake --preset default >/dev/null
-  cmake --build --preset default -j "$JOBS" --target bench_hotpath
+  cmake --build --preset default -j "$JOBS" --target bench_hotpath bench_scale
   ./build/bench/bench_hotpath --out BENCH_hotpath.json
+  echo "== bench: data-oriented core smoke (bench_scale --smoke) =="
+  # Same code paths and identity gates as the committed BENCH_scale.json
+  # run, on the CI-sized scenario. Identity failures exit 1 here too.
+  ./build/bench/bench_scale --smoke --out BENCH_scale_smoke.json
 }
 
 run_lint() {

@@ -17,6 +17,10 @@ default the gate also requires:
     stage.heuristics)
   * at least one per-heuristic fire counter (core.heuristic.*) is nonzero
   * every span is closed and parent ids point at earlier spans
+  * data-oriented core consistency (DESIGN.md §14), whenever the metrics
+    appear: core.arena.bytes_used <= core.arena.bytes_reserved, and the
+    probe.batch.flows_per_batch histogram observes exactly once per batch
+    (count == probe.batch.batches, sum == probe.batch.flows)
 
 --schema-only skips the run-completeness checks (for exports from partial
 or disabled runs). --serve switches the completeness profile to the one
@@ -165,6 +169,31 @@ def check_run(doc, serve: bool = False) -> list[str]:
     ]
     if not fired:
         findings.append("no core.heuristic.* counter fired")
+
+    # Data-oriented core consistency (DESIGN.md §14). Conditional: waves
+    # can be disabled (probe_wave=0) and serve runs publish different
+    # families, so absence is fine — inconsistency is not.
+    gauges = {g["name"]: g["value"] for g in doc["metrics"]["gauges"]}
+    reserved = gauges.get("core.arena.bytes_reserved")
+    used = gauges.get("core.arena.bytes_used")
+    if reserved is not None and used is not None and used > reserved:
+        findings.append(
+            f"core.arena.bytes_used ({used}) exceeds bytes_reserved "
+            f"({reserved}): arena accounting is broken")
+    hists = {h["name"]: h for h in doc["metrics"]["histograms"]}
+    per_batch = hists.get("probe.batch.flows_per_batch")
+    if per_batch is not None:
+        batches = counters.get("probe.batch.batches", 0)
+        flows = counters.get("probe.batch.flows", 0)
+        if per_batch["count"] != batches:
+            findings.append(
+                f"probe.batch.flows_per_batch count ({per_batch['count']}) "
+                f"!= probe.batch.batches ({batches}): not one observation "
+                "per batch")
+        if per_batch["sum"] != flows:
+            findings.append(
+                f"probe.batch.flows_per_batch sum ({per_batch['sum']}) "
+                f"!= probe.batch.flows ({flows}): flow accounting drifted")
     return findings
 
 

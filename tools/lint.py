@@ -26,6 +26,12 @@ through three analysis passes (docs/static_analysis.md §3):
         TSA-annotated net::Mutex / net::SharedMutex / net::CondVar
         capabilities so Clang thread-safety analysis sees every lock site.
 
+  hot-region   — between `// BDRMAP_HOT_BEGIN(name)` and
+                `// BDRMAP_HOT_END(name)` markers (the data-oriented inner
+                loops, DESIGN.md §14) node-based containers and naked
+                `new` are banned; allocations there belong in arenas or
+                flat vectors.
+
 Each finding carries a stable rule id (catalog in RULES; `--list-rules`).
 `--json` emits a machine-readable document instead of text lines.
 `--disable RULE` (repeatable) suppresses a rule by id or name.
@@ -85,6 +91,9 @@ RULES = {
     "BDR103": ("raw-lock",
                "raw std lock primitive in src/; use the TSA-annotated "
                "capabilities from netbase/sync.h"),
+    "BDR104": ("hot-region-alloc",
+               "node-based container / naked new inside a "
+               "BDRMAP_HOT_BEGIN/END region (DESIGN.md §14)"),
 }
 RULE_BY_NAME = {name: rid for rid, (name, _) in RULES.items()}
 
@@ -406,7 +415,66 @@ def pass_concurrency_determinism(ctx: FileContext) -> list[Finding]:
     return findings
 
 
-PASSES = [pass_hygiene, pass_layering, pass_concurrency_determinism]
+# --------------------------------------------------------------------------
+# Pass 4: hot-region allocation discipline (BDR104)
+#
+# `// BDRMAP_HOT_BEGIN(name)` ... `// BDRMAP_HOT_END(name)` comment markers
+# designate the per-trace inner loops of the data-oriented core
+# (DESIGN.md §14). Inside a region, node-based containers
+# (std::unordered_map / std::map / std::list) and naked `new` are banned:
+# every per-element allocation there belongs in an arena or a flat vector.
+# Unbalanced markers are findings too, so a region cannot silently stop
+# being checked.
+# --------------------------------------------------------------------------
+
+HOT_MARKER_RE = re.compile(r"BDRMAP_HOT_(BEGIN|END)\((\w+)\)")
+HOT_BANS = [
+    (re.compile(r"\bstd::unordered_map\b"), "std::unordered_map"),
+    (re.compile(r"\bstd::map\b"), "std::map"),
+    (re.compile(r"\bstd::list\b"), "std::list"),
+    (re.compile(r"(?<![\w.:])new\b"), "naked new"),
+]
+
+
+def pass_hot_region(ctx: FileContext) -> list[Finding]:
+    findings: list[Finding] = []
+    open_regions: dict[str, int] = {}  # name -> BEGIN line
+    for n, raw in enumerate(ctx.raw_lines, start=1):
+        # Markers live in comments, so match the raw line; bans are
+        # checked against the comment/string-scrubbed code line.
+        for kind, name in HOT_MARKER_RE.findall(raw):
+            if kind == "BEGIN":
+                if name in open_regions:
+                    findings.append(Finding(
+                        "BDR104", ctx.relstr, n,
+                        f"BDRMAP_HOT_BEGIN({name}) opened twice (first at "
+                        f"line {open_regions[name]})"))
+                open_regions[name] = n
+            else:
+                if name not in open_regions:
+                    findings.append(Finding(
+                        "BDR104", ctx.relstr, n,
+                        f"BDRMAP_HOT_END({name}) without a matching BEGIN"))
+                open_regions.pop(name, None)
+        if not open_regions:
+            continue
+        code = ctx.code_lines[n - 1]
+        for ban_re, what in HOT_BANS:
+            if ban_re.search(code):
+                region = ", ".join(sorted(open_regions))
+                findings.append(Finding(
+                    "BDR104", ctx.relstr, n,
+                    f"{what} inside hot region '{region}' — use an arena "
+                    "or flat vector (DESIGN.md §14)"))
+    for name, line in sorted(open_regions.items()):
+        findings.append(Finding(
+            "BDR104", ctx.relstr, line,
+            f"BDRMAP_HOT_BEGIN({name}) is never closed"))
+    return findings
+
+
+PASSES = [pass_hygiene, pass_layering, pass_concurrency_determinism,
+          pass_hot_region]
 
 
 def lint_file(path: Path) -> list[Finding]:
