@@ -55,19 +55,41 @@ void publish_result(const BdrmapResult& result,
   registry->gauge("core.arena.allocations")
       .set(static_cast<std::int64_t>(result.stats.arena_allocations));
 
+  // Confidence histograms share their observation sites with the per-tag
+  // fire counters below, so for every tag the histogram's total count
+  // equals the counter's value (tools/check_obs.py relies on this).
+  // Buckets are basis points of the [0,1] confidence.
+  const std::vector<std::uint64_t> kConfidenceBounds{2500, 5000, 7500, 9000,
+                                                     10000};
+  auto observe_confidence = [&](Heuristic how, double confidence) {
+    registry
+        ->histogram("core.heuristic." + heuristic_slug(how) + ".confidence",
+                    kConfidenceBounds)
+        .observe(static_cast<std::uint64_t>(confidence * 10000.0 + 0.5));
+  };
   const auto& routers = result.graph.routers();
   for (std::size_t n = 0; n < routers.size(); ++n) {
     if (result.graph.merged_away(n)) continue;
     const GraphRouter& router = routers[n];
     if (router.vp_side || router.how == Heuristic::kNone) continue;
     registry->counter("core.heuristic." + heuristic_slug(router.how)).inc();
+    observe_confidence(router.how, router.confidence);
   }
   // §5.4.8 placements have no router of their own — count them from the
   // link they produced.
   for (const InferredLink& link : result.links) {
     if (link.neighbor_router == InferredLink::kNoRouter) {
       registry->counter("core.heuristic." + heuristic_slug(link.how)).inc();
+      observe_confidence(link.how, link.confidence);
     }
+  }
+  // Registry-engine accounting (DESIGN.md §15): how often each §5.4 rule
+  // family placed something, and how often it was skipped outright.
+  for (const HeuristicRuleStats& rule : result.rule_stats) {
+    registry->counter("core.heuristic." + rule.slug + ".fires")
+        .inc(rule.fires);
+    registry->counter("core.heuristic." + rule.slug + ".skips")
+        .inc(rule.skips);
   }
 }
 
@@ -302,9 +324,10 @@ std::unordered_set<Ipv4Addr> Bdrmap::confirm_inbound(
 BdrmapResult infer_borders(RouterGraph graph, const InferenceInputs& inputs,
                            const HeuristicsConfig& config,
                            BdrmapStats stats) {
-  BdrmapResult result{std::move(graph), {}, {}, {}, {}};
+  BdrmapResult result{std::move(graph), {}, {}, {}, {}, {}};
   Heuristics heuristics(result.graph, inputs, config);
   auto uncooperative = heuristics.run();
+  result.rule_stats = heuristics.rule_stats();
   const InferenceInputs& inputs_ = inputs;  // keep the body below uniform
 
   // The graph is final from here on: compile the SoA/CSR view once and
@@ -350,13 +373,13 @@ BdrmapResult infer_borders(RouterGraph graph, const InferenceInputs& inputs,
          ++i) {
       const std::uint32_t p = cg.prev[i];
       if (cg.vp_side[p]) {
-        result.links.push_back({p, n, cg.owner[n], how});
+        result.links.push_back({p, n, cg.owner[n], how, cg.confidence[n]});
         any_near = true;
       }
     }
     if (!any_near && follows_vp[n]) {
       result.links.push_back(
-          {InferredLink::kNoRouter, n, cg.owner[n], how});
+          {InferredLink::kNoRouter, n, cg.owner[n], how, cg.confidence[n]});
       any_near = true;
     }
     if (any_near) linked_orgs.insert(org_of(cg.owner[n]));
@@ -365,7 +388,8 @@ BdrmapResult infer_borders(RouterGraph graph, const InferenceInputs& inputs,
   for (const auto& u : uncooperative) {
     if (linked_orgs.count(org_of(u.neighbor))) continue;
     result.links.push_back(
-        {u.vp_router, InferredLink::kNoRouter, u.neighbor, u.how});
+        {u.vp_router, InferredLink::kNoRouter, u.neighbor, u.how,
+         u.confidence});
   }
 
   for (std::size_t i = 0; i < result.links.size(); ++i) {

@@ -112,6 +112,9 @@ struct InferredLink {
   std::size_t neighbor_router = kNoRouter;  // far side; kNoRouter if silent
   AsId neighbor_as;
   Heuristic how = Heuristic::kNone;
+  // Inference strength in [0,1] (DESIGN.md §15); excluded from
+  // eval::same_border_map so identity gates keep meaning "same map".
+  double confidence = 0.0;
 };
 
 struct BdrmapStats {
@@ -138,6 +141,9 @@ struct BdrmapResult {
   std::vector<InferredLink> links;
   std::map<AsId, std::vector<std::size_t>> links_by_as;  // indices into links
   BdrmapStats stats;
+  // Per-rule fire/skip counters from the heuristics pass (registration
+  // order; DESIGN.md §15). Excluded from eval::same_border_map.
+  std::vector<HeuristicRuleStats> rule_stats;
   // Targets whose probes ultimately failed: the run completed with partial
   // visibility, and these are the blocks it could not observe.
   std::vector<ProbeFailure> failed_targets;

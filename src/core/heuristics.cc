@@ -3,12 +3,17 @@
 #include <algorithm>
 #include <map>
 
+#include "core/heuristic_engine.h"
+
 namespace bdrmap::core {
 
 Heuristics::Heuristics(RouterGraph& graph, const InferenceInputs& in,
                        HeuristicsConfig config)
     : graph_(graph), in_(in), config_(config) {
   vp_as_ = in_.vp_ases.empty() ? AsId{} : in_.vp_ases.front();
+  for (const HeuristicRule& rule : HeuristicEngine::registry()) {
+    rule_stats_.push_back({rule.slug(), 0, 0});
+  }
   extend_vp_space();
 }
 
@@ -230,30 +235,40 @@ std::unordered_map<AsId, int> Heuristics::adjacent_origin_counts(
   return counts;
 }
 
-AsId Heuristics::nextas(std::size_t router) const {
+Heuristics::ScoredNextas Heuristics::nextas_scored(std::size_t router) const {
+  ScoredNextas out;
   const GraphRouter& r = graph_.routers()[router];
-  if (r.dest_ases.size() < 2 || !in_.rels) return AsId{};
+  if (r.dest_ases.size() < 2 || !in_.rels) return out;
   std::map<AsId, int> provider_counts;
   for (AsId dest : r.dest_ases) {
     for (AsId p : in_.rels->providers(dest)) ++provider_counts[p];
   }
-  AsId best;
-  int best_count = 0;
   for (const auto& [as, count] : provider_counts) {
-    if (count > best_count) {
-      best = as;
-      best_count = count;
+    out.total += count;
+    if (count > out.best) {
+      out.as = as;
+      out.best = count;
     }
   }
-  return best;
+  return out;
+}
+
+AsId Heuristics::nextas(std::size_t router) const {
+  return nextas_scored(router).as;
 }
 
 void Heuristics::assign(std::size_t router, AsId owner, Heuristic how,
-                        bool vp_side) {
+                        bool vp_side, double confidence) {
   GraphRouter& r = graph_.routers()[router];
   r.owner = owner;
   r.how = how;
   r.vp_side = vp_side;
+  r.confidence = conf::clamp01(confidence * confidence_scale_);
+  note_fire();
+}
+
+void Heuristics::note_fire() {
+  if (current_rule_ != kNoRule) ++rule_stats_[current_rule_].fires;
 }
 
 // ---------------------------------------------------------------------------
@@ -337,12 +352,14 @@ void Heuristics::phase1_vp_network() {
         }
       }
       if (!veto) {
-        assign(r, multihomed_as, Heuristic::kMultihomed, /*vp_side=*/false);
+        assign(r, multihomed_as, Heuristic::kMultihomed, /*vp_side=*/false,
+               conf::prior(Heuristic::kMultihomed));
         continue;
       }
     }
 
-    assign(r, vp_as_, Heuristic::kVpNetwork, /*vp_side=*/true);
+    assign(r, vp_as_, Heuristic::kVpNetwork, /*vp_side=*/true,
+           conf::prior(Heuristic::kVpNetwork));
   }
 }
 
@@ -367,17 +384,26 @@ void Heuristics::phase2_firewall() {
       }
     }
     if (orgs.size() == 1) {
+      // Each terminating target is an independent observation that the
+      // silent space beyond belongs to this one organization.
       assign(r, *router.terminal_for.begin(), Heuristic::kFirewall,
-             /*vp_side=*/false);
+             /*vp_side=*/false,
+             conf::both(conf::prior(Heuristic::kFirewall),
+                        conf::support(0.5, static_cast<int>(
+                                               router.terminal_for.size()))));
     } else {
-      AsId next_as = nextas(r);
-      if (is_vp_as(next_as)) {
+      ScoredNextas scored = nextas_scored(r);
+      double share = conf::vote(static_cast<std::size_t>(scored.best),
+                                static_cast<std::size_t>(scored.total));
+      if (is_vp_as(scored.as)) {
         // The most common provider of the destinations is the hosting
         // network itself: this is the VP's own border in front of several
         // unresponsive customers, not a neighbor router.
-        assign(r, vp_as_, Heuristic::kVpNetwork, /*vp_side=*/true);
-      } else if (next_as.valid()) {
-        assign(r, next_as, Heuristic::kFirewall, /*vp_side=*/false);
+        assign(r, vp_as_, Heuristic::kVpNetwork, /*vp_side=*/true,
+               conf::both(conf::prior(Heuristic::kVpNetwork), share));
+      } else if (scored.as.valid()) {
+        assign(r, scored.as, Heuristic::kFirewall, /*vp_side=*/false,
+               conf::both(conf::prior(Heuristic::kFirewall), share));
       }
     }
   }
@@ -434,12 +460,16 @@ void Heuristics::phase3_unrouted() {
     Heuristic tag = ixp_addressed ? Heuristic::kOnenet : Heuristic::kUnrouted;
 
     auto firsts = first_external_after(r);
+    // Every trace contributing a first-external observation supports the
+    // conclusion independently (counted before deduplication).
+    const int observations = static_cast<int>(firsts.size());
     std::vector<AsId> distinct = firsts;
     std::sort(distinct.begin(), distinct.end());
     distinct.erase(std::unique(distinct.begin(), distinct.end()),
                    distinct.end());
     if (distinct.size() == 1) {
-      assign(r, distinct.front(), tag, false);  // step 3.1
+      assign(r, distinct.front(), tag, false,  // step 3.1
+             conf::both(conf::prior(tag), conf::support(0.35, observations)));
     } else if (distinct.size() > 1 && in_.rels) {
       // Step 3.2: the most frequent provider across the observed set —
       // that AS is likely providing transit to the others.
@@ -449,23 +479,43 @@ void Heuristics::phase3_unrouted() {
       }
       AsId best;
       int best_count = 0;
+      int total = 0;
       for (const auto& [as, count] : provider_counts) {
+        total += count;
         if (count > best_count) {
           best = as;
           best_count = count;
         }
       }
       if (best.valid()) {
-        assign(r, best, Heuristic::kUnrouted, false);
+        // The provider vote share, weighted by the strongest relationship
+        // edge tying an observed AS to the winner.
+        double edge = 0.0;
+        for (AsId as : distinct) {
+          edge = std::max(edge,
+                          conf::relationship_prior(*in_.rels, as, best));
+        }
+        assign(r, best, Heuristic::kUnrouted, false,
+               conf::both(conf::prior(Heuristic::kUnrouted),
+                          conf::both(conf::vote(
+                                         static_cast<std::size_t>(best_count),
+                                         static_cast<std::size_t>(total)),
+                                     edge)));
       } else {
-        assign(r, distinct.front(), Heuristic::kUnrouted, false);
+        assign(r, distinct.front(), Heuristic::kUnrouted, false,
+               conf::both(conf::prior(Heuristic::kUnrouted),
+                          conf::kWeakEvidence));
       }
     } else {
-      AsId next_as = nextas(r);
-      if (is_vp_as(next_as)) {
-        assign(r, vp_as_, Heuristic::kVpNetwork, /*vp_side=*/true);
-      } else if (next_as.valid()) {
-        assign(r, next_as, tag, false);
+      ScoredNextas scored = nextas_scored(r);
+      double share = conf::vote(static_cast<std::size_t>(scored.best),
+                                static_cast<std::size_t>(scored.total));
+      if (is_vp_as(scored.as)) {
+        assign(r, vp_as_, Heuristic::kVpNetwork, /*vp_side=*/true,
+               conf::both(conf::prior(Heuristic::kVpNetwork), share));
+      } else if (scored.as.valid()) {
+        assign(r, scored.as, tag, false,
+               conf::both(conf::prior(tag), share));
       } else {
         // Nothing routed beyond and a single destination organization:
         // a neighbor whose internals are entirely unannounced.
@@ -478,7 +528,8 @@ void Heuristics::phase3_unrouted() {
           }
         }
         if (dest_orgs.size() == 1 && !is_vp_as(dest_orgs.front())) {
-          assign(r, *router.dest_ases.begin(), tag, false);
+          assign(r, *router.dest_ases.begin(), tag, false,
+                 conf::both(conf::prior(tag), conf::kWeakEvidence));
         }
       }
     }
@@ -508,7 +559,8 @@ void Heuristics::phase4_onenet() {
           for (Ipv4Addr addr : graph_.routers()[n].ttl_addrs) {
             AddrInfo info = classify(addr);
             if (info.cls == AddrClass::kExternal && info.origin == a) {
-              assign(r, a, Heuristic::kOnenet, false);
+              assign(r, a, Heuristic::kOnenet, false,
+                     conf::prior(Heuristic::kOnenet));
               break;
             }
           }
@@ -519,7 +571,8 @@ void Heuristics::phase4_onenet() {
     if (router.how != Heuristic::kNone) continue;
 
     // Step 4.2: VP-addressed border followed by two consecutive routers in
-    // the same external AS.
+    // the same external AS. The evidence sits one hop beyond the router
+    // being assigned, so it carries the indirection discount.
     if (!all_vp(router)) continue;
     for (std::size_t n : router.next) {
       auto n_ext = external_origins(graph_.routers()[n]);
@@ -528,7 +581,9 @@ void Heuristics::phase4_onenet() {
         if (m == r) continue;
         auto m_ext = external_origins(graph_.routers()[m]);
         if (m_ext.size() == 1 && m_ext.front() == n_ext.front()) {
-          assign(r, n_ext.front(), Heuristic::kOnenet, false);
+          assign(r, n_ext.front(), Heuristic::kOnenet, false,
+                 conf::both(conf::prior(Heuristic::kOnenet),
+                            conf::kIndirectEvidence));
           break;
         }
       }
@@ -577,7 +632,11 @@ void Heuristics::phase5_relationships() {
       // A must be a provider of B: the router replied with the address of
       // the interface toward its provider (its route to the VP).
       if (in_.rels->rel(b, a) != asdata::Relationship::kProvider) continue;
-      assign(r, b, Heuristic::kThirdParty, false);
+      // The inference leans on the inferred B-customer-of-A edge; its
+      // consistency in the store prices the whole conclusion.
+      double edge = conf::relationship_prior(*in_.rels, b, a);
+      assign(r, b, Heuristic::kThirdParty, false,
+             conf::both(conf::prior(Heuristic::kThirdParty), edge));
       // Step 5.1: a preceding all-VP router is B's border too — but only
       // when that router likewise appears exclusively on paths toward B;
       // a router carrying traffic to other networks is not B's border.
@@ -588,7 +647,12 @@ void Heuristics::phase5_relationships() {
         for (AsId dest : pr.dest_ases) {
           only_b &= org_rep(dest) == org_rep(b);
         }
-        if (only_b) assign(p, b, Heuristic::kThirdParty, false);
+        if (only_b) {
+          assign(p, b, Heuristic::kThirdParty, false,
+                 conf::both(conf::kIndirectEvidence,
+                            conf::both(conf::prior(Heuristic::kThirdParty),
+                                       edge)));
+        }
       }
     }
   }
@@ -604,31 +668,43 @@ void Heuristics::phase5_relationships() {
     if (adjacent.size() == 1) {
       AsId a = adjacent.begin()->first;
       // Step 5.3: a known peer or customer of the VP network.
-      bool known = false;
+      AsId known_vp;
       for (AsId v : in_.vp_ases) {
         auto rel = in_.rels->rel(v, a);
-        if (rel == asdata::Relationship::kCustomer ||
-            rel == asdata::Relationship::kPeer) {
-          known = true;
+        if ((rel == asdata::Relationship::kCustomer ||
+             rel == asdata::Relationship::kPeer) &&
+            !known_vp.valid()) {
+          known_vp = v;
         }
       }
-      if (known) {
-        assign(r, a, Heuristic::kRelationship, false);
+      if (known_vp.valid()) {
+        assign(r, a, Heuristic::kRelationship, false,
+               conf::both(conf::prior(Heuristic::kRelationship),
+                          conf::relationship_prior(*in_.rels, known_vp, a)));
         continue;
       }
       // Step 5.4: sibling-style indirection — B is a provider of A and the
       // VP network is a provider of B.
       AsId missing;
+      AsId missing_vp;
       for (AsId b : in_.rels->providers(a)) {
         for (AsId v : in_.vp_ases) {
           if (in_.rels->rel(v, b) == asdata::Relationship::kCustomer &&
               (!missing.valid() || b < missing)) {
             missing = b;
+            missing_vp = v;
           }
         }
       }
       if (missing.valid()) {
-        assign(r, missing, Heuristic::kMissingCust, false);
+        // Two inferred edges must both hold: A-customer-of-B and
+        // B-customer-of-VP.
+        assign(r, missing, Heuristic::kMissingCust, false,
+               conf::both(conf::prior(Heuristic::kMissingCust),
+                          conf::both(conf::relationship_prior(*in_.rels, a,
+                                                              missing),
+                                     conf::relationship_prior(
+                                         *in_.rels, missing_vp, missing))));
         continue;
       }
     }
@@ -636,10 +712,13 @@ void Heuristics::phase5_relationships() {
     // Step 5.5: every subsequent routed interface maps to one AS — a
     // neighbor with no BGP-visible relationship (hidden peer).
     auto firsts = first_external_after(r);
+    const int observations = static_cast<int>(firsts.size());
     std::sort(firsts.begin(), firsts.end());
     firsts.erase(std::unique(firsts.begin(), firsts.end()), firsts.end());
     if (firsts.size() == 1 && !router.next.empty()) {
-      assign(r, firsts.front(), Heuristic::kHiddenPeer, false);
+      assign(r, firsts.front(), Heuristic::kHiddenPeer, false,
+             conf::both(conf::prior(Heuristic::kHiddenPeer),
+                        conf::support(0.35, observations)));
     }
   }
 }
@@ -659,7 +738,9 @@ void Heuristics::phase6_counting() {
       auto adjacent = adjacent_origin_counts(r);
       if (adjacent.empty()) continue;
       int best_count = 0;
+      int total = 0;
       for (const auto& [as, count] : adjacent) {
+        total += count;
         best_count = std::max(best_count, count);
       }
       std::vector<AsId> tied;
@@ -680,7 +761,10 @@ void Heuristics::phase6_counting() {
           }
         }
       }
-      assign(r, winner, Heuristic::kCount, false);
+      assign(r, winner, Heuristic::kCount, false,
+             conf::both(conf::prior(Heuristic::kCount),
+                        conf::vote(static_cast<std::size_t>(best_count),
+                                   static_cast<std::size_t>(total))));
       continue;
     }
 
@@ -694,13 +778,18 @@ void Heuristics::phase6_counting() {
     if (votes.empty()) continue;
     AsId best;
     int best_count = 0;
+    int total = 0;
     for (const auto& [as, count] : votes) {
+      total += count;
       if (count > best_count) {
         best = as;
         best_count = count;
       }
     }
-    assign(r, best, Heuristic::kIpAs, false);
+    assign(r, best, Heuristic::kIpAs, false,
+           conf::both(conf::prior(Heuristic::kIpAs),
+                      conf::vote(static_cast<std::size_t>(best_count),
+                                 static_cast<std::size_t>(total))));
   }
 }
 
@@ -731,6 +820,7 @@ void Heuristics::phase7_analytic_alias() {
     std::sort(collapsible.begin(), collapsible.end());
     for (std::size_t i = 1; i < collapsible.size(); ++i) {
       graph_.merge(collapsible.front(), collapsible[i]);
+      note_fire();
     }
   }
 }
@@ -840,22 +930,47 @@ std::vector<UncooperativeNeighbor> Heuristics::phase8_uncooperative() {
       }
     }
     if (best_count * 10 < total * 7) continue;  // < 70% dominant
-    out.push_back({common_last, neighbor,
-                   icmp_from_neighbor ? Heuristic::kOtherIcmp
-                                      : Heuristic::kSilent});
+    Heuristic tag = icmp_from_neighbor ? Heuristic::kOtherIcmp
+                                       : Heuristic::kSilent;
+    out.push_back({common_last, neighbor, tag,
+                   conf::clamp01(conf::both(conf::prior(tag),
+                                            conf::vote(best_count, total)) *
+                                 confidence_scale_)});
+    note_fire();
   }
   return out;
 }
 
 std::vector<UncooperativeNeighbor> Heuristics::run() {
+  if (config_.engine == HeuristicEngineKind::kRegistry) {
+    return HeuristicEngine(*this).run();
+  }
+  return run_legacy();
+}
+
+std::vector<UncooperativeNeighbor> Heuristics::run_legacy() {
+  // The hard-coded paper ladder. current_rule_ indices match the registry's
+  // registration order (phases 1..8), so fires land in the same
+  // rule_stats_ slots as the registry engine; skips and rule_overrides are
+  // registry-engine concepts and never apply here.
+  current_rule_ = 0;
   phase1_vp_network();
+  current_rule_ = 1;
   phase2_firewall();
+  current_rule_ = 2;
   phase3_unrouted();
+  current_rule_ = 3;
   phase4_onenet();
+  current_rule_ = 4;
   phase5_relationships();
+  current_rule_ = 5;
   phase6_counting();
+  current_rule_ = 6;
   phase7_analytic_alias();
-  return phase8_uncooperative();
+  current_rule_ = 7;
+  std::vector<UncooperativeNeighbor> out = phase8_uncooperative();
+  current_rule_ = kNoRule;
+  return out;
 }
 
 }  // namespace bdrmap::core

@@ -6,9 +6,16 @@
 // decreasing order of available constraints; step 7 collapses analytic
 // aliases on the near side; step 8 places neighbors whose routers never
 // send time-exceeded messages.
+//
+// Two dispatchers run the same phase bodies (DESIGN.md §15): the legacy
+// hard-coded ladder, and the registry-driven HeuristicEngine
+// (core/heuristic_engine.h). With default config they are bit-identical.
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -22,6 +29,8 @@
 
 namespace bdrmap::core {
 
+class HeuristicEngine;
+
 // The §5.2 input datasets, as the deployed tool receives them: a public
 // (collector-derived) origin table, *inferred* relationships, IXP and RIR
 // records, the global AS-to-organization table, and the manually curated
@@ -33,6 +42,32 @@ struct InferenceInputs {
   const asdata::RirDelegations* rir = nullptr;
   const asdata::SiblingTable* siblings = nullptr;
   std::vector<AsId> vp_ases;  // VP AS first, then its siblings
+};
+
+// Which dispatcher Heuristics::run() uses. Both execute the same phase
+// bodies; the registry engine additionally honors rule_order /
+// rule_overrides and counts skips per rule.
+enum class HeuristicEngineKind : std::uint8_t {
+  kLegacy,    // hard-coded §5.4.1→§5.4.8 ladder
+  kRegistry,  // HeuristicEngine over HeuristicEngine::registry()
+};
+
+// Per-rule config override, keyed by registry slug. Registry engine only —
+// the legacy ladder ignores overrides (it predates them and exists as the
+// parity baseline).
+struct HeuristicRuleOverride {
+  // Overrides the rule's enable decision (wins over the legacy enable_*
+  // booleans when set).
+  std::optional<bool> enabled;
+  // Scales every confidence the rule emits (clamped to [0,1]).
+  std::optional<double> confidence_scale;
+};
+
+// Fire/skip accounting for one registry rule, in registration order.
+struct HeuristicRuleStats {
+  std::string slug;
+  std::uint64_t fires = 0;  // assignments/placements made by the rule
+  std::uint64_t skips = 0;  // times the engine skipped it (precondition/config)
 };
 
 struct HeuristicsConfig {
@@ -50,6 +85,15 @@ struct HeuristicsConfig {
   // routers whose external addresses are all confirmed are exempt from
   // third-party reclassification. Not owned; may be null.
   const std::unordered_set<Ipv4Addr>* confirmed_inbound = nullptr;
+  // DESIGN.md §15: dispatcher selection plus registry-only knobs.
+  HeuristicEngineKind engine = HeuristicEngineKind::kRegistry;
+  // Slugs to run first, in the given order; unknown slugs are ignored and
+  // every unnamed rule follows in registration order (the deterministic
+  // tie-break). Empty means pure paper order.
+  std::vector<std::string> rule_order;
+  // Per-slug overrides (registry engine only; std::map keeps iteration —
+  // and therefore any diagnostics — deterministic).
+  std::map<std::string, HeuristicRuleOverride> rule_overrides;
 };
 
 // How an address maps through the public BGP view.
@@ -71,6 +115,9 @@ struct UncooperativeNeighbor {
   std::size_t vp_router;  // index into the router graph
   AsId neighbor;
   Heuristic how;  // kSilent or kOtherIcmp
+  // Inference strength in [0,1] (DESIGN.md §15); excluded from
+  // eval::same_border_map.
+  double confidence = 0.0;
 };
 
 class Heuristics {
@@ -79,7 +126,7 @@ class Heuristics {
              HeuristicsConfig config = {});
 
   // Runs all phases, mutating the graph's ownership annotations, and
-  // returns the §5.4.8 placements.
+  // returns the §5.4.8 placements. Dispatches on config().engine.
   std::vector<UncooperativeNeighbor> run();
 
   // Classification of an observed address (valid after construction).
@@ -89,7 +136,22 @@ class Heuristics {
   // through the router (§5.4 final paragraph).
   AsId nextas(std::size_t router) const;
 
+  const HeuristicsConfig& config() const { return config_; }
+  const InferenceInputs& inputs() const { return in_; }
+
+  // Fire/skip counters per registry rule (registration order), valid after
+  // run(). The legacy ladder fills fires too (same phase bodies); skips are
+  // only counted by the registry engine.
+  const std::vector<HeuristicRuleStats>& rule_stats() const {
+    return rule_stats_;
+  }
+
  private:
+  friend class HeuristicEngine;
+
+  // Sentinel for current_rule_: no rule is firing.
+  static constexpr std::size_t kNoRule = static_cast<std::size_t>(-1);
+
   bool is_vp_as(AsId as) const;
   // Representative AS for sibling-collapsing comparisons.
   AsId org_rep(AsId as) const;
@@ -110,6 +172,15 @@ class Heuristics {
   std::unordered_map<AsId, int> adjacent_origin_counts(
       std::size_t router) const;
 
+  // nextas() with the vote tallies behind it, so callers can turn the
+  // majority share into a confidence (DESIGN.md §15).
+  struct ScoredNextas {
+    AsId as;        // kNoAs when no external destinations were seen
+    int best = 0;   // votes for the winner
+    int total = 0;  // all votes cast
+  };
+  ScoredNextas nextas_scored(std::size_t router) const;
+
   void extend_vp_space();            // §5.4.1 RIR delegation extension
   void phase1_vp_network();          // §5.4.1
   void phase2_firewall();            // §5.4.2
@@ -120,7 +191,13 @@ class Heuristics {
   void phase7_analytic_alias();      // §5.4.7
   std::vector<UncooperativeNeighbor> phase8_uncooperative();  // §5.4.8
 
-  void assign(std::size_t router, AsId owner, Heuristic how, bool vp_side);
+  // The hard-coded ladder (HeuristicEngineKind::kLegacy).
+  std::vector<UncooperativeNeighbor> run_legacy();
+
+  void assign(std::size_t router, AsId owner, Heuristic how, bool vp_side,
+              double confidence);
+  // Credits the currently-firing rule's fire counter (no-op between rules).
+  void note_fire();
 
   RouterGraph& graph_;
   const InferenceInputs& in_;
@@ -133,6 +210,10 @@ class Heuristics {
   mutable std::unordered_map<Ipv4Addr, AddrInfo> classify_cache_;
   mutable std::vector<std::vector<AsId>> first_external_table_;
   mutable bool first_external_built_ = false;
+  // Per-rule accounting (registration order; see HeuristicEngine).
+  std::vector<HeuristicRuleStats> rule_stats_;
+  std::size_t current_rule_ = kNoRule;
+  double confidence_scale_ = 1.0;
 };
 
 }  // namespace bdrmap::core

@@ -191,6 +191,7 @@ CompiledGraph RouterGraph::compile(net::Arena& arena) const {
   std::uint8_t* vp_side = arena.allocate<std::uint8_t>(routers_.size());
   std::uint8_t* how = arena.allocate<std::uint8_t>(routers_.size());
   AsId* owner = arena.allocate<AsId>(routers_.size());
+  double* confidence = arena.allocate<double>(routers_.size());
 
   std::size_t prev_total = 0;
   for (const GraphRouter& r : routers_) prev_total += r.prev.size();
@@ -205,6 +206,7 @@ CompiledGraph RouterGraph::compile(net::Arena& arena) const {
     vp_side[n] = r.vp_side;
     how[n] = static_cast<std::uint8_t>(r.how);
     owner[n] = r.owner;
+    confidence[n] = r.confidence;
     prev_offsets[n] = cursor;
     // std::set iterates ascending; the CSR row keeps that order so the
     // link-emission scan visits near-side routers identically.
@@ -235,6 +237,7 @@ CompiledGraph RouterGraph::compile(net::Arena& arena) const {
   cg.vp_side = vp_side;
   cg.how = how;
   cg.owner = owner;
+  cg.confidence = confidence;
   cg.prev_offsets = prev_offsets;
   cg.prev = prev;
   cg.trace_offsets = trace_offsets;

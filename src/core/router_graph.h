@@ -56,6 +56,9 @@ struct GraphRouter {
   AsId owner;
   Heuristic how = Heuristic::kNone;
   bool vp_side = false;  // operated by the network hosting the VP
+  // Inference strength in [0,1] (DESIGN.md §15). Annotation only — never
+  // feeds placement decisions and excluded from eval::same_border_map.
+  double confidence = 0.0;
 };
 
 // Data-oriented compiled view of a finished graph (DESIGN.md §14). The
@@ -77,6 +80,7 @@ struct CompiledGraph {
   const std::uint8_t* vp_side = nullptr;  // 1 == VP-network side
   const std::uint8_t* how = nullptr;      // Heuristic enum value
   const AsId* owner = nullptr;
+  const double* confidence = nullptr;     // inference strength (§15)
 
   // CSR predecessor adjacency: prev rows of every router, concatenated.
   const std::uint32_t* prev_offsets = nullptr;  // router_count + 1 entries

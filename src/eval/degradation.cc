@@ -31,6 +31,9 @@ bool same_border_map(const core::BdrmapResult& a,
   for (std::size_t i = 0; i < a.links.size(); ++i) {
     const auto& la = a.links[i];
     const auto& lb = b.links[i];
+    // InferredLink::confidence is deliberately NOT compared (DESIGN.md
+    // §15): it annotates inference strength and must never redefine what
+    // "same map" means for the identity gates. Likewise rule_stats below.
     if (la.vp_router != lb.vp_router ||
         la.neighbor_router != lb.neighbor_router ||
         la.neighbor_as != lb.neighbor_as || la.how != lb.how) {

@@ -116,16 +116,8 @@ TEST_F(EdgeFixture, Phase6TieWithoutRelationshipsPicksLowestAs) {
   EXPECT_EQ(router_at("10.0.1.2").owner, AsId(2));
 }
 
-TEST_F(EdgeFixture, RelationshipsDisabledFallsThroughToCounting) {
-  config_.enable_relationships = false;
-  in_.rels.add_p2p(AsId(1), AsId(2));
-  run({make_trace(AsId(2), "20.0.9.9",
-                  {{"10.0.0.1"}, {"10.0.0.2"}, {"10.0.1.2"}, {"20.0.0.1"},
-                   {nullptr}})});
-  // 5.3 would have fired; with phase 5 off the counting step owns it.
-  EXPECT_EQ(router_at("10.0.1.2").how, Heuristic::kCount);
-  EXPECT_EQ(router_at("10.0.1.2").owner, AsId(2));
-}
+// Relationship-toggle fall-through and onenet next-AS mismatch moved to
+// heuristic_fixture_test.cc, which also asserts the skip counters.
 
 TEST_F(EdgeFixture, RirExtensionDoesNotClaimForeignUnroutedSpace) {
   // Unrouted space appearing only AFTER the last VP hop must not be
@@ -150,14 +142,6 @@ TEST_F(EdgeFixture, UncooperativePlacementSkipsOrgsWithLinks) {
            make_trace(AsId(2), "20.0.9.9",
                       {{"10.0.0.1"}, {"10.0.0.2"}, {nullptr}, {nullptr}})});
   EXPECT_TRUE(placements.empty());
-}
-
-TEST_F(EdgeFixture, OnenetNotFooledByDifferentNextAs) {
-  // Router with AS2 address followed by an AS3 router: no onenet.
-  run({make_trace(AsId(3), "30.0.9.9",
-                  {{"10.0.0.1"}, {"10.0.0.2"}, {"20.0.0.1"}, {"30.0.0.1"},
-                   {"30.0.1.1"}})});
-  EXPECT_NE(router_at("20.0.0.1").how, Heuristic::kOnenet);
 }
 
 }  // namespace

@@ -18,7 +18,8 @@ using test::make_trace;
 // Builds a BdrmapResult directly from traces + manual annotations.
 BdrmapResult fake_result(std::vector<ObservedTrace> traces,
                          std::vector<std::vector<net::Ipv4Addr>> groups) {
-  return BdrmapResult{RouterGraph(std::move(traces), groups), {}, {}, {}, {}};
+  return BdrmapResult{RouterGraph(std::move(traces), groups),
+                      {}, {}, {}, {}, {}};
 }
 
 TEST(Merge, SharedAddressesUnifyRouters) {

@@ -99,7 +99,9 @@ TEST(Fuzzer, FloorOverrideForcesFailuresWithReproLines) {
 }
 
 TEST(Fuzzer, PublishesObsMetrics) {
-  obs::Observability obs({.enabled = true});
+  obs::ObsOptions obs_options;
+  obs_options.enabled = true;
+  obs::Observability obs(obs_options);
   FuzzConfig config;
   config.base_seed = 5;
   config.cases = 4;

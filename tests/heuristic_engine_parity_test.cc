@@ -1,0 +1,155 @@
+// Parity golden suite for the §5.4 heuristic registry engine (DESIGN.md
+// §15): HeuristicsConfig::engine == kRegistry must be bit-identical to the
+// legacy hard-coded ladder — same border map (eval::same_border_map), same
+// compiled snapshot fingerprint, and bitwise-equal link confidences — on
+// every registered scenario family, across ECMP probe-seed salts, probe
+// waves on/off, and sharded execution at 1/2/8 pool workers. Suite name
+// carries "Heuristic" so the tsan stage's ctest filter picks it up.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/bdrmap.h"
+#include "core/merge.h"
+#include "eval/degradation.h"
+#include "eval/scenario.h"
+#include "eval/scenario_registry.h"
+#include "runtime/thread_pool.h"
+#include "serve/snapshot.h"
+
+namespace bdrmap::eval {
+namespace {
+
+core::BdrmapConfig engine_config(core::HeuristicEngineKind kind) {
+  core::BdrmapConfig config;
+  config.heuristics.engine = kind;
+  return config;
+}
+
+// Structural hash of the compiled serving snapshot: covers the trie, the
+// border records and the per-AS index — a second, independent identity
+// check on top of same_border_map.
+std::uint64_t snapshot_fingerprint(const core::BdrmapResult& result) {
+  core::MergedMap merged = core::merge_results({&result});
+  return serve::BorderMapSnapshot::compile({}, merged, /*epoch=*/0)
+      ->fingerprint();
+}
+
+std::vector<double> link_confidences(const core::BdrmapResult& result) {
+  std::vector<double> out;
+  out.reserve(result.links.size());
+  for (const auto& link : result.links) out.push_back(link.confidence);
+  return out;
+}
+
+// Full cross-engine identity check. Confidences are computed inside the
+// shared phase bodies, so at default config they must agree bitwise too —
+// a strictly stronger statement than the map-identity gate requires.
+void expect_parity(const core::BdrmapResult& legacy,
+                   const core::BdrmapResult& registry,
+                   const std::string& label) {
+  EXPECT_TRUE(same_border_map(legacy, registry)) << label;
+  EXPECT_EQ(snapshot_fingerprint(legacy), snapshot_fingerprint(registry))
+      << label;
+  EXPECT_EQ(link_confidences(legacy), link_confidences(registry)) << label;
+}
+
+class HeuristicParityTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(HeuristicParityTest, RegistryMatchesLegacyLadder) {
+  // Fresh scenario per engine: nothing (caches, RNG) is shared between the
+  // two runs, so agreement can only come from the inference itself.
+  auto run = [&](core::HeuristicEngineKind kind) {
+    auto scenario = make_scenario(GetParam(), 42);
+    EXPECT_NE(scenario, nullptr);
+    net::AsId vp_as = scenario->first_of(scenario->spec().vp_kind);
+    auto vps = scenario->vps_in(vp_as);
+    EXPECT_FALSE(vps.empty());
+    return scenario->run_bdrmap(vps.front(), engine_config(kind));
+  };
+  core::BdrmapResult legacy = run(core::HeuristicEngineKind::kLegacy);
+  core::BdrmapResult registry = run(core::HeuristicEngineKind::kRegistry);
+  expect_parity(legacy, registry, GetParam());
+  EXPECT_GT(legacy.links.size(), 0u) << "family must produce a map";
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, HeuristicParityTest,
+                         ::testing::ValuesIn(scenario_names()),
+                         [](const auto& param_info) {
+                           return param_info.param;
+                         });
+
+TEST(HeuristicParityTest, EcmpSaltsAndProbeWaves) {
+  // ECMP at the pipeline level: varying the probe seed re-salts every
+  // flow's ECMP hash, steering traces down different parallel paths (the
+  // unit-level FlowSpec::flow_salt sweep lives in trace_batch_test).
+  // Crossed with probe waving on/off, both engines must agree bitwise.
+  for (std::uint32_t salt = 0; salt < 4; ++salt) {
+    const std::uint64_t seed = 0x515 + salt;
+    for (std::size_t wave : {std::size_t{0}, std::size_t{64}}) {
+      auto run = [&](core::HeuristicEngineKind kind) {
+        Scenario s(small_access_config(42));
+        const topo::Vp vp = s.vps_in(s.featured_access()).front();
+        core::BdrmapConfig config = engine_config(kind);
+        config.probe_wave = wave;
+        return s.run_bdrmap(vp, config, seed);
+      };
+      expect_parity(run(core::HeuristicEngineKind::kLegacy),
+                    run(core::HeuristicEngineKind::kRegistry),
+                    "salt " + std::to_string(salt) + " wave " +
+                        std::to_string(wave));
+    }
+  }
+}
+
+TEST(HeuristicParityTest, ShardedIdenticalAcrossWorkersAndEngines) {
+  // Sharded multi-VP execution at 1, 2 and 8 workers, per engine: the
+  // registry engine must neither disturb the sharded determinism contract
+  // nor diverge from the legacy ladder at any worker count.
+  auto run = [](core::HeuristicEngineKind kind, unsigned workers) {
+    Scenario s(small_access_config(42));
+    std::vector<topo::Vp> vps = s.vps_in(s.featured_access());
+    if (vps.size() > 2) vps.resize(2);
+    runtime::ThreadPool pool(workers);
+    return s.run_bdrmap_sharded(vps, engine_config(kind), 0x1517, &pool,
+                                /*ases_per_shard=*/4);
+  };
+  for (unsigned workers : {1u, 2u, 8u}) {
+    runtime::MultiVpResult legacy =
+        run(core::HeuristicEngineKind::kLegacy, workers);
+    runtime::MultiVpResult registry =
+        run(core::HeuristicEngineKind::kRegistry, workers);
+    ASSERT_EQ(legacy.per_vp.size(), registry.per_vp.size());
+    for (std::size_t i = 0; i < legacy.per_vp.size(); ++i) {
+      expect_parity(legacy.per_vp[i], registry.per_vp[i],
+                    "vp " + std::to_string(i) + " at " +
+                        std::to_string(workers) + " workers");
+    }
+    EXPECT_GT(legacy.total.traces, 0u);
+  }
+}
+
+TEST(HeuristicParityTest, ExplicitPaperOrderMatchesDefault) {
+  // Naming every rule in registration order is the same thing as naming
+  // none: resolve_order's tie-break must keep the paper ladder stable.
+  auto run = [&](std::vector<std::string> order) {
+    Scenario s(small_access_config(42));
+    const topo::Vp vp = s.vps_in(s.featured_access()).front();
+    core::BdrmapConfig config =
+        engine_config(core::HeuristicEngineKind::kRegistry);
+    config.heuristics.rule_order = std::move(order);
+    return s.run_bdrmap(vp, config, 0x515);
+  };
+  core::BdrmapResult implicit = run({});
+  core::BdrmapResult explicit_order =
+      run({"vp_network", "firewall", "unrouted", "onenet", "relationships",
+           "counting", "analytic_alias", "uncooperative"});
+  core::BdrmapResult unknown_ignored = run({"no_such_rule"});
+  expect_parity(implicit, explicit_order, "explicit paper order");
+  expect_parity(implicit, unknown_ignored, "unknown slug ignored");
+}
+
+}  // namespace
+}  // namespace bdrmap::eval

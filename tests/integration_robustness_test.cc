@@ -152,7 +152,7 @@ TEST_P(AdversarialFamily, MeetsFloorWithCleanAudit) {
 INSTANTIATE_TEST_SUITE_P(
     Families, AdversarialFamily,
     ::testing::ValuesIn(eval::adversarial_scenario_names()),
-    [](const auto& info) { return info.param; });
+    [](const auto& param_info) { return param_info.param; });
 
 TEST(AdversarialFamilies, RouteLeakIsVisibleToTheSubstrateAudit) {
   // Positive control for the leak machinery: the rib.valley-free pass must

@@ -1,0 +1,11 @@
+// Fixture for BDR105: calling a §5.4 phase body directly instead of
+// dispatching through HeuristicEngine (core/heuristic_engine.h).
+#include "core/heuristics.h"
+
+namespace bdrmap::core {
+
+void sneak_past_the_registry(Heuristics& h) {
+  h.phase5_relationships();  // BDR105: bypasses order/skip/confidence
+}
+
+}  // namespace bdrmap::core

@@ -33,7 +33,7 @@ TEST(Dot, ExportsWellFormedGraph) {
 }
 
 TEST(Dot, EmptyResultStillValid) {
-  core::BdrmapResult empty{core::RouterGraph({}, {}), {}, {}, {}, {}};
+  core::BdrmapResult empty{core::RouterGraph({}, {}), {}, {}, {}, {}, {}};
   auto dot = result_to_dot(empty);
   EXPECT_NE(dot.find("digraph"), std::string::npos);
   EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),

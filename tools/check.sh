@@ -32,6 +32,11 @@
 #   --fuzz         property-based scenario fuzz smoke: fixed-seed sweep of
 #                  25 cases across every adversarial family (scenario_fuzz;
 #                  failing seeds print one-line repro commands)
+#   --ablation     heuristic-ablation smoke: bench_ablation --smoke over the
+#                  small scenario (hard registry-vs-legacy identity gate),
+#                  then tools/check_ablation.py — structural honesty checks
+#                  are hard, accuracy drift vs the committed
+#                  BENCH_ablation.json is warn-only (EXPERIMENTS.md)
 #
 # clang-tidy is optional: when the binary is absent the tidy stage is
 # skipped with a notice (the .clang-tidy profile still gates CI runners
@@ -48,6 +53,7 @@ OBS_ONLY=0
 FUZZ_ONLY=0
 ANALYZE_ONLY=0
 SERVE_ONLY=0
+ABLATION_ONLY=0
 case "${1:-}" in
   --fast) FAST=1 ;;
   --lint) LINT_ONLY=1 ;;
@@ -57,8 +63,9 @@ case "${1:-}" in
   --fuzz) FUZZ_ONLY=1 ;;
   --analyze) ANALYZE_ONLY=1 ;;
   --serve) SERVE_ONLY=1 ;;
+  --ablation) ABLATION_ONLY=1 ;;
   "") ;;
-  *) echo "usage: tools/check.sh [--fast|--lint|--tsan|--bench|--obs|--fuzz|--analyze|--serve]" >&2; exit 2 ;;
+  *) echo "usage: tools/check.sh [--fast|--lint|--tsan|--bench|--obs|--fuzz|--analyze|--serve|--ablation]" >&2; exit 2 ;;
 esac
 
 run_tsan() {
@@ -68,9 +75,10 @@ run_tsan() {
     runtime_thread_pool_test runtime_multi_vp_test netbase_contract_test \
     route_fastpath_test trace_batch_test obs_metrics_test obs_trace_test \
     eval_fuzzer_test serve_handle_test serve_snapshot_test \
-    serve_incremental_test
+    serve_incremental_test heuristic_engine_parity_test \
+    heuristic_confidence_test
   ctest --test-dir build-tsan -j "$JOBS" --output-on-failure \
-    -R 'ThreadPool|TaskGroup|ParallelFor|ParallelMap|MultiVp|Contract|FastPath|TraceBatch|Obs|Fuzzer|Serve'
+    -R 'ThreadPool|TaskGroup|ParallelFor|ParallelMap|MultiVp|Contract|FastPath|TraceBatch|Obs|Fuzzer|Serve|Heuristic'
 }
 
 run_fuzz() {
@@ -116,6 +124,18 @@ run_bench() {
   # Same code paths and identity gates as the committed BENCH_scale.json
   # run, on the CI-sized scenario. Identity failures exit 1 here too.
   ./build/bench/bench_scale --smoke --out BENCH_scale_smoke.json
+}
+
+run_ablation() {
+  echo "== ablation smoke: bench_ablation --smoke + gate =="
+  cmake --preset default >/dev/null
+  cmake --build --preset default -j "$JOBS" --target bench_ablation
+  # Same code paths and registry-vs-legacy identity gate as the committed
+  # BENCH_ablation.json run, on the CI-sized scenario. Identity failures
+  # exit 1 in the bench itself; the gate script then hard-checks the
+  # honesty fields and warns (only) on accuracy drift vs the reference.
+  ./build/bench/bench_ablation --smoke --out BENCH_ablation_smoke.json
+  python3 tools/check_ablation.py BENCH_ablation_smoke.json
 }
 
 run_lint() {
@@ -194,6 +214,12 @@ fi
 if [[ "$ANALYZE_ONLY" == "1" ]]; then
   run_analyze
   echo "== analyze passed =="
+  exit 0
+fi
+
+if [[ "$ABLATION_ONLY" == "1" ]]; then
+  run_ablation
+  echo "== ablation smoke passed =="
   exit 0
 fi
 

@@ -21,6 +21,10 @@ default the gate also requires:
     appear: core.arena.bytes_used <= core.arena.bytes_reserved, and the
     probe.batch.flows_per_batch histogram observes exactly once per batch
     (count == probe.batch.batches, sum == probe.batch.flows)
+  * heuristic confidence accounting (DESIGN.md §15), whenever the
+    histograms appear: every core.heuristic.<tag>.confidence histogram
+    shares its observation sites with the core.heuristic.<tag> fire
+    counter, so histogram count == counter value for every tag
 
 --schema-only skips the run-completeness checks (for exports from partial
 or disabled runs). --serve switches the completeness profile to the one
@@ -194,6 +198,23 @@ def check_run(doc, serve: bool = False) -> list[str]:
             findings.append(
                 f"probe.batch.flows_per_batch sum ({per_batch['sum']}) "
                 f"!= probe.batch.flows ({flows}): flow accounting drifted")
+
+    # Heuristic confidence accounting (DESIGN.md §15). The engine observes
+    # one confidence per placement at the same site that increments the
+    # per-tag counter (src/core/bdrmap.cc publish_result), so the two must
+    # agree exactly; drift means a placement was scored without being
+    # counted or vice versa.
+    for name, hist in hists.items():
+        if not (name.startswith("core.heuristic.")
+                and name.endswith(".confidence")):
+            continue
+        tag = name[:-len(".confidence")]
+        tag_count = counters.get(tag, 0)
+        if hist["count"] != tag_count:
+            findings.append(
+                f"{name} count ({hist['count']}) != counter '{tag}' "
+                f"({tag_count}): confidence observed without a matching "
+                "fire count")
     return findings
 
 

@@ -94,6 +94,9 @@ RULES = {
     "BDR104": ("hot-region-alloc",
                "node-based container / naked new inside a "
                "BDRMAP_HOT_BEGIN/END region (DESIGN.md §14)"),
+    "BDR105": ("direct-ladder-call",
+               "direct §5.4 phase call outside the heuristic engine "
+               "(DESIGN.md §15); dispatch through HeuristicEngine"),
 }
 RULE_BY_NAME = {name: rid for rid, (name, _) in RULES.items()}
 
@@ -473,8 +476,50 @@ def pass_hot_region(ctx: FileContext) -> list[Finding]:
     return findings
 
 
+# --------------------------------------------------------------------------
+# Pass 5: heuristic-engine encapsulation (BDR105)
+#
+# The §5.4 ladder bodies (phase1_vp_network .. phase8_uncooperative) are
+# private to core::Heuristics and reachable only through the registry
+# engine's trampolines (core/heuristic_engine.{h,cc}) or the legacy
+# dispatcher in core/heuristics.cc. Any other src/ file naming one of them
+# — a new friend, a refactor that re-exposes the ladder — bypasses the
+# rule registry's order, skip accounting and confidence scaling, so the
+# call sites themselves are banned (DESIGN.md §15).
+# --------------------------------------------------------------------------
+
+LADDER_CALL_RE = re.compile(
+    r"\bphase[1-8]_(?:vp_network|firewall|unrouted|onenet|relationships|"
+    r"counting|analytic_alias|uncooperative)\s*\(")
+# The only files allowed to declare, define or dispatch the phase bodies.
+LADDER_EXEMPT = {
+    ("core", "heuristics.h"),
+    ("core", "heuristics.cc"),
+    ("core", "heuristic_engine.h"),
+    ("core", "heuristic_engine.cc"),
+}
+
+
+def pass_ladder_encapsulation(ctx: FileContext) -> list[Finding]:
+    if ctx.module is None:
+        return []
+    if tuple(ctx.rel.parts[-2:]) in LADDER_EXEMPT:
+        return []
+    findings: list[Finding] = []
+    for n, code in enumerate(ctx.code_lines, start=1):
+        m = LADDER_CALL_RE.search(code)
+        if m:
+            findings.append(Finding(
+                "BDR105", ctx.relstr, n,
+                f"direct ladder call {m.group(0).rstrip('(').rstrip()}() — "
+                "run §5.4 rules through HeuristicEngine "
+                "(core/heuristic_engine.h) so order, skip accounting and "
+                "confidence scaling apply"))
+    return findings
+
+
 PASSES = [pass_hygiene, pass_layering, pass_concurrency_determinism,
-          pass_hot_region]
+          pass_hot_region, pass_ladder_encapsulation]
 
 
 def lint_file(path: Path) -> list[Finding]:
